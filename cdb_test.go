@@ -1,0 +1,151 @@
+package cdb_test
+
+import (
+	"math"
+	"testing"
+
+	cdb "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	db, err := cdb.Parse(`rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := db.Relation("S")
+	if !ok {
+		t.Fatal("S missing")
+	}
+	gen, err := cdb.NewSampler(s, 42, cdb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := gen.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(p) {
+		t.Errorf("sample %v outside S", p)
+	}
+	v, err := gen.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.3 || v > 0.8 {
+		t.Errorf("triangle area estimate = %g, want ~0.5", v)
+	}
+}
+
+func TestExactVsEstimated(t *testing.T) {
+	rel := cdb.MustRelation("R", []string{"x", "y"},
+		cdb.Cube(2, 0, 2), cdb.Cube(2, 1, 3))
+	exact, err := cdb.ExactVolume(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-7) > 1e-7 {
+		t.Fatalf("exact = %g, want 7", exact)
+	}
+	est, err := cdb.EstimateVolume(rel, 7, cdb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 4.5 || est > 10.5 {
+		t.Errorf("estimate = %g, want ~7", est)
+	}
+}
+
+func TestEngineThroughFacade(t *testing.T) {
+	db, err := cdb.Parse(`
+		rel Land(x, y) := { 0 <= x <= 10, 0 <= y <= 10 };
+		query Strip(x) := exists y. (Land(x, y) & y <= 1);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := cdb.NewEngine(db.Schema, cdb.DefaultOptions(), 11)
+	q, _ := db.Query("Strip")
+	v, err := e.EstimateVolume(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 6 || v > 15 {
+		t.Errorf("strip length = %g, want ~10", v)
+	}
+	sym, err := e.EvalSymbolic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sym.Contains(cdb.Vector{5}) || sym.Contains(cdb.Vector{11}) {
+		t.Error("symbolic result wrong")
+	}
+}
+
+func TestReconstructThroughFacade(t *testing.T) {
+	db, err := cdb.Parse(`rel S(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := db.Relation("S")
+	gen, err := cdb.NewSampler(s, 3, cdb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cdb.ReconstructConvex(gen, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := h.Area2D(); a < 0.85 || a > 1.0001 {
+		t.Errorf("hull area = %g, want ~1", a)
+	}
+}
+
+func TestFaithfulOptionsGridWalk(t *testing.T) {
+	db, err := cdb.Parse(`rel S(x) := { 0 <= x <= 1 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := db.Relation("S")
+	opts := cdb.FaithfulOptions()
+	opts.WalkSteps = 500
+	gen, err := cdb.NewSampler(s, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p, err := gen.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Contains(p) {
+			t.Fatalf("grid-walk sample %v escaped", p)
+		}
+	}
+}
+
+func TestProjectAndReconstructFacade(t *testing.T) {
+	// Simplex in R^3 onto (x,y): triangle of area 1/2.
+	db, err := cdb.Parse(`rel S(x, y, z) := { x >= 0, y >= 0, z >= 0, x + y + z <= 1 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := db.Relation("S")
+	// Build the polytope from the single tuple.
+	if len(s.Tuples) != 1 {
+		t.Fatal("expected one tuple")
+	}
+	poly := polytopeFromTuple(s.Tuples[0])
+	h, err := cdb.ProjectAndReconstruct(poly, []int{0, 1}, 300, 9, cdb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := h.Area2D(); math.Abs(a-0.5) > 0.1 {
+		t.Errorf("projected area = %g, want ~0.5", a)
+	}
+}
+
+// polytopeFromTuple mirrors the internal conversion for facade tests.
+func polytopeFromTuple(t cdb.Tuple) *cdb.Polytope {
+	a, b := t.System()
+	return &cdb.Polytope{A: a, B: b}
+}

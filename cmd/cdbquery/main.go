@@ -1,0 +1,87 @@
+// Command cdbquery evaluates a query of a constraint database program,
+// either symbolically (Fourier–Motzkin quantifier elimination, the
+// classical baseline) or approximately (sampling plans and hull
+// reconstruction, the paper's contribution).
+//
+// Usage:
+//
+//	cdbquery -file db.cdb -query Q -mode symbolic
+//	cdbquery -file db.cdb -query Q -mode volume
+//	cdbquery -file db.cdb -query Q -mode reconstruct -n 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	cdb "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cdbquery: ")
+	var (
+		file  = flag.String("file", "", "constraint database program (required)")
+		qName = flag.String("query", "", "query name (required)")
+		mode  = flag.String("mode", "symbolic", "symbolic | plan | volume | reconstruct")
+		n     = flag.Int("n", 400, "samples per disjunct for reconstruction")
+		seed  = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	if *file == "" || *qName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := cdb.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, ok := db.Query(*qName)
+	if !ok {
+		log.Fatalf("query %q not found", *qName)
+	}
+	e := cdb.NewEngine(db.Schema, cdb.DefaultOptions(), *seed)
+	switch *mode {
+	case "plan":
+		plan, err := e.NewPlan(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(plan.Describe())
+	case "symbolic":
+		rel, err := e.EvalSymbolic(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rel.String())
+		fmt.Printf("-- %d tuple(s), description size %d\n", len(rel.Tuples), rel.Size())
+	case "volume":
+		v, err := e.EstimateVolume(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("volume(%s) ≈ %.6g\n", *qName, v)
+	case "reconstruct":
+		est, err := e.Reconstruct(q, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reconstruction of %s: %d hull(s), %d points total\n",
+			*qName, len(est.Hulls), est.VertexCount())
+		for i, h := range est.Hulls {
+			vs := h.Vertices()
+			fmt.Printf("hull %d: %d extreme points\n", i, len(vs))
+			for _, v := range vs {
+				fmt.Printf("  %v\n", v)
+			}
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,71 @@
+// Command cdbsample draws almost-uniform samples from a relation of a
+// constraint database program.
+//
+// Usage:
+//
+//	cdbsample -file db.cdb -rel S -n 100 [-seed 42] [-walk hit-and-run|grid] [-eps 0.25]
+//
+// Each output line is one sample point, tab-separated coordinates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	cdb "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cdbsample: ")
+	var (
+		file    = flag.String("file", "", "constraint database program (required)")
+		relName = flag.String("rel", "", "relation to sample (required)")
+		n       = flag.Int("n", 10, "number of samples")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		walkK   = flag.String("walk", "hit-and-run", "walk kind: hit-and-run | grid")
+		eps     = flag.Float64("eps", 0.25, "distribution quality ε")
+		gamma   = flag.Float64("gamma", 0.2, "grid resolution γ")
+		delta   = flag.Float64("delta", 0.1, "failure probability δ")
+	)
+	flag.Parse()
+	if *file == "" || *relName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := cdb.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, ok := db.Relation(*relName)
+	if !ok {
+		log.Fatalf("relation %q not found (have %v)", *relName, db.Names)
+	}
+	opts := cdb.DefaultOptions()
+	if *walkK == "grid" {
+		opts = cdb.FaithfulOptions()
+	}
+	opts.Params = cdb.Params{Gamma: *gamma, Eps: *eps, Delta: *delta}
+	gen, err := cdb.NewSampler(rel, *seed, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *n; i++ {
+		x, err := gen.Sample()
+		if err != nil {
+			log.Fatalf("sample %d: %v", i, err)
+		}
+		parts := make([]string, len(x))
+		for j, v := range x {
+			parts[j] = fmt.Sprintf("%.6g", v)
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+}

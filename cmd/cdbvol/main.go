@@ -1,0 +1,82 @@
+// Command cdbvol estimates (or exactly computes) the volume of a
+// relation or query result in a constraint database program.
+//
+// Usage:
+//
+//	cdbvol -file db.cdb -rel S             # randomized relative estimate
+//	cdbvol -file db.cdb -rel S -exact      # exact (fixed-dimension) volume
+//	cdbvol -file db.cdb -query Q           # sampling-based query volume
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	cdb "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cdbvol: ")
+	var (
+		file    = flag.String("file", "", "constraint database program (required)")
+		relName = flag.String("rel", "", "relation to measure")
+		qName   = flag.String("query", "", "query to measure (sampling plan)")
+		exact   = flag.Bool("exact", false, "use the exact fixed-dimension algorithm (Lemma 3.1)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		eps     = flag.Float64("eps", 0.25, "relative error ε")
+		delta   = flag.Float64("delta", 0.1, "failure probability δ")
+	)
+	flag.Parse()
+	if *file == "" || (*relName == "" && *qName == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := cdb.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := cdb.DefaultOptions()
+	opts.Params.Eps = *eps
+	opts.Params.Delta = *delta
+
+	switch {
+	case *relName != "" && *exact:
+		rel, ok := db.Relation(*relName)
+		if !ok {
+			log.Fatalf("relation %q not found", *relName)
+		}
+		v, err := cdb.ExactVolume(rel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exact volume(%s) = %.9g\n", *relName, v)
+	case *relName != "":
+		rel, ok := db.Relation(*relName)
+		if !ok {
+			log.Fatalf("relation %q not found", *relName)
+		}
+		v, err := cdb.EstimateVolume(rel, *seed, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("volume(%s) ≈ %.6g  (relative ε=%g, δ=%g)\n", *relName, v, *eps, *delta)
+	default:
+		q, ok := db.Query(*qName)
+		if !ok {
+			log.Fatalf("query %q not found", *qName)
+		}
+		e := cdb.NewEngine(db.Schema, opts, *seed)
+		v, err := e.EstimateVolume(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("volume(%s) ≈ %.6g  (sampling plan, ε=%g, δ=%g)\n", *qName, v, *eps, *delta)
+	}
+}

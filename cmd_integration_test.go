@@ -1,0 +1,93 @@
+package cdb_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools exercises every binary end to end through the Go
+// toolchain. Skipped with -short.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "demo.cdb")
+	prog := `
+rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 } | { 2 <= x <= 3, 0 <= y <= 1 };
+query Q(x)  := exists y. S(x, y);
+`
+	if err := os.WriteFile(dbPath, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command("go", append([]string{"run"}, args...)...)
+		cmd.Dir = "."
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	t.Run("cdbsample", func(t *testing.T) {
+		out := run("./cmd/cdbsample", "-file", dbPath, "-rel", "S", "-n", "5", "-seed", "1")
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 5 {
+			t.Fatalf("want 5 sample lines, got %d:\n%s", len(lines), out)
+		}
+		for _, l := range lines {
+			if len(strings.Fields(l)) != 2 {
+				t.Errorf("sample line %q is not 2-D", l)
+			}
+		}
+	})
+
+	t.Run("cdbvol exact", func(t *testing.T) {
+		out := run("./cmd/cdbvol", "-file", dbPath, "-rel", "S", "-exact")
+		if !strings.Contains(out, "1.5") {
+			t.Errorf("exact volume output %q should contain 1.5", out)
+		}
+	})
+
+	t.Run("cdbvol estimate", func(t *testing.T) {
+		out := run("./cmd/cdbvol", "-file", dbPath, "-rel", "S", "-seed", "2")
+		if !strings.Contains(out, "volume(S)") {
+			t.Errorf("estimate output %q", out)
+		}
+	})
+
+	t.Run("cdbquery plan and symbolic", func(t *testing.T) {
+		out := run("./cmd/cdbquery", "-file", dbPath, "-query", "Q", "-mode", "plan")
+		if !strings.Contains(out, "union combinator") {
+			t.Errorf("plan output %q", out)
+		}
+		out = run("./cmd/cdbquery", "-file", dbPath, "-query", "Q", "-mode", "symbolic")
+		if !strings.Contains(out, "Q(x)") {
+			t.Errorf("symbolic output %q", out)
+		}
+	})
+
+	t.Run("cdbplot", func(t *testing.T) {
+		svgPath := filepath.Join(dir, "out.svg")
+		run("./cmd/cdbplot", "-file", dbPath, "-rel", "S", "-samples", "30", "-hull", "-o", svgPath)
+		data, err := os.ReadFile(svgPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "<circle") {
+			t.Error("SVG output missing expected elements")
+		}
+	})
+
+	t.Run("cdbbench single", func(t *testing.T) {
+		out := run("./cmd/cdbbench", "-run", "E3", "-quick")
+		if !strings.Contains(out, "E3") || !strings.Contains(out, "within 1.35x") {
+			t.Errorf("bench output %q", out)
+		}
+	})
+}

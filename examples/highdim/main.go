@@ -1,0 +1,73 @@
+// High-dimension example: Proposition 4.3's speed-up. The query
+//
+//	φ(x1, x2) ≡ ∃x3 ... ∃x_{2+k} R(x1, ..., x_{2+k})
+//
+// projects a (2+k)-dimensional convex relation onto the plane. The
+// classical evaluation is Fourier–Motzkin elimination, whose constraint
+// count explodes doubly exponentially in k; the paper's Algorithm 3
+// samples the projection (Theorem 4.3's generator) and reconstructs the
+// result as a convex hull in time polynomial in the dimension.
+//
+// This example runs both on the same random polytopes and prints the
+// blow-up next to the flat sampling cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cdb "repro"
+	"repro/internal/constraint"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func main() {
+	r := rng.New(99)
+	fmt.Println("projecting a random (2+k)-polytope onto the plane: FM vs sampling")
+	fmt.Printf("%-4s  %-18s  %-12s  %-14s  %-10s\n", "k", "FM atoms", "FM time", "sampling time", "hull pts")
+	for _, k := range []int{1, 2, 3, 4} {
+		poly := dataset.HighDimPipeline(r, 2, k, 10)
+
+		// Classical route: eliminate the k trailing variables. Raw
+		// (unpruned) FM is infeasible beyond k = 3 — which is the point —
+		// so k = 4 falls back to the pruned practical variant.
+		vars := make([]string, 2+k)
+		for i := range vars {
+			vars[i] = fmt.Sprintf("v%d", i)
+		}
+		rel := constraint.MustRelation("R", vars, poly.Tuple())
+		drop := make([]int, k)
+		for i := range drop {
+			drop[i] = 2 + i
+		}
+		opts := constraint.EliminateOptions{SkipPruning: k <= 3}
+		mode := "raw"
+		if k > 3 {
+			mode = "pruned"
+		}
+		t0 := time.Now()
+		raw := constraint.EliminateAll(rel, drop, opts)
+		fmTime := time.Since(t0)
+		atoms := 0
+		for _, tp := range raw.Tuples {
+			atoms += len(tp.Atoms)
+		}
+
+		// Paper's route: Algorithm 3 — projection generator + hull.
+		t1 := time.Now()
+		hull, err := cdb.ProjectAndReconstruct(poly, []int{0, 1}, 250, uint64(1000+k), cdb.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampleTime := time.Since(t1)
+
+		fmt.Printf("%-4d  %-18s  %-12s  %-14s  %-10d\n",
+			k, fmt.Sprintf("%d (%s)", atoms, mode),
+			fmTime.Round(time.Microsecond), sampleTime.Round(time.Microsecond),
+			len(hull.Vertices()))
+	}
+	fmt.Println("\nFM atom counts follow the doubly-exponential pairing growth;")
+	fmt.Println("the sampling reconstruction cost is flat in k at a fixed sample budget.")
+}

@@ -1,0 +1,65 @@
+package cdb_test
+
+import (
+	"testing"
+
+	cdb "repro"
+)
+
+func TestParseRelationFacade(t *testing.T) {
+	r, err := cdb.ParseRelation(`Tri(x, y) := { x >= 0, y >= 0, x + y <= 1 }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "Tri" || !r.Contains(cdb.Vector{0.2, 0.2}) {
+		t.Error("ParseRelation facade wrong")
+	}
+	// With a schema.
+	schema := cdb.Schema{"Tri": r}
+	p, err := cdb.ParseRelation(`P(x) := exists y. Tri(x, y)`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(cdb.Vector{0.5}) || p.Contains(cdb.Vector{2}) {
+		t.Error("schema-aware ParseRelation wrong")
+	}
+}
+
+func TestParseFormulaFacade(t *testing.T) {
+	f, err := cdb.ParseFormula(`x <= 1 & x >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() == "" {
+		t.Error("formula must render")
+	}
+	if _, err := cdb.ParseFormula(`x <=`); err == nil {
+		t.Error("bad formula must fail")
+	}
+}
+
+func TestShapeConstructorFacades(t *testing.T) {
+	b := cdb.Box(cdb.Vector{0, 0}, cdb.Vector{2, 1})
+	if !b.Contains(cdb.Vector{1, 0.5}) || b.Contains(cdb.Vector{3, 0.5}) {
+		t.Error("Box facade wrong")
+	}
+	s := cdb.Simplex(3, 1)
+	if !s.Contains(cdb.Vector{0.2, 0.2, 0.2}) || s.Contains(cdb.Vector{0.5, 0.5, 0.5}) {
+		t.Error("Simplex facade wrong")
+	}
+	c := cdb.Cube(2, -1, 1)
+	if !c.Contains(cdb.Vector{0, 0}) {
+		t.Error("Cube facade wrong")
+	}
+}
+
+func TestErrorTaxonomyExported(t *testing.T) {
+	for _, err := range []error{
+		cdb.ErrGeneratorFailed, cdb.ErrNotPolyRelated,
+		cdb.ErrNotWellBounded, cdb.ErrUnsupportedQuery,
+	} {
+		if err == nil || err.Error() == "" {
+			t.Error("exported error must be non-nil with a message")
+		}
+	}
+}

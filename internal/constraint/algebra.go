@@ -1,0 +1,169 @@
+package constraint
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// This file provides the relational-algebra view of generalized
+// relations: selection, projection, renaming and cartesian product. They
+// are the operator building blocks of the constraint algebra equivalent
+// to FO+LIN (Kanellakis–Kuper–Revesz), and the symbolic counterparts of
+// the paper's sampling combinators.
+
+// Select returns σ_atom(r): every tuple conjoined with the extra atom,
+// empty results pruned. The atom's arity must match the relation's.
+func Select(r *Relation, atom Atom) (*Relation, error) {
+	if atom.Dim() != r.Arity() {
+		return nil, fmt.Errorf("constraint: selection atom arity %d != relation arity %d", atom.Dim(), r.Arity())
+	}
+	out := &Relation{Name: r.Name, Vars: r.Vars}
+	for _, t := range r.Tuples {
+		out.Tuples = append(out.Tuples, t.With(atom))
+	}
+	return out.PruneEmpty(), nil
+}
+
+// Project returns π_cols(r): the named columns in the given order, with
+// the remaining columns existentially eliminated by Fourier–Motzkin.
+func Project(r *Relation, cols []string) (*Relation, error) {
+	keep := make([]int, 0, len(cols))
+	seen := map[int]bool{}
+	for _, c := range cols {
+		idx := indexOf(r.Vars, c)
+		if idx < 0 {
+			return nil, fmt.Errorf("constraint: projection column %q not in %v", c, r.Vars)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("constraint: duplicate projection column %q", c)
+		}
+		seen[idx] = true
+		keep = append(keep, idx)
+	}
+	var drop []int
+	for j := range r.Vars {
+		if !seen[j] {
+			drop = append(drop, j)
+		}
+	}
+	proj := EliminateAll(r, drop, EliminateOptions{})
+	// EliminateAll preserves the original relative order of the kept
+	// columns; reorder to the caller's order.
+	return reorderColumns(proj, cols)
+}
+
+// reorderColumns permutes relation columns into the order names.
+func reorderColumns(r *Relation, names []string) (*Relation, error) {
+	perm := make([]int, len(names))
+	for i, n := range names {
+		idx := indexOf(r.Vars, n)
+		if idx < 0 {
+			return nil, fmt.Errorf("constraint: column %q missing after elimination", n)
+		}
+		perm[i] = idx
+	}
+	out := &Relation{Name: r.Name, Vars: append([]string{}, names...)}
+	for _, t := range r.Tuples {
+		atoms := make([]Atom, len(t.Atoms))
+		for ai, a := range t.Atoms {
+			coef := make(linalg.Vector, len(perm))
+			for i, j := range perm {
+				coef[i] = a.Coef[j]
+			}
+			atoms[ai] = Atom{Coef: coef, B: a.B, Strict: a.Strict}
+		}
+		out.Tuples = append(out.Tuples, NewTuple(len(perm), atoms...))
+	}
+	return out, nil
+}
+
+// Rename returns ρ(r) with new column names (same geometry).
+func Rename(r *Relation, vars []string) (*Relation, error) {
+	if len(vars) != r.Arity() {
+		return nil, fmt.Errorf("constraint: rename arity %d != %d", len(vars), r.Arity())
+	}
+	out := &Relation{Name: r.Name, Vars: append([]string{}, vars...), Tuples: r.Tuples}
+	return out, nil
+}
+
+// Product returns r × s over the concatenated columns: each pair of
+// tuples contributes the conjunction of r's atoms (padded with zero
+// coefficients on s's columns) and s's atoms (padded on r's columns).
+func Product(r, s *Relation) (*Relation, error) {
+	for _, v := range s.Vars {
+		if indexOf(r.Vars, v) >= 0 {
+			return nil, fmt.Errorf("constraint: product column clash %q (rename first)", v)
+		}
+	}
+	dr, ds := r.Arity(), s.Arity()
+	out := &Relation{Vars: append(append([]string{}, r.Vars...), s.Vars...)}
+	for _, tr := range r.Tuples {
+		for _, ts := range s.Tuples {
+			atoms := make([]Atom, 0, len(tr.Atoms)+len(ts.Atoms))
+			for _, a := range tr.Atoms {
+				coef := make(linalg.Vector, dr+ds)
+				copy(coef, a.Coef)
+				atoms = append(atoms, Atom{Coef: coef, B: a.B, Strict: a.Strict})
+			}
+			for _, a := range ts.Atoms {
+				coef := make(linalg.Vector, dr+ds)
+				copy(coef[dr:], a.Coef)
+				atoms = append(atoms, Atom{Coef: coef, B: a.B, Strict: a.Strict})
+			}
+			out.Tuples = append(out.Tuples, NewTuple(dr+ds, atoms...))
+		}
+	}
+	return out, nil
+}
+
+// Join returns the natural join r ⋈ s on shared column names: the
+// product restricted by equality of shared columns, projected back to
+// the union of the column sets (r's columns first, then s's extras).
+func Join(r, s *Relation) (*Relation, error) {
+	shared := []string{}
+	for _, v := range s.Vars {
+		if indexOf(r.Vars, v) >= 0 {
+			shared = append(shared, v)
+		}
+	}
+	// Rename s's shared columns to temporaries, product, select equality,
+	// then project the temporaries away.
+	tmpVars := append([]string{}, s.Vars...)
+	for i, v := range tmpVars {
+		if indexOf(shared, v) >= 0 {
+			tmpVars[i] = v + "$j"
+		}
+	}
+	s2, err := Rename(s, tmpVars)
+	if err != nil {
+		return nil, err
+	}
+	prod, err := Product(r, s2)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range shared {
+		i := indexOf(prod.Vars, v)
+		j := indexOf(prod.Vars, v+"$j")
+		eq1 := make(linalg.Vector, prod.Arity())
+		eq1[i], eq1[j] = 1, -1
+		eq2 := eq1.Scale(-1)
+		prod, err = Select(prod, NewAtom(eq1, 0, false))
+		if err != nil {
+			return nil, err
+		}
+		prod, err = Select(prod, NewAtom(eq2, 0, false))
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Keep r's columns and s's non-shared columns.
+	keep := append([]string{}, r.Vars...)
+	for _, v := range s.Vars {
+		if indexOf(shared, v) < 0 {
+			keep = append(keep, v)
+		}
+	}
+	return Project(prod, keep)
+}

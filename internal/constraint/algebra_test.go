@@ -1,0 +1,178 @@
+package constraint
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestSelect(t *testing.T) {
+	r := MustRelation("R", []string{"x", "y"}, Cube(2, 0, 2))
+	s, err := Select(r, NewAtom(linalg.Vector{1, 0}, 1, false)) // x <= 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(linalg.Vector{0.5, 1.5}) || s.Contains(linalg.Vector{1.5, 1.5}) {
+		t.Error("selection membership wrong")
+	}
+	// Empty selection prunes.
+	empty, err := Select(r, NewAtom(linalg.Vector{1, 0}, -1, false)) // x <= -1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Tuples) != 0 {
+		t.Error("infeasible selection must prune")
+	}
+	if _, err := Select(r, NewAtom(linalg.Vector{1}, 0, false)); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestProjectKeepsOrder(t *testing.T) {
+	r := MustRelation("R", []string{"x", "y", "z"},
+		Box(linalg.Vector{0, 10, -1}, linalg.Vector{1, 20, 1}))
+	// Reversed column order.
+	p, err := Project(r, []string{"z", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Vars[0] != "z" || p.Vars[1] != "x" {
+		t.Fatalf("projected vars = %v", p.Vars)
+	}
+	if !p.Contains(linalg.Vector{0, 0.5}) {
+		t.Error("(z=0, x=0.5) should be in the projection")
+	}
+	if p.Contains(linalg.Vector{0.5, 2}) {
+		t.Error("(z=0.5, x=2) should be outside")
+	}
+	if _, err := Project(r, []string{"w"}); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := Project(r, []string{"x", "x"}); err == nil {
+		t.Error("duplicate column must fail")
+	}
+}
+
+func TestProjectTriangle(t *testing.T) {
+	tri := NewTuple(2,
+		NewAtom(linalg.Vector{-1, 0}, 0, false),
+		NewAtom(linalg.Vector{0, -1}, 0, false),
+		NewAtom(linalg.Vector{1, 1}, 1, false),
+	)
+	r := MustRelation("T", []string{"x", "y"}, tri)
+	p, err := Project(r, []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(linalg.Vector{0.5}) || p.Contains(linalg.Vector{1.5}) {
+		t.Error("projection onto y must be [0, 1]")
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := MustRelation("R", []string{"x", "y"}, Cube(2, 0, 1))
+	rn, err := Rename(r, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Vars[0] != "a" || !rn.Contains(linalg.Vector{0.5, 0.5}) {
+		t.Error("rename wrong")
+	}
+	if _, err := Rename(r, []string{"a"}); err == nil {
+		t.Error("wrong arity must fail")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	a := MustRelation("A", []string{"x"}, Cube(1, 0, 1))
+	b := MustRelation("B", []string{"y"}, Cube(1, 5, 6))
+	p, err := Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arity() != 2 {
+		t.Fatalf("product arity = %d", p.Arity())
+	}
+	if !p.Contains(linalg.Vector{0.5, 5.5}) || p.Contains(linalg.Vector{0.5, 4}) {
+		t.Error("product membership wrong")
+	}
+	// Column clash.
+	c := MustRelation("C", []string{"x"}, Cube(1, 0, 1))
+	if _, err := Product(a, c); err == nil {
+		t.Error("column clash must fail")
+	}
+}
+
+func TestJoinNatural(t *testing.T) {
+	// A(x, y): strip 0<=x<=2, 0<=y<=1; B(y, z): strip 0<=y<=1, 3<=z<=4.
+	a := MustRelation("A", []string{"x", "y"}, Box(linalg.Vector{0, 0}, linalg.Vector{2, 1}))
+	b := MustRelation("B", []string{"y", "z"}, Box(linalg.Vector{0, 3}, linalg.Vector{1, 4}))
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Arity() != 3 || j.Vars[0] != "x" || j.Vars[1] != "y" || j.Vars[2] != "z" {
+		t.Fatalf("join columns = %v", j.Vars)
+	}
+	if !j.Contains(linalg.Vector{1, 0.5, 3.5}) {
+		t.Error("joined point missing")
+	}
+	if j.Contains(linalg.Vector{1, 1.5, 3.5}) || j.Contains(linalg.Vector{1, 0.5, 5}) {
+		t.Error("join membership wrong")
+	}
+}
+
+func TestJoinRestrictsSharedColumn(t *testing.T) {
+	// A(x, y) with y in [0, 1]; B(y) with y in [0.5, 2]: join y-range is
+	// the intersection [0.5, 1].
+	a := MustRelation("A", []string{"x", "y"}, Box(linalg.Vector{0, 0}, linalg.Vector{1, 1}))
+	b := MustRelation("B", []string{"y"}, Cube(1, 0.5, 2))
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Arity() != 2 {
+		t.Fatalf("arity = %d", j.Arity())
+	}
+	if !j.Contains(linalg.Vector{0.5, 0.75}) || j.Contains(linalg.Vector{0.5, 0.25}) {
+		t.Error("join y-restriction wrong")
+	}
+}
+
+func TestAlgebraCompositionMatchesCompile(t *testing.T) {
+	// π_x(σ_{x+y<=1}(A × B)) computed by the algebra equals the
+	// compiled formula ∃y (A(x) & B(y) & x + y <= 1).
+	a := MustRelation("A", []string{"x"}, Cube(1, 0, 1))
+	b := MustRelation("B", []string{"y"}, Cube(1, 0, 1))
+	prod, err := Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Select(prod, NewAtom(linalg.Vector{1, 1}, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := Project(sel, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFormula(`exists y. (A(x) & B(y) & x + y <= 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := Compile(f, Schema{"A": a, "B": b}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for i := 0; i < 300; i++ {
+		p := linalg.Vector{r.Uniform(-0.3, 1.3)}
+		if nearAny(p[0], 0, 1) {
+			continue
+		}
+		if alg.Contains(p) != compiled.Contains(p) {
+			t.Fatalf("algebra and compile disagree at %v", p)
+		}
+	}
+}

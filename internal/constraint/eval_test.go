@@ -1,0 +1,87 @@
+package constraint
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestEvalQuantifierFree(t *testing.T) {
+	schema := Schema{
+		"S": MustRelation("S", []string{"u", "v"}, Cube(2, 0, 1)),
+	}
+	f, err := ParseFormula(`S(x, y) & !(x <= 1/2) | y >= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{0.8, 0.5, true},  // in S, x > 1/2
+		{0.3, 0.5, false}, // in S but x <= 1/2
+		{0.8, 1.5, false}, // outside S
+		{0.0, 11.0, true}, // y >= 10 branch
+	}
+	for _, c := range cases {
+		got, err := Eval(f, map[string]float64{"x": c.x, "y": c.y}, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Eval(x=%g, y=%g) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	f, _ := ParseFormula(`x <= 1`)
+	if _, err := Eval(f, map[string]float64{}, nil); err == nil {
+		t.Error("unbound variable must error")
+	}
+	q, _ := ParseFormula(`exists y. y <= x`)
+	if _, err := Eval(q, map[string]float64{"x": 0}, nil); err == nil {
+		t.Error("quantified formula must error")
+	}
+	p := Pred{Name: "Missing", Args: []string{"x"}}
+	if _, err := Eval(p, map[string]float64{"x": 0}, Schema{}); err == nil {
+		t.Error("unknown relation must error")
+	}
+	s := MustRelation("S", []string{"u"}, Cube(1, 0, 1))
+	bad := Pred{Name: "S", Args: []string{"x", "y"}}
+	if _, err := Eval(bad, map[string]float64{"x": 0, "y": 0}, Schema{"S": s}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	pr := Pred{Name: "S", Args: []string{"z"}}
+	if _, err := Eval(pr, map[string]float64{}, Schema{"S": s}); err == nil {
+		t.Error("unbound predicate argument must error")
+	}
+}
+
+func TestEvalAgainstCompile(t *testing.T) {
+	// Property-ish: Eval of a quantifier-free formula agrees with
+	// membership in its compilation.
+	schema := Schema{
+		"A": MustRelation("A", []string{"u", "v"}, Cube(2, 0, 2)),
+		"B": MustRelation("B", []string{"u", "v"}, Cube(2, 1, 3)),
+	}
+	f, err := ParseFormula(`A(x, y) & !B(x, y) | B(x, y) & x <= 3/2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Compile(f, schema, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := -0.45; x < 3.5; x += 0.4 {
+		for y := -0.45; y < 3.5; y += 0.4 {
+			got, err := Eval(f, map[string]float64{"x": x, "y": y}, schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := rel.Contains(linalg.Vector{x, y}); got != want {
+				t.Errorf("(%g, %g): Eval=%v Compile=%v", x, y, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package constraint
+
+import (
+	"repro/internal/linalg"
+	"repro/internal/lp"
+	"repro/internal/num"
+)
+
+// redundancyPruneLimit bounds the tuple size up to which the LP-based
+// redundancy filter runs after each elimination step. Beyond it the
+// quadratic pass in LP solves would dominate; callers measuring the
+// raw Fourier–Motzkin blow-up (experiment E9) can exceed it on purpose
+// via EliminateOptions.
+const redundancyPruneLimit = 256
+
+// EliminateOptions tunes Fourier–Motzkin elimination.
+type EliminateOptions struct {
+	// SkipPruning disables LP-based redundancy removal, exposing the raw
+	// doubly-exponential growth of iterated elimination.
+	SkipPruning bool
+}
+
+// EliminateInFrame eliminates column j from every tuple of r while
+// keeping the arity: resulting atoms have zero coefficient on column j,
+// so the result denotes the cylinder over the projection. Used by the
+// formula compiler, which trims unconstrained columns at the end.
+func EliminateInFrame(r *Relation, j int) *Relation {
+	out := &Relation{Vars: r.Vars}
+	for _, t := range r.Tuples {
+		nt, ok := eliminateTuple(t, j, EliminateOptions{})
+		if ok {
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out
+}
+
+// Eliminate removes the variable in column j from every tuple of r and
+// drops the column, returning a relation of arity d-1: the projection
+// ∃x_j r. This is the classical Fourier–Motzkin implementation of the
+// paper's §4.3 baseline.
+func Eliminate(r *Relation, j int, opts EliminateOptions) *Relation {
+	vars := make([]string, 0, len(r.Vars)-1)
+	for i, v := range r.Vars {
+		if i != j {
+			vars = append(vars, v)
+		}
+	}
+	out := &Relation{Vars: vars}
+	for _, t := range r.Tuples {
+		nt, ok := eliminateTuple(t, j, opts)
+		if !ok {
+			continue
+		}
+		atoms := make([]Atom, 0, len(nt.Atoms))
+		for _, a := range nt.Atoms {
+			coef := make(linalg.Vector, 0, len(a.Coef)-1)
+			for i, c := range a.Coef {
+				if i != j {
+					coef = append(coef, c)
+				}
+			}
+			atoms = append(atoms, Atom{Coef: coef, B: a.B, Strict: a.Strict})
+		}
+		out.Tuples = append(out.Tuples, NewTuple(len(vars), atoms...))
+	}
+	return out
+}
+
+// EliminateAll projects out the columns js (indices into r's columns),
+// returning the relation over the remaining columns in their original
+// order.
+func EliminateAll(r *Relation, js []int, opts EliminateOptions) *Relation {
+	// Eliminate from the highest index down so earlier indices stay valid.
+	sorted := append([]int{}, js...)
+	for i := 0; i < len(sorted); i++ {
+		for k := i + 1; k < len(sorted); k++ {
+			if sorted[k] > sorted[i] {
+				sorted[i], sorted[k] = sorted[k], sorted[i]
+			}
+		}
+	}
+	out := r
+	for _, j := range sorted {
+		out = Eliminate(out, j, opts)
+	}
+	return out
+}
+
+// eliminateTuple removes variable j from one tuple by pairing lower and
+// upper bounds; the returned tuple has zero coefficients on column j.
+// ok is false when the elimination proves the tuple empty.
+func eliminateTuple(t Tuple, j int, opts EliminateOptions) (Tuple, bool) {
+	var uppers, lowers, rest []Atom
+	for _, a := range t.Atoms {
+		switch {
+		case a.Coef[j] > num.Eps:
+			uppers = append(uppers, a)
+		case a.Coef[j] < -num.Eps:
+			lowers = append(lowers, a)
+		default:
+			// Zero the residual coefficient for exact frame invariants.
+			na := a
+			na.Coef = a.Coef.Clone()
+			na.Coef[j] = 0
+			rest = append(rest, na)
+		}
+	}
+	atoms := rest
+	for _, u := range uppers {
+		for _, l := range lowers {
+			// u: u·x <= ub with u_j > 0;  l: l·x <= lb with l_j < 0.
+			// (-l_j)·u + u_j·l has zero j-coefficient.
+			uj, lj := u.Coef[j], l.Coef[j]
+			coef := make(linalg.Vector, len(u.Coef))
+			for i := range coef {
+				coef[i] = -lj*u.Coef[i] + uj*l.Coef[i]
+			}
+			coef[j] = 0
+			b := -lj*u.B + uj*l.B
+			a := Atom{Coef: coef, B: b, Strict: u.Strict || l.Strict}
+			if trivial, sat := a.IsTrivial(); trivial {
+				if !sat {
+					return Tuple{}, false
+				}
+				continue
+			}
+			atoms = append(atoms, a.Normalize())
+		}
+	}
+	nt := NewTuple(t.Dim(), dedupAtoms(atoms)...)
+	if !opts.SkipPruning && len(nt.Atoms) <= redundancyPruneLimit {
+		nt = RemoveRedundant(nt)
+	}
+	if nt.IsEmpty() {
+		return Tuple{}, false
+	}
+	return nt, true
+}
+
+// dedupAtoms removes exact duplicates after normalisation.
+func dedupAtoms(atoms []Atom) []Atom {
+	out := atoms[:0:0]
+	for _, a := range atoms {
+		na := a.Normalize()
+		dup := false
+		for _, b := range out {
+			if na.Strict == b.Strict && num.Eq(na.B, b.B) && na.Coef.Equal(b.Coef, num.Eps) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, na)
+		}
+	}
+	return out
+}
+
+// RemoveRedundant drops atoms implied by the rest of the tuple, using one
+// LP per atom: a·x <= b is redundant when max a·x over the remaining
+// atoms is at most b.
+func RemoveRedundant(t Tuple) Tuple {
+	atoms := append([]Atom{}, t.Atoms...)
+	for i := 0; i < len(atoms); i++ {
+		others := make([]linalg.Vector, 0, len(atoms)-1)
+		rhs := make([]float64, 0, len(atoms)-1)
+		for k, a := range atoms {
+			if k == i {
+				continue
+			}
+			others = append(others, a.Coef)
+			rhs = append(rhs, a.B)
+		}
+		if len(others) == 0 {
+			break
+		}
+		v, ok := lp.Extent(others, rhs, atoms[i].Coef)
+		if ok && v <= atoms[i].B+num.Eps {
+			atoms = append(atoms[:i], atoms[i+1:]...)
+			i--
+		}
+	}
+	return NewTuple(t.Dim(), atoms...)
+}

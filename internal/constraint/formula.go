@@ -1,0 +1,480 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/linalg"
+)
+
+// Formula is a first-order formula over the linear structure and a
+// relational schema (FO+LIN). The compile pipeline turns a formula into a
+// generalized relation (quantifier-free DNF) by predicate inlining,
+// negation normal form, DNF distribution and Fourier–Motzkin quantifier
+// elimination — the classical symbolic evaluation the paper's samplers
+// are designed to avoid.
+type Formula interface {
+	fmt.Stringer
+	collectVars(free map[string]bool, bound map[string]bool, inScope map[string]bool)
+}
+
+// AtomF is an atomic linear constraint over named variables. Vars aligns
+// with Atom.Coef; names may repeat (coefficients fold on compile).
+type AtomF struct {
+	Vars []string
+	Atom Atom
+}
+
+// Pred references a schema relation by name, applied to variables.
+type Pred struct {
+	Name string
+	Args []string
+}
+
+// Not negates a formula.
+type Not struct{ F Formula }
+
+// And is an n-ary conjunction.
+type And struct{ Fs []Formula }
+
+// Or is an n-ary disjunction.
+type Or struct{ Fs []Formula }
+
+// Exists existentially quantifies Vars in F.
+type Exists struct {
+	Vars []string
+	F    Formula
+}
+
+// ForAll universally quantifies Vars in F (compiled as ¬∃¬).
+type ForAll struct {
+	Vars []string
+	F    Formula
+}
+
+func (a AtomF) String() string {
+	parts := make([]string, 0, len(a.Vars))
+	for i, v := range a.Vars {
+		parts = append(parts, fmt.Sprintf("%g*%s", a.Atom.Coef[i], v))
+	}
+	op := "<="
+	if a.Atom.Strict {
+		op = "<"
+	}
+	return fmt.Sprintf("%s %s %g", strings.Join(parts, " + "), op, a.Atom.B)
+}
+func (p Pred) String() string { return fmt.Sprintf("%s(%s)", p.Name, strings.Join(p.Args, ", ")) }
+func (n Not) String() string  { return "!(" + n.F.String() + ")" }
+func (a And) String() string  { return "(" + joinFormulas(a.Fs, " & ") + ")" }
+func (o Or) String() string   { return "(" + joinFormulas(o.Fs, " | ") + ")" }
+func (e Exists) String() string {
+	return fmt.Sprintf("exists %s. %s", strings.Join(e.Vars, ", "), e.F.String())
+}
+func (f ForAll) String() string {
+	return fmt.Sprintf("forall %s. %s", strings.Join(f.Vars, ", "), f.F.String())
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+func (a AtomF) collectVars(free, bound, inScope map[string]bool) {
+	for _, v := range a.Vars {
+		if !inScope[v] {
+			free[v] = true
+		}
+	}
+}
+func (p Pred) collectVars(free, bound, inScope map[string]bool) {
+	for _, v := range p.Args {
+		if !inScope[v] {
+			free[v] = true
+		}
+	}
+}
+func (n Not) collectVars(free, bound, inScope map[string]bool) {
+	n.F.collectVars(free, bound, inScope)
+}
+func (a And) collectVars(free, bound, inScope map[string]bool) {
+	for _, f := range a.Fs {
+		f.collectVars(free, bound, inScope)
+	}
+}
+func (o Or) collectVars(free, bound, inScope map[string]bool) {
+	for _, f := range o.Fs {
+		f.collectVars(free, bound, inScope)
+	}
+}
+func (e Exists) collectVars(free, bound, inScope map[string]bool) {
+	inner := copyScope(inScope)
+	for _, v := range e.Vars {
+		bound[v] = true
+		inner[v] = true
+	}
+	e.F.collectVars(free, bound, inner)
+}
+func (f ForAll) collectVars(free, bound, inScope map[string]bool) {
+	inner := copyScope(inScope)
+	for _, v := range f.Vars {
+		bound[v] = true
+		inner[v] = true
+	}
+	f.F.collectVars(free, bound, inner)
+}
+
+func copyScope(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// Eval evaluates a formula under a variable assignment and a schema.
+// Quantifier-free formulas (including predicate references) evaluate
+// directly; quantified formulas return an error — evaluate them through
+// Compile or the sampling engine instead.
+func Eval(f Formula, env map[string]float64, schema Schema) (bool, error) {
+	switch g := f.(type) {
+	case AtomF:
+		x := make(linalg.Vector, len(g.Vars))
+		for i, v := range g.Vars {
+			val, ok := env[v]
+			if !ok {
+				return false, fmt.Errorf("constraint: unbound variable %q", v)
+			}
+			x[i] = val
+		}
+		return g.Atom.Holds(x), nil
+	case Pred:
+		rel, ok := schema[g.Name]
+		if !ok {
+			return false, fmt.Errorf("constraint: unknown relation %q", g.Name)
+		}
+		if len(g.Args) != rel.Arity() {
+			return false, fmt.Errorf("constraint: %s arity %d applied to %d args", g.Name, rel.Arity(), len(g.Args))
+		}
+		x := make(linalg.Vector, len(g.Args))
+		for i, v := range g.Args {
+			val, ok := env[v]
+			if !ok {
+				return false, fmt.Errorf("constraint: unbound variable %q", v)
+			}
+			x[i] = val
+		}
+		return rel.Contains(x), nil
+	case Not:
+		in, err := Eval(g.F, env, schema)
+		return !in, err
+	case And:
+		for _, sub := range g.Fs {
+			ok, err := Eval(sub, env, schema)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case Or:
+		for _, sub := range g.Fs {
+			ok, err := Eval(sub, env, schema)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Exists, ForAll:
+		return false, fmt.Errorf("constraint: Eval cannot decide quantified formulas; use Compile")
+	default:
+		return false, fmt.Errorf("constraint: unknown formula node %T", f)
+	}
+}
+
+// FreeVars returns the sorted free variables of f.
+func FreeVars(f Formula) []string {
+	free := map[string]bool{}
+	f.collectVars(free, map[string]bool{}, map[string]bool{})
+	out := make([]string, 0, len(free))
+	for v := range free {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Schema maps relation names to their stored generalized relations.
+type Schema map[string]*Relation
+
+// Compile evaluates f symbolically against schema and returns the
+// generalized relation it defines over outVars. outVars must contain
+// every free variable of f; extra columns become unconstrained (and are
+// rejected, since they would make the result unbounded) — pass exactly
+// the free variables in the order you want the columns.
+//
+// This is the classical constraint-database evaluation (quantifier
+// elimination + DNF); its cost explodes with the number of eliminated
+// variables, which is precisely what the paper's sampling approach avoids
+// (Prop 4.3, experiment E9).
+func Compile(f Formula, schema Schema, outVars []string) (*Relation, error) {
+	for _, v := range FreeVars(f) {
+		if indexOf(outVars, v) < 0 {
+			return nil, fmt.Errorf("constraint: free variable %q not in output variables %v", v, outVars)
+		}
+	}
+	// Alpha-rename bound variables to unique fresh names, then build the
+	// full frame: outVars followed by all bound variables.
+	ctr := 0
+	f = alphaRename(f, map[string]string{}, &ctr)
+	boundSet := map[string]bool{}
+	f.collectVars(map[string]bool{}, boundSet, map[string]bool{})
+	frame := append([]string{}, outVars...)
+	bound := make([]string, 0, len(boundSet))
+	for v := range boundSet {
+		bound = append(bound, v)
+	}
+	sort.Strings(bound)
+	frame = append(frame, bound...)
+
+	c := &compiler{schema: schema, frame: frame, index: map[string]int{}}
+	for i, v := range frame {
+		c.index[v] = i
+	}
+	rel, err := c.compile(f)
+	if err != nil {
+		return nil, err
+	}
+	// Project away the bound-variable columns; after elimination they must
+	// be unconstrained in every tuple.
+	out := &Relation{Vars: outVars}
+	keep := len(outVars)
+	for _, t := range rel.Tuples {
+		atoms := make([]Atom, 0, len(t.Atoms))
+		for _, a := range t.Atoms {
+			for j := keep; j < len(frame); j++ {
+				if abs(a.Coef[j]) > 1e-12 {
+					return nil, fmt.Errorf("constraint: internal: bound variable %s survives elimination", frame[j])
+				}
+			}
+			atoms = append(atoms, Atom{Coef: a.Coef[:keep].Clone(), B: a.B, Strict: a.Strict})
+		}
+		out.Tuples = append(out.Tuples, NewTuple(keep, atoms...))
+	}
+	return out.PruneEmpty(), nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func indexOf(xs []string, v string) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// alphaRename renames bound variables to fresh "$k" names so that the
+// full frame has no collisions between scopes.
+func alphaRename(f Formula, env map[string]string, ctr *int) Formula {
+	switch g := f.(type) {
+	case AtomF:
+		vars := make([]string, len(g.Vars))
+		for i, v := range g.Vars {
+			vars[i] = renameVar(v, env)
+		}
+		return AtomF{Vars: vars, Atom: g.Atom}
+	case Pred:
+		args := make([]string, len(g.Args))
+		for i, v := range g.Args {
+			args[i] = renameVar(v, env)
+		}
+		return Pred{Name: g.Name, Args: args}
+	case Not:
+		return Not{F: alphaRename(g.F, env, ctr)}
+	case And:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = alphaRename(sub, env, ctr)
+		}
+		return And{Fs: fs}
+	case Or:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = alphaRename(sub, env, ctr)
+		}
+		return Or{Fs: fs}
+	case Exists:
+		inner, fresh := pushScope(g.Vars, env, ctr)
+		return Exists{Vars: fresh, F: alphaRename(g.F, inner, ctr)}
+	case ForAll:
+		inner, fresh := pushScope(g.Vars, env, ctr)
+		return ForAll{Vars: fresh, F: alphaRename(g.F, inner, ctr)}
+	default:
+		panic(fmt.Sprintf("constraint: unknown formula type %T", f))
+	}
+}
+
+func renameVar(v string, env map[string]string) string {
+	if nv, ok := env[v]; ok {
+		return nv
+	}
+	return v
+}
+
+func pushScope(vars []string, env map[string]string, ctr *int) (map[string]string, []string) {
+	inner := make(map[string]string, len(env)+len(vars))
+	for k, v := range env {
+		inner[k] = v
+	}
+	fresh := make([]string, len(vars))
+	for i, v := range vars {
+		*ctr++
+		fresh[i] = fmt.Sprintf("%s$%d", v, *ctr)
+		inner[v] = fresh[i]
+	}
+	return inner, fresh
+}
+
+type compiler struct {
+	schema Schema
+	frame  []string
+	index  map[string]int
+}
+
+// embed lifts an atom over named variables into the full frame,
+// folding repeated variables.
+func (c *compiler) embed(vars []string, a Atom) (Atom, error) {
+	coef := make(linalg.Vector, len(c.frame))
+	for i, v := range vars {
+		j, ok := c.index[v]
+		if !ok {
+			return Atom{}, fmt.Errorf("constraint: variable %q not in frame", v)
+		}
+		coef[j] += a.Coef[i]
+	}
+	return Atom{Coef: coef, B: a.B, Strict: a.Strict}, nil
+}
+
+func (c *compiler) compile(f Formula) (*Relation, error) {
+	switch g := f.(type) {
+	case AtomF:
+		a, err := c.embed(g.Vars, g.Atom)
+		if err != nil {
+			return nil, err
+		}
+		return &Relation{Vars: c.frame, Tuples: []Tuple{NewTuple(len(c.frame), a)}}, nil
+	case Pred:
+		rel, ok := c.schema[g.Name]
+		if !ok {
+			return nil, fmt.Errorf("constraint: unknown relation %q", g.Name)
+		}
+		if len(g.Args) != rel.Arity() {
+			return nil, fmt.Errorf("constraint: %s has arity %d, applied to %d arguments",
+				g.Name, rel.Arity(), len(g.Args))
+		}
+		out := &Relation{Vars: c.frame}
+		for _, t := range rel.Tuples {
+			atoms := make([]Atom, 0, len(t.Atoms))
+			for _, a := range t.Atoms {
+				ea, err := c.embed(g.Args, a)
+				if err != nil {
+					return nil, err
+				}
+				atoms = append(atoms, ea)
+			}
+			out.Tuples = append(out.Tuples, NewTuple(len(c.frame), atoms...))
+		}
+		return out, nil
+	case And:
+		if len(g.Fs) == 0 {
+			// Empty conjunction is true: the whole space.
+			return &Relation{Vars: c.frame, Tuples: []Tuple{NewTuple(len(c.frame))}}, nil
+		}
+		acc, err := c.compile(g.Fs[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, sub := range g.Fs[1:] {
+			r, err := c.compile(sub)
+			if err != nil {
+				return nil, err
+			}
+			acc, err = acc.Intersect(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	case Or:
+		out := &Relation{Vars: c.frame}
+		for _, sub := range g.Fs {
+			r, err := c.compile(sub)
+			if err != nil {
+				return nil, err
+			}
+			out.Tuples = append(out.Tuples, r.Tuples...)
+		}
+		return out, nil
+	case Not:
+		r, err := c.compile(g.F)
+		if err != nil {
+			return nil, err
+		}
+		return Complement(r), nil
+	case Exists:
+		r, err := c.compile(g.F)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range g.Vars {
+			j, ok := c.index[v]
+			if !ok {
+				return nil, fmt.Errorf("constraint: bound variable %q not in frame", v)
+			}
+			r = EliminateInFrame(r, j)
+		}
+		return r, nil
+	case ForAll:
+		return c.compile(Not{F: Exists{Vars: g.Vars, F: Not{F: g.F}}})
+	default:
+		return nil, fmt.Errorf("constraint: unknown formula type %T", f)
+	}
+}
+
+// Complement returns the relation denoting the set complement of r over
+// the same columns, by De Morgan and DNF distribution (exponential in the
+// worst case, as in classical quantifier elimination).
+func Complement(r *Relation) *Relation {
+	d := r.Arity()
+	// ¬(T1 ∨ ... ∨ Tk) = ¬T1 ∧ ... ∧ ¬Tk; each ¬Ti is a disjunction of
+	// negated atoms. Distribute the conjunction of disjunctions into DNF.
+	acc := []Tuple{NewTuple(d)} // true
+	for _, t := range r.Tuples {
+		var next []Tuple
+		for _, partial := range acc {
+			for _, a := range t.Atoms {
+				cand := partial.With(a.Negate())
+				if !cand.IsEmpty() {
+					next = append(next, cand)
+				}
+			}
+		}
+		acc = next
+		if len(acc) == 0 {
+			break
+		}
+	}
+	return &Relation{Vars: r.Vars, Tuples: acc}
+}

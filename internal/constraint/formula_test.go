@@ -1,0 +1,320 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// evalFormulaBF evaluates a quantifier-free formula by brute force
+// against an assignment (reference semantics for compile tests).
+func evalFormulaBF(f Formula, env map[string]float64, schema Schema) bool {
+	switch g := f.(type) {
+	case AtomF:
+		x := make(linalg.Vector, len(g.Vars))
+		for i, v := range g.Vars {
+			x[i] = env[v]
+		}
+		return g.Atom.Holds(x)
+	case Pred:
+		rel := schema[g.Name]
+		x := make(linalg.Vector, len(g.Args))
+		for i, v := range g.Args {
+			x[i] = env[v]
+		}
+		return rel.Contains(x)
+	case Not:
+		return !evalFormulaBF(g.F, env, schema)
+	case And:
+		for _, sub := range g.Fs {
+			if !evalFormulaBF(sub, env, schema) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, sub := range g.Fs {
+			if evalFormulaBF(sub, env, schema) {
+				return true
+			}
+		}
+		return false
+	default:
+		panic("quantified formula in brute-force eval")
+	}
+}
+
+func atomLE(vars []string, coef linalg.Vector, b float64) AtomF {
+	return AtomF{Vars: vars, Atom: NewAtom(coef, b, false)}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := Exists{Vars: []string{"y"}, F: And{Fs: []Formula{
+		atomLE([]string{"x", "y"}, linalg.Vector{1, 1}, 1),
+		Pred{Name: "S", Args: []string{"y", "z"}},
+	}}}
+	got := FreeVars(f)
+	want := []string{"x", "z"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("FreeVars = %v, want %v", got, want)
+	}
+}
+
+func TestCompileAtomAndConjunction(t *testing.T) {
+	// x >= 0 & y >= 0 & x + y <= 1 over (x, y): the triangle.
+	f := And{Fs: []Formula{
+		atomLE([]string{"x"}, linalg.Vector{-1}, 0),
+		atomLE([]string{"y"}, linalg.Vector{-1}, 0),
+		atomLE([]string{"x", "y"}, linalg.Vector{1, 1}, 1),
+	}}
+	rel, err := Compile(f, Schema{}, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Tuples) != 1 {
+		t.Fatalf("tuples = %d, want 1", len(rel.Tuples))
+	}
+	if !rel.Contains(linalg.Vector{0.2, 0.2}) || rel.Contains(linalg.Vector{0.8, 0.8}) {
+		t.Error("compiled triangle membership wrong")
+	}
+}
+
+func TestCompileRepeatedVariableFolds(t *testing.T) {
+	// x + x <= 1 → 2x <= 1.
+	f := atomLE([]string{"x", "x"}, linalg.Vector{1, 1}, 1)
+	rel, err := Compile(f, Schema{}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Contains(linalg.Vector{0.4}) || rel.Contains(linalg.Vector{0.6}) {
+		t.Error("coefficient folding wrong")
+	}
+}
+
+func TestCompilePredicateInlining(t *testing.T) {
+	s := MustRelation("S", []string{"u", "v"}, Cube(2, 0, 1))
+	schema := Schema{"S": s}
+	// S(y, x): swapped arguments on a non-symmetric set.
+	rect := Box(linalg.Vector{0, 0}, linalg.Vector{2, 1}) // 0<=u<=2, 0<=v<=1
+	schema["Rect"] = MustRelation("Rect", []string{"u", "v"}, rect)
+	f := Pred{Name: "Rect", Args: []string{"y", "x"}}
+	rel, err := Compile(f, schema, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rect(y, x) means 0<=y<=2 and 0<=x<=1.
+	if !rel.Contains(linalg.Vector{0.5, 1.5}) {
+		t.Error("swapped predicate should contain (x=0.5, y=1.5)")
+	}
+	if rel.Contains(linalg.Vector{1.5, 0.5}) {
+		t.Error("swapped predicate should exclude (x=1.5, y=0.5)")
+	}
+}
+
+func TestCompilePredicateArityError(t *testing.T) {
+	s := MustRelation("S", []string{"u", "v"}, Cube(2, 0, 1))
+	f := Pred{Name: "S", Args: []string{"x"}}
+	if _, err := Compile(f, Schema{"S": s}, []string{"x"}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if _, err := Compile(Pred{Name: "T", Args: []string{"x"}}, Schema{}, []string{"x"}); err == nil {
+		t.Error("unknown predicate must fail")
+	}
+}
+
+func TestCompileUnionAndNegationAgainstBruteForce(t *testing.T) {
+	s := MustRelation("S", []string{"u", "v"}, Cube(2, 0, 2))
+	tRel := MustRelation("T", []string{"u", "v"}, Cube(2, 1, 3))
+	schema := Schema{"S": s, "T": tRel}
+	// (S(x,y) & !T(x,y)) | (T(x,y) & x <= 1.5)
+	f := Or{Fs: []Formula{
+		And{Fs: []Formula{
+			Pred{Name: "S", Args: []string{"x", "y"}},
+			Not{F: Pred{Name: "T", Args: []string{"x", "y"}}},
+		}},
+		And{Fs: []Formula{
+			Pred{Name: "T", Args: []string{"x", "y"}},
+			atomLE([]string{"x"}, linalg.Vector{1}, 1.5),
+		}},
+	}}
+	rel, err := Compile(f, schema, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2024)
+	mismatches := 0
+	for i := 0; i < 3000; i++ {
+		x, y := r.Uniform(-0.5, 3.5), r.Uniform(-0.5, 3.5)
+		// Skip the tolerance band around every boundary.
+		if nearAny(x, -0.5, 0, 1, 1.5, 2, 3) || nearAny(y, -0.5, 0, 1, 2, 3) {
+			continue
+		}
+		want := evalFormulaBF(f, map[string]float64{"x": x, "y": y}, schema)
+		got := rel.Contains(linalg.Vector{x, y})
+		if got != want {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		t.Errorf("compiled relation disagrees with formula semantics at %d points", mismatches)
+	}
+}
+
+func nearAny(v float64, bounds ...float64) bool {
+	for _, b := range bounds {
+		if v > b-1e-3 && v < b+1e-3 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompileExistsProjection(t *testing.T) {
+	// ∃y (0<=x, 0<=y, x+y<=1): projection of the triangle is [0, 1].
+	f := Exists{Vars: []string{"y"}, F: And{Fs: []Formula{
+		atomLE([]string{"x"}, linalg.Vector{-1}, 0),
+		atomLE([]string{"y"}, linalg.Vector{-1}, 0),
+		atomLE([]string{"x", "y"}, linalg.Vector{1, 1}, 1),
+	}}}
+	rel, err := Compile(f, Schema{}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Contains(linalg.Vector{0.0}) || !rel.Contains(linalg.Vector{0.99}) {
+		t.Error("projection must contain [0,1)")
+	}
+	if rel.Contains(linalg.Vector{1.2}) || rel.Contains(linalg.Vector{-0.2}) {
+		t.Error("projection must exclude points outside [0,1]")
+	}
+}
+
+func TestCompileExistsOverUnion(t *testing.T) {
+	// ∃y (S(x,y)) where S is a union of two boxes with different x-extents.
+	s := MustRelation("S", []string{"u", "v"},
+		Box(linalg.Vector{0, 0}, linalg.Vector{1, 1}),
+		Box(linalg.Vector{3, 5}, linalg.Vector{4, 6}),
+	)
+	f := Exists{Vars: []string{"y"}, F: Pred{Name: "S", Args: []string{"x", "y"}}}
+	rel, err := Compile(f, Schema{"S": s}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		x    float64
+		want bool
+	}{{0.5, true}, {3.5, true}, {2.0, false}, {5.0, false}} {
+		if got := rel.Contains(linalg.Vector{c.x}); got != c.want {
+			t.Errorf("x=%g: got %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCompileForAll(t *testing.T) {
+	// ∀y (0<=y<=1 → x+y<=2) ≡ ∀y (y<0 | y>1 | x+y<=2): holds iff x <= 1.
+	f := ForAll{Vars: []string{"y"}, F: Or{Fs: []Formula{
+		AtomF{Vars: []string{"y"}, Atom: NewAtom(linalg.Vector{1}, 0, true)},   // y < 0
+		AtomF{Vars: []string{"y"}, Atom: NewAtom(linalg.Vector{-1}, -1, true)}, // y > 1
+		atomLE([]string{"x", "y"}, linalg.Vector{1, 1}, 2),
+	}}}
+	rel, err := Compile(f, Schema{}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Contains(linalg.Vector{0.5}) || !rel.Contains(linalg.Vector{-5}) {
+		t.Error("forall must hold for x <= 1")
+	}
+	if rel.Contains(linalg.Vector{1.5}) {
+		t.Error("forall must fail for x > 1")
+	}
+}
+
+func TestCompileNestedQuantifierShadowing(t *testing.T) {
+	// ∃y (y >= x & ∃y (y <= x - 1)): inner y shadows outer; formula is
+	// satisfiable for every x (inner pick y = x-1, outer y = x).
+	inner := Exists{Vars: []string{"y"}, F: atomLE([]string{"y", "x"}, linalg.Vector{1, -1}, -1)}
+	f := Exists{Vars: []string{"y"}, F: And{Fs: []Formula{
+		atomLE([]string{"x", "y"}, linalg.Vector{1, -1}, 0), // x <= y
+		inner,
+	}}}
+	rel, err := Compile(f, Schema{}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-2, 0, 3.7} {
+		if !rel.Contains(linalg.Vector{x}) {
+			t.Errorf("x=%g should satisfy the shadowed formula", x)
+		}
+	}
+}
+
+func TestCompileMissingFreeVariable(t *testing.T) {
+	f := atomLE([]string{"x", "y"}, linalg.Vector{1, 1}, 1)
+	if _, err := Compile(f, Schema{}, []string{"x"}); err == nil {
+		t.Error("free variable not in output list must fail")
+	}
+}
+
+func TestComplementRoundTrip(t *testing.T) {
+	// Complement twice over a box returns the same membership away from
+	// boundaries.
+	r := MustRelation("R", []string{"x", "y"}, Cube(2, 0, 1),
+		Box(linalg.Vector{2, 0}, linalg.Vector{3, 1}))
+	cc := Complement(Complement(r))
+	rr := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		p := linalg.Vector{rr.Uniform(-1, 4), rr.Uniform(-1, 2)}
+		if nearAny(p[0], 0, 1, 2, 3) || nearAny(p[1], 0, 1) {
+			continue
+		}
+		if r.Contains(p) != cc.Contains(p) {
+			t.Fatalf("double complement changed membership at %v", p)
+		}
+	}
+}
+
+func TestComplementOfEmptyIsEverything(t *testing.T) {
+	empty := &Relation{Vars: []string{"x"}}
+	c := Complement(empty)
+	if !c.Contains(linalg.Vector{123}) {
+		t.Error("complement of empty must be the whole line")
+	}
+}
+
+func TestEmptyConjunctionIsTrue(t *testing.T) {
+	rel, err := Compile(And{}, Schema{}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Contains(linalg.Vector{42}) {
+		t.Error("empty conjunction must be the whole space")
+	}
+}
+
+func TestEmptyDisjunctionIsFalse(t *testing.T) {
+	rel, err := Compile(Or{}, Schema{}, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Contains(linalg.Vector{0}) {
+		t.Error("empty disjunction must be empty")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := Exists{Vars: []string{"y"}, F: And{Fs: []Formula{
+		Pred{Name: "S", Args: []string{"x", "y"}},
+		Not{F: atomLE([]string{"x"}, linalg.Vector{1}, 0)},
+	}}}
+	s := f.String()
+	for _, want := range []string{"exists y", "S(x, y)", "!"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formula string %q missing %q", s, want)
+		}
+	}
+	fa := ForAll{Vars: []string{"z"}, F: Or{Fs: []Formula{atomLE([]string{"z"}, linalg.Vector{1}, 0)}}}
+	if !strings.Contains(fa.String(), "forall z") {
+		t.Errorf("forall string = %q", fa.String())
+	}
+}

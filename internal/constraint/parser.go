@@ -1,0 +1,642 @@
+package constraint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/linalg"
+)
+
+// The text language accepted by Parse:
+//
+//	# comment                            -- '#' or '//' to end of line
+//	rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 }
+//	             | { 2x + 3y < 6, x >= 1 };
+//	rel T(x)    := exists y. S(x, y) & y >= 1/2;
+//	query Q(x)  := T(x) | !S(x, x);
+//
+// Formulas combine atomic linear constraints (with chained comparisons,
+// e.g. 0 <= x <= 1), tuple literals {c1, ..., ck} (sugar for their
+// conjunction), predicate applications, !, &, |, exists and forall.
+// Precedence: ! binds tightest, then &, then |; quantifiers extend to the
+// end of the enclosing formula; parentheses group.
+//
+// A `rel` statement is compiled immediately against the relations declared
+// so far (so its body may use quantifiers and negation); a `query`
+// statement stores the formula unevaluated for later symbolic or
+// sampling-based evaluation.
+
+// Query is a named, not-yet-evaluated query formula.
+type Query struct {
+	Name string
+	Vars []string
+	F    Formula
+}
+
+// Database is the result of parsing a program: relations compiled in
+// declaration order plus stored queries.
+type Database struct {
+	Names   []string // relation names in declaration order
+	Schema  Schema
+	Queries []Query
+}
+
+// Relation returns a declared relation by name.
+func (db *Database) Relation(name string) (*Relation, bool) {
+	r, ok := db.Schema[name]
+	return r, ok
+}
+
+// Query returns a stored query by name.
+func (db *Database) Query(name string) (Query, bool) {
+	for _, q := range db.Queries {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// Parse parses and compiles a whole program.
+func Parse(src string) (*Database, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	db := &Database{Schema: Schema{}}
+	for !p.atEOF() {
+		kw := p.peek()
+		if kw.kind != tokIdent || (kw.text != "rel" && kw.text != "query") {
+			return nil, p.errorf("expected 'rel' or 'query', got %q", kw.text)
+		}
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		vars, err := p.parseVarList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		if kw.text == "rel" {
+			rel, err := Compile(f, db.Schema, vars)
+			if err != nil {
+				return nil, fmt.Errorf("compiling %s: %w", name, err)
+			}
+			rel.Name = name
+			if _, dup := db.Schema[name]; dup {
+				return nil, fmt.Errorf("relation %q declared twice", name)
+			}
+			db.Schema[name] = rel
+			db.Names = append(db.Names, name)
+		} else {
+			db.Queries = append(db.Queries, Query{Name: name, Vars: vars, F: f})
+		}
+	}
+	return db, nil
+}
+
+// ParseFormula parses a single formula (no trailing semicolon needed).
+func ParseFormula(src string) (Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// ParseRelation parses and compiles "Name(vars) := body" with an optional
+// trailing semicolon against an optional schema.
+func ParseRelation(src string, schema Schema) (*Relation, error) {
+	if schema == nil {
+		schema = Schema{}
+	}
+	src = strings.TrimSpace(src)
+	if !strings.HasSuffix(src, ";") {
+		src += ";"
+	}
+	db0 := &Database{Schema: schema}
+	toks, err := lex("rel " + src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	p.next() // 'rel'
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := p.parseVarList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := Compile(f, db0.Schema, vars)
+	if err != nil {
+		return nil, err
+	}
+	rel.Name = name
+	return rel, nil
+}
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokSemi
+	tokDot
+	tokAssign // :=
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokAmp
+	tokPipe
+	tokBang
+	tokLE // <=
+	tokLT // <
+	tokGE // >=
+	tokGT // >
+	tokEQ // =
+	tokNE // !=
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			seenDot := false
+			for j < n && (unicode.IsDigit(rune(src[j])) || (src[j] == '.' && !seenDot)) {
+				if src[j] == '.' {
+					// A dot not followed by a digit terminates the number
+					// (it is the quantifier dot).
+					if j+1 >= n || !unicode.IsDigit(rune(src[j+1])) {
+						break
+					}
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == ":=":
+				toks = append(toks, token{tokAssign, two, i})
+				i += 2
+			case two == "<=":
+				toks = append(toks, token{tokLE, two, i})
+				i += 2
+			case two == ">=":
+				toks = append(toks, token{tokGE, two, i})
+				i += 2
+			case two == "!=":
+				toks = append(toks, token{tokNE, two, i})
+				i += 2
+			case two == "==":
+				toks = append(toks, token{tokEQ, two, i})
+				i += 2
+			case two == "&&":
+				toks = append(toks, token{tokAmp, two, i})
+				i += 2
+			case two == "||":
+				toks = append(toks, token{tokPipe, two, i})
+				i += 2
+			default:
+				kind, ok := map[byte]tokKind{
+					'(': tokLParen, ')': tokRParen, '{': tokLBrace, '}': tokRBrace,
+					',': tokComma, ';': tokSemi, '.': tokDot, '+': tokPlus,
+					'-': tokMinus, '*': tokStar, '/': tokSlash, '&': tokAmp,
+					'|': tokPipe, '!': tokBang, '<': tokLT, '>': tokGT, '=': tokEQ,
+				}[c]
+				if !ok {
+					return nil, fmt.Errorf("constraint: lex error at offset %d: unexpected %q", i, string(c))
+				}
+				toks = append(toks, token{kind, string(c), i})
+				i++
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("constraint: parse error at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind) error {
+	if p.peek().kind != kind {
+		return p.errorf("unexpected %q", p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.peek().kind != tokIdent {
+		return "", p.errorf("expected identifier, got %q", p.peek().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) parseVarList() ([]string, error) {
+	if err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var vars []string
+	for {
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, v)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return vars, nil
+}
+
+func (p *parser) parseFormula() (Formula, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Formula, error) {
+	f, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{f}
+	for p.peek().kind == tokPipe {
+		p.next()
+		g, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, g)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return Or{Fs: fs}, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	f, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{f}
+	for p.peek().kind == tokAmp {
+		p.next()
+		g, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, g)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return And{Fs: fs}, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	switch t := p.peek(); {
+	case t.kind == tokBang:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	case t.kind == tokIdent && (t.text == "exists" || t.text == "forall"):
+		p.next()
+		var vars []string
+		for {
+			v, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			vars = append(vars, v)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		body, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "exists" {
+			return Exists{Vars: vars, F: body}, nil
+		}
+		return ForAll{Vars: vars, F: body}, nil
+	case t.kind == tokLBrace:
+		return p.parseTupleLiteral()
+	case t.kind == tokLParen:
+		// Could be a grouped formula; linear expressions never start with
+		// '(' in this grammar, so '(' always opens a formula.
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case t.kind == tokIdent && p.toks[p.pos+1].kind == tokLParen:
+		p.next()
+		args, err := p.parseVarList()
+		if err != nil {
+			return nil, err
+		}
+		return Pred{Name: t.text, Args: args}, nil
+	default:
+		return p.parseComparison()
+	}
+}
+
+func (p *parser) parseTupleLiteral() (Formula, error) {
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var fs []Formula
+	for {
+		f, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return And{Fs: fs}, nil
+}
+
+// linExpr is a linear expression under construction.
+type linExpr struct {
+	coef  map[string]float64
+	konst float64
+}
+
+func (e *linExpr) sub(o *linExpr) *linExpr {
+	out := &linExpr{coef: map[string]float64{}, konst: e.konst - o.konst}
+	for v, c := range e.coef {
+		out.coef[v] += c
+	}
+	for v, c := range o.coef {
+		out.coef[v] -= c
+	}
+	return out
+}
+
+// atomF converts "e ⋈ 0" into an AtomF with deterministic variable order.
+func (e *linExpr) atomF(strict bool) AtomF {
+	vars := make([]string, 0, len(e.coef))
+	for v := range e.coef {
+		vars = append(vars, v)
+	}
+	// Insertion sort for determinism (tiny lists).
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j] < vars[j-1]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	coef := make(linalg.Vector, len(vars))
+	for i, v := range vars {
+		coef[i] = e.coef[v]
+	}
+	return AtomF{Vars: vars, Atom: Atom{Coef: coef, B: -e.konst, Strict: strict}}
+}
+
+func (p *parser) parseComparison() (Formula, error) {
+	left, err := p.parseLinExpr()
+	if err != nil {
+		return nil, err
+	}
+	var conj []Formula
+	sawCmp := false
+	for {
+		op := p.peek().kind
+		if op != tokLE && op != tokLT && op != tokGE && op != tokGT && op != tokEQ && op != tokNE {
+			break
+		}
+		p.next()
+		right, err := p.parseLinExpr()
+		if err != nil {
+			return nil, err
+		}
+		sawCmp = true
+		switch op {
+		case tokLE:
+			conj = append(conj, left.sub(right).atomF(false))
+		case tokLT:
+			conj = append(conj, left.sub(right).atomF(true))
+		case tokGE:
+			conj = append(conj, right.sub(left).atomF(false))
+		case tokGT:
+			conj = append(conj, right.sub(left).atomF(true))
+		case tokEQ:
+			conj = append(conj, left.sub(right).atomF(false), right.sub(left).atomF(false))
+		case tokNE:
+			if len(conj) > 0 {
+				return nil, p.errorf("'!=' cannot appear in a comparison chain")
+			}
+			d := left.sub(right)
+			lt := d.atomF(true)
+			gt := right.sub(left).atomF(true)
+			return Or{Fs: []Formula{lt, gt}}, nil
+		}
+		left = right
+	}
+	if !sawCmp {
+		return nil, p.errorf("expected comparison operator")
+	}
+	if len(conj) == 1 {
+		return conj[0], nil
+	}
+	return And{Fs: conj}, nil
+}
+
+func (p *parser) parseLinExpr() (*linExpr, error) {
+	e := &linExpr{coef: map[string]float64{}}
+	sign := 1.0
+	// Optional leading sign.
+	for p.peek().kind == tokMinus || p.peek().kind == tokPlus {
+		if p.next().kind == tokMinus {
+			sign = -sign
+		}
+	}
+	for {
+		if err := p.parseTermInto(e, sign); err != nil {
+			return nil, err
+		}
+		switch p.peek().kind {
+		case tokPlus:
+			p.next()
+			sign = 1
+		case tokMinus:
+			p.next()
+			sign = -1
+		default:
+			return e, nil
+		}
+	}
+}
+
+// parseTermInto parses NUMBER [('/' NUMBER)] ['*'] [IDENT] | IDENT and
+// accumulates into e with the given sign.
+func (p *parser) parseTermInto(e *linExpr, sign float64) error {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return p.errorf("bad number %q", t.text)
+		}
+		if p.peek().kind == tokSlash {
+			p.next()
+			dt := p.peek()
+			if dt.kind != tokNumber {
+				return p.errorf("expected denominator after '/'")
+			}
+			p.next()
+			den, err := strconv.ParseFloat(dt.text, 64)
+			if err != nil || den == 0 {
+				return p.errorf("bad denominator %q", dt.text)
+			}
+			v /= den
+		}
+		if p.peek().kind == tokStar {
+			p.next()
+			id, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			e.coef[id] += sign * v
+			return nil
+		}
+		if p.peek().kind == tokIdent && !isKeyword(p.peek().text) {
+			id := p.next().text
+			e.coef[id] += sign * v
+			return nil
+		}
+		e.konst += sign * v
+		return nil
+	case tokIdent:
+		if isKeyword(t.text) {
+			return p.errorf("unexpected keyword %q in expression", t.text)
+		}
+		p.next()
+		e.coef[t.text] += sign
+		return nil
+	default:
+		return p.errorf("expected term, got %q", t.text)
+	}
+}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "rel", "query", "exists", "forall":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,300 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestParseSimpleRelation(t *testing.T) {
+	db, err := Parse(`rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := db.Relation("S")
+	if !ok {
+		t.Fatal("relation S missing")
+	}
+	if s.Arity() != 2 || len(s.Tuples) != 1 {
+		t.Fatalf("S arity=%d tuples=%d", s.Arity(), len(s.Tuples))
+	}
+	if !s.Contains(linalg.Vector{0.3, 0.3}) || s.Contains(linalg.Vector{0.8, 0.8}) {
+		t.Error("parsed triangle membership wrong")
+	}
+}
+
+func TestParseUnionOfTuples(t *testing.T) {
+	db, err := Parse(`
+		# two unit squares
+		rel R(x, y) := { 0 <= x, x <= 1, 0 <= y, y <= 1 }
+		             | { 2 <= x, x <= 3, 0 <= y, y <= 1 };
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := db.Schema["R"]
+	if len(r.Tuples) != 2 {
+		t.Fatalf("tuples = %d, want 2", len(r.Tuples))
+	}
+	if !r.Contains(linalg.Vector{2.5, 0.5}) || r.Contains(linalg.Vector{1.5, 0.5}) {
+		t.Error("union membership wrong")
+	}
+}
+
+func TestParseChainedComparison(t *testing.T) {
+	db, err := Parse(`rel I(x) := { 0 <= x <= 1 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := db.Schema["I"]
+	if !i.Contains(linalg.Vector{0.5}) || i.Contains(linalg.Vector{1.5}) || i.Contains(linalg.Vector{-0.5}) {
+		t.Error("chained comparison wrong")
+	}
+}
+
+func TestParseCoefficients(t *testing.T) {
+	db, err := Parse(`rel C(x, y) := { 2x + 3*y <= 6, x >= 0, y >= 0, 1/2 x <= 1 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.Schema["C"]
+	if !c.Contains(linalg.Vector{1, 1}) {
+		t.Error("(1,1) should satisfy 2x+3y<=6")
+	}
+	if c.Contains(linalg.Vector{3, 1}) {
+		t.Error("(3,1) violates 2x+3y<=6")
+	}
+	if c.Contains(linalg.Vector{2.5, 0}) {
+		t.Error("(2.5,0) violates x/2<=1")
+	}
+}
+
+func TestParseFractionsAndDecimals(t *testing.T) {
+	db, err := Parse(`rel F(x) := { 3/4 < x, x < 1 } | { 0 < x, x < 1/4 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := db.Schema["F"]
+	cases := []struct {
+		x    float64
+		want bool
+	}{{0.1, true}, {0.8, true}, {0.5, false}, {0.25, false}, {1.5, false}}
+	for _, c := range cases {
+		if got := f.Contains(linalg.Vector{c.x}); got != c.want {
+			t.Errorf("F(%g) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestParseEquality(t *testing.T) {
+	db, err := Parse(`rel L(x, y) := { x = y, 0 <= x <= 1 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := db.Schema["L"]
+	if !l.Contains(linalg.Vector{0.5, 0.5}) {
+		t.Error("diagonal point should satisfy x = y")
+	}
+	if l.Contains(linalg.Vector{0.5, 0.6}) {
+		t.Error("off-diagonal point should fail x = y")
+	}
+}
+
+func TestParseDisequality(t *testing.T) {
+	db, err := Parse(`rel D(x) := x != 0 & -1 <= x & x <= 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.Schema["D"]
+	if !d.Contains(linalg.Vector{0.5}) || !d.Contains(linalg.Vector{-0.5}) {
+		t.Error("non-zero points should satisfy")
+	}
+	if d.Contains(linalg.Vector{0}) {
+		t.Error("zero must fail x != 0")
+	}
+}
+
+func TestParsePredicatesAndQuantifiers(t *testing.T) {
+	db, err := Parse(`
+		rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 };
+		rel P(x)    := exists y. S(x, y);
+		rel N(x, y) := S(x, y) & !(x + y <= 1/2);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := db.Schema["P"]
+	if !p.Contains(linalg.Vector{0.5}) || p.Contains(linalg.Vector{1.5}) {
+		t.Error("P must be [0,1]")
+	}
+	n := db.Schema["N"]
+	if !n.Contains(linalg.Vector{0.4, 0.4}) || n.Contains(linalg.Vector{0.1, 0.1}) {
+		t.Error("N membership wrong")
+	}
+}
+
+func TestParseForAll(t *testing.T) {
+	db, err := Parse(`
+		rel G(x) := forall y. (y < 0 | y > 1 | x + y <= 2);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := db.Schema["G"]
+	if !g.Contains(linalg.Vector{0.5}) || g.Contains(linalg.Vector{1.5}) {
+		t.Error("forall relation must be x <= 1")
+	}
+}
+
+func TestParseQueryStoredUnevaluated(t *testing.T) {
+	db, err := Parse(`
+		rel S(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+		query Q(x) := exists y. S(x, y);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := db.Query("Q")
+	if !ok {
+		t.Fatal("query Q missing")
+	}
+	if len(q.Vars) != 1 || q.Vars[0] != "x" {
+		t.Errorf("query vars = %v", q.Vars)
+	}
+	if _, isExists := q.F.(Exists); !isExists {
+		t.Errorf("query formula kept as %T, want Exists", q.F)
+	}
+	if _, ok := db.Query("Nope"); ok {
+		t.Error("missing query must report !ok")
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	// a | b & c parses as a | (b & c).
+	f, err := ParseFormula(`x <= 0 | x >= 1 & x <= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := f.(Or)
+	if !ok || len(or.Fs) != 2 {
+		t.Fatalf("top level = %T", f)
+	}
+	if _, ok := or.Fs[1].(And); !ok {
+		t.Errorf("right disjunct = %T, want And", or.Fs[1])
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	f, err := ParseFormula(`(x <= 0 | x >= 1) & x <= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := f.(And)
+	if !ok {
+		t.Fatalf("top level = %T, want And", f)
+	}
+	if _, ok := and.Fs[0].(Or); !ok {
+		t.Errorf("left conjunct = %T, want Or", and.Fs[0])
+	}
+}
+
+func TestParseDoubleCharOperators(t *testing.T) {
+	f, err := ParseFormula(`x <= 1 && x >= 0 || x == 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(Or); !ok {
+		t.Fatalf("top level = %T, want Or", f)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	db, err := Parse(`
+		# hash comment
+		// slash comment
+		rel A(x) := { 0 <= x <= 1 }; # trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Relation("A"); !ok {
+		t.Error("relation A missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`rel S(x) := ;`,
+		`rel S(x) := { x <= };`,
+		`rel S(x) := { x ?? 1 };`,
+		`rel (x) := { x <= 1 };`,
+		`rel S(x) { x <= 1 };`,
+		`rel S(x) := { x <= 1 }`,
+		`rel S(x) := T(x);`,
+		`rel S(x) := exists . x <= 1;`,
+		`rel S(x) := { 1/0 x <= 1 };`,
+		`rel S(x) := { 0 <= x != 1 };`,
+		`query`,
+		`frobnicate S(x) := { x <= 1};`,
+		`rel S(x) := { y <= 1 };`, // free var y not declared
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseDuplicateRelation(t *testing.T) {
+	_, err := Parse(`
+		rel S(x) := { 0 <= x <= 1 };
+		rel S(x) := { 0 <= x <= 2 };
+	`)
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate relation error = %v", err)
+	}
+}
+
+func TestParseRelationConvenience(t *testing.T) {
+	r, err := ParseRelation(`Tri(x, y) := { x >= 0, y >= 0, x + y <= 1 }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "Tri" || r.Arity() != 2 {
+		t.Errorf("relation = %s arity %d", r.Name, r.Arity())
+	}
+	// With schema reference.
+	schema := Schema{"Tri": r}
+	p, err := ParseRelation(`P(x) := exists y. Tri(x, y);`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(linalg.Vector{0.5}) || p.Contains(linalg.Vector{2}) {
+		t.Error("projection via ParseRelation wrong")
+	}
+}
+
+func TestParseNegativeCoefficientsAndConstants(t *testing.T) {
+	db, err := Parse(`rel N(x, y) := { -x + 2 >= y - 3, -2 <= x, x <= 2, -2 <= y, y <= 2 };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := db.Schema["N"]
+	// -x + 2 >= y - 3  ⟺  x + y <= 5: all of the box qualifies.
+	if !n.Contains(linalg.Vector{2, 2}) || !n.Contains(linalg.Vector{-2, -2}) {
+		t.Error("constant folding in comparisons wrong")
+	}
+}
+
+func TestParseQuantifierDotVersusDecimal(t *testing.T) {
+	// '3.5' is a decimal; 'exists y. ...' uses the dot token.
+	db, err := Parse(`rel M(x) := exists y. (y >= 3.5 & y <= 4 & x = y - 3.5);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := db.Schema["M"]
+	if !m.Contains(linalg.Vector{0.25}) || m.Contains(linalg.Vector{0.75}) {
+		t.Error("decimal/dot disambiguation wrong")
+	}
+}

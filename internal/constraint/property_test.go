@@ -1,0 +1,227 @@
+package constraint
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/lp"
+	"repro/internal/rng"
+)
+
+// randomBoundedTuple cuts the cube [-1,1]^d with extra random halfspaces.
+func randomBoundedTuple(r *rng.RNG, d, cuts int) Tuple {
+	atoms := append([]Atom{}, Cube(d, -1, 1).Atoms...)
+	for k := 0; k < cuts; k++ {
+		coef := make(linalg.Vector, d)
+		for j := range coef {
+			coef[j] = r.Normal()
+		}
+		atoms = append(atoms, NewAtom(coef, r.Uniform(0.2, 1.5), false))
+	}
+	return NewTuple(d, atoms...)
+}
+
+// TestPropertyEliminationSoundAndComplete: for random tuples and random
+// probe points, membership in the Fourier–Motzkin projection agrees with
+// LP feasibility of the lifted system (∃-completion). This is the
+// soundness+completeness property of quantifier elimination.
+func TestPropertyEliminationSoundAndComplete(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 2 + r.Intn(3) // 2..4
+		tup := randomBoundedTuple(r, d, r.Intn(4))
+		if tup.IsEmpty() {
+			return true
+		}
+		rel := &Relation{Vars: varNames(d), Tuples: []Tuple{tup}}
+		col := r.Intn(d)
+		proj := Eliminate(rel, col, EliminateOptions{})
+		a, b := tup.System()
+		for i := 0; i < 25; i++ {
+			// Probe in the projected space.
+			probe := make(linalg.Vector, d-1)
+			for j := range probe {
+				probe[j] = r.Uniform(-1.3, 1.3)
+			}
+			// Ground truth: fix the kept coordinates, ask the LP whether a
+			// completion exists.
+			rows := append([]linalg.Vector{}, a...)
+			rhs := append([]float64{}, b...)
+			kept := 0
+			for j := 0; j < d; j++ {
+				if j == col {
+					continue
+				}
+				e := make(linalg.Vector, d)
+				e[j] = 1
+				rows = append(rows, e, e.Scale(-1))
+				rhs = append(rhs, probe[kept], -probe[kept])
+				kept++
+			}
+			_, want := lp.Feasible(rows, rhs)
+			got := proj.Contains(probe)
+			if got != want {
+				// Tolerance band around the boundary: re-probe strictly
+				// inside by shrinking toward the origin.
+				shrunk := probe.Scale(0.999)
+				rows2 := append([]linalg.Vector{}, a...)
+				rhs2 := append([]float64{}, b...)
+				kept = 0
+				for j := 0; j < d; j++ {
+					if j == col {
+						continue
+					}
+					e := make(linalg.Vector, d)
+					e[j] = 1
+					rows2 = append(rows2, e, e.Scale(-1))
+					rhs2 = append(rhs2, shrunk[kept], -shrunk[kept])
+					kept++
+				}
+				_, want2 := lp.Feasible(rows2, rhs2)
+				if proj.Contains(shrunk) != want2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyComplementPartition: for random relations and random
+// points, exactly one of r, Complement(r) contains the point (away from
+// boundaries).
+func TestPropertyComplementPartition(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 1 + r.Intn(3)
+		nt := 1 + r.Intn(3)
+		tuples := make([]Tuple, nt)
+		for i := range tuples {
+			tuples[i] = randomBoundedTuple(r, d, r.Intn(3))
+		}
+		rel := &Relation{Vars: varNames(d), Tuples: tuples}
+		comp := Complement(rel)
+		for i := 0; i < 30; i++ {
+			p := make(linalg.Vector, d)
+			for j := range p {
+				p[j] = r.Uniform(-1.5, 1.5)
+			}
+			in, out := rel.Contains(p), comp.Contains(p)
+			if in == out {
+				// Probe may sit in the tolerance band; perturb and retry
+				// once before failing.
+				for j := range p {
+					p[j] += 1e-4 * r.Normal()
+				}
+				if rel.Contains(p) == comp.Contains(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyIntersectionCommutes: membership in r.Intersect(s) equals
+// membership in s.Intersect(r) equals conjunction of memberships.
+func TestPropertyIntersectionCommutes(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 1 + r.Intn(3)
+		relA := &Relation{Vars: varNames(d), Tuples: []Tuple{randomBoundedTuple(r, d, 1)}}
+		relB := &Relation{Vars: varNames(d), Tuples: []Tuple{randomBoundedTuple(r, d, 1)}}
+		ab, err := relA.Intersect(relB)
+		if err != nil {
+			return false
+		}
+		ba, err := relB.Intersect(relA)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			p := make(linalg.Vector, d)
+			for j := range p {
+				p[j] = r.Uniform(-1.5, 1.5)
+			}
+			want := relA.Contains(p) && relB.Contains(p)
+			if ab.Contains(p) != want || ba.Contains(p) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyParserRoundTrip: every generated box relation survives a
+// render-reparse loop with identical membership.
+func TestPropertyParserRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		lo := linalg.Vector{r.Uniform(-5, 0), r.Uniform(-5, 0)}
+		hi := linalg.Vector{lo[0] + r.Uniform(0.5, 5), lo[1] + r.Uniform(0.5, 5)}
+		src := `rel B(x0, x1) := { ` +
+			formatAtomSrc(linalg.Vector{1, 0}, hi[0]) + `, ` +
+			formatAtomSrc(linalg.Vector{-1, 0}, -lo[0]) + `, ` +
+			formatAtomSrc(linalg.Vector{0, 1}, hi[1]) + `, ` +
+			formatAtomSrc(linalg.Vector{0, -1}, -lo[1]) + ` };`
+		db, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		got := db.Schema["B"]
+		want := Box(lo, hi)
+		for i := 0; i < 30; i++ {
+			p := linalg.Vector{r.Uniform(-6, 6), r.Uniform(-6, 6)}
+			if got.Contains(p) != want.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func formatAtomSrc(coef linalg.Vector, b float64) string {
+	out := ""
+	first := true
+	for i, c := range coef {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			out += " + "
+		}
+		first = false
+		switch c {
+		case 1:
+			out += varNames(len(coef))[i]
+		case -1:
+			out += "-" + varNames(len(coef))[i]
+		default:
+			out += formatFloat(c) + " " + varNames(len(coef))[i]
+		}
+	}
+	return out + " <= " + formatFloat(b)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', 6, 64)
+}
+
+func varNames(d int) []string {
+	names := []string{"x0", "x1", "x2", "x3", "x4", "x5"}
+	return names[:d]
+}

@@ -1,0 +1,92 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestSourceRoundTripBasic(t *testing.T) {
+	r := MustRelation("S", []string{"x", "y"},
+		Cube(2, 0, 1),
+		NewTuple(2,
+			NewAtom(linalg.Vector{1, 1}, 1, true),
+			NewAtom(linalg.Vector{-1, 0}, 0, false),
+			NewAtom(linalg.Vector{0, -1}, 0, false),
+		),
+	)
+	src := r.Source()
+	back, err := ParseRelation(strings.TrimPrefix(src, "rel "), nil)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", src, err)
+	}
+	rr := rng.New(1)
+	for i := 0; i < 500; i++ {
+		p := linalg.Vector{rr.Uniform(-0.5, 1.5), rr.Uniform(-0.5, 1.5)}
+		if r.Contains(p) != back.Contains(p) {
+			t.Fatalf("round trip changed membership at %v (source %q)", p, src)
+		}
+	}
+}
+
+func TestSourceRoundTripProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rr := rng.New(seed)
+		d := 1 + rr.Intn(3)
+		nt := 1 + rr.Intn(3)
+		vars := varNames(d)
+		tuples := make([]Tuple, nt)
+		for i := range tuples {
+			tuples[i] = randomBoundedTuple(rr, d, rr.Intn(3))
+		}
+		r := MustRelation("G", vars, tuples...)
+		back, err := ParseRelation(strings.TrimPrefix(r.Source(), "rel "), nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			p := make(linalg.Vector, d)
+			for j := range p {
+				p[j] = rr.Uniform(-1.5, 1.5)
+			}
+			if r.Contains(p) != back.Contains(p) {
+				// Tolerance band retry.
+				for j := range p {
+					p[j] += 1e-5 * rr.Normal()
+				}
+				if r.Contains(p) != back.Contains(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourceEmptyAndDegenerate(t *testing.T) {
+	empty := &Relation{Name: "E", Vars: []string{"x"}}
+	src := empty.Source()
+	back, err := ParseRelation(strings.TrimPrefix(src, "rel "), nil)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", src, err)
+	}
+	if back.Contains(linalg.Vector{0}) {
+		t.Error("empty relation source must stay empty")
+	}
+	// Constraint-free tuple renders a tautology.
+	full := MustRelation("F", []string{"x"}, NewTuple(1))
+	src = full.Source()
+	back, err = ParseRelation(strings.TrimPrefix(src, "rel "), nil)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", src, err)
+	}
+	if !back.Contains(linalg.Vector{123}) {
+		t.Error("full relation source must stay full")
+	}
+}

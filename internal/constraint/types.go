@@ -1,0 +1,476 @@
+// Package constraint implements the linear constraint database model of
+// Kanellakis, Kuper and Revesz as used by the paper: generalized tuples
+// (conjunctions of linear constraints over the structure
+// ⟨R, +, −, <, 0, 1⟩), generalized relations (finite unions of tuples,
+// i.e. quantifier-free DNF), a first-order formula AST (FO+LIN), a text
+// parser, and Fourier–Motzkin quantifier elimination.
+//
+// A d-ary generalized tuple denotes a convex subset of R^d (a finite
+// intersection of halfspaces); a generalized relation denotes a finite
+// union of such convex sets. These are exactly the objects the paper's
+// generators and estimators operate on.
+package constraint
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/linalg"
+	"repro/internal/lp"
+	"repro/internal/num"
+)
+
+// Atom is the atomic linear constraint Coef·x ⋈ B where ⋈ is <= (Strict
+// false) or < (Strict true). Equalities are represented as a pair of
+// opposite Atoms at construction time.
+type Atom struct {
+	Coef   linalg.Vector
+	B      float64
+	Strict bool
+}
+
+// NewAtom returns the atom coef·x <= b (or < b when strict).
+func NewAtom(coef linalg.Vector, b float64, strict bool) Atom {
+	return Atom{Coef: coef, B: b, Strict: strict}
+}
+
+// Dim returns the arity of the atom.
+func (a Atom) Dim() int { return len(a.Coef) }
+
+// Holds reports whether x satisfies the atom, honouring strictness with
+// the repository tolerance (boundary points of non-strict atoms are in).
+func (a Atom) Holds(x linalg.Vector) bool {
+	v := a.Coef.Dot(x)
+	if a.Strict {
+		return v < a.B-num.Eps
+	}
+	return v <= a.B+num.Eps
+}
+
+// Negate returns the complementary atom: ¬(a·x <= b) ≡ −a·x < −b and
+// ¬(a·x < b) ≡ −a·x <= −b.
+func (a Atom) Negate() Atom {
+	return Atom{Coef: a.Coef.Scale(-1), B: -a.B, Strict: !a.Strict}
+}
+
+// Normalize scales the atom so that the coefficient vector has unit
+// infinity norm; constant (all-zero coefficient) atoms are returned
+// unchanged. Normalisation makes duplicate detection reliable.
+func (a Atom) Normalize() Atom {
+	m := a.Coef.NormInf()
+	if m <= num.Eps {
+		return a
+	}
+	return Atom{Coef: a.Coef.Scale(1 / m), B: a.B / m, Strict: a.Strict}
+}
+
+// IsTrivial reports whether the atom has no variable dependence; sat
+// reports whether it is then satisfied.
+func (a Atom) IsTrivial() (trivial, sat bool) {
+	if a.Coef.NormInf() > num.Eps {
+		return false, false
+	}
+	if a.Strict {
+		return true, 0 < a.B-num.Eps
+	}
+	return true, 0 <= a.B+num.Eps
+}
+
+// String renders the atom over variable names x0, x1, ...
+func (a Atom) String() string {
+	var sb strings.Builder
+	first := true
+	for i, c := range a.Coef {
+		if math.Abs(c) < 1e-15 {
+			continue
+		}
+		switch {
+		case first && c < 0:
+			sb.WriteString("-")
+		case !first && c < 0:
+			sb.WriteString(" - ")
+		case !first:
+			sb.WriteString(" + ")
+		}
+		if ac := math.Abs(c); ac != 1 {
+			fmt.Fprintf(&sb, "%g", ac)
+		}
+		fmt.Fprintf(&sb, "x%d", i)
+		first = false
+	}
+	if first {
+		sb.WriteString("0")
+	}
+	if a.Strict {
+		sb.WriteString(" < ")
+	} else {
+		sb.WriteString(" <= ")
+	}
+	fmt.Fprintf(&sb, "%g", a.B)
+	return sb.String()
+}
+
+// Tuple is a generalized tuple: a conjunction of atoms denoting a convex
+// subset of R^dim.
+type Tuple struct {
+	Atoms []Atom
+	dim   int
+}
+
+// NewTuple returns a tuple of the given arity with the given atoms. It
+// panics when an atom has a different arity, which is always a programming
+// error.
+func NewTuple(dim int, atoms ...Atom) Tuple {
+	for _, a := range atoms {
+		if a.Dim() != dim {
+			panic(fmt.Sprintf("constraint: atom arity %d in tuple of arity %d", a.Dim(), dim))
+		}
+	}
+	return Tuple{Atoms: atoms, dim: dim}
+}
+
+// Dim returns the arity of the tuple.
+func (t Tuple) Dim() int { return t.dim }
+
+// Contains reports whether x satisfies all atoms.
+func (t Tuple) Contains(x linalg.Vector) bool {
+	for _, a := range t.Atoms {
+		if !a.Holds(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// With returns a new tuple with extra atoms appended.
+func (t Tuple) With(atoms ...Atom) Tuple {
+	all := make([]Atom, 0, len(t.Atoms)+len(atoms))
+	all = append(all, t.Atoms...)
+	all = append(all, atoms...)
+	return NewTuple(t.dim, all...)
+}
+
+// System returns the constraint matrix and right-hand side of the tuple
+// (strictness dropped: the closure has the same volume).
+func (t Tuple) System() ([]linalg.Vector, []float64) {
+	a := make([]linalg.Vector, len(t.Atoms))
+	b := make([]float64, len(t.Atoms))
+	for i, at := range t.Atoms {
+		a[i] = at.Coef
+		b[i] = at.B
+	}
+	return a, b
+}
+
+// IsEmpty reports whether the (closure of the) tuple is infeasible.
+func (t Tuple) IsEmpty() bool {
+	a, b := t.System()
+	_, ok := lp.Feasible(a, b)
+	return !ok
+}
+
+// Size returns the description size of the tuple: the total number of
+// symbols (coefficients and bounds) in its formula, matching the paper's
+// complexity parameter.
+func (t Tuple) Size() int { return len(t.Atoms) * (t.dim + 1) }
+
+// String renders the tuple as a conjunction.
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Atoms))
+	for i, a := range t.Atoms {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Relation is a generalized relation: a finite union of generalized
+// tuples over a common arity, i.e. a quantifier-free DNF definable set.
+type Relation struct {
+	Name   string
+	Vars   []string // column names; len(Vars) == arity
+	Tuples []Tuple
+}
+
+// NewRelation builds a relation. All tuples must share the arity
+// len(vars).
+func NewRelation(name string, vars []string, tuples ...Tuple) (*Relation, error) {
+	for _, t := range tuples {
+		if t.Dim() != len(vars) {
+			return nil, fmt.Errorf("constraint: tuple arity %d != relation arity %d", t.Dim(), len(vars))
+		}
+	}
+	return &Relation{Name: name, Vars: vars, Tuples: tuples}, nil
+}
+
+// MustRelation is NewRelation for statically known-good inputs.
+func MustRelation(name string, vars []string, tuples ...Tuple) *Relation {
+	r, err := NewRelation(name, vars, tuples...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Vars) }
+
+// Contains reports whether x belongs to the union of tuples.
+func (r *Relation) Contains(x linalg.Vector) bool {
+	for _, t := range r.Tuples {
+		if t.Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// CanonicalIndex returns the smallest tuple index containing x, or -1.
+// This is the paper's j(x), used by the union generator's acceptance test.
+func (r *Relation) CanonicalIndex(x linalg.Vector) int {
+	for i, t := range r.Tuples {
+		if t.Contains(x) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Size returns the description size of the relation.
+func (r *Relation) Size() int {
+	s := 0
+	for _, t := range r.Tuples {
+		s += t.Size()
+	}
+	return s
+}
+
+// PruneEmpty returns a copy without infeasible tuples.
+func (r *Relation) PruneEmpty() *Relation {
+	out := &Relation{Name: r.Name, Vars: r.Vars}
+	for _, t := range r.Tuples {
+		if !t.IsEmpty() {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// IsEmpty reports whether every tuple is infeasible.
+func (r *Relation) IsEmpty() bool {
+	for _, t := range r.Tuples {
+		if !t.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the relation r ∪ s (same arity required).
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	if r.Arity() != s.Arity() {
+		return nil, fmt.Errorf("constraint: union arity mismatch %d vs %d", r.Arity(), s.Arity())
+	}
+	out := &Relation{Name: "", Vars: r.Vars}
+	out.Tuples = append(out.Tuples, r.Tuples...)
+	out.Tuples = append(out.Tuples, s.Tuples...)
+	return out, nil
+}
+
+// Intersect returns the relation r ∩ s as the cross product of tuple
+// conjunctions.
+func (r *Relation) Intersect(s *Relation) (*Relation, error) {
+	if r.Arity() != s.Arity() {
+		return nil, fmt.Errorf("constraint: intersect arity mismatch %d vs %d", r.Arity(), s.Arity())
+	}
+	out := &Relation{Vars: r.Vars}
+	for _, t1 := range r.Tuples {
+		for _, t2 := range s.Tuples {
+			out.Tuples = append(out.Tuples, t1.With(t2.Atoms...))
+		}
+	}
+	return out.PruneEmpty(), nil
+}
+
+// BoundingBox returns the coordinate-wise bounding box of the relation.
+// ok is false for empty or unbounded relations.
+func (r *Relation) BoundingBox() (lo, hi linalg.Vector, ok bool) {
+	first := true
+	for _, t := range r.Tuples {
+		a, b := t.System()
+		tlo, thi, tok := lp.BoundingBox(a, b)
+		if !tok {
+			// Empty tuples don't affect the box; unbounded ones poison it.
+			if t.IsEmpty() {
+				continue
+			}
+			return nil, nil, false
+		}
+		if first {
+			lo, hi, first = tlo, thi, false
+			continue
+		}
+		for j := range lo {
+			lo[j] = math.Min(lo[j], tlo[j])
+			hi[j] = math.Max(hi[j], thi[j])
+		}
+	}
+	if first {
+		return nil, nil, false
+	}
+	return lo, hi, true
+}
+
+// Source renders the relation as a parseable `rel` declaration:
+// ParseRelation(r.Source(), nil) reproduces the same set. Strict atoms
+// render with '<', non-strict with '<='.
+func (r *Relation) Source() string {
+	var sb strings.Builder
+	name := r.Name
+	if name == "" {
+		name = "R"
+	}
+	fmt.Fprintf(&sb, "rel %s(%s) := ", name, strings.Join(r.Vars, ", "))
+	if len(r.Tuples) == 0 {
+		// An empty relation: an unsatisfiable tuple keeps it parseable.
+		sb.WriteString("{ ")
+		sb.WriteString(r.Vars[0])
+		sb.WriteString(" < ")
+		sb.WriteString(r.Vars[0])
+		sb.WriteString(" };")
+		return sb.String()
+	}
+	for ti, t := range r.Tuples {
+		if ti > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString("{ ")
+		for ai, a := range t.Atoms {
+			if ai > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(atomSource(a, r.Vars))
+		}
+		if len(t.Atoms) == 0 {
+			// A constraint-free tuple (the whole space) is unbounded and
+			// unusual; render a tautology.
+			sb.WriteString("0 ")
+			sb.WriteString(r.Vars[0])
+			sb.WriteString(" <= 1")
+		}
+		sb.WriteString(" }")
+	}
+	sb.WriteString(";")
+	return sb.String()
+}
+
+// atomSource renders one atom over named variables in parseable syntax.
+func atomSource(a Atom, vars []string) string {
+	var sb strings.Builder
+	first := true
+	for i, c := range a.Coef {
+		if math.Abs(c) < 1e-15 {
+			continue
+		}
+		switch {
+		case first && c < 0:
+			sb.WriteString("-")
+		case !first && c < 0:
+			sb.WriteString(" - ")
+		case !first:
+			sb.WriteString(" + ")
+		}
+		if ac := math.Abs(c); math.Abs(ac-1) > 1e-15 {
+			fmt.Fprintf(&sb, "%.12g ", ac)
+		}
+		sb.WriteString(vars[i])
+		first = false
+	}
+	if first {
+		// All-zero coefficients: render "0 v".
+		sb.WriteString("0 ")
+		sb.WriteString(vars[0])
+	}
+	if a.Strict {
+		sb.WriteString(" < ")
+	} else {
+		sb.WriteString(" <= ")
+	}
+	fmt.Fprintf(&sb, "%.12g", a.B)
+	return sb.String()
+}
+
+// String renders the relation as a DNF.
+func (r *Relation) String() string {
+	parts := make([]string, len(r.Tuples))
+	for i, t := range r.Tuples {
+		parts[i] = t.String()
+	}
+	name := r.Name
+	if name == "" {
+		name = "R"
+	}
+	return fmt.Sprintf("%s(%s) := %s", name, strings.Join(r.Vars, ", "), strings.Join(parts, " | "))
+}
+
+// Box returns the tuple for the axis-aligned box [lo_i, hi_i]^d; a
+// convenience used throughout the tests and workload generators.
+func Box(lo, hi linalg.Vector) Tuple {
+	d := len(lo)
+	atoms := make([]Atom, 0, 2*d)
+	for j := 0; j < d; j++ {
+		up := make(linalg.Vector, d)
+		up[j] = 1
+		atoms = append(atoms, NewAtom(up, hi[j], false))
+		down := make(linalg.Vector, d)
+		down[j] = -1
+		atoms = append(atoms, NewAtom(down, -lo[j], false))
+	}
+	return NewTuple(d, atoms...)
+}
+
+// Cube returns the tuple for [lo, hi]^d.
+func Cube(d int, lo, hi float64) Tuple {
+	l := make(linalg.Vector, d)
+	h := make(linalg.Vector, d)
+	for i := range l {
+		l[i] = lo
+		h[i] = hi
+	}
+	return Box(l, h)
+}
+
+// Simplex returns the tuple for {x : x_i >= 0, sum x_i <= s}.
+func Simplex(d int, s float64) Tuple {
+	atoms := make([]Atom, 0, d+1)
+	for j := 0; j < d; j++ {
+		down := make(linalg.Vector, d)
+		down[j] = -1
+		atoms = append(atoms, NewAtom(down, 0, false))
+	}
+	ones := make(linalg.Vector, d)
+	for j := range ones {
+		ones[j] = 1
+	}
+	atoms = append(atoms, NewAtom(ones, s, false))
+	return NewTuple(d, atoms...)
+}
+
+// CrossPolytope returns the l1-ball of radius r as a tuple with 2^d
+// facets (sign pattern constraints). Use small d only.
+func CrossPolytope(d int, r float64) Tuple {
+	n := 1 << d
+	atoms := make([]Atom, 0, n)
+	for mask := 0; mask < n; mask++ {
+		coef := make(linalg.Vector, d)
+		for j := 0; j < d; j++ {
+			if mask&(1<<j) != 0 {
+				coef[j] = 1
+			} else {
+				coef[j] = -1
+			}
+		}
+		atoms = append(atoms, NewAtom(coef, r, false))
+	}
+	return NewTuple(d, atoms...)
+}

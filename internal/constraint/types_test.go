@@ -1,0 +1,286 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestAtomHolds(t *testing.T) {
+	a := NewAtom(linalg.Vector{1, 1}, 1, false) // x + y <= 1
+	if !a.Holds(linalg.Vector{0.4, 0.4}) {
+		t.Error("interior point must satisfy")
+	}
+	if !a.Holds(linalg.Vector{0.5, 0.5}) {
+		t.Error("boundary must satisfy non-strict atom")
+	}
+	if a.Holds(linalg.Vector{0.8, 0.8}) {
+		t.Error("exterior point must not satisfy")
+	}
+	s := NewAtom(linalg.Vector{1, 1}, 1, true) // x + y < 1
+	if s.Holds(linalg.Vector{0.5, 0.5}) {
+		t.Error("boundary must not satisfy strict atom")
+	}
+}
+
+func TestAtomNegate(t *testing.T) {
+	a := NewAtom(linalg.Vector{2, -1}, 3, false)
+	n := a.Negate()
+	// Any point satisfies exactly one of a, n (except the measure-zero
+	// tolerance band).
+	pts := []linalg.Vector{{0, 0}, {5, 0}, {0, -10}, {1.5, 0}, {-3, 2}}
+	for _, p := range pts {
+		ha, hn := a.Holds(p), n.Holds(p)
+		if ha == hn {
+			t.Errorf("point %v: atom %v, negation %v — must differ", p, ha, hn)
+		}
+	}
+	if n.Strict == a.Strict {
+		t.Error("negation must flip strictness")
+	}
+}
+
+func TestAtomNormalizeAndTrivial(t *testing.T) {
+	a := NewAtom(linalg.Vector{4, -2}, 8, false).Normalize()
+	if !a.Coef.Equal(linalg.Vector{1, -0.5}, 1e-12) || a.B != 2 {
+		t.Errorf("Normalize = %v <= %g", a.Coef, a.B)
+	}
+	trivial, sat := NewAtom(linalg.Vector{0, 0}, 1, false).IsTrivial()
+	if !trivial || !sat {
+		t.Error("0 <= 1 must be trivially satisfied")
+	}
+	trivial, sat = NewAtom(linalg.Vector{0, 0}, -1, false).IsTrivial()
+	if !trivial || sat {
+		t.Error("0 <= -1 must be trivially unsatisfied")
+	}
+	trivial, sat = NewAtom(linalg.Vector{0, 0}, 0, true).IsTrivial()
+	if !trivial || sat {
+		t.Error("0 < 0 must be trivially unsatisfied")
+	}
+	if trivial, _ := NewAtom(linalg.Vector{1, 0}, 0, false).IsTrivial(); trivial {
+		t.Error("x <= 0 is not trivial")
+	}
+}
+
+func TestTupleContains(t *testing.T) {
+	tri := NewTuple(2,
+		NewAtom(linalg.Vector{-1, 0}, 0, false),
+		NewAtom(linalg.Vector{0, -1}, 0, false),
+		NewAtom(linalg.Vector{1, 1}, 1, false),
+	)
+	if !tri.Contains(linalg.Vector{0.2, 0.2}) {
+		t.Error("triangle interior")
+	}
+	if tri.Contains(linalg.Vector{0.8, 0.8}) {
+		t.Error("outside hypotenuse")
+	}
+	if tri.Contains(linalg.Vector{-0.1, 0.2}) {
+		t.Error("outside x >= 0")
+	}
+}
+
+func TestTuplePanicsOnArityMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTuple with wrong-arity atom must panic")
+		}
+	}()
+	NewTuple(2, NewAtom(linalg.Vector{1}, 0, false))
+}
+
+func TestTupleEmptiness(t *testing.T) {
+	empty := NewTuple(1,
+		NewAtom(linalg.Vector{1}, 0, false),
+		NewAtom(linalg.Vector{-1}, -1, false), // x >= 1 and x <= 0
+	)
+	if !empty.IsEmpty() {
+		t.Error("infeasible tuple must be empty")
+	}
+	if Cube(3, 0, 1).IsEmpty() {
+		t.Error("cube must not be empty")
+	}
+}
+
+func TestRelationContainsAndCanonicalIndex(t *testing.T) {
+	left := Cube(1, 0, 2)
+	right := Cube(1, 1, 3)
+	r := MustRelation("R", []string{"x"}, left, right)
+	if !r.Contains(linalg.Vector{0.5}) || !r.Contains(linalg.Vector{2.5}) {
+		t.Error("union membership broken")
+	}
+	if r.Contains(linalg.Vector{3.5}) {
+		t.Error("outside union")
+	}
+	if got := r.CanonicalIndex(linalg.Vector{1.5}); got != 0 {
+		t.Errorf("overlap point canonical index = %d, want 0", got)
+	}
+	if got := r.CanonicalIndex(linalg.Vector{2.5}); got != 1 {
+		t.Errorf("right-only point canonical index = %d, want 1", got)
+	}
+	if got := r.CanonicalIndex(linalg.Vector{5}); got != -1 {
+		t.Errorf("outside point canonical index = %d, want -1", got)
+	}
+}
+
+func TestRelationArityChecks(t *testing.T) {
+	if _, err := NewRelation("R", []string{"x"}, Cube(2, 0, 1)); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	r1 := MustRelation("A", []string{"x"}, Cube(1, 0, 1))
+	r2 := MustRelation("B", []string{"x", "y"}, Cube(2, 0, 1))
+	if _, err := r1.Union(r2); err == nil {
+		t.Error("union arity mismatch must error")
+	}
+	if _, err := r1.Intersect(r2); err == nil {
+		t.Error("intersect arity mismatch must error")
+	}
+}
+
+func TestRelationUnionIntersect(t *testing.T) {
+	a := MustRelation("A", []string{"x", "y"}, Cube(2, 0, 2))
+	b := MustRelation("B", []string{"x", "y"}, Cube(2, 1, 3))
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Tuples) != 2 {
+		t.Errorf("union tuples = %d", len(u.Tuples))
+	}
+	i, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(i.Tuples) != 1 {
+		t.Fatalf("intersection tuples = %d", len(i.Tuples))
+	}
+	// Intersection is [1,2]^2.
+	if !i.Contains(linalg.Vector{1.5, 1.5}) || i.Contains(linalg.Vector{0.5, 0.5}) {
+		t.Error("intersection membership wrong")
+	}
+	// Disjoint intersection prunes to empty.
+	c := MustRelation("C", []string{"x", "y"}, Cube(2, 10, 11))
+	j, err := a.Intersect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.IsEmpty() || len(j.Tuples) != 0 {
+		t.Error("disjoint intersection must prune to empty")
+	}
+}
+
+func TestRelationBoundingBox(t *testing.T) {
+	r := MustRelation("R", []string{"x"}, Cube(1, 0, 1), Cube(1, 5, 7))
+	lo, hi, ok := r.BoundingBox()
+	if !ok {
+		t.Fatal("bounding box failed")
+	}
+	if lo[0] != 0 || hi[0] != 7 {
+		t.Errorf("box = [%g, %g], want [0, 7]", lo[0], hi[0])
+	}
+	// Unbounded tuple poisons the box.
+	unb := NewTuple(1, NewAtom(linalg.Vector{-1}, 0, false))
+	r2 := MustRelation("U", []string{"x"}, unb)
+	if _, _, ok := r2.BoundingBox(); ok {
+		t.Error("unbounded relation must not have a bounding box")
+	}
+	// Empty tuples are skipped.
+	emptyT := NewTuple(1, NewAtom(linalg.Vector{1}, 0, false), NewAtom(linalg.Vector{-1}, -1, false))
+	r3 := MustRelation("E", []string{"x"}, Cube(1, 2, 3), emptyT)
+	lo, hi, ok = r3.BoundingBox()
+	if !ok || lo[0] != 2 || hi[0] != 3 {
+		t.Errorf("box with empty tuple = [%v, %v] ok=%v", lo, hi, ok)
+	}
+}
+
+func TestShapeConstructors(t *testing.T) {
+	r := rng.New(1)
+	cube := Cube(4, -1, 1)
+	simplex := Simplex(4, 1)
+	cross := CrossPolytope(4, 1)
+	inCube, inSimplex, inCross := 0, 0, 0
+	for i := 0; i < 2000; i++ {
+		x := make(linalg.Vector, 4)
+		for j := range x {
+			x[j] = r.Uniform(-1, 1)
+		}
+		if cube.Contains(x) {
+			inCube++
+		}
+		var sum, l1 float64
+		pos := true
+		for _, v := range x {
+			sum += v
+			if v < 0 {
+				pos = false
+			}
+			if v < 0 {
+				l1 -= v
+			} else {
+				l1 += v
+			}
+		}
+		if simplex.Contains(x) != (pos && sum <= 1+1e-9) {
+			inSimplex++
+		}
+		if cross.Contains(x) != (l1 <= 1+1e-9) {
+			inCross++
+		}
+	}
+	if inCube != 2000 {
+		t.Errorf("cube should contain every sample of [-1,1]^4, got %d", inCube)
+	}
+	if inSimplex != 0 {
+		t.Errorf("simplex membership disagreed with the definition %d times", inSimplex)
+	}
+	if inCross != 0 {
+		t.Errorf("cross-polytope membership disagreed with the l1 ball %d times", inCross)
+	}
+}
+
+func TestBoxConstructor(t *testing.T) {
+	b := Box(linalg.Vector{-1, 2}, linalg.Vector{1, 5})
+	if !b.Contains(linalg.Vector{0, 3}) || b.Contains(linalg.Vector{0, 6}) || b.Contains(linalg.Vector{-2, 3}) {
+		t.Error("Box membership wrong")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := NewAtom(linalg.Vector{1, -2}, 3, false)
+	if s := a.String(); !strings.Contains(s, "x0") || !strings.Contains(s, "<=") {
+		t.Errorf("atom string = %q", s)
+	}
+	str := NewAtom(linalg.Vector{0, 1}, 0, true).String()
+	if !strings.Contains(str, "<") || strings.Contains(str, "<=") {
+		t.Errorf("strict atom string = %q", str)
+	}
+	zero := NewAtom(linalg.Vector{0, 0}, 1, false).String()
+	if !strings.HasPrefix(zero, "0") {
+		t.Errorf("zero atom string = %q", zero)
+	}
+	r := MustRelation("R", []string{"x", "y"}, Cube(2, 0, 1))
+	if s := r.String(); !strings.Contains(s, "R(x, y)") {
+		t.Errorf("relation string = %q", s)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	cube := Cube(3, 0, 1) // 6 atoms * (3+1)
+	if got := cube.Size(); got != 24 {
+		t.Errorf("tuple size = %d, want 24", got)
+	}
+	r := MustRelation("R", []string{"x", "y", "z"}, cube, Simplex(3, 1))
+	if got := r.Size(); got != 24+16 {
+		t.Errorf("relation size = %d, want 40", got)
+	}
+}
+
+func TestPruneEmpty(t *testing.T) {
+	emptyT := NewTuple(1, NewAtom(linalg.Vector{1}, 0, false), NewAtom(linalg.Vector{-1}, -1, false))
+	r := MustRelation("R", []string{"x"}, Cube(1, 0, 1), emptyT)
+	pruned := r.PruneEmpty()
+	if len(pruned.Tuples) != 1 {
+		t.Errorf("pruned tuples = %d, want 1", len(pruned.Tuples))
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+	"repro/internal/num"
+	"repro/internal/polytope"
+	"repro/internal/rng"
+)
+
+func mustConvex(t *testing.T, tup constraint.Tuple, seed uint64) *Convex {
+	t.Helper()
+	c, err := NewConvexPolytope(polytope.FromTuple(tup), rng.New(seed), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestUnionDisjointVolume(t *testing.T) {
+	// [0,1]^2 ∪ [5,6]x[0,2]: volume 3.
+	a := mustConvex(t, constraint.Cube(2, 0, 1), 1)
+	b := mustConvex(t, constraint.Box(linalg.Vector{5, 0}, linalg.Vector{6, 2}), 2)
+	u, err := NewUnion([]Observable{a, b}, rng.New(3), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := u.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(v, 3, 0.35) {
+		t.Errorf("disjoint union volume = %g, want ~3", v)
+	}
+}
+
+func TestUnionOverlapVolume(t *testing.T) {
+	// [0,2]^2 ∪ [1,3]^2: exact volume 7 (Karp-Luby must not double
+	// count the overlap).
+	a := mustConvex(t, constraint.Cube(2, 0, 2), 4)
+	b := mustConvex(t, constraint.Cube(2, 1, 3), 5)
+	u, err := NewUnion([]Observable{a, b}, rng.New(6), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := u.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(v, 7, 0.35) {
+		t.Errorf("overlapping union volume = %g, want ~7", v)
+	}
+}
+
+func TestUnionSamplesProportionally(t *testing.T) {
+	// Disconnected components of volumes 1 and 4: sample mass must split
+	// ~1:4 (a direct random walk would be stuck in one component — the
+	// paper's motivating remark for Theorem 4.1).
+	a := mustConvex(t, constraint.Cube(2, 0, 1), 7)
+	b := mustConvex(t, constraint.Box(linalg.Vector{10, 0}, linalg.Vector{12, 2}), 8)
+	u, err := NewUnion([]Observable{a, b}, rng.New(9), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		x, err := u.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x[0] < 5 {
+			inA++
+		}
+	}
+	frac := float64(inA) / n
+	if math.Abs(frac-0.2) > 0.05 {
+		t.Errorf("component A fraction = %g, want ~0.2", frac)
+	}
+}
+
+func TestUnionOverlapNotOversampled(t *testing.T) {
+	// [0,2]x[0,1] ∪ [1,3]x[0,1]: overlap [1,2] must carry 1/3 of the
+	// mass, not 1/2 (the canonical-index acceptance de-duplicates).
+	a := mustConvex(t, constraint.Box(linalg.Vector{0, 0}, linalg.Vector{2, 1}), 10)
+	b := mustConvex(t, constraint.Box(linalg.Vector{1, 0}, linalg.Vector{3, 1}), 11)
+	u, err := NewUnion([]Observable{a, b}, rng.New(12), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inOverlap := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		x, err := u.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x[0] >= 1 && x[0] <= 2 {
+			inOverlap++
+		}
+	}
+	frac := float64(inOverlap) / n
+	if math.Abs(frac-1.0/3) > 0.05 {
+		t.Errorf("overlap fraction = %g, want ~1/3", frac)
+	}
+}
+
+func TestUnionAcceptanceBound(t *testing.T) {
+	// Theorem 4.1: per-round success ≥ 1/2 for two members (here the
+	// overlap is half of each, acceptance = vol(T)/Σvol = 3/4... ≥ 1/2).
+	a := mustConvex(t, constraint.Cube(2, 0, 2), 13)
+	b := mustConvex(t, constraint.Cube(2, 1, 3), 14)
+	u, err := NewUnion([]Observable{a, b}, rng.New(15), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := u.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := u.AcceptanceRate(); got < 0.5 {
+		t.Errorf("union acceptance = %g, theorem guarantees >= 1/2 per round", got)
+	}
+}
+
+func TestUnionMWay(t *testing.T) {
+	// Corollary 4.2: m-way union; five disjoint unit squares.
+	var members []Observable
+	for i := 0; i < 5; i++ {
+		lo := float64(3 * i)
+		members = append(members, mustConvex(t,
+			constraint.Box(linalg.Vector{lo, 0}, linalg.Vector{lo + 1, 1}), uint64(20+i)))
+	}
+	u, err := NewUnion(members, rng.New(30), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := u.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(v, 5, 0.35) {
+		t.Errorf("5-way union volume = %g, want ~5", v)
+	}
+	counts := make([]int, 5)
+	const n = 2500
+	for i := 0; i < n; i++ {
+		x, err := u.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[int(x[0]/3)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)/n-0.2) > 0.05 {
+			t.Errorf("square %d fraction = %g, want ~0.2", i, float64(c)/n)
+		}
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	if _, err := NewUnion(nil, rng.New(1), fastOpts()); err == nil {
+		t.Error("empty union must fail")
+	}
+	a := mustConvex(t, constraint.Cube(2, 0, 1), 1)
+	b := mustConvex(t, constraint.Cube(3, 0, 1), 2)
+	if _, err := NewUnion([]Observable{a, b}, rng.New(3), fastOpts()); err == nil {
+		t.Error("mixed-dimension union must fail")
+	}
+}
+
+func TestUnionGridIsFinest(t *testing.T) {
+	a := mustConvex(t, constraint.Cube(2, 0, 1), 40)
+	big := mustConvex(t, constraint.Cube(2, 0, 100), 41)
+	u, err := NewUnion([]Observable{a, big}, rng.New(42), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Grid().Step > a.Grid().Step+1e-12 {
+		t.Error("union grid must be at least as fine as the finest member")
+	}
+}
+
+func TestIntersectionPolyRelated(t *testing.T) {
+	// [0,2]^2 ∩ [1,3]^2 = [1,2]^2: ratio 1/4 to the smaller operand —
+	// comfortably poly-related.
+	a := mustConvex(t, constraint.Cube(2, 0, 2), 50)
+	b := mustConvex(t, constraint.Cube(2, 1, 3), 51)
+	in, err := NewIntersection([]Observable{a, b}, rng.New(52), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		x, err := in.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x[0] < 1-1e-6 || x[0] > 2+1e-6 || x[1] < 1-1e-6 || x[1] > 2+1e-6 {
+			t.Fatalf("intersection sample %v outside [1,2]^2", x)
+		}
+	}
+	v, err := in.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(v, 1, 0.4) {
+		t.Errorf("intersection volume = %g, want ~1", v)
+	}
+}
+
+func TestIntersectionSamplesFromSmaller(t *testing.T) {
+	small := mustConvex(t, constraint.Cube(2, 0, 1), 53)
+	big := mustConvex(t, constraint.Cube(2, -5, 6), 54)
+	in, err := NewIntersection([]Observable{big, small}, rng.New(55), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.BaseIndex() != 1 {
+		t.Errorf("base index = %d, want 1 (the smaller member)", in.BaseIndex())
+	}
+}
+
+func TestIntersectionNotPolyRelated(t *testing.T) {
+	// Overlap is a sliver of relative size 1e-6: the guard must abort
+	// with ErrNotPolyRelated instead of running forever.
+	a := mustConvex(t, constraint.Box(linalg.Vector{0, 0}, linalg.Vector{1, 1}), 56)
+	b := mustConvex(t, constraint.Box(linalg.Vector{1 - 1e-6, 0}, linalg.Vector{2, 1}), 57)
+	opts := fastOpts()
+	opts.AcceptanceFloor = 1e-3
+	opts.MaxRounds = 3000
+	in, err := NewIntersection([]Observable{a, b}, rng.New(58), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = in.Sample()
+	if !errors.Is(err, ErrNotPolyRelated) && !errors.Is(err, ErrGeneratorFailed) {
+		t.Errorf("thin intersection error = %v, want ErrNotPolyRelated", err)
+	}
+}
+
+func TestIntersectionEmptyOverlapVolumeFails(t *testing.T) {
+	a := mustConvex(t, constraint.Cube(2, 0, 1), 59)
+	b := mustConvex(t, constraint.Cube(2, 5, 6), 60)
+	opts := fastOpts()
+	opts.MaxRounds = 2000
+	in, err := NewIntersection([]Observable{a, b}, rng.New(61), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Volume(); err == nil {
+		t.Error("disjoint intersection volume must fail")
+	}
+}
+
+func TestIntersectionContains(t *testing.T) {
+	a := mustConvex(t, constraint.Cube(2, 0, 2), 62)
+	b := mustConvex(t, constraint.Cube(2, 1, 3), 63)
+	in, err := NewIntersection([]Observable{a, b}, rng.New(64), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Contains(linalg.Vector{1.5, 1.5}) || in.Contains(linalg.Vector{0.5, 0.5}) {
+		t.Error("intersection membership wrong")
+	}
+}
+
+func TestDifferenceShell(t *testing.T) {
+	// [0,3]^2 minus [1,2]^2: volume 8, all samples outside the hole.
+	outer := mustConvex(t, constraint.Cube(2, 0, 3), 70)
+	hole := polytope.FromTuple(constraint.Cube(2, 1, 2))
+	df, err := NewDifference(outer, hole, rng.New(71), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		x, err := df.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hole.Contains(x) {
+			t.Fatalf("difference sample %v inside the hole", x)
+		}
+	}
+	v, err := df.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(v, 8, 0.35) {
+		t.Errorf("shell volume = %g, want ~8", v)
+	}
+	if !df.Contains(linalg.Vector{0.5, 0.5}) || df.Contains(linalg.Vector{1.5, 1.5}) {
+		t.Error("difference membership wrong")
+	}
+}
+
+func TestDifferenceNotPolyRelated(t *testing.T) {
+	// S2 covers S1 except a 1e-6 sliver.
+	s1 := mustConvex(t, constraint.Cube(2, 0, 1), 72)
+	s2 := polytope.FromTuple(constraint.Box(linalg.Vector{-1, -1}, linalg.Vector{1 - 1e-6, 2}))
+	opts := fastOpts()
+	opts.AcceptanceFloor = 1e-3
+	opts.MaxRounds = 3000
+	df, err := NewDifference(s1, s2, rng.New(73), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = df.Sample()
+	if !errors.Is(err, ErrNotPolyRelated) && !errors.Is(err, ErrGeneratorFailed) {
+		t.Errorf("thin difference error = %v, want ErrNotPolyRelated", err)
+	}
+}
+
+func TestDifferenceDisconnected(t *testing.T) {
+	// [0,3]x[0,1] minus the middle third: two disconnected pieces, both
+	// must receive mass (a single random walk could not cross).
+	s1 := mustConvex(t, constraint.Box(linalg.Vector{0, 0}, linalg.Vector{3, 1}), 74)
+	s2 := polytope.FromTuple(constraint.Box(linalg.Vector{1, -1}, linalg.Vector{2, 2}))
+	df, err := NewDifference(s1, s2, rng.New(75), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := 0, 0
+	const n = 1500
+	for i := 0; i < n; i++ {
+		x, err := df.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x[0] < 1 {
+			left++
+		} else {
+			right++
+		}
+	}
+	lf := float64(left) / n
+	if math.Abs(lf-0.5) > 0.07 {
+		t.Errorf("left piece fraction = %g, want ~0.5", lf)
+	}
+}

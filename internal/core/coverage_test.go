@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+	"repro/internal/num"
+	"repro/internal/polytope"
+	"repro/internal/rng"
+)
+
+func TestAccessors(t *testing.T) {
+	a := mustConvex(t, constraint.Cube(2, 0, 2), 301)
+	b := mustConvex(t, constraint.Cube(2, 1, 3), 302)
+	if a.RoundingMap() == nil {
+		t.Error("RoundingMap must be set")
+	}
+	if a.SandwichRatio() < 1 {
+		t.Error("sandwich ratio must be >= 1")
+	}
+	if _, err := a.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if a.AcceptanceRate() < 0 || a.AcceptanceRate() > 1 {
+		t.Error("acceptance out of range")
+	}
+
+	u, err := NewUnion([]Observable{a, b}, rng.New(303), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Dim() != 2 {
+		t.Error("union dim")
+	}
+	if !u.Contains(linalg.Vector{0.5, 0.5}) || u.Contains(linalg.Vector{9, 9}) {
+		t.Error("union Contains")
+	}
+	mv := u.MemberVolumes()
+	if len(mv) != 2 || mv[0] <= 0 {
+		t.Errorf("member volumes = %v", mv)
+	}
+
+	in, err := NewIntersection([]Observable{a, b}, rng.New(304), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Dim() != 2 || in.Grid().Step <= 0 {
+		t.Error("intersection accessors")
+	}
+	if _, err := in.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if in.AcceptanceRate() <= 0 {
+		t.Error("intersection acceptance not tracked")
+	}
+
+	df, err := NewDifference(a, polytope.FromTuple(constraint.Cube(2, 1, 3)), rng.New(305), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Dim() != 2 || df.Grid().Step <= 0 {
+		t.Error("difference accessors")
+	}
+	if _, err := df.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if df.AcceptanceRate() <= 0 {
+		t.Error("difference acceptance not tracked")
+	}
+
+	if NewRNG(1) == nil || NewRNGFromSplit(rng.New(2)) == nil {
+		t.Error("RNG helpers")
+	}
+}
+
+func TestProjectionMultiCoordinateElimination(t *testing.T) {
+	// Eliminate TWO coordinates at once: the adaptive normalisation path
+	// (calibrate with pilot). Project the 4-simplex onto (x0, x1): the
+	// triangle {x0, x1 >= 0, x0 + x1 <= 1}, area 1/2.
+	p := polytope.FromTuple(constraint.Simplex(4, 1))
+	pr, err := NewProjection(p, []int{0, 1}, rng.New(306), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := polytope.FromTuple(constraint.Simplex(2, 1))
+	grown := tri.Clone()
+	for k := range grown.B {
+		grown.B[k] += 2 * pr.Grid().Step
+	}
+	for i := 0; i < 100; i++ {
+		y, err := pr.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !grown.Contains(y) {
+			t.Fatalf("2-coordinate projection sample %v outside the triangle", y)
+		}
+	}
+	// Mean of x0 over the triangle is 1/3.
+	var mean float64
+	const n = 800
+	for i := 0; i < n; i++ {
+		y, err := pr.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += y[0] / n
+	}
+	if mean < 0.25 || mean > 0.42 {
+		t.Errorf("projected mean x0 = %g, want ~1/3", mean)
+	}
+	v, err := pr.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(v, 0.5, 0.6) {
+		t.Errorf("2-coordinate projected area = %g, want ~0.5", v)
+	}
+}
+
+func TestRoundingMapVolumeIdentity(t *testing.T) {
+	// vol(S) = vol(Q(S)) / |det Q| exactly for a polytope.
+	p := polytope.FromTuple(constraint.Box(linalg.Vector{3, -1}, linalg.Vector{8, 4}))
+	c, err := NewConvexPolytope(p, rng.New(307), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := p.Image(c.RoundingMap())
+	vi, err := img.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vi / c.RoundingMap().DetAbs(); num.RelErr(got, 25) > 1e-6 {
+		t.Errorf("volume through rounding map = %g, want 25", got)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// Intersection is the paper's intersection generator (Proposition 4.1,
+// Corollary 4.3 for m members): sample from the member with the smallest
+// estimated volume and accept points that lie in all others. It is an
+// almost-uniform generator exactly when the intersection is poly-related
+// to min(S_1, ..., S_m); the acceptance-floor guard turns the paper's
+// sufficient condition into a runtime check that aborts with
+// ErrNotPolyRelated otherwise (the SAT encoding of §4.1.3 shows the
+// restriction is necessary unless P = NP).
+type Intersection struct {
+	members []Observable
+	base    int // index of the smallest member (the paper's j with μ_j minimal)
+	opts    Options
+	r       *rng.RNG
+
+	trials, accepts int
+
+	vol      float64
+	volKnown bool
+}
+
+var _ Observable = (*Intersection)(nil)
+
+// NewIntersection builds the generator for S_1 ∩ ... ∩ S_m.
+func NewIntersection(members []Observable, r *rng.RNG, opts Options) (*Intersection, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: intersection of zero relations")
+	}
+	d := members[0].Dim()
+	for _, m := range members[1:] {
+		if m.Dim() != d {
+			return nil, fmt.Errorf("core: intersection members of mixed dimension %d vs %d", d, m.Dim())
+		}
+	}
+	if err := opts.params().validate(); err != nil {
+		return nil, err
+	}
+	in := &Intersection{members: members, opts: opts, r: r}
+	best, bestVol := 0, -1.0
+	for i, m := range members {
+		v, err := m.Volume()
+		if err != nil {
+			return nil, fmt.Errorf("core: intersection member %d volume: %w", i, err)
+		}
+		if bestVol < 0 || v < bestVol {
+			best, bestVol = i, v
+		}
+	}
+	in.base = best
+	return in, nil
+}
+
+// Dim returns the ambient dimension.
+func (in *Intersection) Dim() int { return in.members[0].Dim() }
+
+// Grid returns the base member's grid (poly-relatedness makes it a
+// γ-grid for the intersection, as in the proof of Proposition 4.1).
+func (in *Intersection) Grid() geom.Grid { return in.members[in.base].Grid() }
+
+// Contains reports membership in every member.
+func (in *Intersection) Contains(x linalg.Vector) bool {
+	for _, m := range in.members {
+		if !m.Contains(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// BaseIndex reports which member is sampled from (diagnostics).
+func (in *Intersection) BaseIndex() int { return in.base }
+
+// Sample rejects from the smallest member. The round budget is derived
+// from the acceptance floor: falling below it triggers the
+// poly-relatedness abort rather than silent non-termination.
+func (in *Intersection) Sample() (linalg.Vector, error) {
+	floor := in.opts.acceptanceFloor()
+	rounds := in.opts.maxRounds(floor)
+	for k := 0; k < rounds; k++ {
+		in.trials++
+		x, err := in.members[in.base].Sample()
+		if err != nil {
+			continue
+		}
+		if in.accept(x) {
+			in.accepts++
+			return x, nil
+		}
+		// Poly-relatedness guard: after enough trials with an acceptance
+		// rate under the floor, the intersection is exponentially small
+		// relative to the base member.
+		if in.trials > 64 && float64(in.accepts)/float64(in.trials) < floor {
+			return nil, fmt.Errorf("%w: intersection acceptance %d/%d", ErrNotPolyRelated, in.accepts, in.trials)
+		}
+	}
+	return nil, fmt.Errorf("%w: intersection after %d rounds", ErrGeneratorFailed, rounds)
+}
+
+func (in *Intersection) accept(x linalg.Vector) bool {
+	for i, m := range in.members {
+		if i == in.base {
+			continue
+		}
+		if !m.Contains(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// AcceptanceRate reports the measured acceptance (≈ μ(T)/μ(S_min), the
+// poly-relatedness ratio itself).
+func (in *Intersection) AcceptanceRate() float64 {
+	if in.trials == 0 {
+		return 0
+	}
+	return float64(in.accepts) / float64(in.trials)
+}
+
+// Volume estimates μ(T) = μ̂(S_min) · acceptance, with the same
+// poly-relatedness guard as Sample.
+func (in *Intersection) Volume() (float64, error) {
+	if in.volKnown {
+		return in.vol, nil
+	}
+	baseVol, err := in.members[in.base].Volume()
+	if err != nil {
+		return 0, err
+	}
+	p := in.opts.params()
+	n := geom.ChernoffSampleCount(p.Eps*in.opts.acceptanceFloor(), p.Delta)
+	if cap := in.opts.maxPhaseSamples() * 4; n > cap {
+		n = cap
+	}
+	accept := 0
+	for i := 0; i < n; i++ {
+		in.trials++
+		x, err := in.members[in.base].Sample()
+		if err != nil {
+			continue
+		}
+		if in.accept(x) {
+			accept++
+			in.accepts++
+		}
+	}
+	rate := float64(accept) / float64(n)
+	if rate < in.opts.acceptanceFloor() {
+		return 0, fmt.Errorf("%w: intersection volume acceptance %g", ErrNotPolyRelated, rate)
+	}
+	in.vol = baseVol * rate
+	in.volKnown = true
+	return in.vol, nil
+}
+
+// Difference is the paper's difference generator (Proposition 4.2):
+// sample from S1 and keep points outside S2. Observable when
+// μ(S1 − S2) is poly-related to μ(S1), enforced by the same
+// acceptance-floor guard.
+type Difference struct {
+	s1 Observable
+	s2 interface {
+		Contains(linalg.Vector) bool
+	}
+	opts Options
+	r    *rng.RNG
+
+	trials, accepts int
+
+	vol      float64
+	volKnown bool
+}
+
+var _ Observable = (*Difference)(nil)
+
+// NewDifference builds the generator for S1 − S2. Only membership is
+// needed for S2.
+func NewDifference(s1 Observable, s2 interface {
+	Contains(linalg.Vector) bool
+}, r *rng.RNG, opts Options) (*Difference, error) {
+	if err := opts.params().validate(); err != nil {
+		return nil, err
+	}
+	return &Difference{s1: s1, s2: s2, opts: opts, r: r}, nil
+}
+
+// Dim returns the ambient dimension.
+func (df *Difference) Dim() int { return df.s1.Dim() }
+
+// Grid returns S1's grid (the proof of Proposition 4.2 uses exactly it).
+func (df *Difference) Grid() geom.Grid { return df.s1.Grid() }
+
+// Contains reports x ∈ S1 − S2.
+func (df *Difference) Contains(x linalg.Vector) bool {
+	return df.s1.Contains(x) && !df.s2.Contains(x)
+}
+
+// Sample rejects S2 points from S1 samples.
+func (df *Difference) Sample() (linalg.Vector, error) {
+	floor := df.opts.acceptanceFloor()
+	rounds := df.opts.maxRounds(floor)
+	for k := 0; k < rounds; k++ {
+		df.trials++
+		x, err := df.s1.Sample()
+		if err != nil {
+			continue
+		}
+		if !df.s2.Contains(x) {
+			df.accepts++
+			return x, nil
+		}
+		if df.trials > 64 && float64(df.accepts)/float64(df.trials) < floor {
+			return nil, fmt.Errorf("%w: difference acceptance %d/%d", ErrNotPolyRelated, df.accepts, df.trials)
+		}
+	}
+	return nil, fmt.Errorf("%w: difference after %d rounds", ErrGeneratorFailed, rounds)
+}
+
+// AcceptanceRate reports measured acceptance ≈ μ(S1−S2)/μ(S1).
+func (df *Difference) AcceptanceRate() float64 {
+	if df.trials == 0 {
+		return 0
+	}
+	return float64(df.accepts) / float64(df.trials)
+}
+
+// Volume estimates μ(S1 − S2) = μ̂(S1) · acceptance.
+func (df *Difference) Volume() (float64, error) {
+	if df.volKnown {
+		return df.vol, nil
+	}
+	v1, err := df.s1.Volume()
+	if err != nil {
+		return 0, err
+	}
+	p := df.opts.params()
+	n := geom.ChernoffSampleCount(p.Eps*df.opts.acceptanceFloor(), p.Delta)
+	if cap := df.opts.maxPhaseSamples() * 4; n > cap {
+		n = cap
+	}
+	accept := 0
+	for i := 0; i < n; i++ {
+		df.trials++
+		x, err := df.s1.Sample()
+		if err != nil {
+			continue
+		}
+		if !df.s2.Contains(x) {
+			accept++
+			df.accepts++
+		}
+	}
+	rate := float64(accept) / float64(n)
+	if rate < df.opts.acceptanceFloor() {
+		return 0, fmt.Errorf("%w: difference volume acceptance %g", ErrNotPolyRelated, rate)
+	}
+	df.vol = v1 * rate
+	df.volKnown = true
+	return df.vol, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/num"
+	"repro/internal/polytope"
+	"repro/internal/rng"
+)
+
+func cubeFactory(d int, lo, hi float64) Factory {
+	return func(seed uint64) (Observable, error) {
+		return NewConvexPolytope(polytope.FromTuple(constraint.Cube(d, lo, hi)), rng.New(seed), fastOpts())
+	}
+}
+
+func TestMedianVolume(t *testing.T) {
+	v, err := MedianVolume(cubeFactory(3, -1, 1), 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(v, 8, 0.35) {
+		t.Errorf("median volume = %g, want ~8", v)
+	}
+}
+
+func TestMedianVolumeRejectsBadK(t *testing.T) {
+	if _, err := MedianVolume(cubeFactory(2, 0, 1), 0, 1); err == nil {
+		t.Error("k=0 must fail")
+	}
+}
+
+func TestMedianVolumeMajorityFailure(t *testing.T) {
+	var calls atomic.Int64
+	factory := func(seed uint64) (Observable, error) {
+		calls.Add(1)
+		return nil, errors.New("boom")
+	}
+	if _, err := MedianVolume(factory, 5, 1); err == nil {
+		t.Error("all-failing factory must error")
+	}
+	if calls.Load() != 5 {
+		t.Errorf("factory called %d times, want 5", calls.Load())
+	}
+}
+
+func TestSampleManyParallel(t *testing.T) {
+	pts, err := SampleMany(cubeFactory(2, 0, 1), 400, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 400 {
+		t.Fatalf("samples = %d", len(pts))
+	}
+	cube := constraint.Cube(2, 0, 1)
+	var meanX float64
+	for _, p := range pts {
+		if p == nil || !cube.Contains(p) {
+			t.Fatalf("bad sample %v", p)
+		}
+		meanX += p[0] / 400
+	}
+	if meanX < 0.4 || meanX > 0.6 {
+		t.Errorf("parallel sample mean = %g, want ~0.5", meanX)
+	}
+}
+
+func TestSampleManyDeterministic(t *testing.T) {
+	a, err := SampleMany(cubeFactory(2, 0, 1), 50, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleMany(cubeFactory(2, 0, 1), 50, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i], 0) {
+			t.Fatal("SampleMany must be deterministic for fixed seeds")
+		}
+	}
+}
+
+func TestSampleManyEdgeCases(t *testing.T) {
+	if pts, err := SampleMany(cubeFactory(2, 0, 1), 0, 4, 1); err != nil || pts != nil {
+		t.Error("n=0 must return nil, nil")
+	}
+	// More workers than samples.
+	pts, err := SampleMany(cubeFactory(2, 0, 1), 3, 16, 1)
+	if err != nil || len(pts) != 3 {
+		t.Errorf("n=3 w=16: %d samples, err=%v", len(pts), err)
+	}
+	// Zero workers defaults to one.
+	pts, err = SampleMany(cubeFactory(2, 0, 1), 5, 0, 1)
+	if err != nil || len(pts) != 5 {
+		t.Errorf("w=0: %d samples, err=%v", len(pts), err)
+	}
+}
+
+func TestSampleManyPropagatesErrors(t *testing.T) {
+	factory := func(seed uint64) (Observable, error) {
+		return nil, errors.New("no generator")
+	}
+	if _, err := SampleMany(factory, 10, 2, 1); err == nil {
+		t.Error("factory errors must propagate")
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// Union is the paper's union generator (Theorem 4.1, Algorithm 1;
+// Corollary 4.2 for m members): choose a member with probability
+// proportional to its estimated volume, sample inside it, and accept the
+// point only when the chosen member is the canonical one — the
+// smallest-index member containing the point (the paper's j(x)). The
+// acceptance test makes overlapping regions count once, exactly the
+// Karp–Luby #DNF argument in the geometric setting.
+type Union struct {
+	members []Observable
+	weights []float64 // cached member volume estimates μ̂_i
+	total   float64
+	opts    Options
+	r       *rng.RNG
+
+	rounds, accepts int // acceptance diagnostics
+
+	vol      float64
+	volKnown bool
+}
+
+var _ Observable = (*Union)(nil)
+
+// NewUnion builds the generator for S_1 ∪ ... ∪ S_m. All members must
+// share a dimension. Member volume estimates are computed eagerly (step 1
+// of Algorithm 1).
+func NewUnion(members []Observable, r *rng.RNG, opts Options) (*Union, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: union of zero relations")
+	}
+	d := members[0].Dim()
+	for _, m := range members[1:] {
+		if m.Dim() != d {
+			return nil, fmt.Errorf("core: union members of mixed dimension %d vs %d", d, m.Dim())
+		}
+	}
+	if err := opts.params().validate(); err != nil {
+		return nil, err
+	}
+	u := &Union{members: members, opts: opts, r: r}
+	u.weights = make([]float64, len(members))
+	for i, m := range members {
+		v, err := m.Volume()
+		if err != nil {
+			return nil, fmt.Errorf("core: union member %d volume: %w", i, err)
+		}
+		u.weights[i] = v
+		u.total += v
+	}
+	if u.total <= 0 {
+		return nil, fmt.Errorf("core: union has zero total volume")
+	}
+	return u, nil
+}
+
+// Dim returns the ambient dimension.
+func (u *Union) Dim() int { return u.members[0].Dim() }
+
+// Grid returns the finest member grid (the "greatest common grid" of the
+// paper's proof, realised as the minimum step since members are
+// poly-related after pruning exponentially small ones).
+func (u *Union) Grid() geom.Grid {
+	g := u.members[0].Grid()
+	for _, m := range u.members[1:] {
+		if mg := m.Grid(); mg.Step < g.Step {
+			g = mg
+		}
+	}
+	return g
+}
+
+// Contains reports membership in the union.
+func (u *Union) Contains(x linalg.Vector) bool {
+	return u.canonicalIndex(x) >= 0
+}
+
+// canonicalIndex returns the paper's j(x): the smallest member index
+// containing x, or -1.
+func (u *Union) canonicalIndex(x linalg.Vector) int {
+	for i, m := range u.members {
+		if m.Contains(x) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Sample implements Algorithm 1: it retries the choose-sample-accept
+// round until acceptance, failing after the δ-derived round budget. The
+// per-round success probability is at least 1/m (each point is accepted
+// from exactly one of the ≤ m members covering it).
+func (u *Union) Sample() (linalg.Vector, error) {
+	rounds := u.opts.maxRounds(1 / float64(len(u.members)))
+	for k := 0; k < rounds; k++ {
+		u.rounds++
+		j := u.pickMember()
+		x, err := u.members[j].Sample()
+		if err != nil {
+			continue
+		}
+		if u.canonicalIndex(x) == j {
+			u.accepts++
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: union after %d rounds", ErrGeneratorFailed, rounds)
+}
+
+// pickMember draws j with probability μ̂_j / Σ μ̂_i.
+func (u *Union) pickMember() int {
+	t := u.r.Float64() * u.total
+	acc := 0.0
+	for i, w := range u.weights {
+		acc += w
+		if t < acc {
+			return i
+		}
+	}
+	return len(u.weights) - 1
+}
+
+// AcceptanceRate reports accepted rounds / total rounds; Theorem 4.1
+// lower-bounds the per-round success by 1/2 for two members (1/m for m).
+func (u *Union) AcceptanceRate() float64 {
+	if u.rounds == 0 {
+		return 0
+	}
+	return float64(u.accepts) / float64(u.rounds)
+}
+
+// Volume estimates μ(∪S_i) = (Σ μ̂_i) · Pr[accept] — the Karp–Luby
+// estimator of Theorem 4.2: the acceptance probability of a round is
+// exactly μ(T)/Σμ(S_i) because each point is accepted from exactly one
+// member.
+func (u *Union) Volume() (float64, error) {
+	if u.volKnown {
+		return u.vol, nil
+	}
+	p := u.opts.params()
+	// Acceptance is at least 1/m; estimate it within relative ε/2.
+	m := float64(len(u.members))
+	n := geom.ChernoffSampleCount(p.Eps/(2*m), p.Delta)
+	if cap := u.opts.maxPhaseSamples() * 4; n > cap {
+		n = cap
+	}
+	accept := 0
+	for i := 0; i < n; i++ {
+		j := u.pickMember()
+		x, err := u.members[j].Sample()
+		if err != nil {
+			continue
+		}
+		if u.canonicalIndex(x) == j {
+			accept++
+		}
+	}
+	if accept == 0 {
+		return 0, fmt.Errorf("%w: union volume estimation saw no acceptance", ErrGeneratorFailed)
+	}
+	u.vol = u.total * float64(accept) / float64(n)
+	u.volKnown = true
+	return u.vol, nil
+}
+
+// MemberVolumes exposes the cached μ̂_i (diagnostics and experiments).
+func (u *Union) MemberVolumes() []float64 {
+	out := make([]float64, len(u.weights))
+	copy(out, u.weights)
+	return out
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick smoke-runs every registered experiment in
+// quick mode and sanity-checks table structure. The experiment *shapes*
+// (which row wins, where aborts happen) are asserted individually below.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, Config{Seed: 7, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if tab.ID != id || len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+				t.Fatalf("%s: malformed table %+v", id, tab)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s: row width %d != %d columns", id, len(row), len(tab.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if !strings.Contains(buf.String(), id) {
+				t.Errorf("%s: render missing ID", id)
+			}
+			buf.Reset()
+			tab.Markdown(&buf)
+			if !strings.Contains(buf.String(), "|") {
+				t.Errorf("%s: markdown missing table", id)
+			}
+		})
+	}
+}
+
+func TestIDsOrderedAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("registered experiments = %d, want 15 (E1–E12 + A1–A3)", len(ids))
+	}
+	if ids[0] != "E1" || ids[9] != "E10" || ids[11] != "E12" {
+		t.Errorf("IDs order wrong: %v", ids)
+	}
+	if ids[12] != "A1" || ids[14] != "A3" {
+		t.Errorf("ablations must follow the E-series: %v", ids)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99", Config{}); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestE5ShapePolyRelatedBoundary(t *testing.T) {
+	tab, err := Run("E5", Config{Seed: 11, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if !strings.Contains(last[len(last)-1], "abort") {
+		t.Errorf("thinnest intersection must abort, got %q", last[len(last)-1])
+	}
+	first := tab.Rows[0]
+	if first[len(first)-1] != "ok" {
+		t.Errorf("fat intersection must succeed, got %q", first[len(first)-1])
+	}
+}
+
+func TestE7ShapeFigure1(t *testing.T) {
+	tab, err := Run("E7", Config{Seed: 13, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: shape, naive TV, naive mean, alg2 TV, alg2 mean, acc.
+	row := tab.Rows[0]
+	naiveTV := parseF(t, row[1])
+	algoTV := parseF(t, row[3])
+	if algoTV >= naiveTV {
+		t.Errorf("Algorithm 2 TV (%g) must beat naive TV (%g)", algoTV, naiveTV)
+	}
+}
+
+func TestE11ShapeExactMatchesEstimate(t *testing.T) {
+	tab, err := Run("E11", Config{Seed: 17, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		ratio := parseF(t, row[len(row)-1])
+		if ratio > 1.6 {
+			t.Errorf("d=%s: DFK/exact ratio %g too large", row[0], ratio)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,370 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/num"
+	"repro/internal/rng"
+)
+
+func TestGridSnapAndIndex(t *testing.T) {
+	g := NewGrid(2, 0.25)
+	got := g.Snap(linalg.Vector{0.3, -0.6})
+	if !got.Equal((linalg.Vector{0.25, -0.5}), 1e-12) {
+		t.Errorf("Snap = %v", got)
+	}
+	idx := g.Index(linalg.Vector{0.3, -0.6})
+	if idx[0] != 1 || idx[1] != -2 {
+		t.Errorf("Index = %v", idx)
+	}
+	back := g.Point(idx)
+	if !back.Equal((linalg.Vector{0.25, -0.5}), 1e-12) {
+		t.Errorf("Point = %v", back)
+	}
+}
+
+func TestGridKeyDistinguishesCells(t *testing.T) {
+	g := NewGrid(2, 0.5)
+	a := g.Key(linalg.Vector{0.1, 0.1})
+	b := g.Key(linalg.Vector{0.6, 0.1})
+	c := g.Key(linalg.Vector{0.1, 0.1})
+	if a == b {
+		t.Error("different cells share a key")
+	}
+	if a != c {
+		t.Error("same cell has different keys")
+	}
+	// Negative coordinates must not collide with positive ones.
+	if g.Key(linalg.Vector{-0.6, 0}) == g.Key(linalg.Vector{0.6, 0}) {
+		t.Error("negative/positive cells collide")
+	}
+}
+
+func TestGridNeighbor(t *testing.T) {
+	g := NewGrid(3, 0.5)
+	x := g.Point([]int{0, 0, 0})
+	n := g.Neighbor(x, 1, +1)
+	if !n.Equal((linalg.Vector{0, 0.5, 0}), 1e-12) {
+		t.Errorf("Neighbor = %v", n)
+	}
+	if !g.Neighbor(x, 0, -1).Equal((linalg.Vector{-0.5, 0, 0}), 1e-12) {
+		t.Error("negative direction neighbor wrong")
+	}
+}
+
+func TestGridPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid(_, 0) must panic")
+		}
+	}()
+	NewGrid(2, 0)
+}
+
+func TestStepForGamma(t *testing.T) {
+	s := StepForGamma(0.1, 4, 1)
+	if s <= 0 || s > 0.1 {
+		t.Errorf("StepForGamma = %g", s)
+	}
+	// Smaller gamma, finer grid.
+	if StepForGamma(0.01, 4, 1) >= s {
+		t.Error("step must shrink with gamma")
+	}
+	// Higher dimension, finer grid.
+	if StepForGamma(0.1, 9, 1) >= s {
+		t.Error("step must shrink with dimension")
+	}
+	if StepForGamma(0, 4, 0) <= 0 {
+		t.Error("degenerate parameters must still give a positive step")
+	}
+}
+
+func TestEnumerateCountsMatchVolume(t *testing.T) {
+	// Grid count * cell volume approximates the area of a disk.
+	g := NewGrid(2, 0.02)
+	inDisk := func(x linalg.Vector) bool { return x.Norm() <= 1 }
+	count, err := g.Count(linalg.Vector{-1, -1}, linalg.Vector{1, 1}, inDisk, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := float64(count) * g.CellVolume()
+	if num.RelErr(approx, math.Pi) > 0.01 {
+		t.Errorf("grid area = %g, want ~pi", approx)
+	}
+}
+
+func TestEnumerateMatchesCount(t *testing.T) {
+	g := NewGrid(2, 0.1)
+	inTri := func(x linalg.Vector) bool {
+		return x[0] >= 0 && x[1] >= 0 && x[0]+x[1] <= 1
+	}
+	pts, err := g.Enumerate(linalg.Vector{0, 0}, linalg.Vector{1, 1}, inTri, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := g.Count(linalg.Vector{0, 0}, linalg.Vector{1, 1}, inTri, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != n {
+		t.Errorf("Enumerate %d != Count %d", len(pts), n)
+	}
+	for _, p := range pts {
+		if !inTri(p) {
+			t.Fatalf("enumerated point %v outside the set", p)
+		}
+	}
+}
+
+func TestEnumerateBudget(t *testing.T) {
+	g := NewGrid(3, 0.001)
+	_, err := g.Enumerate(linalg.Vector{0, 0, 0}, linalg.Vector{1, 1, 1},
+		func(linalg.Vector) bool { return true }, 1000)
+	if !errors.Is(err, ErrTooManyCells) {
+		t.Errorf("budget error = %v", err)
+	}
+}
+
+func TestEnumerateEmptyRange(t *testing.T) {
+	g := NewGrid(1, 0.5)
+	pts, err := g.Enumerate(linalg.Vector{0.6}, linalg.Vector{0.9},
+		func(linalg.Vector) bool { return true }, 100)
+	if err != nil || len(pts) != 0 {
+		t.Errorf("no grid point lies in (0.6, 0.9): %v, %v", pts, err)
+	}
+}
+
+func TestGridConnected(t *testing.T) {
+	g := NewGrid(2, 0.25)
+	// Grid points of the unit square: connected.
+	inSquare := func(x linalg.Vector) bool {
+		return x[0] >= 0 && x[0] <= 1 && x[1] >= 0 && x[1] <= 1
+	}
+	pts, err := g.Enumerate(linalg.Vector{0, 0}, linalg.Vector{1, 1}, inSquare, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected(pts) {
+		t.Error("square grid graph must be connected")
+	}
+	// Two separated squares: disconnected.
+	inTwo := func(x linalg.Vector) bool {
+		return inSquare(x) || (x[0] >= 3 && x[0] <= 4 && x[1] >= 0 && x[1] <= 1)
+	}
+	pts2, err := g.Enumerate(linalg.Vector{0, 0}, linalg.Vector{4, 1}, inTwo, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected(pts2) {
+		t.Error("two separated squares must be disconnected")
+	}
+	// Degenerate inputs.
+	if !g.Connected(nil) || !g.Connected(pts[:1]) {
+		t.Error("empty and singleton point sets are trivially connected")
+	}
+	// A thin diagonal body with too-coarse grid: membership yields
+	// isolated points (diagonal neighbours are not adjacent).
+	diag := []linalg.Vector{g.Point([]int{0, 0}), g.Point([]int{1, 1}), g.Point([]int{2, 2})}
+	if g.Connected(diag) {
+		t.Error("diagonal points are not axis-adjacent")
+	}
+}
+
+func TestHull2DSquare(t *testing.T) {
+	pts := []linalg.Vector{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.8}}
+	h := Hull2D(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d, want 4", len(h))
+	}
+	if got := PolygonArea(h); num.RelErr(got, 1) > 1e-12 {
+		t.Errorf("hull area = %g, want 1", got)
+	}
+}
+
+func TestHull2DCollinear(t *testing.T) {
+	pts := []linalg.Vector{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	h := Hull2D(pts)
+	if len(h) > 2 {
+		t.Errorf("collinear hull size = %d, want <= 2", len(h))
+	}
+	if PolygonArea(h) != 0 {
+		t.Error("collinear hull area must be 0")
+	}
+}
+
+func TestHull2DSmallInputs(t *testing.T) {
+	if got := Hull2D(nil); len(got) != 0 {
+		t.Error("empty hull")
+	}
+	one := Hull2D([]linalg.Vector{{1, 2}})
+	if len(one) != 1 {
+		t.Error("single point hull")
+	}
+}
+
+func TestHullContainsAndVertices(t *testing.T) {
+	pts := []linalg.Vector{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}}
+	h := NewHull(pts)
+	if !h.Contains(linalg.Vector{0.25, 0.25}) || h.Contains(linalg.Vector{1.5, 0}) {
+		t.Error("hull membership wrong")
+	}
+	vs := h.Vertices()
+	if len(vs) != 4 {
+		t.Errorf("vertices = %d, want 4 (interior point excluded)", len(vs))
+	}
+	red := h.Reduce()
+	if len(red.Points) != 4 {
+		t.Errorf("reduced points = %d", len(red.Points))
+	}
+	if !red.Contains(linalg.Vector{0.25, 0.25}) {
+		t.Error("reduction must preserve the hull")
+	}
+}
+
+func TestHullHighDim(t *testing.T) {
+	// Cross-polytope vertices in R^5; origin inside, outside point not.
+	d := 5
+	var pts []linalg.Vector
+	for j := 0; j < d; j++ {
+		plus := make(linalg.Vector, d)
+		plus[j] = 1
+		minus := make(linalg.Vector, d)
+		minus[j] = -1
+		pts = append(pts, plus, minus)
+	}
+	h := NewHull(pts)
+	if !h.Contains(make(linalg.Vector, d)) {
+		t.Error("origin must be inside the cross-polytope hull")
+	}
+	far := make(linalg.Vector, d)
+	far[0], far[1] = 0.9, 0.9
+	if h.Contains(far) {
+		t.Error("(0.9, 0.9, 0...) is outside the l1 ball")
+	}
+}
+
+func TestHullCentroidAndBox(t *testing.T) {
+	h := NewHull([]linalg.Vector{{0, 0}, {2, 0}, {0, 2}, {2, 2}})
+	if !h.Centroid().Equal((linalg.Vector{1, 1}), 1e-12) {
+		t.Error("centroid wrong")
+	}
+	lo, hi := h.BoundingBox()
+	if !lo.Equal((linalg.Vector{0, 0}), 0) || !hi.Equal((linalg.Vector{2, 2}), 0) {
+		t.Error("bounding box wrong")
+	}
+}
+
+func TestHullVolumeMC(t *testing.T) {
+	r := rng.New(5)
+	h := NewHull([]linalg.Vector{{0, 0}, {1, 0}, {0, 1}})
+	v := h.VolumeMC(20000, r)
+	if math.Abs(v-0.5) > 0.03 {
+		t.Errorf("triangle MC volume = %g, want 0.5", v)
+	}
+}
+
+func TestHullArea2D(t *testing.T) {
+	h := NewHull([]linalg.Vector{{0, 0}, {2, 0}, {2, 1}, {0, 1}, {1, 0.5}})
+	if got := h.Area2D(); num.RelErr(got, 2) > 1e-12 {
+		t.Errorf("area = %g, want 2", got)
+	}
+	h3 := NewHull([]linalg.Vector{{0, 0, 0}})
+	if !math.IsNaN(h3.Area2D()) {
+		t.Error("Area2D in 3-D must be NaN")
+	}
+}
+
+func TestSymmetricDifferenceMC(t *testing.T) {
+	r := rng.New(6)
+	a := func(x linalg.Vector) bool { return x[0] >= 0 && x[0] <= 1 && x[1] >= 0 && x[1] <= 1 }
+	b := func(x linalg.Vector) bool { return x[0] >= 0.5 && x[0] <= 1.5 && x[1] >= 0 && x[1] <= 1 }
+	// A Δ B = [0,0.5]x[0,1] ∪ [1,1.5]x[0,1]: volume 1.
+	got := SymmetricDifferenceMC(a, b, linalg.Vector{-0.5, -0.5}, linalg.Vector{2, 1.5}, 40000, r)
+	if math.Abs(got-1) > 0.08 {
+		t.Errorf("symdiff = %g, want 1", got)
+	}
+	same := SymmetricDifferenceMC(a, a, linalg.Vector{-0.5, -0.5}, linalg.Vector{2, 1.5}, 1000, r)
+	if same != 0 {
+		t.Errorf("A Δ A = %g, want 0", same)
+	}
+}
+
+func TestAffentrangerWieackerRatioDecreases(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		r := AffentrangerWieackerRatio(2, 4, n)
+		if r >= prev {
+			t.Errorf("ratio must decrease with n: %g then %g", prev, r)
+		}
+		prev = r
+	}
+	if AffentrangerWieackerRatio(2, 4, 2) != 1 {
+		t.Error("tiny n must clamp to 1")
+	}
+}
+
+func TestSampleCountForHull(t *testing.T) {
+	n := SampleCountForHull(2, 4, 0.2, 0.1)
+	if n < 16 {
+		t.Errorf("sample count = %d, too small", n)
+	}
+	// Tighter epsilon needs more samples.
+	if SampleCountForHull(2, 4, 0.05, 0.1) <= n {
+		t.Error("sample count must grow as eps shrinks")
+	}
+	if SampleCountForHull(2, 4, 0, 0.1) != 0 || SampleCountForHull(2, 4, 0.1, 1.5) != 0 {
+		t.Error("invalid parameters must return 0")
+	}
+}
+
+func TestChernoffSampleCount(t *testing.T) {
+	n := ChernoffSampleCount(0.05, 0.05)
+	if n < 700 || n > 800 {
+		t.Errorf("Chernoff count = %d, want ~738", n)
+	}
+	if ChernoffSampleCount(0, 0.5) != 1 {
+		t.Error("degenerate parameters must return 1")
+	}
+}
+
+func TestTVDistanceUniform(t *testing.T) {
+	if got := TVDistanceUniform([]int{10, 10, 10, 10}); got != 0 {
+		t.Errorf("uniform TV = %g", got)
+	}
+	if got := TVDistanceUniform([]int{40, 0, 0, 0}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("point-mass TV = %g, want 0.75", got)
+	}
+	if TVDistanceUniform(nil) != 0 || TVDistanceUniform([]int{0, 0}) != 0 {
+		t.Error("degenerate TV must be 0")
+	}
+}
+
+func TestMaxRatioToUniform(t *testing.T) {
+	if got := MaxRatioToUniform([]int{10, 10}); got != 1 {
+		t.Errorf("uniform ratio = %g", got)
+	}
+	// counts [15, 5]: over-sampled cell ratio 1.5, under-sampled cell
+	// inverse ratio 2 — the max is 2.
+	if got := MaxRatioToUniform([]int{15, 5}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ratio = %g, want 2", got)
+	}
+	if !math.IsInf(MaxRatioToUniform([]int{1, 0}), 1) {
+		t.Error("empty cell must give infinite ratio")
+	}
+}
+
+func TestShuffleAndDedup(t *testing.T) {
+	r := rng.New(9)
+	pts := []linalg.Vector{{1, 1}, {2, 2}, {3, 3}, {1, 1.0000000001}}
+	sh := Shuffle(pts, r)
+	if len(sh) != len(pts) {
+		t.Error("shuffle changed length")
+	}
+	dd := DedupPoints(pts, 1e-6)
+	if len(dd) != 3 {
+		t.Errorf("dedup kept %d points, want 3", len(dd))
+	}
+}

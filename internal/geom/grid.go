@@ -1,0 +1,223 @@
+// Package geom provides the discrete-geometry substrate of the paper's
+// definitions: γ-grids (Definition 2.2 discretizes every relation on a
+// grid G_p whose points have coordinates that are multiples of the step
+// p), grid enumeration for the fixed-dimension sampler (Lemma 3.2), and
+// convex hulls (exact in 2-D, LP-membership based in general dimension,
+// as used by the reconstruction results of Section 4.3).
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ErrTooManyCells is returned when a grid enumeration would exceed its
+// cell budget — the expected failure mode of fixed-dimension methods as
+// the dimension grows (Section 3's hypothesis is "d fixed" precisely
+// because the cell count is (R/γ)^d).
+var ErrTooManyCells = errors.New("geom: grid enumeration exceeds cell budget")
+
+// Grid is the set G_p of points in R^d whose coordinates are integer
+// multiples of Step.
+type Grid struct {
+	Dim  int
+	Step float64
+}
+
+// NewGrid returns a grid of the given dimension and step. Step must be
+// positive.
+func NewGrid(dim int, step float64) Grid {
+	if step <= 0 {
+		panic(fmt.Sprintf("geom: non-positive grid step %g", step))
+	}
+	return Grid{Dim: dim, Step: step}
+}
+
+// StepForGamma returns the paper's grid step for accuracy parameter γ in
+// dimension d on a body whose inner radius is r: O(γ·r/d^{3/2}). The
+// inner-radius factor keeps the step meaningful for thin bodies.
+func StepForGamma(gamma float64, d int, innerRadius float64) float64 {
+	s := gamma * innerRadius / math.Pow(float64(d), 1.5)
+	if s <= 0 || math.IsNaN(s) {
+		return 1e-3
+	}
+	return s
+}
+
+// Snap returns the grid point nearest to x.
+func (g Grid) Snap(x linalg.Vector) linalg.Vector {
+	out := make(linalg.Vector, len(x))
+	for i, v := range x {
+		out[i] = math.Round(v/g.Step) * g.Step
+	}
+	return out
+}
+
+// Index returns the integer coordinates of the grid point nearest x.
+func (g Grid) Index(x linalg.Vector) []int {
+	out := make([]int, len(x))
+	for i, v := range x {
+		out[i] = int(math.Round(v / g.Step))
+	}
+	return out
+}
+
+// Point returns the grid point with the given integer coordinates.
+func (g Grid) Point(idx []int) linalg.Vector {
+	out := make(linalg.Vector, len(idx))
+	for i, v := range idx {
+		out[i] = float64(v) * g.Step
+	}
+	return out
+}
+
+// Key returns a hashable identity for the grid point nearest x, used by
+// uniformity histograms in tests and experiments.
+func (g Grid) Key(x linalg.Vector) string {
+	idx := g.Index(x)
+	b := make([]byte, 0, 8*len(idx))
+	for _, v := range idx {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+// Neighbor returns the grid point one step from x along coordinate axis
+// j in direction sign (+1 or -1). x is assumed to be on the grid.
+func (g Grid) Neighbor(x linalg.Vector, j int, sign int) linalg.Vector {
+	out := x.Clone()
+	out[j] += float64(sign) * g.Step
+	return out
+}
+
+// CellVolume returns Step^Dim, the volume represented by one grid point.
+func (g Grid) CellVolume() float64 { return math.Pow(g.Step, float64(g.Dim)) }
+
+// Enumerate lists every grid point inside [lo, hi] that satisfies
+// contains, failing with ErrTooManyCells when the box holds more than
+// budget cells. This is Lemma 3.2's sampler substrate: polynomial only
+// for fixed dimension.
+func (g Grid) Enumerate(lo, hi linalg.Vector, contains func(linalg.Vector) bool, budget int) ([]linalg.Vector, error) {
+	d := g.Dim
+	loIdx := make([]int, d)
+	hiIdx := make([]int, d)
+	total := 1.0
+	for j := 0; j < d; j++ {
+		loIdx[j] = int(math.Ceil(lo[j]/g.Step - 1e-12))
+		hiIdx[j] = int(math.Floor(hi[j]/g.Step + 1e-12))
+		if hiIdx[j] < loIdx[j] {
+			return nil, nil
+		}
+		total *= float64(hiIdx[j] - loIdx[j] + 1)
+		if total > float64(budget) {
+			return nil, fmt.Errorf("%w: %g cells > budget %d", ErrTooManyCells, total, budget)
+		}
+	}
+	var out []linalg.Vector
+	idx := append([]int{}, loIdx...)
+	x := make(linalg.Vector, d)
+	for {
+		for j := 0; j < d; j++ {
+			x[j] = float64(idx[j]) * g.Step
+		}
+		if contains(x) {
+			out = append(out, x.Clone())
+		}
+		// Odometer increment.
+		j := 0
+		for ; j < d; j++ {
+			idx[j]++
+			if idx[j] <= hiIdx[j] {
+				break
+			}
+			idx[j] = loIdx[j]
+		}
+		if j == d {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Connected reports whether the given grid points form a connected
+// graph under axis-neighbour adjacency — the state space of the paper's
+// grid walk. The DFK analysis needs the graph induced on a convex body
+// to be connected, which holds when the step is small enough relative to
+// the inner radius; this diagnostic catches a γ chosen too coarse.
+func (g Grid) Connected(points []linalg.Vector) bool {
+	if len(points) <= 1 {
+		return true
+	}
+	index := make(map[string]int, len(points))
+	for i, p := range points {
+		index[g.Key(p)] = i
+	}
+	seen := make([]bool, len(points))
+	queue := []int{0}
+	seen[0] = true
+	visited := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		p := points[cur]
+		for j := 0; j < g.Dim; j++ {
+			for _, sign := range []int{1, -1} {
+				nb := g.Neighbor(p, j, sign)
+				if k, ok := index[g.Key(nb)]; ok && !seen[k] {
+					seen[k] = true
+					visited++
+					queue = append(queue, k)
+				}
+			}
+		}
+	}
+	return visited == len(points)
+}
+
+// Count returns the number of grid points inside [lo, hi] satisfying
+// contains, with the same budget behaviour as Enumerate but without
+// materialising the points.
+func (g Grid) Count(lo, hi linalg.Vector, contains func(linalg.Vector) bool, budget int) (int, error) {
+	d := g.Dim
+	loIdx := make([]int, d)
+	hiIdx := make([]int, d)
+	total := 1.0
+	for j := 0; j < d; j++ {
+		loIdx[j] = int(math.Ceil(lo[j]/g.Step - 1e-12))
+		hiIdx[j] = int(math.Floor(hi[j]/g.Step + 1e-12))
+		if hiIdx[j] < loIdx[j] {
+			return 0, nil
+		}
+		total *= float64(hiIdx[j] - loIdx[j] + 1)
+		if total > float64(budget) {
+			return 0, fmt.Errorf("%w: %g cells > budget %d", ErrTooManyCells, total, budget)
+		}
+	}
+	count := 0
+	idx := append([]int{}, loIdx...)
+	x := make(linalg.Vector, d)
+	for {
+		for j := 0; j < d; j++ {
+			x[j] = float64(idx[j]) * g.Step
+		}
+		if contains(x) {
+			count++
+		}
+		j := 0
+		for ; j < d; j++ {
+			idx[j]++
+			if idx[j] <= hiIdx[j] {
+				break
+			}
+			idx[j] = loIdx[j]
+		}
+		if j == d {
+			break
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,321 @@
+package geom
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/lp"
+	"repro/internal/rng"
+)
+
+// Hull2D returns the convex hull of 2-D points in counter-clockwise
+// order (Andrew's monotone chain). Collinear boundary points are dropped.
+func Hull2D(pts []linalg.Vector) []linalg.Vector {
+	if len(pts) <= 2 {
+		out := make([]linalg.Vector, len(pts))
+		for i, p := range pts {
+			out[i] = p.Clone()
+		}
+		return out
+	}
+	sorted := make([]linalg.Vector, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] < sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	cross := func(o, a, b linalg.Vector) float64 {
+		return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+	}
+	var lower []linalg.Vector
+	for _, p := range sorted {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	var upper []linalg.Vector
+	for i := len(sorted) - 1; i >= 0; i-- {
+		p := sorted[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	out := make([]linalg.Vector, len(hull))
+	for i, p := range hull {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// PolygonArea returns the area of a simple polygon given by vertices in
+// order (shoelace formula).
+func PolygonArea(vs []linalg.Vector) float64 {
+	n := len(vs)
+	if n < 3 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += vs[i][0]*vs[j][1] - vs[j][0]*vs[i][1]
+	}
+	return math.Abs(s) / 2
+}
+
+// Hull is the convex hull of a point set in arbitrary dimension,
+// represented by its points with membership decided by linear
+// programming. This is the representation the paper's reconstruction
+// results need: explicit facet enumeration is exponential in d
+// (the O(N^{d/2}) remark in §4.3.1) while LP membership is polynomial.
+type Hull struct {
+	Dim    int
+	Points []linalg.Vector
+}
+
+// NewHull builds a hull over the given points (at least one).
+func NewHull(pts []linalg.Vector) *Hull {
+	h := &Hull{Points: pts}
+	if len(pts) > 0 {
+		h.Dim = len(pts[0])
+	}
+	return h
+}
+
+// Contains reports whether x lies in the convex hull (one LP).
+func (h *Hull) Contains(x linalg.Vector) bool {
+	return lp.InConvexHull(x, h.Points)
+}
+
+// Vertices returns the extreme points of the hull: points not contained
+// in the hull of the others (one LP per point). The count r of vertices
+// is the parameter of Lemma 4.1.
+func (h *Hull) Vertices() []linalg.Vector {
+	var out []linalg.Vector
+	for i, p := range h.Points {
+		others := make([]linalg.Vector, 0, len(h.Points)-1)
+		others = append(others, h.Points[:i]...)
+		others = append(others, h.Points[i+1:]...)
+		if !lp.InConvexHull(p, others) {
+			out = append(out, p.Clone())
+		}
+	}
+	return out
+}
+
+// Reduce returns a hull over only the extreme points, preserving the set.
+func (h *Hull) Reduce() *Hull { return NewHull(h.Vertices()) }
+
+// Centroid returns the mean of the hull's points.
+func (h *Hull) Centroid() linalg.Vector {
+	c := make(linalg.Vector, h.Dim)
+	for _, p := range h.Points {
+		c.AddScaled(1, p)
+	}
+	if len(h.Points) > 0 {
+		c = c.Scale(1 / float64(len(h.Points)))
+	}
+	return c
+}
+
+// BoundingBox returns the coordinate-wise bounding box of the points.
+func (h *Hull) BoundingBox() (lo, hi linalg.Vector) {
+	if len(h.Points) == 0 {
+		return nil, nil
+	}
+	lo = h.Points[0].Clone()
+	hi = h.Points[0].Clone()
+	for _, p := range h.Points[1:] {
+		for j, v := range p {
+			lo[j] = math.Min(lo[j], v)
+			hi[j] = math.Max(hi[j], v)
+		}
+	}
+	return lo, hi
+}
+
+// VolumeMC estimates the hull volume by Monte Carlo over its bounding
+// box with n samples. The relative error is governed by the usual
+// binomial bound; it is ground truth machinery for tests and the E8
+// experiment at low dimension, not a paper algorithm (the paper estimates
+// hull volumes with the DFK estimator, which the sampler package does).
+func (h *Hull) VolumeMC(n int, r *rng.RNG) float64 {
+	lo, hi := h.BoundingBox()
+	if lo == nil {
+		return 0
+	}
+	boxVol := 1.0
+	for j := range lo {
+		boxVol *= hi[j] - lo[j]
+	}
+	if boxVol == 0 {
+		return 0
+	}
+	hits := 0
+	x := make(linalg.Vector, h.Dim)
+	for i := 0; i < n; i++ {
+		for j := range x {
+			x[j] = r.Uniform(lo[j], hi[j])
+		}
+		if h.Contains(x) {
+			hits++
+		}
+	}
+	return boxVol * float64(hits) / float64(n)
+}
+
+// Area2D returns the exact area of a 2-D hull.
+func (h *Hull) Area2D() float64 {
+	if h.Dim != 2 {
+		return math.NaN()
+	}
+	return PolygonArea(Hull2D(h.Points))
+}
+
+// SymmetricDifferenceMC estimates vol(A Δ B) for two membership oracles
+// over a common sampling box by Monte Carlo; used to validate the paper's
+// (ε, δ)-set-estimators (Definition 4.1).
+func SymmetricDifferenceMC(a, b func(linalg.Vector) bool, lo, hi linalg.Vector, n int, r *rng.RNG) float64 {
+	boxVol := 1.0
+	for j := range lo {
+		boxVol *= hi[j] - lo[j]
+	}
+	diff := 0
+	x := make(linalg.Vector, len(lo))
+	for i := 0; i < n; i++ {
+		for j := range x {
+			x[j] = r.Uniform(lo[j], hi[j])
+		}
+		if a(x) != b(x) {
+			diff++
+		}
+	}
+	return boxVol * float64(diff) / float64(n)
+}
+
+// AffentrangerWieackerRatio returns the expected relative volume defect
+// of the hull of n uniform points in a d-polytope with r vertices:
+// r^d / d^{d-2} · ln^{d-1}(n) / n (the bound the paper quotes from [1]).
+func AffentrangerWieackerRatio(d, r, n int) float64 {
+	if n < 3 {
+		return 1
+	}
+	ln := math.Log(float64(n))
+	return math.Pow(float64(r), float64(d)) / math.Pow(float64(d), float64(d-2)) *
+		math.Pow(ln, float64(d-1)) / float64(n)
+}
+
+// SampleCountForHull returns Lemma 4.1's sample budget
+// N = O(4 r² d² / (ε⁴ d^{2d-2}) · ln(1/δ)) — the number of uniform
+// samples whose hull ε-approximates a convex polytope with r vertices
+// with failure probability δ. The constant is taken literally from the
+// lemma statement.
+func SampleCountForHull(d, r int, eps, delta float64) int {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return 0
+	}
+	n := 4 * float64(r*r) * float64(d*d) /
+		(math.Pow(eps, 4) * math.Pow(float64(d), float64(2*d-2))) *
+		math.Log(1/delta)
+	if n < 16 {
+		n = 16
+	}
+	if n > 1e7 {
+		n = 1e7
+	}
+	return int(math.Ceil(n))
+}
+
+// ChernoffSampleCount returns the number of Bernoulli samples needed to
+// estimate a proportion within additive error a with confidence 1-δ:
+// n >= ln(2/δ) / (2 a²) (Hoeffding).
+func ChernoffSampleCount(a, delta float64) int {
+	if a <= 0 || delta <= 0 || delta >= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * a * a)))
+}
+
+// TVDistanceUniform returns the total-variation distance between the
+// empirical distribution given by counts and the uniform distribution
+// over the same support.
+func TVDistanceUniform(counts []int) float64 {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 || len(counts) == 0 {
+		return 0
+	}
+	u := 1 / float64(len(counts))
+	var tv float64
+	for _, c := range counts {
+		tv += math.Abs(float64(c)/float64(n) - u)
+	}
+	return tv / 2
+}
+
+// MaxRatioToUniform returns max over cells of the ratio between the
+// empirical frequency and the uniform frequency (and the inverse ratio),
+// the quantity bounded by (1+ε) in Definition 2.2(1). Cells with zero
+// observed mass give an infinite inverse ratio only when n is large
+// enough that they should have been hit; callers smooth as needed.
+func MaxRatioToUniform(counts []int) float64 {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 || len(counts) == 0 {
+		return math.Inf(1)
+	}
+	u := 1 / float64(len(counts))
+	worst := 1.0
+	for _, c := range counts {
+		f := float64(c) / float64(n)
+		if f == 0 {
+			return math.Inf(1)
+		}
+		r := f / u
+		if r < 1 {
+			r = 1 / r
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Shuffle returns a shuffled copy of points (Fisher-Yates via rng).
+func Shuffle(pts []linalg.Vector, r *rng.RNG) []linalg.Vector {
+	out := make([]linalg.Vector, len(pts))
+	copy(out, pts)
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// DedupPoints removes near-duplicate points within tol.
+func DedupPoints(pts []linalg.Vector, tol float64) []linalg.Vector {
+	var out []linalg.Vector
+	for _, p := range pts {
+		dup := false
+		for _, q := range out {
+			if p.Equal(q, tol) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}

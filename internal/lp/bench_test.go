@@ -1,0 +1,73 @@
+package lp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func randomSystem(r *rng.RNG, d, extra int) ([]linalg.Vector, []float64) {
+	a, b := box(d, -1, 1)
+	for k := 0; k < extra; k++ {
+		row := make(linalg.Vector, d)
+		for j := range row {
+			row[j] = r.Normal()
+		}
+		a = append(a, row)
+		b = append(b, r.Uniform(0.3, 1.5))
+	}
+	return a, b
+}
+
+func BenchmarkSolve(b *testing.B) {
+	for _, d := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			r := rng.New(1)
+			a, rhs := randomSystem(r, d, 2*d)
+			c := make([]float64, d)
+			c[0] = 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := Solve(c, a, rhs)
+				if res.Status != Optimal {
+					b.Fatal(res.Status)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkChebyshevCenter(b *testing.B) {
+	for _, d := range []int{2, 8} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			r := rng.New(2)
+			a, rhs := randomSystem(r, d, d)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ChebyshevCenter(a, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInConvexHull(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("pts=%d", n), func(b *testing.B) {
+			r := rng.New(3)
+			pts := make([]linalg.Vector, n)
+			for i := range pts {
+				pts[i] = linalg.Vector{r.Normal(), r.Normal()}
+			}
+			probe := linalg.Vector{0.05, -0.02}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				InConvexHull(probe, pts)
+			}
+		})
+	}
+}

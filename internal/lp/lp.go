@@ -1,0 +1,450 @@
+// Package lp implements a dense two-phase primal simplex solver for the
+// small linear programs that pervade the sampler stack: feasibility and
+// emptiness of generalized tuples, Chebyshev centres (inner balls of
+// Definition "well-bounded"), per-coordinate bounding boxes, and
+// point-in-convex-hull membership tests.
+//
+// The solver maximises c·x subject to A x <= b with x free, using variable
+// splitting, slack variables, artificial variables in phase 1, and Bland's
+// anti-cycling rule. Problems in this repository have at most a few dozen
+// variables and a few hundred constraints, so a dense tableau is the right
+// tool.
+package lp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint system has no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded above on the feasible set.
+	Unbounded
+	// Stalled means the iteration limit was exceeded (should not happen
+	// with Bland's rule; kept as a defensive signal).
+	Stalled
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "stalled"
+	}
+}
+
+// ErrNoSolution is returned by helpers that require an optimal solution.
+var ErrNoSolution = errors.New("lp: no optimal solution")
+
+const tol = 1e-9
+
+// Result carries the solution of a solve.
+type Result struct {
+	Status Status
+	X      linalg.Vector // solution point (valid when Status == Optimal)
+	Value  float64       // objective value c·X
+}
+
+// Solve maximises c·x subject to A x <= b with x free in R^n.
+// Rows of a must have length len(c), and len(a) == len(b).
+func Solve(c []float64, a []linalg.Vector, b []float64) Result {
+	n := len(c)
+	m := len(a)
+	t := newTableau(n, m, a, b)
+	if t.needPhase1() {
+		if !t.phase1() {
+			return Result{Status: Infeasible}
+		}
+	}
+	st := t.phase2(c)
+	if st != Optimal {
+		return Result{Status: st}
+	}
+	x := t.extract()
+	return Result{Status: Optimal, X: x, Value: linalg.Vector(c).Dot(x)}
+}
+
+// Feasible reports whether {x : A x <= b} is non-empty and returns a
+// witness point when it is.
+func Feasible(a []linalg.Vector, b []float64) (linalg.Vector, bool) {
+	n := 0
+	if len(a) > 0 {
+		n = len(a[0])
+	}
+	res := Solve(make([]float64, n), a, b)
+	if res.Status != Optimal {
+		return nil, false
+	}
+	return res.X, true
+}
+
+// ChebyshevCenter returns the centre and radius of the largest ball
+// inscribed in {x : A x <= b}. The radius is 0 for flat (lower-dimensional)
+// feasible sets and the call fails with ErrNoSolution for empty or
+// unbounded-inradius systems.
+func ChebyshevCenter(a []linalg.Vector, b []float64) (linalg.Vector, float64, error) {
+	if len(a) == 0 {
+		return nil, 0, ErrNoSolution
+	}
+	n := len(a[0])
+	// Variables (x, r); maximise r subject to a_i·x + ||a_i|| r <= b_i, r >= 0.
+	rows := make([]linalg.Vector, 0, len(a)+1)
+	rhs := make([]float64, 0, len(b)+1)
+	for i, ai := range a {
+		row := make(linalg.Vector, n+1)
+		copy(row, ai)
+		row[n] = ai.Norm()
+		rows = append(rows, row)
+		rhs = append(rhs, b[i])
+	}
+	neg := make(linalg.Vector, n+1)
+	neg[n] = -1
+	rows = append(rows, neg)
+	rhs = append(rhs, 0)
+
+	c := make([]float64, n+1)
+	c[n] = 1
+	res := Solve(c, rows, rhs)
+	if res.Status != Optimal {
+		return nil, 0, ErrNoSolution
+	}
+	center := make(linalg.Vector, n)
+	copy(center, res.X[:n])
+	r := res.X[n]
+	if r < 0 {
+		r = 0
+	}
+	return center, r, nil
+}
+
+// Extent returns max dir·x over {x : A x <= b}. ok is false when the
+// program is infeasible or unbounded in that direction.
+func Extent(a []linalg.Vector, b []float64, dir linalg.Vector) (float64, bool) {
+	res := Solve(dir, a, b)
+	if res.Status != Optimal {
+		return 0, false
+	}
+	return res.Value, true
+}
+
+// BoundingBox returns per-coordinate lower and upper bounds of
+// {x : A x <= b}. ok is false when the set is empty or unbounded in some
+// coordinate direction.
+func BoundingBox(a []linalg.Vector, b []float64) (lo, hi linalg.Vector, ok bool) {
+	if len(a) == 0 {
+		return nil, nil, false
+	}
+	n := len(a[0])
+	lo = make(linalg.Vector, n)
+	hi = make(linalg.Vector, n)
+	dir := make(linalg.Vector, n)
+	for j := 0; j < n; j++ {
+		for k := range dir {
+			dir[k] = 0
+		}
+		dir[j] = 1
+		up, okUp := Extent(a, b, dir)
+		if !okUp {
+			return nil, nil, false
+		}
+		dir[j] = -1
+		down, okDown := Extent(a, b, dir)
+		if !okDown {
+			return nil, nil, false
+		}
+		hi[j] = up
+		lo[j] = -down
+	}
+	return lo, hi, true
+}
+
+// InConvexHull reports whether p lies in the convex hull of pts, by
+// solving the LP feasibility problem over barycentric weights. It is
+// polynomial in both the number of points and the dimension, unlike
+// explicit facet enumeration (the paper's §4.3.1 observation).
+func InConvexHull(p linalg.Vector, pts []linalg.Vector) bool {
+	if len(pts) == 0 {
+		return false
+	}
+	d := len(p)
+	k := len(pts)
+	// Weights w_1..w_k >= 0, sum w = 1, sum w_i pts_i = p.
+	// Encode equalities as <= pairs.
+	var rows []linalg.Vector
+	var rhs []float64
+	addEq := func(coef linalg.Vector, v float64) {
+		rows = append(rows, coef)
+		rhs = append(rhs, v)
+		neg := coef.Scale(-1)
+		rows = append(rows, neg)
+		rhs = append(rhs, -v)
+	}
+	for dim := 0; dim < d; dim++ {
+		coef := make(linalg.Vector, k)
+		for i, pt := range pts {
+			coef[i] = pt[dim]
+		}
+		addEq(coef, p[dim])
+	}
+	ones := make(linalg.Vector, k)
+	for i := range ones {
+		ones[i] = 1
+	}
+	addEq(ones, 1)
+	for i := 0; i < k; i++ {
+		coef := make(linalg.Vector, k)
+		coef[i] = -1
+		rows = append(rows, coef)
+		rhs = append(rhs, 0)
+	}
+	_, ok := Feasible(rows, rhs)
+	return ok
+}
+
+// tableau is a dense two-phase simplex tableau. Columns are laid out as
+// [u_0..u_{n-1}, v_0..v_{n-1}, s_0..s_{m-1}, artificials...], modelling
+// free x = u - v with slacks s.
+type tableau struct {
+	n, m    int // original vars, constraints
+	cols    int // structural columns (2n + m), before artificials
+	total   int // cols + number of artificial columns
+	rows    [][]float64
+	rhs     []float64
+	basis   []int
+	active  []bool // rows still participating (redundant rows get disabled)
+	artBase int    // first artificial column index
+}
+
+func newTableau(n, m int, a []linalg.Vector, b []float64) *tableau {
+	cols := 2*n + m
+	t := &tableau{n: n, m: m, cols: cols, artBase: cols}
+	t.rows = make([][]float64, m)
+	t.rhs = make([]float64, m)
+	t.basis = make([]int, m)
+	t.active = make([]bool, m)
+	artCount := 0
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols)
+		for j := 0; j < n; j++ {
+			row[j] = a[i][j]
+			row[n+j] = -a[i][j]
+		}
+		row[2*n+i] = 1
+		r := b[i]
+		if r < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			r = -r
+			artCount++
+			t.basis[i] = -1 // needs artificial
+		} else {
+			t.basis[i] = 2*n + i
+		}
+		t.rows[i] = row
+		t.rhs[i] = r
+		t.active[i] = true
+	}
+	t.total = cols + artCount
+	if artCount > 0 {
+		art := cols
+		for i := 0; i < m; i++ {
+			ext := make([]float64, t.total)
+			copy(ext, t.rows[i])
+			if t.basis[i] == -1 {
+				ext[art] = 1
+				t.basis[i] = art
+				art++
+			}
+			t.rows[i] = ext
+		}
+	}
+	return t
+}
+
+func (t *tableau) needPhase1() bool { return t.total > t.cols }
+
+// reducedCosts computes the reduced-cost row and current objective value
+// for the cost vector cost (indexed over all t.total columns).
+func (t *tableau) reducedCosts(cost []float64) ([]float64, float64) {
+	red := make([]float64, t.total)
+	copy(red, cost)
+	var val float64
+	for i := 0; i < t.m; i++ {
+		if !t.active[i] {
+			continue
+		}
+		cb := cost[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		val += cb * t.rhs[i]
+		row := t.rows[i]
+		for j := 0; j < t.total; j++ {
+			red[j] -= cb * row[j]
+		}
+	}
+	return red, val
+}
+
+// pivot performs a pivot on (r, j), updating rows, rhs and the reduced
+// cost row red in place.
+func (t *tableau) pivot(r, j int, red []float64) {
+	prow := t.rows[r]
+	inv := 1 / prow[j]
+	for k := range prow {
+		prow[k] *= inv
+	}
+	t.rhs[r] *= inv
+	prow[j] = 1 // kill residual rounding
+	for i := 0; i < t.m; i++ {
+		if i == r || !t.active[i] {
+			continue
+		}
+		f := t.rows[i][j]
+		if f == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for k := range row {
+			row[k] -= f * prow[k]
+		}
+		row[j] = 0
+		t.rhs[i] -= f * t.rhs[r]
+		if t.rhs[i] < 0 && t.rhs[i] > -tol {
+			t.rhs[i] = 0
+		}
+	}
+	if f := red[j]; f != 0 {
+		for k := range red {
+			red[k] -= f * prow[k]
+		}
+		red[j] = 0
+	}
+	t.basis[r] = j
+}
+
+// iterate runs Bland-rule simplex iterations maximising the objective
+// whose reduced costs are red, restricted to columns allowed[j].
+func (t *tableau) iterate(red []float64, allowed func(j int) bool) Status {
+	maxIter := 2000 * (t.m + t.total + 1)
+	for it := 0; it < maxIter; it++ {
+		// Bland: entering column = smallest index with positive reduced cost.
+		enter := -1
+		for j := 0; j < t.total; j++ {
+			if red[j] > tol && allowed(j) {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test; Bland tie-break on smallest basis variable index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if !t.active[i] {
+				continue
+			}
+			aij := t.rows[i][enter]
+			if aij <= tol {
+				continue
+			}
+			ratio := t.rhs[i] / aij
+			if ratio < bestRatio-tol ||
+				(ratio < bestRatio+tol && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter, red)
+	}
+	return Stalled
+}
+
+// phase1 drives artificial variables to zero; it reports feasibility.
+func (t *tableau) phase1() bool {
+	cost := make([]float64, t.total)
+	for j := t.artBase; j < t.total; j++ {
+		cost[j] = -1 // maximise -sum(artificials)
+	}
+	red, _ := t.reducedCosts(cost)
+	st := t.iterate(red, func(int) bool { return true })
+	if st != Optimal {
+		return false
+	}
+	// Objective value = -sum of artificials at optimum.
+	var sum float64
+	for i := 0; i < t.m; i++ {
+		if t.active[i] && t.basis[i] >= t.artBase {
+			sum += t.rhs[i]
+		}
+	}
+	if sum > 1e-7 {
+		return false
+	}
+	// Drive remaining basic artificials (at value zero) out of the basis.
+	for i := 0; i < t.m; i++ {
+		if !t.active[i] || t.basis[i] < t.artBase {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.cols; j++ {
+			if math.Abs(t.rows[i][j]) > tol {
+				t.pivot(i, j, red)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint: deactivate the row entirely.
+			t.active[i] = false
+		}
+	}
+	return true
+}
+
+// phase2 maximises the user objective c over the original free variables.
+func (t *tableau) phase2(c []float64) Status {
+	cost := make([]float64, t.total)
+	for j := 0; j < t.n; j++ {
+		cost[j] = c[j]
+		cost[t.n+j] = -c[j]
+	}
+	red, _ := t.reducedCosts(cost)
+	allowed := func(j int) bool { return j < t.cols } // never re-enter artificials
+	return t.iterate(red, allowed)
+}
+
+// extract reads the solution x = u - v off the basis.
+func (t *tableau) extract() linalg.Vector {
+	vals := make([]float64, t.total)
+	for i := 0; i < t.m; i++ {
+		if t.active[i] {
+			vals[t.basis[i]] = t.rhs[i]
+		}
+	}
+	x := make(linalg.Vector, t.n)
+	for j := 0; j < t.n; j++ {
+		x[j] = vals[j] - vals[t.n+j]
+	}
+	return x
+}

@@ -1,0 +1,296 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// box returns the constraint system for the cube [lo, hi]^d.
+func box(d int, lo, hi float64) ([]linalg.Vector, []float64) {
+	var a []linalg.Vector
+	var b []float64
+	for j := 0; j < d; j++ {
+		up := make(linalg.Vector, d)
+		up[j] = 1
+		a = append(a, up)
+		b = append(b, hi)
+		down := make(linalg.Vector, d)
+		down[j] = -1
+		a = append(a, down)
+		b = append(b, -lo)
+	}
+	return a, b
+}
+
+func TestSolveSimpleMax(t *testing.T) {
+	// max x + y subject to x <= 2, y <= 3, x + y <= 4, x,y >= 0.
+	a := []linalg.Vector{{1, 0}, {0, 1}, {1, 1}, {-1, 0}, {0, -1}}
+	b := []float64{2, 3, 4, 0, 0}
+	res := Solve([]float64{1, 1}, a, b)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Value-4) > 1e-9 {
+		t.Errorf("value = %g, want 4", res.Value)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// Feasible region needs phase 1: x >= 1, x <= 3; maximise -x -> x = 1.
+	a := []linalg.Vector{{-1}, {1}}
+	b := []float64{-1, 3}
+	res := Solve([]float64{-1}, a, b)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.X[0]-1) > 1e-9 {
+		t.Errorf("x = %g, want 1", res.X[0])
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	a := []linalg.Vector{{1}, {-1}}
+	b := []float64{1, -2} // x <= 1 and x >= 2
+	res := Solve([]float64{1}, a, b)
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	a := []linalg.Vector{{-1}}
+	b := []float64{0} // x >= 0
+	res := Solve([]float64{1}, a, b)
+	if res.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestSolveFreeVariables(t *testing.T) {
+	// Free variable optimum at a negative coordinate:
+	// max -x subject to x >= -5 -> x = -5.
+	a := []linalg.Vector{{-1}}
+	b := []float64{5}
+	res := Solve([]float64{-1}, a, b)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.X[0]+5) > 1e-9 {
+		t.Errorf("x = %g, want -5", res.X[0])
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Redundant constraints sharing the optimum vertex (degeneracy):
+	// Bland's rule must still terminate.
+	a := []linalg.Vector{{1, 0}, {0, 1}, {1, 1}, {1, 1}, {-1, 0}, {0, -1}}
+	b := []float64{1, 1, 2, 2, 0, 0}
+	res := Solve([]float64{1, 1}, a, b)
+	if res.Status != Optimal || math.Abs(res.Value-2) > 1e-9 {
+		t.Errorf("degenerate solve: status=%v value=%g", res.Status, res.Value)
+	}
+}
+
+func TestSolveEqualityViaPairs(t *testing.T) {
+	// x + y == 1 encoded as two inequalities; max x with y >= 0.25.
+	a := []linalg.Vector{{1, 1}, {-1, -1}, {0, -1}}
+	b := []float64{1, -1, -0.25}
+	res := Solve([]float64{1, 0}, a, b)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.X[0]-0.75) > 1e-9 || math.Abs(res.X[1]-0.25) > 1e-9 {
+		t.Errorf("solution = %v, want [0.75 0.25]", res.X)
+	}
+}
+
+func TestFeasibleWitness(t *testing.T) {
+	a, b := box(3, -1, 1)
+	x, ok := Feasible(a, b)
+	if !ok {
+		t.Fatal("box should be feasible")
+	}
+	for j, v := range x {
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Errorf("witness coordinate %d out of box: %g", j, v)
+		}
+	}
+	a2 := []linalg.Vector{{1, 0}, {-1, 0}}
+	b2 := []float64{0, -1}
+	if _, ok := Feasible(a2, b2); ok {
+		t.Error("infeasible system reported feasible")
+	}
+}
+
+func TestChebyshevCenterCube(t *testing.T) {
+	a, b := box(2, 0, 2)
+	c, r, err := ChebyshevCenter(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal((linalg.Vector{1, 1}), 1e-8) {
+		t.Errorf("center = %v, want [1 1]", c)
+	}
+	if math.Abs(r-1) > 1e-8 {
+		t.Errorf("radius = %g, want 1", r)
+	}
+}
+
+func TestChebyshevCenterTriangle(t *testing.T) {
+	// Right triangle x,y >= 0, x + y <= 1: inradius (2-sqrt(2))/2.
+	a := []linalg.Vector{{-1, 0}, {0, -1}, {1, 1}}
+	b := []float64{0, 0, 1}
+	_, r, err := ChebyshevCenter(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2 - math.Sqrt2) / 2
+	if math.Abs(r-want) > 1e-8 {
+		t.Errorf("inradius = %g, want %g", r, want)
+	}
+}
+
+func TestChebyshevCenterEmpty(t *testing.T) {
+	a := []linalg.Vector{{1}, {-1}}
+	b := []float64{0, -1}
+	if _, _, err := ChebyshevCenter(a, b); err == nil {
+		t.Error("expected error for empty polytope")
+	}
+}
+
+func TestExtent(t *testing.T) {
+	a, b := box(2, -2, 3)
+	v, ok := Extent(a, b, linalg.Vector{1, 0})
+	if !ok || math.Abs(v-3) > 1e-9 {
+		t.Errorf("Extent = %g ok=%v, want 3", v, ok)
+	}
+	v, ok = Extent(a, b, linalg.Vector{-1, -1})
+	if !ok || math.Abs(v-4) > 1e-9 {
+		t.Errorf("Extent = %g ok=%v, want 4", v, ok)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	// Simplex x,y >= 0, x+y <= 1.
+	a := []linalg.Vector{{-1, 0}, {0, -1}, {1, 1}}
+	b := []float64{0, 0, 1}
+	lo, hi, ok := BoundingBox(a, b)
+	if !ok {
+		t.Fatal("bounding box failed")
+	}
+	if !lo.Equal((linalg.Vector{0, 0}), 1e-8) || !hi.Equal((linalg.Vector{1, 1}), 1e-8) {
+		t.Errorf("box = %v..%v", lo, hi)
+	}
+}
+
+func TestBoundingBoxUnbounded(t *testing.T) {
+	a := []linalg.Vector{{-1, 0}, {0, -1}} // positive quadrant
+	b := []float64{0, 0}
+	if _, _, ok := BoundingBox(a, b); ok {
+		t.Error("unbounded set must not return a bounding box")
+	}
+}
+
+func TestInConvexHull(t *testing.T) {
+	square := []linalg.Vector{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	if !InConvexHull(linalg.Vector{0.5, 0.5}, square) {
+		t.Error("center of square should be in hull")
+	}
+	if !InConvexHull(linalg.Vector{0, 0}, square) {
+		t.Error("vertex should be in hull")
+	}
+	if !InConvexHull(linalg.Vector{0.5, 0}, square) {
+		t.Error("edge midpoint should be in hull")
+	}
+	if InConvexHull(linalg.Vector{1.5, 0.5}, square) {
+		t.Error("outside point reported inside")
+	}
+	if InConvexHull(linalg.Vector{0.5, 0.5}, nil) {
+		t.Error("empty hull contains nothing")
+	}
+}
+
+func TestInConvexHullHighDim(t *testing.T) {
+	// Simplex vertices in R^6; centroid inside, far point outside.
+	d := 6
+	pts := make([]linalg.Vector, d+1)
+	pts[0] = make(linalg.Vector, d)
+	centroid := make(linalg.Vector, d)
+	for i := 1; i <= d; i++ {
+		v := make(linalg.Vector, d)
+		v[i-1] = 1
+		pts[i] = v
+	}
+	for j := 0; j < d; j++ {
+		centroid[j] = 1.0 / float64(d+1)
+	}
+	if !InConvexHull(centroid, pts) {
+		t.Error("centroid must lie in the simplex hull")
+	}
+	outside := make(linalg.Vector, d)
+	outside[0] = 2
+	if InConvexHull(outside, pts) {
+		t.Error("distant point reported inside simplex")
+	}
+}
+
+func TestRandomLPsAgainstVertexEnumeration(t *testing.T) {
+	// Property: for random bounded 2-D LPs with known box constraints plus
+	// random cuts, the simplex optimum matches brute force over the
+	// arrangement vertices.
+	r := rng.New(77)
+	for trial := 0; trial < 40; trial++ {
+		a, b := box(2, -1, 1)
+		for k := 0; k < 3; k++ {
+			row := linalg.Vector{r.Normal(), r.Normal()}
+			if row.Norm() < 0.1 {
+				continue
+			}
+			a = append(a, row)
+			b = append(b, r.Uniform(0.2, 1.5))
+		}
+		c := []float64{r.Normal(), r.Normal()}
+		res := Solve(c, a, b)
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		// Brute force: intersect every pair of constraint boundaries.
+		best := math.Inf(-1)
+		for i := 0; i < len(a); i++ {
+			for j := i + 1; j < len(a); j++ {
+				det := a[i][0]*a[j][1] - a[i][1]*a[j][0]
+				if math.Abs(det) < 1e-9 {
+					continue
+				}
+				x := (b[i]*a[j][1] - b[j]*a[i][1]) / det
+				y := (a[i][0]*b[j] - a[j][0]*b[i]) / det
+				pt := linalg.Vector{x, y}
+				ok := true
+				for k := range a {
+					if a[k].Dot(pt) > b[k]+1e-7 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := linalg.Vector(c).Dot(pt); v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if math.Abs(res.Value-best) > 1e-6 {
+			t.Errorf("trial %d: simplex %g vs brute force %g", trial, res.Value, best)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Stalled.String() != "stalled" {
+		t.Error("Status.String misbehaves")
+	}
+}

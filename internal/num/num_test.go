@@ -1,0 +1,149 @@
+package num
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBallVolumeKnownValues(t *testing.T) {
+	cases := []struct {
+		d    int
+		r    float64
+		want float64
+	}{
+		{1, 1, 2},
+		{2, 1, math.Pi},
+		{3, 1, 4 * math.Pi / 3},
+		{2, 2, 4 * math.Pi},
+		{4, 1, math.Pi * math.Pi / 2},
+		{0, 5, 1},
+	}
+	for _, c := range cases {
+		got := BallVolume(c.d, c.r)
+		if RelErr(got, c.want) > 1e-12 {
+			t.Errorf("BallVolume(%d, %g) = %g, want %g", c.d, c.r, got, c.want)
+		}
+	}
+}
+
+func TestSimplexAndCrossPolytopeVolume(t *testing.T) {
+	if got, want := SimplexVolume(3, 1), 1.0/6; RelErr(got, want) > 1e-12 {
+		t.Errorf("SimplexVolume(3,1) = %g, want %g", got, want)
+	}
+	if got, want := SimplexVolume(2, 2), 2.0; RelErr(got, want) > 1e-12 {
+		t.Errorf("SimplexVolume(2,2) = %g, want %g", got, want)
+	}
+	if got, want := CrossPolytopeVolume(2, 1), 2.0; RelErr(got, want) > 1e-12 {
+		t.Errorf("CrossPolytopeVolume(2,1) = %g, want %g", got, want)
+	}
+	if got, want := CrossPolytopeVolume(3, 1), 8.0/6; RelErr(got, want) > 1e-12 {
+		t.Errorf("CrossPolytopeVolume(3,1) = %g, want %g", got, want)
+	}
+}
+
+func TestEllipsoidVolume(t *testing.T) {
+	got := EllipsoidVolume([]float64{2, 3})
+	want := math.Pi * 6
+	if RelErr(got, want) > 1e-12 {
+		t.Errorf("EllipsoidVolume = %g, want %g", got, want)
+	}
+}
+
+func TestWithinRatio(t *testing.T) {
+	if !WithinRatio(1.05, 1.0, 0.1) {
+		t.Error("1.05 should approximate 1.0 with ratio 1.1")
+	}
+	if WithinRatio(1.2, 1.0, 0.1) {
+		t.Error("1.2 should not approximate 1.0 with ratio 1.1")
+	}
+	if !WithinRatio(1.0/1.09, 1.0, 0.1) {
+		t.Error("lower side of the ratio band should pass")
+	}
+	if WithinRatio(0.8, 1.0, 0.1) {
+		t.Error("0.8 should not approximate 1.0 with ratio 1.1")
+	}
+}
+
+func TestWithinRatioSymmetryProperty(t *testing.T) {
+	// Property: WithinRatio(a, b, eps) == WithinRatio(b, a, eps) for
+	// positive a, b (the paper's ratio definition is symmetric).
+	f := func(a, b float64, e float64) bool {
+		a = math.Abs(a) + 0.01
+		b = math.Abs(b) + 0.01
+		eps := math.Mod(math.Abs(e), 0.9) + 0.01
+		return WithinRatio(a, b, eps) == WithinRatio(b, a, eps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumCompensation(t *testing.T) {
+	// 1 + 1e-16 repeated: naive summation in a different order can lose
+	// the small terms; Kahan keeps them.
+	xs := make([]float64, 0, 10001)
+	xs = append(xs, 1)
+	for i := 0; i < 10000; i++ {
+		xs = append(xs, 1e-16)
+	}
+	got := Sum(xs)
+	want := 1 + 1e-12
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("Sum = %.18f, want %.18f", got, want)
+	}
+}
+
+func TestMeanVarianceMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !Eq(got, 5) {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7)
+	}
+	if got := Median(xs); got != 4 {
+		t.Errorf("Median = %g, want 4", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-slice statistics should be zero")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {4, 7, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestComparisonHelpers(t *testing.T) {
+	if !Zero(1e-12) || Zero(1e-3) {
+		t.Error("Zero tolerance misbehaves")
+	}
+	if !Eq(1, 1+1e-12) || Eq(1, 1.1) {
+		t.Error("Eq tolerance misbehaves")
+	}
+	if !Leq(1, 1) || !Leq(1, 2) || Leq(2, 1) {
+		t.Error("Leq misbehaves")
+	}
+	if !Geq(2, 1) || Geq(1, 2) {
+		t.Error("Geq misbehaves")
+	}
+	if !Positive(0.1) || Positive(-0.1) || Positive(0) {
+		t.Error("Positive misbehaves")
+	}
+	if !Negative(-0.1) || Negative(0.1) {
+		t.Error("Negative misbehaves")
+	}
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}

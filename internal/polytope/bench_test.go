@@ -1,0 +1,84 @@
+package polytope
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func BenchmarkExactVolumeLasserre(b *testing.B) {
+	for _, d := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("cube-d=%d", d), func(b *testing.B) {
+			p := FromTuple(constraint.Cube(d, -1, 1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Volume(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVertices(b *testing.B) {
+	for _, d := range []int{2, 4} {
+		b.Run(fmt.Sprintf("cube-d=%d", d), func(b *testing.B) {
+			p := FromTuple(constraint.Cube(d, -1, 1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Vertices(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkChord(b *testing.B) {
+	r := rng.New(1)
+	p := randomPolytope(r, 6)
+	c, _, err := p.Chebyshev()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := make(linalg.Vector, 6)
+	r.OnSphere(dir)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Chord(c, dir)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	r := rng.New(2)
+	p := randomPolytope(r, 8)
+	x := make(linalg.Vector, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Contains(x)
+	}
+}
+
+func BenchmarkRelationVolumeInclusionExclusion(b *testing.B) {
+	for _, m := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("tuples=%d", m), func(b *testing.B) {
+			tuples := make([]constraint.Tuple, m)
+			for i := range tuples {
+				lo := float64(i) * 0.5
+				tuples[i] = constraint.Box(linalg.Vector{lo, 0}, linalg.Vector{lo + 1, 1})
+			}
+			rel := constraint.MustRelation("R", []string{"x", "y"}, tuples...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RelationVolume(rel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,431 @@
+package polytope
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+	"repro/internal/num"
+	"repro/internal/rng"
+)
+
+func cube(d int, lo, hi float64) *Polytope {
+	return FromTuple(constraint.Cube(d, lo, hi))
+}
+
+func simplex(d int, s float64) *Polytope {
+	return FromTuple(constraint.Simplex(d, s))
+}
+
+func TestContains(t *testing.T) {
+	p := cube(3, 0, 1)
+	if !p.Contains(linalg.Vector{0.5, 0.5, 0.5}) || p.Contains(linalg.Vector{1.5, 0.5, 0.5}) {
+		t.Error("cube membership wrong")
+	}
+	if !p.ContainsStrict(linalg.Vector{0.5, 0.5, 0.5}, 0.4) {
+		t.Error("deep interior point must pass strict margin")
+	}
+	if p.ContainsStrict(linalg.Vector{0.95, 0.5, 0.5}, 0.4) {
+		t.Error("near-boundary point must fail strict margin")
+	}
+}
+
+func TestEmptiness(t *testing.T) {
+	p := New([]linalg.Vector{{1}, {-1}}, []float64{0, -1})
+	if !p.IsEmpty() {
+		t.Error("x<=0 & x>=1 must be empty")
+	}
+	if cube(2, 0, 1).IsEmpty() {
+		t.Error("cube must not be empty")
+	}
+}
+
+func TestChebyshev(t *testing.T) {
+	c, r, err := cube(4, -2, 2).Chebyshev()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2) > 1e-8 {
+		t.Errorf("cube inradius = %g, want 2", r)
+	}
+	if !c.Equal(linalg.NewVector(4), 1e-8) {
+		t.Errorf("cube centre = %v, want origin", c)
+	}
+}
+
+func TestBoundingBoxAndEnclosingBall(t *testing.T) {
+	p := FromTuple(constraint.Box(linalg.Vector{0, -1}, linalg.Vector{2, 1}))
+	lo, hi, err := p.BoundingBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Equal((linalg.Vector{0, -1}), 1e-8) || !hi.Equal((linalg.Vector{2, 1}), 1e-8) {
+		t.Errorf("box = %v..%v", lo, hi)
+	}
+	c, rad, err := p.EnclosingBall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal((linalg.Vector{1, 0}), 1e-8) || math.Abs(rad-math.Sqrt2) > 1e-8 {
+		t.Errorf("ball = %v radius %g", c, rad)
+	}
+	// Errors for empty and unbounded.
+	empty := New([]linalg.Vector{{1}, {-1}}, []float64{0, -1})
+	if _, _, err := empty.BoundingBox(); err != ErrEmpty {
+		t.Errorf("empty box error = %v", err)
+	}
+	unb := New([]linalg.Vector{{-1}}, []float64{0})
+	if _, _, err := unb.BoundingBox(); err != ErrUnbounded {
+		t.Errorf("unbounded box error = %v", err)
+	}
+}
+
+func TestTranslateAndIntersect(t *testing.T) {
+	p := cube(2, 0, 1).Translate(linalg.Vector{10, 0})
+	if !p.Contains(linalg.Vector{10.5, 0.5}) || p.Contains(linalg.Vector{0.5, 0.5}) {
+		t.Error("translate wrong")
+	}
+	q := cube(2, 0, 1).Intersect(FromTuple(constraint.Box(linalg.Vector{0.5, 0}, linalg.Vector{2, 1})))
+	if !q.Contains(linalg.Vector{0.7, 0.5}) || q.Contains(linalg.Vector{0.3, 0.5}) {
+		t.Error("intersect wrong")
+	}
+}
+
+func TestImageUnderAffineMap(t *testing.T) {
+	// Scale the unit square by 2 and shift: membership must transform
+	// covariantly, and the image volume must scale by |det|.
+	m := linalg.NewMatrix(2, 2)
+	copy(m.Data, []float64{2, 0, 1, 3}) // det 6
+	am, err := linalg.NewAffineMap(m, linalg.Vector{5, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cube(2, 0, 1)
+	img := p.Image(am)
+	r := rng.New(4)
+	for i := 0; i < 500; i++ {
+		x := linalg.Vector{r.Float64(), r.Float64()}
+		y := am.Apply(x)
+		if !img.Contains(y) {
+			t.Fatalf("image must contain transformed point %v", y)
+		}
+	}
+	out := am.Apply(linalg.Vector{1.4, 0.5})
+	if img.Contains(out) {
+		t.Error("image contains transform of an outside point")
+	}
+	v, err := img.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.RelErr(v, 6) > 1e-6 {
+		t.Errorf("image volume = %g, want 6", v)
+	}
+}
+
+func TestSliceCylinder(t *testing.T) {
+	// Triangle x,y >= 0, x+y <= 1 sliced at x = 0.25: y in [0, 0.75].
+	tri := New(
+		[]linalg.Vector{{-1, 0}, {0, -1}, {1, 1}},
+		[]float64{0, 0, 1},
+	)
+	s := tri.Slice([]int{0}, []float64{0.25})
+	if s.Dim() != 1 {
+		t.Fatalf("slice dim = %d", s.Dim())
+	}
+	v, err := s.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.RelErr(v, 0.75) > 1e-9 {
+		t.Errorf("slice length = %g, want 0.75", v)
+	}
+	// Slice outside the body is empty.
+	s2 := tri.Slice([]int{0}, []float64{2})
+	if !s2.IsEmpty() {
+		t.Error("slice at x=2 must be empty")
+	}
+	// Slicing middle coordinate keeps order of the rest.
+	box := FromTuple(constraint.Box(linalg.Vector{0, 10, -1}, linalg.Vector{1, 20, 1}))
+	s3 := box.Slice([]int{1}, []float64{15})
+	if !s3.Contains(linalg.Vector{0.5, 0}) || s3.Contains(linalg.Vector{0.5, 2}) {
+		t.Error("middle-coordinate slice wrong")
+	}
+}
+
+func TestRemoveRedundant(t *testing.T) {
+	p := cube(2, 0, 1).WithHalfspace(linalg.Vector{1, 0}, 5) // x <= 5 redundant
+	q := p.RemoveRedundant()
+	if q.Rows() != 4 {
+		t.Errorf("rows after pruning = %d, want 4", q.Rows())
+	}
+}
+
+func TestVolumeCube(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		v, err := cube(d, -1, 1).Volume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := num.CubeVolume(d, 2)
+		if num.RelErr(v, want) > 1e-7 {
+			t.Errorf("d=%d: cube volume = %g, want %g", d, v, want)
+		}
+	}
+}
+
+func TestVolumeSimplex(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		v, err := simplex(d, 1).Volume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := num.SimplexVolume(d, 1)
+		if num.RelErr(v, want) > 1e-7 {
+			t.Errorf("d=%d: simplex volume = %g, want %g", d, v, want)
+		}
+	}
+}
+
+func TestVolumeCrossPolytope(t *testing.T) {
+	for d := 2; d <= 4; d++ {
+		v, err := FromTuple(constraint.CrossPolytope(d, 1)).Volume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := num.CrossPolytopeVolume(d, 1)
+		if num.RelErr(v, want) > 1e-7 {
+			t.Errorf("d=%d: cross-polytope volume = %g, want %g", d, v, want)
+		}
+	}
+}
+
+func TestVolumeDegenerate(t *testing.T) {
+	// Flat polytope (x = 0 slab) has zero area.
+	flat := New([]linalg.Vector{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}, []float64{0, 0, 1, 1})
+	v, err := flat.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 1e-9 {
+		t.Errorf("flat polytope volume = %g, want 0", v)
+	}
+	// Empty polytope.
+	empty := New([]linalg.Vector{{1}, {-1}}, []float64{0, -1})
+	v, err = empty.Volume()
+	if err != nil || v != 0 {
+		t.Errorf("empty volume = %g err=%v", v, err)
+	}
+}
+
+func TestVolumeTranslationInvariance(t *testing.T) {
+	r := rng.New(12)
+	for trial := 0; trial < 10; trial++ {
+		p := randomPolytope(r, 3)
+		if p.IsEmpty() {
+			continue
+		}
+		v1, err := p.Volume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shift := linalg.Vector{r.Normal(), r.Normal(), r.Normal()}
+		v2, err := p.Translate(shift).Volume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if num.RelErr(v1, v2) > 1e-6 {
+			t.Errorf("translation changed volume: %g vs %g", v1, v2)
+		}
+	}
+}
+
+// randomPolytope cuts the cube [-1,1]^d with a few random halfspaces.
+func randomPolytope(r *rng.RNG, d int) *Polytope {
+	p := cube(d, -1, 1)
+	for k := 0; k < d; k++ {
+		coef := make(linalg.Vector, d)
+		for j := range coef {
+			coef[j] = r.Normal()
+		}
+		p = p.WithHalfspace(coef, r.Uniform(0.3, 1.2))
+	}
+	return p
+}
+
+func TestVolumeAgainstMonteCarlo(t *testing.T) {
+	// Property: exact volume matches a Monte Carlo estimate over the
+	// bounding cube for random polytopes.
+	r := rng.New(2025)
+	for trial := 0; trial < 5; trial++ {
+		p := randomPolytope(r, 3)
+		if p.IsEmpty() {
+			continue
+		}
+		v, err := p.Volume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 200000
+		hits := 0
+		x := make(linalg.Vector, 3)
+		for i := 0; i < n; i++ {
+			for j := range x {
+				x[j] = r.Uniform(-1, 1)
+			}
+			if p.Contains(x) {
+				hits++
+			}
+		}
+		mc := float64(hits) / n * 8
+		if math.Abs(v-mc) > 0.05*8 {
+			t.Errorf("trial %d: exact %g vs MC %g", trial, v, mc)
+		}
+	}
+}
+
+func TestVolumeDimensionLimit(t *testing.T) {
+	if _, err := cube(MaxExactDim+1, 0, 1).Volume(); err == nil {
+		t.Error("exact volume above MaxExactDim must fail")
+	}
+}
+
+func TestVolumeUnbounded(t *testing.T) {
+	unb := New([]linalg.Vector{{-1, 0}, {0, -1}}, []float64{0, 0})
+	if _, err := unb.Volume(); err == nil {
+		t.Error("unbounded volume must fail")
+	}
+}
+
+func TestVerticesSquare(t *testing.T) {
+	vs, err := cube(2, 0, 1).Vertices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 {
+		t.Fatalf("square vertices = %d, want 4", len(vs))
+	}
+	want := []linalg.Vector{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for _, w := range want {
+		found := false
+		for _, v := range vs {
+			if v.Equal(w, 1e-8) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("vertex %v missing", w)
+		}
+	}
+}
+
+func TestVerticesSimplex(t *testing.T) {
+	vs, err := simplex(3, 1).Vertices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 {
+		t.Errorf("3-simplex vertices = %d, want 4", len(vs))
+	}
+}
+
+func TestVerticesCubeCounts(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		vs, err := cube(d, 0, 1).Vertices()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != 1<<d {
+			t.Errorf("d=%d: cube vertices = %d, want %d", d, len(vs), 1<<d)
+		}
+	}
+}
+
+func TestVerticesWithRedundancy(t *testing.T) {
+	p := cube(2, 0, 1).WithHalfspace(linalg.Vector{1, 1}, 5)
+	vs, err := p.Vertices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 {
+		t.Errorf("redundant constraint changed vertex count: %d", len(vs))
+	}
+}
+
+func TestRelationVolumeDisjointUnion(t *testing.T) {
+	r := constraint.MustRelation("R", []string{"x", "y"},
+		constraint.Cube(2, 0, 1),
+		constraint.Box(linalg.Vector{5, 0}, linalg.Vector{6, 2}),
+	)
+	v, err := RelationVolume(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.RelErr(v, 3) > 1e-7 {
+		t.Errorf("disjoint union volume = %g, want 3", v)
+	}
+}
+
+func TestRelationVolumeOverlap(t *testing.T) {
+	// [0,2]^2 ∪ [1,3]^2: 4 + 4 − 1 = 7.
+	r := constraint.MustRelation("R", []string{"x", "y"},
+		constraint.Cube(2, 0, 2),
+		constraint.Cube(2, 1, 3),
+	)
+	v, err := RelationVolume(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.RelErr(v, 7) > 1e-7 {
+		t.Errorf("overlapping union volume = %g, want 7", v)
+	}
+}
+
+func TestRelationVolumeTripleOverlap(t *testing.T) {
+	// Three pairwise-overlapping intervals on the line:
+	// [0,2] ∪ [1,3] ∪ [2,4] = [0,4]: length 4.
+	r := constraint.MustRelation("R", []string{"x"},
+		constraint.Cube(1, 0, 2),
+		constraint.Cube(1, 1, 3),
+		constraint.Cube(1, 2, 4),
+	)
+	v, err := RelationVolume(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.RelErr(v, 4) > 1e-9 {
+		t.Errorf("triple overlap volume = %g, want 4", v)
+	}
+}
+
+func TestRelationVolumeEmpty(t *testing.T) {
+	r := constraint.MustRelation("E", []string{"x"})
+	v, err := RelationVolume(r)
+	if err != nil || v != 0 {
+		t.Errorf("empty relation volume = %g err=%v", v, err)
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	p := cube(2, 0, 1)
+	tup := p.Tuple()
+	q := FromTuple(tup)
+	r := rng.New(8)
+	for i := 0; i < 200; i++ {
+		x := linalg.Vector{r.Uniform(-0.5, 1.5), r.Uniform(-0.5, 1.5)}
+		if p.Contains(x) != q.Contains(x) {
+			t.Fatalf("round trip changed membership at %v", x)
+		}
+	}
+}
+
+func TestNewPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with mismatched rows must panic")
+		}
+	}()
+	New([]linalg.Vector{{1}}, []float64{1, 2})
+}

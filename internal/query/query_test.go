@@ -1,0 +1,399 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/num"
+	"repro/internal/walk"
+)
+
+func fastOpts() core.Options {
+	return core.Options{
+		Params: core.Params{Gamma: 0.25, Eps: 0.3, Delta: 0.1},
+		Walk:   walk.HitAndRun,
+	}
+}
+
+func mustParse(t *testing.T, src string) *constraint.Database {
+	t.Helper()
+	db, err := constraint.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestEvalSymbolicMatchesParser(t *testing.T) {
+	db := mustParse(t, `
+		rel S(x, y) := { 0 <= x <= 2, 0 <= y <= 2 };
+		query Q(x) := exists y. S(x, y);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 1)
+	rel, err := e.EvalSymbolic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Contains(linalg.Vector{1}) || rel.Contains(linalg.Vector{3}) {
+		t.Error("symbolic projection wrong")
+	}
+}
+
+func TestPlanConvexQuery(t *testing.T) {
+	db := mustParse(t, `
+		rel S(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+		query Q(x, y) := S(x, y);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 2)
+	plan, err := e.NewPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Disjuncts) != 1 || plan.Disjuncts[0].ExVars != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Disjuncts[0].Poly.Dim() != 2 {
+		t.Error("disjunct dimension wrong")
+	}
+}
+
+func TestPlanUnionQuery(t *testing.T) {
+	db := mustParse(t, `
+		rel S(x) := { 0 <= x <= 1 } | { 5 <= x <= 6 };
+		query Q(x) := S(x);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 3)
+	plan, err := e.NewPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Disjuncts) != 2 {
+		t.Fatalf("disjuncts = %d, want 2", len(plan.Disjuncts))
+	}
+}
+
+func TestPlanExistentialQuery(t *testing.T) {
+	db := mustParse(t, `
+		rel S(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+		query Q(x) := exists y. S(x, y);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 4)
+	plan, err := e.NewPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Disjuncts) != 1 || plan.Disjuncts[0].ExVars != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Disjuncts[0].Poly.Dim() != 2 {
+		t.Error("existential disjunct must be 2-D before projection")
+	}
+}
+
+func TestPlanDropsUnusedExistentials(t *testing.T) {
+	// ∃z (S(x)) with z unused: disjunct must stay 1-D convex.
+	db := mustParse(t, `
+		rel S(x) := { 0 <= x <= 1 };
+		query Q(x) := exists z. S(x);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 5)
+	plan, err := e.NewPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Disjuncts) != 1 || plan.Disjuncts[0].ExVars != 0 {
+		t.Fatalf("unused existential must be dropped: %+v", plan.Disjuncts)
+	}
+}
+
+func TestPlanNegatedAtomSupported(t *testing.T) {
+	// Negated atoms stay linear: !(x <= 0.5) & S(x).
+	db := mustParse(t, `
+		rel S(x) := { 0 <= x <= 1 };
+		query Q(x) := S(x) & !(x <= 1/2);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 6)
+	obs, err := e.Observable(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		x, err := obs.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x[0] < 0.5-1e-6 || x[0] > 1+1e-6 {
+			t.Fatalf("sample %v outside (0.5, 1]", x)
+		}
+	}
+}
+
+func TestPlanRejectsUniversal(t *testing.T) {
+	db := mustParse(t, `
+		rel S(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+		query Q(x) := forall y. S(x, y);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 7)
+	if _, err := e.NewPlan(q); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("universal quantifier error = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestPlanRejectsNegatedExists(t *testing.T) {
+	db := mustParse(t, `
+		rel S(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+		query Q(x) := !(exists y. S(x, y));
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 8)
+	if _, err := e.NewPlan(q); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("negated exists error = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestEstimateVolumeMatchesSymbolic(t *testing.T) {
+	// Volume of ∃y S(x,y) for the triangle: the projection is [0,1],
+	// symbolic length 1; the estimate must agree within the ratio.
+	db := mustParse(t, `
+		rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 };
+		query Q(x) := exists y. S(x, y);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 9)
+	est, err := e.EstimateVolume(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symbolic ground truth.
+	rel, err := e.EvalSymbolic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := core.ExactVolume(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(est, exact, 0.5) {
+		t.Errorf("estimated %g vs symbolic %g", est, exact)
+	}
+}
+
+func TestEstimateVolumeUnionQuery(t *testing.T) {
+	db := mustParse(t, `
+		rel A(x, y) := { 0 <= x <= 2, 0 <= y <= 2 };
+		rel B(x, y) := { 1 <= x <= 3, 1 <= y <= 3 };
+		query U(x, y) := A(x, y) | B(x, y);
+	`)
+	q, _ := db.Query("U")
+	e := NewEngine(db.Schema, fastOpts(), 10)
+	est, err := e.EstimateVolume(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(est, 7, 0.4) {
+		t.Errorf("union volume = %g, want ~7", est)
+	}
+}
+
+func TestEstimateVolumeConjunctionOfRelations(t *testing.T) {
+	// A ∧ B as a conjunctive plan: atoms merge into one polytope —
+	// no poly-relatedness issue arises for conjunctions of atoms.
+	db := mustParse(t, `
+		rel A(x, y) := { 0 <= x <= 2, 0 <= y <= 2 };
+		rel B(x, y) := { 1 <= x <= 3, 1 <= y <= 3 };
+		query I(x, y) := A(x, y) & B(x, y);
+	`)
+	q, _ := db.Query("I")
+	e := NewEngine(db.Schema, fastOpts(), 11)
+	est, err := e.EstimateVolume(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(est, 1, 0.4) {
+		t.Errorf("conjunction volume = %g, want ~1", est)
+	}
+}
+
+func TestEstimateMeanAggregate(t *testing.T) {
+	// E[x] over the unit square is 0.5 — the aggregate-query use case.
+	db := mustParse(t, `
+		rel S(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+		query Q(x, y) := S(x, y);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 12)
+	mean, err := e.EstimateMean(q, func(x linalg.Vector) float64 { return x[0] }, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("E[x] = %g, want ~0.5", mean)
+	}
+}
+
+func TestReconstructQuery(t *testing.T) {
+	// Reconstruct ∃y S(x, z, y) — the projected square — via
+	// Algorithm 5 and validate membership.
+	db := mustParse(t, `
+		rel S(x, z, y) := { 0 <= x <= 1, 0 <= z <= 1, 0 <= y <= 1, x + y + z <= 2 };
+		query Q(x, z) := exists y. S(x, z, y);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 13)
+	est, err := e.Reconstruct(q, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Hulls) != 1 {
+		t.Fatalf("hulls = %d, want 1", len(est.Hulls))
+	}
+	// The projection is the whole unit square (y=0 always works).
+	if !est.Contains(linalg.Vector{0.5, 0.5}) {
+		t.Error("reconstruction must contain the square centre")
+	}
+	if est.Contains(linalg.Vector{1.5, 0.5}) {
+		t.Error("reconstruction must exclude outside points")
+	}
+}
+
+func TestObservableEmptyQueryRejected(t *testing.T) {
+	db := mustParse(t, `
+		rel S(x) := { 0 <= x <= 1 };
+		query Q(x) := S(x) & x >= 2;
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 14)
+	if _, err := e.Observable(q); err == nil {
+		t.Error("empty query must be rejected")
+	}
+}
+
+func TestObservableUnknownRelation(t *testing.T) {
+	q := constraint.Query{Name: "Q", Vars: []string{"x"},
+		F: constraint.Pred{Name: "Missing", Args: []string{"x"}}}
+	e := NewEngine(constraint.Schema{}, fastOpts(), 15)
+	if _, err := e.Observable(q); err == nil {
+		t.Error("unknown relation must be rejected")
+	}
+}
+
+func TestPlanFreeVariableNotInOutput(t *testing.T) {
+	q := constraint.Query{Name: "Q", Vars: []string{"x"},
+		F: constraint.AtomF{Vars: []string{"x", "y"}, Atom: constraint.NewAtom(linalg.Vector{1, 1}, 1, false)}}
+	e := NewEngine(constraint.Schema{}, fastOpts(), 16)
+	if _, err := e.NewPlan(q); err == nil {
+		t.Error("free variable outside outputs must be rejected")
+	}
+}
+
+func TestPlanDescribe(t *testing.T) {
+	db := mustParse(t, `
+		rel S(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+		query Q(x) := exists y. S(x, y);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 20)
+	plan, err := e.NewPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := plan.Describe()
+	for _, want := range []string{"union combinator", "projection generator", "R^2"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q in %q", want, desc)
+		}
+	}
+}
+
+func TestUnionOfProjectedDisjuncts(t *testing.T) {
+	// A query mixing a plain convex disjunct with an ∃-projected one:
+	// the plan must produce one Convex and one Projection member under
+	// a Union, and the volume must match the symbolic ground truth.
+	db := mustParse(t, `
+		rel A(x) := { 5 <= x <= 6 };
+		rel S(x, y) := { 0 <= x <= 1, 0 <= y <= 1, x + y <= 3/2 };
+		query Q(x) := A(x) | exists y. S(x, y);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 21)
+	plan, err := e.NewPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Disjuncts) != 2 {
+		t.Fatalf("disjuncts = %d, want 2", len(plan.Disjuncts))
+	}
+	var exCounts []int
+	for _, d := range plan.Disjuncts {
+		exCounts = append(exCounts, d.ExVars)
+	}
+	if !(exCounts[0] == 0 && exCounts[1] == 1 || exCounts[0] == 1 && exCounts[1] == 0) {
+		t.Errorf("expected one convex and one projected disjunct, got ExVars=%v", exCounts)
+	}
+	// Symbolic ground truth: [5,6] ∪ [0,1] has length 2.
+	est, err := e.EstimateVolume(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(est, 2, 0.5) {
+		t.Errorf("mixed-plan volume = %g, want ~2", est)
+	}
+	// Sampling must cover both components.
+	obs, err := e.Observable(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := 0, 0
+	for i := 0; i < 400; i++ {
+		x, err := obs.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x[0] < 3 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("union of mixed disjuncts missed a component: low=%d high=%d", low, high)
+	}
+}
+
+func TestSamplingVsSymbolicProjectionAgreement(t *testing.T) {
+	// Deeper pipeline: ∃y,z chained boxes; compare sampled volume to
+	// symbolic Fourier–Motzkin ground truth.
+	db := mustParse(t, `
+		rel R(x, y, z) := { 0 <= x <= 1, x <= y, y <= x + 1, 0 <= z <= y, y <= 2 };
+		query Q(x) := exists y, z. R(x, y, z);
+	`)
+	q, _ := db.Query("Q")
+	e := NewEngine(db.Schema, fastOpts(), 17)
+	rel, err := e.EvalSymbolic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := core.ExactVolume(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.EstimateVolume(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(est, exact, 0.5) {
+		t.Errorf("sampled %g vs symbolic %g", est, exact)
+	}
+}

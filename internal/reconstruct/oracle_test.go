@@ -1,0 +1,92 @@
+package reconstruct
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/num"
+	"repro/internal/rng"
+	"repro/internal/walk"
+)
+
+// diskOracle is a membership-only disk — a polynomial-constraint convex
+// body in the sense of §5.
+type diskOracle struct {
+	c linalg.Vector
+	r float64
+}
+
+func (d diskOracle) Dim() int                      { return len(d.c) }
+func (d diskOracle) Contains(x linalg.Vector) bool { return x.Dist(d.c) <= d.r }
+
+func TestOracleEstimateDisk(t *testing.T) {
+	// Lemma 5.1 scenario: reconstruct the unit disk as a polytope hull;
+	// its area must approach π from below.
+	disk := diskOracle{c: linalg.Vector{3, -2}, r: 1}
+	h, err := OracleEstimate(disk, disk.c, 1, 1, 600, rng.New(1), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := h.Area2D()
+	if area > math.Pi+1e-9 {
+		t.Errorf("hull area %g exceeds the disk area", area)
+	}
+	if num.RelErr(area, math.Pi) > 0.1 {
+		t.Errorf("hull area = %g, want ~π", area)
+	}
+	// Every hull point lies in the disk.
+	for _, p := range h.Points {
+		if !disk.Contains(p) {
+			t.Fatalf("hull point %v outside the disk", p)
+		}
+	}
+}
+
+func TestOracleEstimateVertexCountGrowsSlowly(t *testing.T) {
+	// The hull of N samples of a smooth body has far fewer extreme
+	// points than samples (Lemma 5.1's r = poly(d, 1/ε) intuition: for a
+	// disk, E[vertices] = O(N^{1/3})).
+	disk := diskOracle{c: linalg.Vector{0, 0}, r: 1}
+	h, err := OracleEstimate(disk, disk.c, 1, 1, 400, rng.New(2), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := h.Vertices()
+	if len(vs) >= 150 {
+		t.Errorf("disk hull has %d extreme points of 400 samples; smooth bodies must have few", len(vs))
+	}
+	if len(vs) < 8 {
+		t.Errorf("disk hull has only %d extreme points; too coarse", len(vs))
+	}
+}
+
+func TestOracleEstimateEllipsoid(t *testing.T) {
+	// Anisotropic oracle: rounding must handle the 4:1 ellipse and the
+	// hull area must approach π·a·b.
+	ell := ellipseOracle{a: 2, b: 0.5}
+	h, err := OracleEstimate(ell, linalg.Vector{0, 0}, 0.5, 2, 700, rng.New(3), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pi * 2 * 0.5
+	if num.RelErr(h.Area2D(), want) > 0.12 {
+		t.Errorf("ellipse hull area = %g, want ~%g", h.Area2D(), want)
+	}
+}
+
+type ellipseOracle struct{ a, b float64 }
+
+func (e ellipseOracle) Dim() int { return 2 }
+func (e ellipseOracle) Contains(x linalg.Vector) bool {
+	return (x[0]/e.a)*(x[0]/e.a)+(x[1]/e.b)*(x[1]/e.b) <= 1
+}
+
+func TestOracleEstimateRejectsBadWitnesses(t *testing.T) {
+	disk := diskOracle{c: linalg.Vector{0, 0}, r: 1}
+	if _, err := OracleEstimate(disk, disk.c, 0, 1, 10, rng.New(4), fastOpts()); err == nil {
+		t.Error("zero inner radius must be rejected")
+	}
+}
+
+var _ walk.Body = diskOracle{}

@@ -1,0 +1,199 @@
+package reconstruct
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/linalg"
+	"repro/internal/polytope"
+	"repro/internal/rng"
+	"repro/internal/walk"
+)
+
+func fastOpts() core.Options {
+	return core.Options{
+		Params: core.Params{Gamma: 0.25, Eps: 0.3, Delta: 0.1},
+		Walk:   walk.HitAndRun,
+	}
+}
+
+func TestHullFromGeneratorSquare(t *testing.T) {
+	// Hull of samples from the unit square approximates the square:
+	// exact shoelace area close to 1 for enough samples (Lemma 4.1's
+	// phenomenon).
+	p := polytope.FromTuple(constraint.Cube(2, 0, 1))
+	gen, err := core.NewConvexPolytope(p, rng.New(1), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HullFromGenerator(gen, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := h.Area2D()
+	if area < 0.9 || area > 1.001 {
+		t.Errorf("hull area = %g, want ~1 from below", area)
+	}
+	// Hull is contained in the square.
+	for _, pt := range h.Points {
+		if !p.Contains(pt) {
+			t.Fatalf("hull point %v outside the square", pt)
+		}
+	}
+}
+
+func TestHullConvergesWithN(t *testing.T) {
+	// The volume defect shrinks as N grows (the ln^{d-1}(N)/N envelope).
+	p := polytope.FromTuple(constraint.Cube(2, 0, 1))
+	defect := func(n int, seed uint64) float64 {
+		gen, err := core.NewConvexPolytope(p, rng.New(seed), fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := HullFromGenerator(gen, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1 - h.Area2D()
+	}
+	small := defect(60, 2)
+	large := defect(1500, 3)
+	if large >= small {
+		t.Errorf("hull defect must shrink with N: %g (N=60) vs %g (N=1500)", small, large)
+	}
+	if large > 0.08 {
+		t.Errorf("hull defect at N=1500 = %g, want < 0.08", large)
+	}
+}
+
+func TestConvexEstimateDefinition41(t *testing.T) {
+	// Definition 4.1: the estimator uses only membership + sampling, and
+	// vol(S Δ Ŝ) <= eps·vol(S) for the square.
+	p := polytope.FromTuple(constraint.Cube(2, 0, 1))
+	gen, err := core.NewConvexPolytope(p, rng.New(4), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ConvexEstimate(gen, 4, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ŝ ⊆ S here, so vol(SΔŜ) = vol(S) - vol(Ŝ).
+	if sym := 1 - h.Area2D(); sym > 0.2 {
+		t.Errorf("symmetric difference = %g > eps=0.2", sym)
+	}
+}
+
+func TestProjectionEstimateAlgorithm3(t *testing.T) {
+	// Project the 3-simplex onto (x, y): the triangle of area 1/2. The
+	// hull of projection-generator samples must approximate it.
+	p := polytope.FromTuple(constraint.Simplex(3, 1))
+	h, err := ProjectionEstimate(p, []int{0, 1}, 400, rng.New(5), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := h.Area2D()
+	if math.Abs(area-0.5) > 0.08 {
+		t.Errorf("projected hull area = %g, want ~0.5", area)
+	}
+}
+
+func TestEstimateExistentialPositiveUnionOfHulls(t *testing.T) {
+	// Algorithm 5 on (cube ∪ shifted cube): two hulls, membership is
+	// their union.
+	ds := []Disjunct{
+		{Tuples: []constraint.Tuple{constraint.Cube(2, 0, 1)}},
+		{Tuples: []constraint.Tuple{constraint.Box(linalg.Vector{3, 0}, linalg.Vector{4, 1})}},
+	}
+	est, err := EstimateExistentialPositive(ds, 300, rng.New(6), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Hulls) != 2 {
+		t.Fatalf("hulls = %d, want 2", len(est.Hulls))
+	}
+	if !est.Contains(linalg.Vector{0.5, 0.5}) || !est.Contains(linalg.Vector{3.5, 0.5}) {
+		t.Error("union estimate must cover both components")
+	}
+	if est.Contains(linalg.Vector{2, 0.5}) {
+		t.Error("gap between components must stay outside")
+	}
+	if est.Dim() != 2 || est.VertexCount() == 0 {
+		t.Error("estimate metadata wrong")
+	}
+}
+
+func TestEstimateExistentialPositiveConjunctionAndProjection(t *testing.T) {
+	// Algorithm 4's example shape: ∃z (R1(x,z) ∧ R2(z,y)) with R1, R2
+	// boxes: R1 = [0,1]x[0,1] over (x,z), R2 = [0,1]x[0,1] over (z,y):
+	// over frame (x, y, z): conjunction is the cube; projecting z gives
+	// the unit square in (x, y).
+	r1 := constraint.Box(linalg.Vector{0, -10, 0}, linalg.Vector{1, 10, 1}) // constrains x, z
+	r2 := constraint.Box(linalg.Vector{-10, 0, 0}, linalg.Vector{10, 1, 1}) // constrains y, z
+	ds := []Disjunct{{
+		Tuples: []constraint.Tuple{r1, r2},
+		Keep:   []int{0, 1},
+	}}
+	est, err := EstimateExistentialPositive(ds, 400, rng.New(7), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Hulls) != 1 {
+		t.Fatalf("hulls = %d, want 1", len(est.Hulls))
+	}
+	area := est.Hulls[0].Area2D()
+	if math.Abs(area-1) > 0.12 {
+		t.Errorf("reconstructed area = %g, want ~1", area)
+	}
+}
+
+func TestEstimateSkipsEmptyDisjuncts(t *testing.T) {
+	empty := constraint.NewTuple(2,
+		constraint.NewAtom(linalg.Vector{1, 0}, 0, false),
+		constraint.NewAtom(linalg.Vector{-1, 0}, -1, false))
+	ds := []Disjunct{
+		{Tuples: []constraint.Tuple{empty}},
+		{Tuples: []constraint.Tuple{constraint.Cube(2, 0, 1)}},
+	}
+	est, err := EstimateExistentialPositive(ds, 200, rng.New(8), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Hulls) != 1 {
+		t.Errorf("hulls = %d, want 1 (empty disjunct skipped)", len(est.Hulls))
+	}
+}
+
+func TestEstimateRejectsNoTuples(t *testing.T) {
+	if _, err := EstimateExistentialPositive([]Disjunct{{}}, 10, rng.New(9), fastOpts()); err == nil {
+		t.Error("disjunct without tuples must fail")
+	}
+}
+
+func TestQualityMC(t *testing.T) {
+	// Estimate quality of a perfect reconstruction is ~0; of an empty
+	// one is ~1.
+	square := func(x linalg.Vector) bool {
+		return x[0] >= 0 && x[0] <= 1 && x[1] >= 0 && x[1] <= 1
+	}
+	// Build the hull estimate from the square's corners: an exact
+	// reconstruction.
+	est := &SetEstimate{Hulls: []*geom.Hull{geom.NewHull([]linalg.Vector{
+		{0, 0}, {1, 0}, {1, 1}, {0, 1},
+	})}}
+	q := QualityMC(square, est, linalg.Vector{-0.5, -0.5}, linalg.Vector{1.5, 1.5}, 20000, rng.New(10), 1)
+	if q > 0.02 {
+		t.Errorf("perfect reconstruction quality = %g, want ~0", q)
+	}
+	emptyEst := &SetEstimate{}
+	q = QualityMC(square, emptyEst, linalg.Vector{-0.5, -0.5}, linalg.Vector{1.5, 1.5}, 20000, rng.New(11), 1)
+	if math.Abs(q-1) > 0.05 {
+		t.Errorf("empty reconstruction quality = %g, want ~1", q)
+	}
+	if QualityMC(square, emptyEst, nil, nil, 0, rng.New(12), 0) != 0 {
+		t.Error("zero reference volume must yield 0")
+	}
+}

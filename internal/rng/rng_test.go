@@ -1,0 +1,230 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds collided %d times in 64 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s := r.Split()
+	// The split stream must not be a shifted copy of the parent stream.
+	parent := make([]uint64, 32)
+	child := make([]uint64, 32)
+	for i := range parent {
+		parent[i] = r.Uint64()
+		child[i] = s.Uint64()
+	}
+	for i := range parent {
+		if parent[i] == child[i] {
+			t.Fatalf("split stream collides with parent at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const k = 7
+	counts := make([]int, k)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(k)]++
+	}
+	want := float64(n) / k
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn bucket %d count %d deviates from %g", v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %g, want ~1", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %g, want ~1", mean)
+	}
+}
+
+func TestOnSphereNorm(t *testing.T) {
+	r := New(19)
+	for d := 1; d <= 8; d++ {
+		v := make([]float64, d)
+		for i := 0; i < 100; i++ {
+			r.OnSphere(v)
+			var n2 float64
+			for _, x := range v {
+				n2 += x * x
+			}
+			if math.Abs(n2-1) > 1e-9 {
+				t.Fatalf("d=%d: sphere point has norm^2 %g", d, n2)
+			}
+		}
+	}
+}
+
+func TestInBallInside(t *testing.T) {
+	r := New(23)
+	v := make([]float64, 5)
+	for i := 0; i < 1000; i++ {
+		r.InBall(v)
+		var n2 float64
+		for _, x := range v {
+			n2 += x * x
+		}
+		if n2 > 1+1e-9 {
+			t.Fatalf("ball point outside unit ball: norm^2 = %g", n2)
+		}
+	}
+}
+
+func TestInBallRadialDistribution(t *testing.T) {
+	// In dimension d the radius R of a uniform ball point satisfies
+	// P(R <= t) = t^d; check the median for d = 3: t = 2^{-1/3}.
+	r := New(29)
+	const d, n = 3, 100000
+	v := make([]float64, d)
+	below := 0
+	median := math.Pow(0.5, 1.0/d)
+	for i := 0; i < n; i++ {
+		r.InBall(v)
+		var n2 float64
+		for _, x := range v {
+			n2 += x * x
+		}
+		if math.Sqrt(n2) <= median {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("radial median fraction = %g, want ~0.5", frac)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(31)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	// First element should be uniform over 10 values.
+	counts := make([]int, 10)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[r.Perm(10)[0]]++
+	}
+	want := float64(n) / 10
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Perm first-element bucket %d count %d deviates from %g", v, c, want)
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(37)
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)/n-0.5) > 0.01 {
+		t.Errorf("Bool imbalance: %d/%d", trues, n)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 10000; i++ {
+		x := r.Uniform(-3, 5)
+		if x < -3 || x >= 5 {
+			t.Fatalf("Uniform out of range: %g", x)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package satenc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/num"
+	"repro/internal/rng"
+	"repro/internal/walk"
+)
+
+func fastOpts() core.Options {
+	return core.Options{
+		Params: core.Params{Gamma: 0.25, Eps: 0.3, Delta: 0.1},
+		Walk:   walk.HitAndRun,
+	}
+}
+
+func TestLiteralTupleGeometry(t *testing.T) {
+	pos := LiteralTuple(1, 2)
+	if !pos.Contains(linalg.Vector{0.9, 0.5}) {
+		t.Error("x1=0.9 must satisfy literal x1")
+	}
+	if pos.Contains(linalg.Vector{0.5, 0.5}) {
+		t.Error("x1=0.5 must not satisfy literal x1")
+	}
+	neg := LiteralTuple(-1, 2)
+	if !neg.Contains(linalg.Vector{0.1, 0.5}) {
+		t.Error("x1=0.1 must satisfy literal ¬x1")
+	}
+	if neg.Contains(linalg.Vector{0.9, 0.5}) {
+		t.Error("x1=0.9 must not satisfy literal ¬x1")
+	}
+	// Bounded by the unit cube.
+	if pos.Contains(linalg.Vector{0.9, 1.5}) {
+		t.Error("literal tuple must stay inside the unit cube")
+	}
+}
+
+func TestLiteralTuplePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range literal must panic")
+		}
+	}()
+	LiteralTuple(3, 2)
+}
+
+func TestClauseRelation(t *testing.T) {
+	// Clause (x1 ∨ ¬x2) over 2 variables.
+	rel := ClauseRelation(Clause{1, -2}, 2)
+	if len(rel.Tuples) != 2 {
+		t.Fatalf("clause tuples = %d, want 2", len(rel.Tuples))
+	}
+	if !rel.Contains(linalg.Vector{0.9, 0.5}) { // x1 true
+		t.Error("x1-slab must satisfy the clause")
+	}
+	if !rel.Contains(linalg.Vector{0.5, 0.1}) { // x2 false
+		t.Error("¬x2-slab must satisfy the clause")
+	}
+	if rel.Contains(linalg.Vector{0.5, 0.5}) {
+		t.Error("middle of the cube satisfies no literal")
+	}
+}
+
+func TestSatisfiesAndCount(t *testing.T) {
+	// (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): XOR-ish, 2 satisfying assignments.
+	ins := Instance{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, -2}}}
+	if got := ins.CountSatisfying(); got != 2 {
+		t.Errorf("satisfying count = %d, want 2", got)
+	}
+	if !ins.Satisfiable() {
+		t.Error("instance is satisfiable")
+	}
+	if !ins.Satisfies([]bool{true, false}) || ins.Satisfies([]bool{true, true}) {
+		t.Error("Satisfies wrong")
+	}
+	// Unsatisfiable: (x1) ∧ (¬x1).
+	unsat := Instance{NumVars: 1, Clauses: []Clause{{1}, {-1}}}
+	if unsat.Satisfiable() {
+		t.Error("contradiction must be unsatisfiable")
+	}
+}
+
+func TestSatisfyingVolume(t *testing.T) {
+	ins := Instance{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, -2}}}
+	want := 2.0 * 0.25 * 0.25
+	if got := ins.SatisfyingVolume(); num.RelErr(got, want) > 1e-12 {
+		t.Errorf("satisfying volume = %g, want %g", got, want)
+	}
+}
+
+func TestDecode(t *testing.T) {
+	dec := Decode(linalg.Vector{0.9, 0.1, 0.5})
+	if dec[0] != 1 || dec[1] != -1 || dec[2] != 0 {
+		t.Errorf("Decode = %v", dec)
+	}
+}
+
+func TestSatisfiedByPartial(t *testing.T) {
+	ins := Instance{NumVars: 3, Clauses: []Clause{{1, 2}, {-3}}}
+	// x1 true, x3 false, x2 unassigned: both clauses covered.
+	if !ins.SatisfiedByPartial([]int{1, 0, -1}) {
+		t.Error("partial witness must satisfy")
+	}
+	// x2 true covers clause 1, x3 unassigned leaves clause 2 open.
+	if ins.SatisfiedByPartial([]int{0, 1, 0}) {
+		t.Error("uncovered clause must fail")
+	}
+	// Wrong polarity.
+	if ins.SatisfiedByPartial([]int{-1, -1, -1}) {
+		t.Error("clause 1 unsatisfied must fail")
+	}
+}
+
+func TestGeometricIntersectionFindsWitness(t *testing.T) {
+	// A satisfiable instance with many solutions: the intersection
+	// generator finds points, and every sample decodes to a satisfying
+	// assignment region.
+	ins := Instance{NumVars: 2, Clauses: []Clause{{1, 2}}}
+	obs, err := ins.Observables(rng.New(1), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("observables = %d", len(obs))
+	}
+	x, err := obs[0].Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := Decode(x)
+	if dec[0] != 1 && dec[1] != 1 {
+		t.Errorf("sample %v decodes to %v, which does not satisfy (x1 ∨ x2)", x, dec)
+	}
+}
+
+func TestGeometricIntersectionTwoClauses(t *testing.T) {
+	// (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): satisfiable; intersection sampling must
+	// produce points in the satisfying slabs.
+	ins := Instance{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, -2}}}
+	obs, err := ins.Observables(rng.New(2), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts()
+	opts.AcceptanceFloor = 1e-3
+	inter, err := core.NewIntersection(obs, rng.New(3), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := inter.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := Decode(x)
+	assign := []bool{dec[0] == 1, dec[1] == 1}
+	if dec[0] == 0 || dec[1] == 0 || !ins.Satisfies(assign) {
+		t.Errorf("intersection sample %v decodes to non-witness %v", x, dec)
+	}
+	// Volume should approximate 2/16.
+	v, err := inter.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !num.WithinRatio(v, ins.SatisfyingVolume(), 0.6) {
+		t.Errorf("intersection volume = %g, want ~%g", v, ins.SatisfyingVolume())
+	}
+}
+
+func TestGeometricIntersectionUnsat(t *testing.T) {
+	// (x1) ∧ (¬x1): empty intersection — the generator must abort, not
+	// hang (this is the P=NP boundary the paper points at).
+	ins := Instance{NumVars: 1, Clauses: []Clause{{1}, {-1}}}
+	obs, err := ins.Observables(rng.New(4), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts()
+	opts.AcceptanceFloor = 1e-2
+	opts.MaxRounds = 2000
+	inter, err := core.NewIntersection(obs, rng.New(5), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = inter.Sample()
+	if !errors.Is(err, core.ErrNotPolyRelated) && !errors.Is(err, core.ErrGeneratorFailed) {
+		t.Errorf("unsat intersection error = %v, want an abort", err)
+	}
+}
+
+func TestRandomKSATShape(t *testing.T) {
+	r := rng.New(6)
+	ins := RandomKSAT(r, 10, 42, 3)
+	if ins.NumVars != 10 || len(ins.Clauses) != 42 {
+		t.Fatalf("instance shape wrong: %d vars, %d clauses", ins.NumVars, len(ins.Clauses))
+	}
+	for _, c := range ins.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause width %d, want 3", len(c))
+		}
+		seen := map[int]bool{}
+		for _, lit := range c {
+			v := int(math.Abs(float64(lit)))
+			if v < 1 || v > 10 || seen[v] {
+				t.Fatalf("bad clause %v", c)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandomKSATPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k > n must panic")
+		}
+	}()
+	RandomKSAT(rng.New(7), 2, 1, 3)
+}
+
+func TestBruteForceLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("brute force above 24 vars must panic")
+		}
+	}()
+	Instance{NumVars: 25}.CountSatisfying()
+}

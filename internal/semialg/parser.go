@@ -1,0 +1,323 @@
+package semialg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseBody parses a conjunction of polynomial constraints over the
+// named variables, one constraint per ';' or newline:
+//
+//	x^2 + y^2 <= 1
+//	x*y - 1/2 < 0; x >= 0
+//
+// Grammar per constraint: polyExpr (<=|<|>=|>) polyExpr. Polynomial
+// expressions support +, -, products of variables and powers with
+// integer exponents (x^3), numeric coefficients (decimals or fractions),
+// and parentheses. '>' and '>=' normalise by negation so every stored
+// constraint is P(x) <= 0 (or < 0).
+func ParseBody(src string, vars []string) (*Body, error) {
+	d := len(vars)
+	index := map[string]int{}
+	for i, v := range vars {
+		index[v] = i
+	}
+	var cs []Constraint
+	for _, line := range splitConstraints(src) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := parseConstraint(line, d, index)
+		if err != nil {
+			return nil, fmt.Errorf("semialg: %q: %w", line, err)
+		}
+		cs = append(cs, c)
+	}
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("semialg: no constraints in %q", src)
+	}
+	return NewBody(d, cs...)
+}
+
+func splitConstraints(src string) []string {
+	return strings.FieldsFunc(src, func(r rune) bool { return r == ';' || r == '\n' })
+}
+
+func parseConstraint(s string, d int, index map[string]int) (Constraint, error) {
+	op, pos := findComparison(s)
+	if pos < 0 {
+		return Constraint{}, fmt.Errorf("missing comparison operator")
+	}
+	lhsSrc := s[:pos]
+	rhsSrc := s[pos+len(op):]
+	lp := &polyParser{src: lhsSrc, d: d, index: index}
+	lhs, err := lp.parseExpr()
+	if err != nil {
+		return Constraint{}, err
+	}
+	if err := lp.expectEOF(); err != nil {
+		return Constraint{}, err
+	}
+	rp := &polyParser{src: rhsSrc, d: d, index: index}
+	rhs, err := rp.parseExpr()
+	if err != nil {
+		return Constraint{}, err
+	}
+	if err := rp.expectEOF(); err != nil {
+		return Constraint{}, err
+	}
+	// Normalise to P <= 0 / P < 0.
+	var diff *Polynomial
+	strict := false
+	switch op {
+	case "<=":
+		diff = sub(lhs, rhs)
+	case "<":
+		diff = sub(lhs, rhs)
+		strict = true
+	case ">=":
+		diff = sub(rhs, lhs)
+	case ">":
+		diff = sub(rhs, lhs)
+		strict = true
+	}
+	return Constraint{P: diff, Strict: strict}, nil
+}
+
+// findComparison locates the first comparison operator outside any
+// parentheses.
+func findComparison(s string) (string, int) {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '<', '>':
+			if depth == 0 {
+				if i+1 < len(s) && s[i+1] == '=' {
+					return s[i : i+2], i
+				}
+				return s[i : i+1], i
+			}
+		}
+	}
+	return "", -1
+}
+
+func sub(a, b *Polynomial) *Polynomial {
+	out := NewPolynomial(a.Dim)
+	for _, m := range a.Terms {
+		out.AddTerm(m.Coef, m.Exps)
+	}
+	for _, m := range b.Terms {
+		out.AddTerm(-m.Coef, m.Exps)
+	}
+	return out
+}
+
+func mul(a, b *Polynomial) *Polynomial {
+	out := NewPolynomial(a.Dim)
+	for _, ma := range a.Terms {
+		for _, mb := range b.Terms {
+			exps := make([]int, a.Dim)
+			for i := range exps {
+				exps[i] = ma.Exps[i] + mb.Exps[i]
+			}
+			out.AddTerm(ma.Coef*mb.Coef, exps)
+		}
+	}
+	return out
+}
+
+// polyParser is a tiny recursive-descent parser over polynomial
+// expressions.
+type polyParser struct {
+	src   string
+	pos   int
+	d     int
+	index map[string]int
+}
+
+func (p *polyParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *polyParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *polyParser) expectEOF() error {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return fmt.Errorf("unexpected %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return nil
+}
+
+// parseExpr := term (('+'|'-') term)*
+func (p *polyParser) parseExpr() (*Polynomial, error) {
+	out := NewPolynomial(p.d)
+	sign := 1.0
+	if c := p.peek(); c == '-' {
+		p.pos++
+		sign = -1
+	} else if c == '+' {
+		p.pos++
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range t.Terms {
+			out.AddTerm(sign*m.Coef, m.Exps)
+		}
+		switch p.peek() {
+		case '+':
+			p.pos++
+			sign = 1
+		case '-':
+			p.pos++
+			sign = -1
+		default:
+			return out, nil
+		}
+	}
+}
+
+// parseTerm := factor ('*'? factor)*  — adjacency means product (2x, x y).
+func (p *polyParser) parseTerm() (*Polynomial, error) {
+	out, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c := p.peek()
+		switch {
+		case c == '*':
+			p.pos++
+			f, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			out = mul(out, f)
+		case c == '(' || c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)):
+			f, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			out = mul(out, f)
+		default:
+			return out, nil
+		}
+	}
+}
+
+// parseFactor := base ('^' INT)?  where base := NUMBER ['/' NUMBER] | VAR | '(' expr ')'
+func (p *polyParser) parseFactor() (*Polynomial, error) {
+	base, err := p.parseBase()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == '^' {
+		p.pos++
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.src) && unicode.IsDigit(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		if start == p.pos {
+			return nil, fmt.Errorf("expected integer exponent")
+		}
+		n, err := strconv.Atoi(p.src[start:p.pos])
+		if err != nil || n < 0 || n > 30 {
+			return nil, fmt.Errorf("bad exponent %q", p.src[start:p.pos])
+		}
+		out := constPoly(p.d, 1)
+		for i := 0; i < n; i++ {
+			out = mul(out, base)
+		}
+		return out, nil
+	}
+	return base, nil
+}
+
+func (p *polyParser) parseBase() (*Polynomial, error) {
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ')'")
+		}
+		p.pos++
+		return e, nil
+	case unicode.IsDigit(rune(c)) || c == '.':
+		start := p.pos
+		for p.pos < len(p.src) && (unicode.IsDigit(rune(p.src[p.pos])) || p.src[p.pos] == '.') {
+			p.pos++
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p.src[start:p.pos])
+		}
+		// Optional fraction.
+		if p.peek() == '/' {
+			save := p.pos
+			p.pos++
+			dstart := p.pos
+			for p.pos < len(p.src) && unicode.IsDigit(rune(p.src[p.pos])) {
+				p.pos++
+			}
+			if dstart == p.pos {
+				p.pos = save // a '/' that is not a fraction: leave it
+			} else {
+				den, err := strconv.ParseFloat(p.src[dstart:p.pos], 64)
+				if err != nil || den == 0 {
+					return nil, fmt.Errorf("bad denominator")
+				}
+				v /= den
+			}
+		}
+		return constPoly(p.d, v), nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := p.pos
+		for p.pos < len(p.src) &&
+			(unicode.IsLetter(rune(p.src[p.pos])) || unicode.IsDigit(rune(p.src[p.pos])) || p.src[p.pos] == '_') {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		idx, ok := p.index[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown variable %q", name)
+		}
+		exps := make([]int, p.d)
+		exps[idx] = 1
+		out := NewPolynomial(p.d)
+		out.AddTerm(1, exps)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unexpected %q", string(c))
+	}
+}
+
+func constPoly(d int, v float64) *Polynomial {
+	p := NewPolynomial(d)
+	p.AddTerm(v, make([]int, d))
+	return p
+}

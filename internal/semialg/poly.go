@@ -1,0 +1,273 @@
+// Package semialg implements the paper's §5 extension: polynomial
+// constraints. The Dyer–Frieze–Kannan generator needs only a membership
+// oracle, so a convex set defined by polynomial inequalities samples and
+// estimates through exactly the same machinery as the linear case — the
+// package provides sparse multivariate polynomials, conjunctive
+// polynomial bodies satisfying walk.Body, and convexity spot-checking
+// (the paper notes that a conjunction of polynomial constraints "does
+// not necessarily define a convex set"; the oracle machinery assumes
+// convexity, so the check makes violations loud).
+package semialg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// Monomial is an exponent vector: Exps[i] is the power of variable i.
+type Monomial struct {
+	Coef float64
+	Exps []int
+}
+
+// Polynomial is a sparse multivariate polynomial over d variables.
+type Polynomial struct {
+	Dim   int
+	Terms []Monomial
+}
+
+// NewPolynomial returns the zero polynomial in d variables.
+func NewPolynomial(d int) *Polynomial { return &Polynomial{Dim: d} }
+
+// AddTerm accumulates coef·x^exps, merging with an existing monomial of
+// the same exponent vector. It panics on a wrong-length exponent vector,
+// which is always a programming error.
+func (p *Polynomial) AddTerm(coef float64, exps []int) *Polynomial {
+	if len(exps) != p.Dim {
+		panic(fmt.Sprintf("semialg: exponent vector of length %d for %d variables", len(exps), p.Dim))
+	}
+	for i := range p.Terms {
+		if sameExps(p.Terms[i].Exps, exps) {
+			p.Terms[i].Coef += coef
+			return p
+		}
+	}
+	p.Terms = append(p.Terms, Monomial{Coef: coef, Exps: append([]int{}, exps...)})
+	return p
+}
+
+func sameExps(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates the polynomial at x.
+func (p *Polynomial) Eval(x linalg.Vector) float64 {
+	var sum float64
+	for _, m := range p.Terms {
+		t := m.Coef
+		for i, e := range m.Exps {
+			switch e {
+			case 0:
+			case 1:
+				t *= x[i]
+			case 2:
+				t *= x[i] * x[i]
+			default:
+				t *= math.Pow(x[i], float64(e))
+			}
+		}
+		sum += t
+	}
+	return sum
+}
+
+// Degree returns the total degree (0 for the zero polynomial).
+func (p *Polynomial) Degree() int {
+	deg := 0
+	for _, m := range p.Terms {
+		d := 0
+		for _, e := range m.Exps {
+			d += e
+		}
+		if d > deg {
+			deg = d
+		}
+	}
+	return deg
+}
+
+// IsLinear reports whether every monomial has total degree <= 1.
+func (p *Polynomial) IsLinear() bool { return p.Degree() <= 1 }
+
+// Gradient evaluates the gradient at x (used by the convexity probe).
+func (p *Polynomial) Gradient(x linalg.Vector) linalg.Vector {
+	g := make(linalg.Vector, p.Dim)
+	for _, m := range p.Terms {
+		for j, ej := range m.Exps {
+			if ej == 0 {
+				continue
+			}
+			t := m.Coef * float64(ej)
+			for i, e := range m.Exps {
+				pow := e
+				if i == j {
+					pow = e - 1
+				}
+				switch pow {
+				case 0:
+				case 1:
+					t *= x[i]
+				default:
+					t *= math.Pow(x[i], float64(pow))
+				}
+			}
+			g[j] += t
+		}
+	}
+	return g
+}
+
+// String renders the polynomial with x0, x1, ... variables.
+func (p *Polynomial) String() string {
+	if len(p.Terms) == 0 {
+		return "0"
+	}
+	terms := append([]Monomial{}, p.Terms...)
+	sort.Slice(terms, func(i, j int) bool {
+		return totalDeg(terms[i].Exps) > totalDeg(terms[j].Exps)
+	})
+	var parts []string
+	for _, m := range terms {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%g", m.Coef)
+		for i, e := range m.Exps {
+			switch {
+			case e == 1:
+				fmt.Fprintf(&sb, "*x%d", i)
+			case e > 1:
+				fmt.Fprintf(&sb, "*x%d^%d", i, e)
+			}
+		}
+		parts = append(parts, sb.String())
+	}
+	return strings.Join(parts, " + ")
+}
+
+func totalDeg(exps []int) int {
+	d := 0
+	for _, e := range exps {
+		d += e
+	}
+	return d
+}
+
+// Constraint is the polynomial inequality P(x) <= 0 (strict when Strict).
+type Constraint struct {
+	P      *Polynomial
+	Strict bool
+}
+
+// Holds reports whether x satisfies the constraint.
+func (c Constraint) Holds(x linalg.Vector) bool {
+	v := c.P.Eval(x)
+	if c.Strict {
+		return v < 0
+	}
+	return v <= 1e-12
+}
+
+// Body is a conjunction of polynomial constraints — a basic closed
+// semi-algebraic set. It satisfies walk.Body (membership only), which is
+// all the §5 machinery requires. Convexity is the caller's promise; use
+// ConvexityProbe to spot-check it.
+type Body struct {
+	dim         int
+	Constraints []Constraint
+}
+
+// NewBody returns a body over d variables.
+func NewBody(d int, cs ...Constraint) (*Body, error) {
+	for _, c := range cs {
+		if c.P.Dim != d {
+			return nil, fmt.Errorf("semialg: constraint over %d variables in a %d-variable body", c.P.Dim, d)
+		}
+	}
+	return &Body{dim: d, Constraints: cs}, nil
+}
+
+// Dim returns the ambient dimension (walk.Body).
+func (b *Body) Dim() int { return b.dim }
+
+// Contains implements the membership oracle (walk.Body).
+func (b *Body) Contains(x linalg.Vector) bool {
+	for _, c := range b.Constraints {
+		if !c.Holds(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrNotConvex is returned by ConvexityProbe when a midpoint violation
+// is found.
+var ErrNotConvex = errors.New("semialg: body failed the convexity probe")
+
+// ConvexityProbe samples n pairs of points of the body inside the given
+// box and checks midpoint membership — a randomized refutation check for
+// the convexity assumption the sampling machinery relies on (the paper's
+// caveat that polynomial conjunctions need not be convex). A nil error
+// means no violation was found, not a proof of convexity.
+func (b *Body) ConvexityProbe(lo, hi linalg.Vector, n int, r *rng.RNG) error {
+	if len(lo) != b.dim || len(hi) != b.dim {
+		return fmt.Errorf("semialg: probe box dimension mismatch")
+	}
+	inside := make([]linalg.Vector, 0, 64)
+	x := make(linalg.Vector, b.dim)
+	attempts := 0
+	for len(inside) < 64 && attempts < 50000 {
+		attempts++
+		for j := range x {
+			x[j] = r.Uniform(lo[j], hi[j])
+		}
+		if b.Contains(x) {
+			inside = append(inside, x.Clone())
+		}
+	}
+	if len(inside) < 2 {
+		return nil // too thin to probe; nothing refuted
+	}
+	for i := 0; i < n; i++ {
+		a := inside[r.Intn(len(inside))]
+		c := inside[r.Intn(len(inside))]
+		mid := a.Add(c).Scale(0.5)
+		if !b.Contains(mid) {
+			return fmt.Errorf("%w: midpoint of %v and %v escapes", ErrNotConvex, a, c)
+		}
+	}
+	return nil
+}
+
+// Ellipsoid returns the body Σ ((x_i - c_i)/a_i)² − 1 <= 0.
+func Ellipsoid(center linalg.Vector, axes []float64) (*Body, error) {
+	d := len(center)
+	if len(axes) != d {
+		return nil, fmt.Errorf("semialg: %d axes for %d dimensions", len(axes), d)
+	}
+	p := NewPolynomial(d)
+	constTerm := -1.0
+	for i := 0; i < d; i++ {
+		inv := 1 / (axes[i] * axes[i])
+		e2 := make([]int, d)
+		e2[i] = 2
+		p.AddTerm(inv, e2)
+		if center[i] != 0 {
+			e1 := make([]int, d)
+			e1[i] = 1
+			p.AddTerm(-2*center[i]*inv, e1)
+			constTerm += center[i] * center[i] * inv
+		}
+	}
+	p.AddTerm(constTerm, make([]int, d))
+	return NewBody(d, Constraint{P: p})
+}

@@ -1,0 +1,224 @@
+package semialg
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestPolynomialEval(t *testing.T) {
+	// p(x, y) = 2x²y − 3y + 1
+	p := NewPolynomial(2)
+	p.AddTerm(2, []int{2, 1})
+	p.AddTerm(-3, []int{0, 1})
+	p.AddTerm(1, []int{0, 0})
+	got := p.Eval(linalg.Vector{2, 3})
+	want := 2.0*4*3 - 3*3 + 1 // 24 - 9 + 1 = 16
+	if got != want {
+		t.Errorf("Eval = %g, want %g", got, want)
+	}
+	if p.Degree() != 3 {
+		t.Errorf("Degree = %d, want 3", p.Degree())
+	}
+	if p.IsLinear() {
+		t.Error("cubic-total-degree polynomial is not linear")
+	}
+}
+
+func TestAddTermMerges(t *testing.T) {
+	p := NewPolynomial(1)
+	p.AddTerm(2, []int{1})
+	p.AddTerm(3, []int{1})
+	if len(p.Terms) != 1 || p.Terms[0].Coef != 5 {
+		t.Errorf("terms = %+v, want merged coefficient 5", p.Terms)
+	}
+}
+
+func TestAddTermPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong exponent arity must panic")
+		}
+	}()
+	NewPolynomial(2).AddTerm(1, []int{1})
+}
+
+func TestGradient(t *testing.T) {
+	// p = x² + xy: ∇p = (2x + y, x).
+	p := NewPolynomial(2)
+	p.AddTerm(1, []int{2, 0})
+	p.AddTerm(1, []int{1, 1})
+	g := p.Gradient(linalg.Vector{3, 4})
+	if !g.Equal((linalg.Vector{10, 3}), 1e-12) {
+		t.Errorf("Gradient = %v, want [10 3]", g)
+	}
+}
+
+func TestGradientNumerically(t *testing.T) {
+	// Property: analytic gradient matches finite differences.
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := 1 + r.Intn(3)
+		p := NewPolynomial(d)
+		for k := 0; k < 4; k++ {
+			exps := make([]int, d)
+			for j := range exps {
+				exps[j] = r.Intn(3)
+			}
+			p.AddTerm(r.Normal(), exps)
+		}
+		x := make(linalg.Vector, d)
+		for j := range x {
+			x[j] = r.Uniform(-1, 1)
+		}
+		g := p.Gradient(x)
+		const h = 1e-6
+		for j := 0; j < d; j++ {
+			xp := x.Clone()
+			xm := x.Clone()
+			xp[j] += h
+			xm[j] -= h
+			fd := (p.Eval(xp) - p.Eval(xm)) / (2 * h)
+			if math.Abs(fd-g[j]) > 1e-4*(1+math.Abs(fd)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBodyMembership(t *testing.T) {
+	disk, err := ParseBody(`x^2 + y^2 <= 1`, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !disk.Contains(linalg.Vector{0.5, 0.5}) {
+		t.Error("interior point must be inside")
+	}
+	if disk.Contains(linalg.Vector{0.9, 0.9}) {
+		t.Error("exterior point must be outside")
+	}
+	if disk.Dim() != 2 {
+		t.Error("dim wrong")
+	}
+}
+
+func TestParseBodyVariants(t *testing.T) {
+	cases := []struct {
+		src     string
+		inside  linalg.Vector
+		outside linalg.Vector
+	}{
+		{`x^2 + y^2 <= 1`, linalg.Vector{0, 0}, linalg.Vector{1, 1}},
+		{`x^2 + y^2 < 1; x >= 0`, linalg.Vector{0.5, 0}, linalg.Vector{-0.5, 0}},
+		{`2x^2 + 3 y^2 <= 6`, linalg.Vector{1, 1}, linalg.Vector{2, 0}},
+		{`(x + y)^2 <= 1`, linalg.Vector{0.4, 0.4}, linalg.Vector{1, 1}},
+		{`x*y <= 1/2; 0 <= x; x <= 2; 0 <= y; y <= 2`, linalg.Vector{0.5, 0.5}, linalg.Vector{1.5, 1.5}},
+		{`x^2 - y <= 0; y <= 1`, linalg.Vector{0.5, 0.5}, linalg.Vector{1, 0.5}},
+	}
+	for _, c := range cases {
+		b, err := ParseBody(c.src, []string{"x", "y"})
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if !b.Contains(c.inside) {
+			t.Errorf("%q: %v should be inside", c.src, c.inside)
+		}
+		if b.Contains(c.outside) {
+			t.Errorf("%q: %v should be outside", c.src, c.outside)
+		}
+	}
+}
+
+func TestParseBodyErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`x + y`,        // no comparison
+		`x^ <= 1`,      // missing exponent
+		`z <= 1`,       // unknown variable
+		`x <= (y`,      // unbalanced paren
+		`x ^-2 <= 1`,   // negative exponent
+		`1/0 x <= 1`,   // zero denominator
+		`x <= 1 extra`, // trailing garbage
+	}
+	for _, src := range cases {
+		if _, err := ParseBody(src, []string{"x", "y"}); err == nil {
+			t.Errorf("ParseBody(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseBodyComments(t *testing.T) {
+	b, err := ParseBody("# a disk\nx^2 + y^2 <= 1\n# done", []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Constraints) != 1 {
+		t.Errorf("constraints = %d, want 1", len(b.Constraints))
+	}
+}
+
+func TestEllipsoidBody(t *testing.T) {
+	e, err := Ellipsoid(linalg.Vector{1, -1}, []float64{2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Contains(linalg.Vector{1, -1}) || !e.Contains(linalg.Vector{2.5, -1}) {
+		t.Error("ellipsoid interior wrong")
+	}
+	if e.Contains(linalg.Vector{3.5, -1}) || e.Contains(linalg.Vector{1, 0}) {
+		t.Error("ellipsoid exterior wrong")
+	}
+	if _, err := Ellipsoid(linalg.Vector{0}, []float64{1, 2}); err == nil {
+		t.Error("axes/dimension mismatch must fail")
+	}
+}
+
+func TestConvexityProbePasses(t *testing.T) {
+	disk, _ := ParseBody(`x^2 + y^2 <= 1`, []string{"x", "y"})
+	err := disk.ConvexityProbe(linalg.Vector{-1, -1}, linalg.Vector{1, 1}, 300, rng.New(1))
+	if err != nil {
+		t.Errorf("disk must pass the convexity probe: %v", err)
+	}
+}
+
+func TestConvexityProbeCatchesNonConvex(t *testing.T) {
+	// x² - y² >= 1 with |x| <= 2: two hyperbola branches — non-convex.
+	body, err := ParseBody(`1 - x^2 + y^2 <= 0; x <= 2; -2 <= x; y <= 2; -2 <= y`, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = body.ConvexityProbe(linalg.Vector{-2, -2}, linalg.Vector{2, 2}, 500, rng.New(2))
+	if !errors.Is(err, ErrNotConvex) {
+		t.Errorf("hyperbola branches must fail the probe, got %v", err)
+	}
+}
+
+func TestPolynomialString(t *testing.T) {
+	p := NewPolynomial(2)
+	p.AddTerm(2, []int{2, 1})
+	p.AddTerm(-1, []int{0, 0})
+	s := p.String()
+	if !strings.Contains(s, "x0^2") || !strings.Contains(s, "x1") {
+		t.Errorf("String = %q", s)
+	}
+	if NewPolynomial(1).String() != "0" {
+		t.Error("zero polynomial must render as 0")
+	}
+}
+
+func TestBodyArityMismatch(t *testing.T) {
+	p := NewPolynomial(1)
+	p.AddTerm(1, []int{1})
+	if _, err := NewBody(2, Constraint{P: p}); err == nil {
+		t.Error("dimension mismatch must fail")
+	}
+}

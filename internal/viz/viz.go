@@ -1,0 +1,157 @@
+// Package viz renders 2-D constraint-database scenes — relations,
+// sample clouds, reconstruction hulls — as standalone SVG documents,
+// using only the standard library. It exists for the GIS-flavoured
+// tooling (cmd/cdbplot): the paper's motivating applications are spatial,
+// and pictures of sampled regions make the generators inspectable.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+	"repro/internal/polytope"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport.
+type Canvas struct {
+	pxW, pxH   float64
+	lo, hi     linalg.Vector
+	elements   []string
+	background string
+}
+
+// NewCanvas creates a canvas of pixel size w x h showing the world
+// rectangle [lo, hi]. Y grows upward in world coordinates (SVG's flip is
+// handled internally).
+func NewCanvas(w, h int, lo, hi linalg.Vector) *Canvas {
+	return &Canvas{
+		pxW: float64(w), pxH: float64(h),
+		lo: lo.Clone(), hi: hi.Clone(),
+		background: "#ffffff",
+	}
+}
+
+// SetBackground sets the background fill.
+func (c *Canvas) SetBackground(color string) { c.background = color }
+
+func (c *Canvas) tx(p linalg.Vector) (float64, float64) {
+	x := (p[0] - c.lo[0]) / (c.hi[0] - c.lo[0]) * c.pxW
+	y := c.pxH - (p[1]-c.lo[1])/(c.hi[1]-c.lo[1])*c.pxH
+	return x, y
+}
+
+// Polygon draws a filled polygon from world-coordinate vertices in order.
+func (c *Canvas) Polygon(vs []linalg.Vector, fill, stroke string, opacity float64) {
+	if len(vs) < 3 {
+		return
+	}
+	pts := make([]string, len(vs))
+	for i, v := range vs {
+		x, y := c.tx(v)
+		pts[i] = fmt.Sprintf("%.2f,%.2f", x, y)
+	}
+	c.elements = append(c.elements, fmt.Sprintf(
+		`<polygon points="%s" fill="%s" stroke="%s" fill-opacity="%.2f" stroke-width="1"/>`,
+		strings.Join(pts, " "), fill, stroke, opacity))
+}
+
+// Point draws a dot at a world coordinate.
+func (c *Canvas) Point(p linalg.Vector, radius float64, color string) {
+	x, y := c.tx(p)
+	c.elements = append(c.elements, fmt.Sprintf(
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`, x, y, radius, color))
+}
+
+// Line draws a segment between world coordinates.
+func (c *Canvas) Line(a, b linalg.Vector, color string, width float64) {
+	x1, y1 := c.tx(a)
+	x2, y2 := c.tx(b)
+	c.elements = append(c.elements, fmt.Sprintf(
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`,
+		x1, y1, x2, y2, color, width))
+}
+
+// Text places a label at a world coordinate.
+func (c *Canvas) Text(p linalg.Vector, s string) {
+	x, y := c.tx(p)
+	c.elements = append(c.elements, fmt.Sprintf(
+		`<text x="%.2f" y="%.2f" font-family="monospace" font-size="12">%s</text>`,
+		x, y, escape(s)))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// WriteTo emits the SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		c.pxW, c.pxH, c.pxW, c.pxH)
+	fmt.Fprintf(&sb, `<rect width="%.0f" height="%.0f" fill="%s"/>`, c.pxW, c.pxH, c.background)
+	for _, e := range c.elements {
+		sb.WriteString(e)
+	}
+	sb.WriteString(`</svg>`)
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the document to a string.
+func (c *Canvas) String() string {
+	var sb strings.Builder
+	c.WriteTo(&sb)
+	return sb.String()
+}
+
+// TuplePolygon converts a bounded 2-D generalized tuple into its vertex
+// polygon, ordered counter-clockwise around the centroid.
+func TuplePolygon(t constraint.Tuple) ([]linalg.Vector, error) {
+	if t.Dim() != 2 {
+		return nil, fmt.Errorf("viz: TuplePolygon requires dimension 2, got %d", t.Dim())
+	}
+	p := polytope.FromTuple(t)
+	vs, err := p.Vertices()
+	if err != nil {
+		return nil, err
+	}
+	if len(vs) < 3 {
+		return nil, nil
+	}
+	var cx, cy float64
+	for _, v := range vs {
+		cx += v[0]
+		cy += v[1]
+	}
+	cx /= float64(len(vs))
+	cy /= float64(len(vs))
+	sort.Slice(vs, func(i, j int) bool {
+		ai := math.Atan2(vs[i][1]-cy, vs[i][0]-cx)
+		aj := math.Atan2(vs[j][1]-cy, vs[j][0]-cx)
+		return ai < aj
+	})
+	return vs, nil
+}
+
+// DrawRelation draws every non-empty tuple of a 2-D relation.
+func DrawRelation(c *Canvas, rel *constraint.Relation, fill, stroke string, opacity float64) error {
+	for _, t := range rel.Tuples {
+		poly, err := TuplePolygon(t)
+		if err != nil {
+			return err
+		}
+		if poly != nil {
+			c.Polygon(poly, fill, stroke, opacity)
+		}
+	}
+	return nil
+}
+
+// Palette is a small color palette for multi-class scenes.
+var Palette = []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2"}

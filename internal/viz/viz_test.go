@@ -1,0 +1,83 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+)
+
+func TestCanvasProducesValidSVGSkeleton(t *testing.T) {
+	c := NewCanvas(200, 100, linalg.Vector{0, 0}, linalg.Vector{10, 5})
+	c.Point(linalg.Vector{5, 2.5}, 2, "#ff0000")
+	c.Line(linalg.Vector{0, 0}, linalg.Vector{10, 5}, "#000000", 1)
+	c.Text(linalg.Vector{1, 1}, "label <&>")
+	s := c.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<line", "<text", "&lt;&amp;&gt;"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestCoordinateTransformFlipsY(t *testing.T) {
+	c := NewCanvas(100, 100, linalg.Vector{0, 0}, linalg.Vector{1, 1})
+	// World (0,0) is bottom-left: pixel y = 100.
+	x, y := c.tx(linalg.Vector{0, 0})
+	if x != 0 || y != 100 {
+		t.Errorf("tx(0,0) = (%g, %g), want (0, 100)", x, y)
+	}
+	x, y = c.tx(linalg.Vector{1, 1})
+	if x != 100 || y != 0 {
+		t.Errorf("tx(1,1) = (%g, %g), want (100, 0)", x, y)
+	}
+}
+
+func TestTuplePolygonSquare(t *testing.T) {
+	vs, err := TuplePolygon(constraint.Cube(2, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 {
+		t.Fatalf("square polygon has %d vertices", len(vs))
+	}
+	// Counter-clockwise ordering: the signed area is positive.
+	var area float64
+	for i := range vs {
+		j := (i + 1) % len(vs)
+		area += vs[i][0]*vs[j][1] - vs[j][0]*vs[i][1]
+	}
+	if area <= 0 {
+		t.Errorf("polygon not CCW: signed area %g", area)
+	}
+}
+
+func TestTuplePolygonRejectsWrongDimension(t *testing.T) {
+	if _, err := TuplePolygon(constraint.Cube(3, 0, 1)); err == nil {
+		t.Error("3-D tuple must be rejected")
+	}
+}
+
+func TestDrawRelation(t *testing.T) {
+	rel := constraint.MustRelation("R", []string{"x", "y"},
+		constraint.Cube(2, 0, 1),
+		constraint.Box(linalg.Vector{2, 0}, linalg.Vector{3, 1}),
+	)
+	c := NewCanvas(300, 100, linalg.Vector{-0.5, -0.5}, linalg.Vector{3.5, 1.5})
+	if err := DrawRelation(c, rel, Palette[0], "#000", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	if strings.Count(s, "<polygon") != 2 {
+		t.Errorf("expected 2 polygons, got %d", strings.Count(s, "<polygon"))
+	}
+}
+
+func TestPolygonSkipsDegenerate(t *testing.T) {
+	c := NewCanvas(100, 100, linalg.Vector{0, 0}, linalg.Vector{1, 1})
+	c.Polygon([]linalg.Vector{{0, 0}, {1, 1}}, "#fff", "#000", 1)
+	if strings.Contains(c.String(), "<polygon") {
+		t.Error("two-point polygon must be skipped")
+	}
+}

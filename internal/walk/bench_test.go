@@ -1,0 +1,85 @@
+package walk
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/geom"
+	"repro/internal/linalg"
+	"repro/internal/polytope"
+	"repro/internal/rng"
+)
+
+func benchBody(d int) *polytope.Polytope {
+	return polytope.FromTuple(constraint.Cube(d, -1, 1))
+}
+
+func center(d int) linalg.Vector { return make(linalg.Vector, d) }
+
+func BenchmarkGridWalkStep(b *testing.B) {
+	for _, d := range []int{2, 6} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			w, err := New(benchBody(d), center(d), rng.New(1), Config{
+				Kind: GridWalk, Grid: geom.NewGrid(d, 0.05),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		})
+	}
+}
+
+func BenchmarkBallWalkStep(b *testing.B) {
+	for _, d := range []int{2, 6} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			w, err := New(benchBody(d), center(d), rng.New(2), Config{
+				Kind: BallWalk, Delta: 0.3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		})
+	}
+}
+
+func BenchmarkHitAndRunStep(b *testing.B) {
+	for _, d := range []int{2, 6, 12} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			w, err := New(benchBody(d), center(d), rng.New(3), Config{Kind: HitAndRun})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		})
+	}
+}
+
+func BenchmarkHitAndRunBisectionStep(b *testing.B) {
+	// Membership-only oracle forces the bisection chord.
+	d := 4
+	ball := oracleBody{BallBody{Center: center(d), Radius: 1}}
+	w, err := New(ball, center(d), rng.New(4), Config{Kind: HitAndRun, OuterRadius: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step()
+	}
+}

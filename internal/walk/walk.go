@@ -1,0 +1,405 @@
+// Package walk implements the random walks that drive the paper's
+// generators: the Dyer–Frieze–Kannan lazy grid walk (the walk of the
+// theorem quoted in Section 2), plus the ball walk and hit-and-run as
+// engineered alternatives with much faster practical mixing.
+//
+// All walks operate on a membership oracle (a Body), matching the
+// paper's §5 observation that only a membership oracle is needed — which
+// is why polynomial-constraint convex sets sample through the identical
+// code path.
+package walk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// Body is a membership oracle for a (convex) set.
+type Body interface {
+	Dim() int
+	Contains(x linalg.Vector) bool
+}
+
+// ChordBody is a Body that can intersect lines with itself exactly.
+// H-polytopes implement it; membership-only oracles fall back to a
+// bisection chord.
+type ChordBody interface {
+	Body
+	Chord(x, dir linalg.Vector) (tmin, tmax float64, ok bool)
+}
+
+// ChordCapable lets wrapper bodies (MappedBody, IntersectionBody) report
+// whether their Chord method is actually backed by every underlying
+// body. A wrapper always *has* a Chord method, so the interface check
+// alone would silently route membership-only oracles onto the exact
+// path, where every chord fails and the walk never moves.
+type ChordCapable interface {
+	ChordBody
+	ChordSupported() bool
+}
+
+// ChordSupport reports whether b can produce exact chords.
+func ChordSupport(b Body) bool {
+	if cc, ok := b.(ChordCapable); ok {
+		return cc.ChordSupported()
+	}
+	_, ok := b.(ChordBody)
+	return ok
+}
+
+// ErrStartOutside is returned when a walk is started at a point outside
+// the body.
+var ErrStartOutside = errors.New("walk: start point outside the body")
+
+// Kind selects a walk implementation.
+type Kind int
+
+const (
+	// GridWalk is the paper's lazy walk on the γ-grid graph induced on
+	// the body: stay with probability 1/2, otherwise move to a uniform
+	// axis neighbour if it is inside. Its stationary distribution is
+	// uniform on the connected grid graph.
+	GridWalk Kind = iota
+	// BallWalk proposes a uniform point in a δ-ball and accepts if it is
+	// inside.
+	BallWalk
+	// HitAndRun picks a uniform chord direction and a uniform point on
+	// the chord; it mixes fastest in practice.
+	HitAndRun
+)
+
+// String returns the walk name.
+func (k Kind) String() string {
+	switch k {
+	case GridWalk:
+		return "grid"
+	case BallWalk:
+		return "ball"
+	default:
+		return "hit-and-run"
+	}
+}
+
+// Walker performs random-walk steps over a body.
+type Walker struct {
+	kind Kind
+	body Body
+	grid geom.Grid // grid walk only
+	// delta is the ball-walk proposal radius.
+	delta float64
+	// outerRadius bounds the chord search for membership-only bodies.
+	outerRadius float64
+	cur         linalg.Vector
+	r           *rng.RNG
+	dirBuf      linalg.Vector
+	// Steps executed and proposals accepted, for diagnostics.
+	steps, accepted int
+}
+
+// Config carries walk construction parameters.
+type Config struct {
+	Kind Kind
+	// Grid is required for GridWalk (the γ-grid of Definition 2.2).
+	Grid geom.Grid
+	// Delta is the BallWalk proposal radius; default r/√d is chosen by
+	// the caller.
+	Delta float64
+	// OuterRadius bounds bisection chords for membership-only bodies
+	// under HitAndRun. Required when the body is not a ChordBody.
+	OuterRadius float64
+}
+
+// New returns a walker positioned at start.
+func New(body Body, start linalg.Vector, r *rng.RNG, cfg Config) (*Walker, error) {
+	cur := start.Clone()
+	if cfg.Kind == GridWalk {
+		cur = cfg.Grid.Snap(cur)
+	}
+	if !body.Contains(cur) {
+		// A snapped start can fall out of thin bodies; walk back toward
+		// the original point is not possible without membership, so fail
+		// loudly — callers pick a finer grid.
+		return nil, fmt.Errorf("%w (kind=%s)", ErrStartOutside, cfg.Kind)
+	}
+	if cfg.Kind == BallWalk && cfg.Delta <= 0 {
+		return nil, errors.New("walk: BallWalk requires a positive Delta")
+	}
+	if cfg.Kind == HitAndRun && !ChordSupport(body) && cfg.OuterRadius <= 0 {
+		return nil, errors.New("walk: HitAndRun on a membership-only body requires OuterRadius")
+	}
+	return &Walker{
+		kind:        cfg.Kind,
+		body:        body,
+		grid:        cfg.Grid,
+		delta:       cfg.Delta,
+		outerRadius: cfg.OuterRadius,
+		cur:         cur,
+		r:           r,
+		dirBuf:      make(linalg.Vector, body.Dim()),
+	}, nil
+}
+
+// Current returns the walker's position (aliased; clone to keep).
+func (w *Walker) Current() linalg.Vector { return w.cur }
+
+// AcceptanceRate returns accepted proposals / steps (1.0 for hit-and-run).
+func (w *Walker) AcceptanceRate() float64 {
+	if w.steps == 0 {
+		return 0
+	}
+	return float64(w.accepted) / float64(w.steps)
+}
+
+// Step advances the walk by one step.
+func (w *Walker) Step() {
+	w.steps++
+	switch w.kind {
+	case GridWalk:
+		// Lazy: stay with probability 1/2 (guarantees aperiodicity, as in
+		// the DFK analysis).
+		if w.r.Bool() {
+			return
+		}
+		d := w.body.Dim()
+		j := w.r.Intn(d)
+		sign := 1
+		if w.r.Bool() {
+			sign = -1
+		}
+		cand := w.grid.Neighbor(w.cur, j, sign)
+		if w.body.Contains(cand) {
+			w.cur = cand
+			w.accepted++
+		}
+	case BallWalk:
+		cand := w.cur.Clone()
+		w.r.InBall(w.dirBuf)
+		cand.AddScaled(w.delta, w.dirBuf)
+		if w.body.Contains(cand) {
+			w.cur = cand
+			w.accepted++
+		}
+	case HitAndRun:
+		w.r.OnSphere(w.dirBuf)
+		tmin, tmax, ok := w.chord(w.cur, w.dirBuf)
+		if !ok || tmax <= tmin || math.IsInf(tmin, -1) || math.IsInf(tmax, 1) {
+			return
+		}
+		t := w.r.Uniform(tmin, tmax)
+		next := w.cur.Clone()
+		next.AddScaled(t, w.dirBuf)
+		// Guard against numerically escaping the body at chord endpoints.
+		if w.body.Contains(next) {
+			w.cur = next
+			w.accepted++
+		}
+	}
+}
+
+// Run advances n steps and returns the (aliased) final position.
+func (w *Walker) Run(n int) linalg.Vector {
+	for i := 0; i < n; i++ {
+		w.Step()
+	}
+	return w.cur
+}
+
+// Sample runs n mixing steps and returns a cloned point.
+func (w *Walker) Sample(n int) linalg.Vector {
+	return w.Run(n).Clone()
+}
+
+// chord returns the line-body intersection parameters, exact for
+// chord-supporting bodies and by bisection otherwise.
+func (w *Walker) chord(x, dir linalg.Vector) (float64, float64, bool) {
+	if ChordSupport(w.body) {
+		return w.body.(ChordBody).Chord(x, dir)
+	}
+	// Bisection within [-2R, 2R]: the body lies in a ball of radius R
+	// around some centre at distance <= R from x, so 2R bounds any chord.
+	span := 2 * w.outerRadius
+	lo := bisectBoundary(w.body, x, dir, -span)
+	hi := bisectBoundary(w.body, x, dir, span)
+	return lo, hi, hi > lo
+}
+
+// bisectBoundary finds the boundary crossing between t=0 (inside) and
+// t=far (assumed outside or at the limit) to 1e-9 relative precision.
+func bisectBoundary(b Body, x, dir linalg.Vector, far float64) float64 {
+	inside := 0.0
+	outside := far
+	probe := x.Clone()
+	at := func(t float64) bool {
+		copy(probe, x)
+		probe.AddScaled(t, dir)
+		return b.Contains(probe)
+	}
+	if at(far) {
+		return far // body extends past the sweep: clamp
+	}
+	for i := 0; i < 60; i++ {
+		mid := (inside + outside) / 2
+		if at(mid) {
+			inside = mid
+		} else {
+			outside = mid
+		}
+	}
+	return inside
+}
+
+// DefaultGridSteps returns the engineering default step budget for the
+// grid walk in dimension d with sandwiching ratio ratio = R/r. The
+// theoretical DFK bound O(d^19/(εγ) ln 1/δ) is astronomically
+// conservative; empirically O(d² ratio²) · grid-diameter steps mix well
+// on the well-rounded bodies the sampler produces (validated by the E2
+// experiment).
+func DefaultGridSteps(d int, ratio float64, gridDiameter int) int {
+	if ratio < 1 {
+		ratio = 1
+	}
+	steps := float64(d*d) * ratio * ratio * float64(gridDiameter)
+	if steps < 2000 {
+		steps = 2000
+	}
+	if steps > 2e6 {
+		steps = 2e6
+	}
+	return int(steps)
+}
+
+// DefaultHitAndRunSteps returns the engineering default step budget for
+// hit-and-run: O(d²) steps with a floor, scaled by the sandwiching
+// ratio.
+func DefaultHitAndRunSteps(d int, ratio float64) int {
+	if ratio < 1 {
+		ratio = 1
+	}
+	steps := 12*d*d + int(10*ratio*float64(d))
+	if steps < 60 {
+		steps = 60
+	}
+	return steps
+}
+
+// BallBody is a Euclidean ball membership oracle (a convenience Body
+// used by tests and the telescoping volume estimator).
+type BallBody struct {
+	Center linalg.Vector
+	Radius float64
+}
+
+// Dim returns the ambient dimension.
+func (b BallBody) Dim() int { return len(b.Center) }
+
+// Contains reports membership.
+func (b BallBody) Contains(x linalg.Vector) bool {
+	return x.Dist(b.Center) <= b.Radius
+}
+
+// Chord intersects a line with the ball exactly.
+func (b BallBody) Chord(x, dir linalg.Vector) (float64, float64, bool) {
+	// |x + t·dir - c|² = R²; dir is unit for walk use, but handle any norm.
+	diff := x.Sub(b.Center)
+	a := dir.Dot(dir)
+	bb := 2 * diff.Dot(dir)
+	c := diff.Dot(diff) - b.Radius*b.Radius
+	disc := bb*bb - 4*a*c
+	if disc < 0 || a == 0 {
+		return 0, 0, false
+	}
+	s := math.Sqrt(disc)
+	return (-bb - s) / (2 * a), (-bb + s) / (2 * a), true
+}
+
+// IntersectionBody is the membership intersection of bodies (used for
+// the telescoping estimator's K ∩ B(0, r_i) sequence).
+type IntersectionBody struct {
+	Bodies []Body
+}
+
+// Dim returns the common dimension.
+func (ib IntersectionBody) Dim() int {
+	if len(ib.Bodies) == 0 {
+		return 0
+	}
+	return ib.Bodies[0].Dim()
+}
+
+// Contains reports membership in every body.
+func (ib IntersectionBody) Contains(x linalg.Vector) bool {
+	for _, b := range ib.Bodies {
+		if !b.Contains(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// ChordSupported reports whether every member can produce exact chords.
+func (ib IntersectionBody) ChordSupported() bool {
+	for _, b := range ib.Bodies {
+		if !ChordSupport(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// Chord intersects chords when every member supports them.
+func (ib IntersectionBody) Chord(x, dir linalg.Vector) (float64, float64, bool) {
+	tmin, tmax := math.Inf(-1), math.Inf(1)
+	for _, b := range ib.Bodies {
+		cb, ok := b.(ChordBody)
+		if !ok {
+			return 0, 0, false
+		}
+		lo, hi, ok := cb.Chord(x, dir)
+		if !ok {
+			return 0, 0, false
+		}
+		tmin = math.Max(tmin, lo)
+		tmax = math.Min(tmax, hi)
+	}
+	if tmax < tmin {
+		return 0, 0, false
+	}
+	return tmin, tmax, true
+}
+
+// MappedBody is the image of a Body under an invertible affine map:
+// y ∈ MappedBody iff map⁻¹(y) ∈ Orig. Chords transfer exactly because
+// affine maps preserve line parametrisation.
+type MappedBody struct {
+	Orig Body
+	Map  *linalg.AffineMap
+}
+
+// Dim returns the ambient dimension.
+func (m MappedBody) Dim() int { return m.Orig.Dim() }
+
+// Contains reports membership of the pre-image.
+func (m MappedBody) Contains(y linalg.Vector) bool {
+	return m.Orig.Contains(m.Map.Invert(y))
+}
+
+// ChordSupported reports whether the wrapped body supports chords.
+func (m MappedBody) ChordSupported() bool { return ChordSupport(m.Orig) }
+
+// Chord maps the line into the original space: x + t·dir pre-images to
+// M⁻¹(x - T) + t·(M⁻¹ dir), so the t interval is unchanged.
+func (m MappedBody) Chord(x, dir linalg.Vector) (float64, float64, bool) {
+	cb, ok := m.Orig.(ChordBody)
+	if !ok {
+		return 0, 0, false
+	}
+	x0 := m.Map.Invert(x)
+	// Direction transforms without the translation.
+	d0 := m.Map.Invert(dir.Add(m.Map.T))
+	return cb.Chord(x0, d0)
+}

@@ -1,0 +1,66 @@
+package cdb_test
+
+import (
+	"math"
+	"testing"
+
+	cdb "repro"
+)
+
+func TestSemialgSamplerDisk(t *testing.T) {
+	gen, err := cdb.NewSemialgSampler(`x^2 + y^2 <= 1`, []string{"x", "y"},
+		cdb.Vector{0, 0}, 1, 1, 42, cdb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p, err := gen.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0]*p[0]+p[1]*p[1] > 1+1e-9 {
+			t.Fatalf("sample %v left the disk", p)
+		}
+	}
+	v, err := gen.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-math.Pi)/math.Pi > 0.3 {
+		t.Errorf("disk area = %g, want ~π", v)
+	}
+}
+
+func TestSemialgSamplerParabolicRegion(t *testing.T) {
+	// {y >= x², y <= 1}: convex, area 4/3 for x ∈ [−1, 1].
+	gen, err := cdb.NewSemialgSampler(`x^2 - y <= 0; y <= 1`, []string{"x", "y"},
+		cdb.Vector{0, 0.6}, 0.3, 2, 7, cdb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := gen.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.0 / 3
+	if math.Abs(v-want)/want > 0.35 {
+		t.Errorf("parabolic region area = %g, want ~%g", v, want)
+	}
+}
+
+func TestSemialgSamplerRejectsNonConvex(t *testing.T) {
+	// Hyperbola branches inside a box: non-convex, the probe must refuse.
+	_, err := cdb.NewSemialgSampler(
+		`1 - x^2 + y^2 <= 0; x <= 2; -2 <= x; y <= 2; -2 <= y`,
+		[]string{"x", "y"}, cdb.Vector{1.5, 0}, 0.1, 4, 3, cdb.DefaultOptions())
+	if err == nil {
+		t.Error("non-convex body must be rejected by the probe")
+	}
+}
+
+func TestSemialgSamplerParseError(t *testing.T) {
+	if _, err := cdb.NewSemialgSampler(`x^ <= 1`, []string{"x"},
+		cdb.Vector{0}, 1, 1, 1, cdb.DefaultOptions()); err == nil {
+		t.Error("parse error must propagate")
+	}
+}

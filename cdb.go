@@ -140,6 +140,80 @@ func NewSampler(rel *Relation, seed uint64, opts Options) (Observable, error) {
 	return core.NewRelationObservable(rel, rng.New(seed), opts)
 }
 
+// PreparedSampler is the cache-friendly form of NewSampler: the
+// expensive setup (per-tuple rounding, well-boundedness witnesses and
+// volume estimation) is paid once by PrepareSampler, and NewObservable
+// then binds request seeds to the warm geometry for the cost of a walker
+// initialisation. A PreparedSampler is safe for concurrent use — Bind
+// creates independent generators — and is what cdbserve's sampler cache
+// stores.
+type PreparedSampler struct {
+	prep *core.PreparedRelation
+	opts Options
+}
+
+// PrepareSampler runs the full sampler setup for a well-bounded relation
+// under a fixed preparation seed. The prepared geometry (and therefore
+// every volume estimate and every sample stream drawn from it) is
+// deterministic in (rel, prepSeed, opts).
+func PrepareSampler(rel *Relation, prepSeed uint64, opts Options) (*PreparedSampler, error) {
+	p, err := core.PrepareRelation(rel, rng.New(prepSeed), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedSampler{prep: p, opts: opts}, nil
+}
+
+// NewObservable binds a sampling seed to the prepared geometry and
+// returns an independent generator/estimator. Calls with the same seed
+// return generators producing identical streams.
+func (p *PreparedSampler) NewObservable(seed uint64) (Observable, error) {
+	return p.prep.Bind(rng.New(seed))
+}
+
+// Dim returns the ambient dimension.
+func (p *PreparedSampler) Dim() int { return p.prep.Dim() }
+
+// Tuples returns the number of non-empty tuples under the union.
+func (p *PreparedSampler) Tuples() int { return p.prep.Tuples() }
+
+// NewMemberObservable binds a seed to the i-th non-empty tuple alone —
+// the per-convex-piece generator reconstruction builds hulls from.
+func (p *PreparedSampler) NewMemberObservable(i int, seed uint64) (Observable, error) {
+	return p.prep.BindMember(i, rng.New(seed))
+}
+
+// Volume returns the relation's volume estimate from the warm geometry,
+// using seed for the union-acceptance pass (single-tuple relations
+// return the preparation-time estimate directly).
+func (p *PreparedSampler) Volume(seed uint64) (float64, error) {
+	obs, err := p.NewObservable(seed)
+	if err != nil {
+		return 0, err
+	}
+	return obs.Volume()
+}
+
+// SampleMany draws n samples with w parallel workers from the warm
+// geometry — the prepared counterpart of the package-level SampleMany,
+// with identical determinism semantics: worker i owns seed
+// baseSeed+7919·i and the indices ≡ i (mod w).
+func (p *PreparedSampler) SampleMany(n, w int, baseSeed uint64) ([]Vector, error) {
+	return core.SampleMany(p.NewObservable, n, w, baseSeed)
+}
+
+// SampleManyVia is SampleMany with worker execution scheduled through
+// submit (e.g. a server's bounded worker pool). The output is identical
+// to SampleMany for the same arguments.
+func (p *PreparedSampler) SampleManyVia(submit core.Submitter, n, w int, baseSeed uint64) ([]Vector, error) {
+	return core.SampleManyVia(submit, p.NewObservable, n, w, baseSeed)
+}
+
+// CacheKey fingerprints the options the prepared geometry was built
+// with; combined with a database id, relation name and preparation seed
+// it uniquely identifies the prepared sampler.
+func (p *PreparedSampler) CacheKey() string { return p.opts.CacheKey() }
+
 // EstimateVolume is a convenience for NewSampler(...).Volume().
 func EstimateVolume(rel *Relation, seed uint64, opts Options) (float64, error) {
 	obs, err := NewSampler(rel, seed, opts)

@@ -1,0 +1,90 @@
+// Command cdbserve runs the constraint-database sampling service: an
+// HTTP server with a registry of parsed programs, a prepared-sampler
+// cache and a batched sampling executor.
+//
+// Usage:
+//
+//	cdbserve [-addr :8080] [-pool 8] [-cache 64] [db.cdb ...]
+//
+// Trailing file arguments are preloaded programs, registered under
+// their file base names (without extension). See README.md for the API
+// reference and a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cdbserve: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		pool    = flag.Int("pool", 0, "sampling worker pool size (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 64, "prepared-sampler cache capacity")
+		workers = flag.Int("workers", 0, "default logical workers per sample request (0 = min(4, pool))")
+		maxN    = flag.Int("max-samples", 0, "per-request sample cap (0 = 1e6)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		PoolSize:       *pool,
+		CacheSize:      *cache,
+		DefaultWorkers: *workers,
+		MaxSamples:     *maxN,
+	})
+	defer srv.Close()
+
+	for _, path := range flag.Args() {
+		preload(srv, path)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}
+
+// preload registers a program file under its base name.
+func preload(srv *server.Server, path string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("preload %s: %v", path, err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	entry, _, err := srv.Registry().Register(name, string(src))
+	if err != nil {
+		log.Fatalf("preload %s: %v", path, err)
+	}
+	log.Printf("preloaded database %q (%d relations, %d queries)",
+		entry.ID, len(entry.DB.Names), len(entry.DB.Queries))
+}

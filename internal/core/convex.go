@@ -38,10 +38,32 @@ type Convex struct {
 
 var _ Observable = (*Convex)(nil)
 
-// NewConvex builds the DFK machinery for a convex membership oracle with
-// explicit well-boundedness witnesses: an inner ball (center, innerR) and
-// an enclosing radius outerR.
-func NewConvex(body walk.Body, center linalg.Vector, innerR, outerR float64, r *rng.RNG, opts Options) (*Convex, error) {
+// PreparedConvex is the reusable product of the expensive DFK setup for
+// one convex body: the rounding map, the sandwiching witnesses, the
+// γ-grid and the walk step budget — everything about the generator that
+// does not depend on the sampling seed. Bind attaches a fresh RNG and
+// returns a ready generator without repeating the setup; a prepared body
+// may be bound many times (the server's sampler cache relies on this).
+//
+// If the volume estimate was computed at preparation time (see
+// PrepareConvexPolytope), every bound generator shares it, so warm
+// Volume calls are free.
+type PreparedConvex struct {
+	body    walk.Body
+	rounded *rounding.Rounded
+	grid    geom.Grid
+	opts    Options
+	burnIn  int
+	thin    int
+
+	vol      float64
+	volKnown bool
+}
+
+// prepareConvex runs the seedable-but-reusable part of NewConvex: the
+// witness validation, the rounding pass (which consumes randomness from
+// r) and the grid/step-budget derivation. No walker is created.
+func prepareConvex(body walk.Body, center linalg.Vector, innerR, outerR float64, r *rng.RNG, opts Options) (*PreparedConvex, error) {
 	if err := opts.params().validate(); err != nil {
 		return nil, err
 	}
@@ -58,43 +80,113 @@ func NewConvex(body walk.Body, center linalg.Vector, innerR, outerR float64, r *
 	p := opts.params()
 	// Grid on the rounded body (inner radius 1): step O(γ/d^{3/2}).
 	grid := geom.NewGrid(d, geom.StepForGamma(p.Gamma, d, ro.InnerRadius))
-	c := &Convex{body: body, rounded: ro, grid: grid, opts: opts, r: r}
-	c.burnIn, c.thin = c.stepBudget()
+	pc := &PreparedConvex{body: body, rounded: ro, grid: grid, opts: opts}
+	pc.burnIn, pc.thin = pc.stepBudget()
+	return pc, nil
+}
+
+// Dim returns the ambient dimension of the prepared body.
+func (p *PreparedConvex) Dim() int { return p.body.Dim() }
+
+// VolumeKnown reports whether the preparation included a volume pass.
+func (p *PreparedConvex) VolumeKnown() bool { return p.volKnown }
+
+// Bind instantiates a generator over the prepared geometry with its own
+// randomness. The cost is one walker initialisation — O(d) — versus the
+// rounding + volume passes of a cold NewConvexPolytope call.
+func (p *PreparedConvex) Bind(r *rng.RNG) (*Convex, error) {
+	c := &Convex{
+		body:     p.body,
+		rounded:  p.rounded,
+		grid:     p.grid,
+		opts:     p.opts,
+		r:        r,
+		burnIn:   p.burnIn,
+		thin:     p.thin,
+		vol:      p.vol,
+		volKnown: p.volKnown,
+	}
 	if err := c.initWalker(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
+// NewConvex builds the DFK machinery for a convex membership oracle with
+// explicit well-boundedness witnesses: an inner ball (center, innerR) and
+// an enclosing radius outerR.
+func NewConvex(body walk.Body, center linalg.Vector, innerR, outerR float64, r *rng.RNG, opts Options) (*Convex, error) {
+	pc, err := prepareConvex(body, center, innerR, outerR, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pc.Bind(r)
+}
+
+// PrepareConvexPolytope is the cache-friendly constructor: it pays the
+// rounding pass and the telescoping volume estimation once, up front,
+// and returns a PreparedConvex whose Bind yields generators that share
+// both. The witnesses are derived exactly as in NewConvexPolytope.
+func PrepareConvexPolytope(poly *polytope.Polytope, r *rng.RNG, opts Options) (*PreparedConvex, error) {
+	center, innerR, outer, err := polytopeWitnesses(poly)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := prepareConvex(poly, center, innerR, outer, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := pc.Bind(r)
+	if err != nil {
+		return nil, err
+	}
+	v, err := probe.Volume()
+	if err != nil {
+		return nil, fmt.Errorf("core: prepared volume pass: %w", err)
+	}
+	pc.vol = v
+	pc.volKnown = true
+	return pc, nil
+}
+
+// polytopeWitnesses derives well-boundedness witnesses for an H-polytope
+// from its Chebyshev ball and an enclosing ball.
+func polytopeWitnesses(poly *polytope.Polytope) (center linalg.Vector, innerR, outer float64, err error) {
+	center, innerR, err = poly.Chebyshev()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: %w: %v", ErrNotWellBounded, err)
+	}
+	if innerR <= 1e-12 {
+		return nil, 0, 0, fmt.Errorf("core: %w: zero inner radius (flat polytope)", ErrNotWellBounded)
+	}
+	bc, outerR, err := poly.EnclosingBall()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: %w: %v", ErrNotWellBounded, err)
+	}
+	// Enclose from the Chebyshev centre: |c-bc| + R bounds the body.
+	return center, innerR, center.Dist(bc) + outerR, nil
+}
+
 // NewConvexPolytope builds the DFK machinery for an H-polytope, deriving
 // the well-boundedness witnesses from its Chebyshev ball and bounding
 // box.
 func NewConvexPolytope(poly *polytope.Polytope, r *rng.RNG, opts Options) (*Convex, error) {
-	center, innerR, err := poly.Chebyshev()
+	center, innerR, outer, err := polytopeWitnesses(poly)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w: %v", ErrNotWellBounded, err)
+		return nil, err
 	}
-	if innerR <= 1e-12 {
-		return nil, fmt.Errorf("core: %w: zero inner radius (flat polytope)", ErrNotWellBounded)
-	}
-	bc, outerR, err := poly.EnclosingBall()
-	if err != nil {
-		return nil, fmt.Errorf("core: %w: %v", ErrNotWellBounded, err)
-	}
-	// Enclose from the Chebyshev centre: |c-bc| + R bounds the body.
-	outer := center.Dist(bc) + outerR
 	return NewConvex(poly, center, innerR, outer, r, opts)
 }
 
-func (c *Convex) stepBudget() (burnIn, thin int) {
-	d := c.body.Dim()
-	ratio := c.rounded.Ratio()
-	if c.opts.WalkSteps > 0 {
-		return c.opts.WalkSteps, maxInt(c.opts.WalkSteps/4, 1)
+func (p *PreparedConvex) stepBudget() (burnIn, thin int) {
+	d := p.body.Dim()
+	ratio := p.rounded.Ratio()
+	if p.opts.WalkSteps > 0 {
+		return p.opts.WalkSteps, maxInt(p.opts.WalkSteps/4, 1)
 	}
-	switch c.opts.Walk {
+	switch p.opts.Walk {
 	case walk.GridWalk:
-		diam := int(2*c.rounded.OuterRadius/c.grid.Step) + 1
+		diam := int(2*p.rounded.OuterRadius/p.grid.Step) + 1
 		burnIn = walk.DefaultGridSteps(d, ratio, diam)
 		return burnIn, maxInt(burnIn/8, 64)
 	default:

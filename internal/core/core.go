@@ -186,6 +186,18 @@ func logCeil(x float64) int {
 	return n
 }
 
+// CacheKey returns a canonical fingerprint of every Options field that
+// affects the prepared sampling machinery (walk kind, approximation
+// parameters, step and rounding budgets). Two Options values with equal
+// CacheKeys build interchangeable PreparedRelations, so serving layers
+// key their prepared-sampler caches on it.
+func (o Options) CacheKey() string {
+	p := o.params()
+	return fmt.Sprintf("walk=%s;gamma=%g;eps=%g;delta=%g;steps=%d;rounditer=%d;phase=%d;rounds=%d;floor=%g",
+		o.Walk, p.Gamma, p.Eps, p.Delta,
+		o.WalkSteps, o.roundingIterations(), o.maxPhaseSamples(), o.MaxRounds, o.acceptanceFloor())
+}
+
 // NewRNG returns the deterministic generator used across the package
 // (re-exported so callers need not import internal/rng).
 func NewRNG(seed uint64) *rng.RNG { return rng.New(seed) }

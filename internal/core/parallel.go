@@ -75,6 +75,22 @@ func MedianVolume(factory Factory, k int, baseSeed uint64) (float64, error) {
 // a fixed (factory, n, w, baseSeed) tuple: worker i produces the samples
 // with index ≡ i (mod w) from its own stream.
 func SampleMany(factory Factory, n, w int, baseSeed uint64) ([]linalg.Vector, error) {
+	return SampleManyVia(func(fn func()) { go fn() }, factory, n, w, baseSeed)
+}
+
+// Submitter schedules fn for execution, possibly on a shared worker
+// pool; it must eventually run fn exactly once. The trivial submitter is
+// func(fn func()) { go fn() }.
+type Submitter func(fn func())
+
+// SampleManyVia is SampleMany with the worker goroutines scheduled
+// through submit instead of spawned directly. The output is identical to
+// SampleMany for the same (factory, n, w, baseSeed) regardless of the
+// submitter — each logical worker still owns the seed baseSeed + 7919·i
+// and the sample indices ≡ i (mod w) — so a serving layer can coalesce
+// many concurrent requests onto one bounded pool without changing what
+// any request returns.
+func SampleManyVia(submit Submitter, factory Factory, n, w int, baseSeed uint64) ([]linalg.Vector, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -89,8 +105,16 @@ func SampleMany(factory Factory, n, w int, baseSeed uint64) ([]linalg.Vector, er
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
-		go func(i int) {
+		submit(func() {
 			defer wg.Done()
+			// A panicking factory or sampler must not leave the caller
+			// with silently-nil points (or, on a shared pool, kill the
+			// process): surface it as this worker's error.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("core: sampling worker %d panicked: %v", i, r)
+				}
+			}()
 			obs, err := factory(baseSeed + uint64(7919*i))
 			if err != nil {
 				errs[i] = err
@@ -104,7 +128,7 @@ func SampleMany(factory Factory, n, w int, baseSeed uint64) ([]linalg.Vector, er
 				}
 				out[j] = x
 			}
-		}(i)
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/polytope"
+	"repro/internal/rng"
+)
+
+// PreparedRelation is the cache-friendly form of a generalized relation's
+// sampling machinery: every tuple's rounding map, well-boundedness
+// witnesses and volume estimate are computed once at preparation time,
+// so binding a request seed costs only walker initialisation. This is
+// what a serving layer caches per (relation, Options) — the expensive
+// setup is paid on the first request and amortised across all later
+// ones, while each bound Observable keeps the per-seed determinism of a
+// cold NewRelationObservable.
+type PreparedRelation struct {
+	name    string
+	members []*PreparedConvex
+	weights []float64
+	total   float64
+	dim     int
+	opts    Options
+}
+
+// PrepareRelation runs the full setup for a well-bounded generalized
+// relation: prune empty tuples, round every remaining tuple and estimate
+// its volume (step 1 of Algorithm 1, normally repeated per generator).
+// All randomness is drawn from r, so a fixed preparation seed yields a
+// fixed prepared geometry.
+//
+// This mirrors NewRelationObservable in relation.go (same pruning,
+// per-tuple loop and error shape); the paths stay separate because the
+// cold path must not pay the eager volume pass and its RNG stream
+// consumption must remain reproducible. Mirror edits in both.
+func PrepareRelation(rel *constraint.Relation, r *rng.RNG, opts Options) (*PreparedRelation, error) {
+	if err := opts.params().validate(); err != nil {
+		return nil, err
+	}
+	pruned := rel.PruneEmpty()
+	if len(pruned.Tuples) == 0 {
+		return nil, fmt.Errorf("core: relation %q is empty", rel.Name)
+	}
+	p := &PreparedRelation{name: rel.Name, opts: opts, dim: pruned.Tuples[0].Dim()}
+	for i, t := range pruned.Tuples {
+		pc, err := PrepareConvexPolytope(polytope.FromTuple(t), r.Split(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: relation %q tuple %d: %w", rel.Name, i, err)
+		}
+		p.members = append(p.members, pc)
+		p.weights = append(p.weights, pc.vol)
+		p.total += pc.vol
+	}
+	if p.total <= 0 {
+		return nil, fmt.Errorf("core: relation %q has zero total volume", rel.Name)
+	}
+	return p, nil
+}
+
+// Name returns the prepared relation's name.
+func (p *PreparedRelation) Name() string { return p.name }
+
+// Dim returns the ambient dimension.
+func (p *PreparedRelation) Dim() int { return p.dim }
+
+// Tuples returns the number of non-empty tuples under the union.
+func (p *PreparedRelation) Tuples() int { return len(p.members) }
+
+// MemberVolumes returns the per-tuple volume estimates μ̂_i computed at
+// preparation time.
+func (p *PreparedRelation) MemberVolumes() []float64 {
+	out := make([]float64, len(p.weights))
+	copy(out, p.weights)
+	return out
+}
+
+// BindMember instantiates a generator for the i-th non-empty tuple
+// alone — the per-disjunct view a reconstruction needs (Algorithm 5
+// builds one hull per convex piece, not one hull over the union).
+func (p *PreparedRelation) BindMember(i int, r *rng.RNG) (Observable, error) {
+	if i < 0 || i >= len(p.members) {
+		return nil, fmt.Errorf("core: relation %q has no tuple %d", p.name, i)
+	}
+	return p.members[i].Bind(r)
+}
+
+// Bind instantiates an Observable over the prepared geometry with its
+// own randomness: one walker per tuple plus the union combinator with
+// the cached member weights. Cost is O(tuples · d) — no rounding, no
+// volume passes.
+func (p *PreparedRelation) Bind(r *rng.RNG) (Observable, error) {
+	members := make([]Observable, 0, len(p.members))
+	for i, pc := range p.members {
+		c, err := pc.Bind(r.Split())
+		if err != nil {
+			return nil, fmt.Errorf("core: binding tuple %d of %q: %w", i, p.name, err)
+		}
+		members = append(members, c)
+	}
+	if len(members) == 1 {
+		return members[0], nil
+	}
+	// Member volumes are already cached on the bound Convex instances, so
+	// NewUnion's eager weighting pass costs nothing here.
+	return NewUnion(members, r.Split(), p.opts)
+}

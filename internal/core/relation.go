@@ -15,6 +15,9 @@ import (
 // stitches them together. Empty tuples are pruned first (the proof's
 // "exponentially smaller relations can be considered empty" step is
 // realised by the LP emptiness check).
+//
+// PrepareRelation in prepared.go mirrors this setup for the cacheable
+// prepare/bind split; mirror edits in both.
 func NewRelationObservable(rel *constraint.Relation, r *rng.RNG, opts Options) (Observable, error) {
 	pruned := rel.PruneEmpty()
 	if len(pruned.Tuples) == 0 {

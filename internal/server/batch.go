@@ -1,0 +1,156 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	cdb "repro"
+)
+
+// Pool is a fixed-size worker pool. Every batched sample draw runs its
+// worker chunks on it, so the concurrency of /v1/sample is bounded by
+// the pool size no matter how many requests are in flight — concurrent
+// requests are coalesced onto the same workers instead of each spawning
+// their own. (Single-walker paths — query sampling, reconstruction —
+// run one sequential walk on their handler goroutine and are bounded by
+// the HTTP server's connection handling instead.)
+type Pool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	size    int
+	metrics *Metrics
+
+	mu        sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+}
+
+// NewPool starts size workers (minimum 1). metrics may be nil.
+func NewPool(size int, metrics *Metrics) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{jobs: make(chan func()), size: size, metrics: metrics}
+	for i := 0; i < size; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.jobs {
+				if p.metrics != nil {
+					p.metrics.BatchJobs.Add(1)
+				}
+				runJob(fn)
+			}
+		}()
+	}
+	return p
+}
+
+// runJob shields the worker from a panicking job: handler goroutines are
+// recovered per-connection by net/http, but a bare pool goroutine would
+// take the whole process down. The job's own waiters see the failure
+// through their error slots (SampleManyVia converts worker panics to
+// errors); the recover here is the process-level backstop.
+func runJob(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+
+// Submit schedules fn on the pool, blocking until a worker accepts it.
+// After Close, fn runs synchronously on the caller instead — a request
+// that raced a shutdown still completes rather than panicking on the
+// closed channel.
+func (p *Pool) Submit(fn func()) {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		fn()
+		return
+	}
+	// Hold the read lock across the send so Close cannot close the
+	// channel between the check and the send.
+	defer p.mu.RUnlock()
+	p.jobs <- fn
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+// Close stops the workers after draining queued jobs. Submitters that
+// already passed the closed check finish their sends first (the workers
+// keep consuming until the channel drains).
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		close(p.jobs)
+		p.mu.Unlock()
+	})
+	p.wg.Wait()
+}
+
+// Executor is the batch executor for sample requests. It does two
+// things on top of the raw pool:
+//
+//   - every request's worker chunks run on the shared pool (bounded
+//     concurrency, same deterministic output as cdb.SampleMany), and
+//   - byte-identical concurrent requests — same prepared sampler, n,
+//     workers and seed — are coalesced into a single draw whose result
+//     every caller shares.
+type Executor struct {
+	pool *Pool
+
+	mu       sync.Mutex
+	inflight map[string]*draw
+
+	metrics *Metrics
+}
+
+type draw struct {
+	ready chan struct{}
+	pts   []cdb.Vector
+	err   error
+}
+
+// NewExecutor returns an executor over the given pool.
+func NewExecutor(pool *Pool, metrics *Metrics) *Executor {
+	return &Executor{pool: pool, inflight: map[string]*draw{}, metrics: metrics}
+}
+
+// SampleMany draws n points from ps with w logical workers and base seed
+// seed, deterministically identical to ps.SampleMany(n, w, seed).
+// samplerKey identifies the prepared sampler (the cache key); coalesced
+// reports that the result was shared with an identical in-flight draw.
+func (e *Executor) SampleMany(samplerKey string, ps *cdb.PreparedSampler, n, w int, seed uint64) (pts []cdb.Vector, coalesced bool, err error) {
+	key := fmt.Sprintf("%s|n=%d|w=%d|seed=%d", samplerKey, n, w, seed)
+	e.mu.Lock()
+	if d, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		if e.metrics != nil {
+			e.metrics.Coalesced.Add(1)
+		}
+		<-d.ready
+		return d.pts, true, d.err
+	}
+	d := &draw{ready: make(chan struct{})}
+	e.inflight[key] = d
+	e.mu.Unlock()
+
+	// Release the waiters and the inflight slot even if the draw panics
+	// on this goroutine, mirroring SamplerCache.Get — otherwise every
+	// coalesced waiter of this key blocks forever.
+	finished := false
+	defer func() {
+		if !finished {
+			d.err = errors.New("server: batched draw panicked")
+		}
+		close(d.ready)
+		e.mu.Lock()
+		delete(e.inflight, key)
+		e.mu.Unlock()
+	}()
+	d.pts, d.err = ps.SampleManyVia(e.pool.Submit, n, w, seed)
+	finished = true
+	return d.pts, false, d.err
+}

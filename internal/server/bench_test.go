@@ -1,0 +1,84 @@
+package server
+
+import (
+	"testing"
+
+	cdb "repro"
+)
+
+// The benchmarks quantify the prepared-sampler cache win: the naive
+// serving strategy pays the full rounding + volume setup on every
+// request, the cached strategy pays it once and binds seeds to the warm
+// geometry. BENCH_cdbserve.json records the measured ratio.
+
+func benchRelation() *cdb.Relation {
+	return cdb.MustRelation("H", []string{"a", "b", "c", "d"},
+		cdb.Cube(4, 0, 1),
+		cdb.Box(cdb.Vector{1, 0, 0, 0}, cdb.Vector{2, 1, 1, 1}),
+	)
+}
+
+const benchSamplesPerRequest = 16
+
+// BenchmarkNaivePerRequestSampler is the baseline: every request builds
+// its own sampler from scratch, exactly what cdb.NewSampler does.
+func BenchmarkNaivePerRequestSampler(b *testing.B) {
+	rel := benchRelation()
+	for i := 0; i < b.N; i++ {
+		obs, err := cdb.NewSampler(rel, uint64(i+1), cdb.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < benchSamplesPerRequest; j++ {
+			if _, err := obs.Sample(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWarmCachedSampler is the server's warm path: bind a request
+// seed to the shared prepared geometry and draw.
+func BenchmarkWarmCachedSampler(b *testing.B) {
+	rel := benchRelation()
+	ps, err := cdb.PrepareSampler(rel, 1, cdb.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs, err := ps.NewObservable(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < benchSamplesPerRequest; j++ {
+			if _, err := obs.Sample(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchExecutorSampleMany measures the full server-side batched
+// draw: prepared sampler + worker pool, 1024 points per request.
+func BenchmarkBatchExecutorSampleMany(b *testing.B) {
+	rel := benchRelation()
+	ps, err := cdb.PrepareSampler(rel, 1, cdb.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMetrics()
+	pool := NewPool(4, m)
+	defer pool.Close()
+	exec := NewExecutor(pool, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, _, err := exec.SampleMany("bench", ps, 1024, 4, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 1024 {
+			b.Fatalf("got %d points", len(pts))
+		}
+	}
+}

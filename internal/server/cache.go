@@ -1,0 +1,144 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	cdb "repro"
+)
+
+// errBuildPanic is what waiters of a flight see when the build panicked
+// out of Get (the panic itself propagates on the builder's goroutine).
+var errBuildPanic = errors.New("server: sampler preparation panicked")
+
+// SamplerCache is the prepared-sampler cache: an LRU over
+// (database, relation-or-query, Options) keys whose values are warm
+// *cdb.PreparedSampler instances. It is singleflight — concurrent Get
+// calls for the same missing key run the expensive preparation exactly
+// once and all receive the one shared sampler — which is what makes a
+// thundering herd of identical requests cost one rounding pass instead
+// of a hundred.
+type SamplerCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *cacheSlot
+	slots    map[string]*cacheSlot
+
+	metrics *Metrics
+}
+
+type cacheSlot struct {
+	key   string
+	elem  *list.Element
+	ready chan struct{} // closed when build finishes
+	ps    *cdb.PreparedSampler
+	err   error
+}
+
+// NewSamplerCache returns a cache holding at most capacity prepared
+// samplers (minimum 1). metrics may be nil.
+func NewSamplerCache(capacity int, metrics *Metrics) *SamplerCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SamplerCache{
+		capacity: capacity,
+		ll:       list.New(),
+		slots:    map[string]*cacheSlot{},
+		metrics:  metrics,
+	}
+}
+
+// Get returns the prepared sampler for key, building it with build on a
+// miss. hit reports whether a warm (or in-flight) sampler was reused.
+// Failed builds are not cached: the error propagates to every waiter of
+// that flight and the next Get retries.
+func (c *SamplerCache) Get(key string, build func() (*cdb.PreparedSampler, error)) (ps *cdb.PreparedSampler, hit bool, err error) {
+	c.mu.Lock()
+	if slot, ok := c.slots[key]; ok {
+		c.ll.MoveToFront(slot.elem)
+		c.mu.Unlock()
+		<-slot.ready
+		if slot.err != nil {
+			// Joined a flight that failed: no sampler was shared, so this
+			// is neither a hit nor a countable miss.
+			return nil, false, slot.err
+		}
+		if c.metrics != nil {
+			c.metrics.CacheHits.Add(1)
+		}
+		return slot.ps, true, nil
+	}
+	slot := &cacheSlot{key: key, ready: make(chan struct{})}
+	slot.elem = c.ll.PushFront(slot)
+	c.slots[key] = slot
+	c.evictLocked()
+	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.CacheMisses.Add(1)
+	}
+
+	// The ready channel must close even if build panics (numeric code on
+	// adversarial programs), or every later Get for this key would block
+	// forever on an unevictable in-flight slot.
+	finished := false
+	defer func() {
+		if !finished {
+			slot.err = errBuildPanic
+			close(slot.ready)
+			c.remove(slot)
+		}
+	}()
+	slot.ps, slot.err = build()
+	finished = true
+	close(slot.ready)
+	if slot.err != nil {
+		c.remove(slot)
+	}
+	return slot.ps, false, slot.err
+}
+
+// evictLocked drops least-recently-used completed slots until the cache
+// fits its capacity. In-flight builds are never evicted (their waiters
+// hold the slot anyway); callers must hold c.mu.
+func (c *SamplerCache) evictLocked() {
+	for c.ll.Len() > c.capacity {
+		evicted := false
+		for e := c.ll.Back(); e != nil; e = e.Prev() {
+			slot := e.Value.(*cacheSlot)
+			select {
+			case <-slot.ready:
+			default:
+				continue // still building
+			}
+			c.ll.Remove(e)
+			delete(c.slots, slot.key)
+			if c.metrics != nil {
+				c.metrics.CacheEvictions.Add(1)
+			}
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything over capacity is in flight
+		}
+	}
+}
+
+// remove drops a slot (used for failed builds).
+func (c *SamplerCache) remove(slot *cacheSlot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.slots[slot.key]; ok && cur == slot {
+		c.ll.Remove(slot.elem)
+		delete(c.slots, slot.key)
+	}
+}
+
+// Len returns the number of cached (or in-flight) samplers.
+func (c *SamplerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.slots)
+}

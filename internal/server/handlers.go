@@ -1,0 +1,753 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	cdb "repro"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/walk"
+)
+
+// OptionsJSON is the wire form of cdb.Options. Zero/omitted fields keep
+// the library defaults (hit-and-run walk, γ=0.2, ε=0.25, δ=0.1).
+type OptionsJSON struct {
+	Walk               string  `json:"walk,omitempty"` // "hit-and-run" (default), "grid", "ball"
+	Gamma              float64 `json:"gamma,omitempty"`
+	Eps                float64 `json:"eps,omitempty"`
+	Delta              float64 `json:"delta,omitempty"`
+	WalkSteps          int     `json:"walk_steps,omitempty"`
+	RoundingIterations int     `json:"rounding_iterations,omitempty"`
+	MaxPhaseSamples    int     `json:"max_phase_samples,omitempty"`
+}
+
+func (o *OptionsJSON) toOptions() (cdb.Options, error) {
+	opts := cdb.DefaultOptions()
+	if o == nil {
+		return opts, nil
+	}
+	switch o.Walk {
+	case "", "hit-and-run", "hitandrun":
+		opts.Walk = walk.HitAndRun
+	case "grid":
+		opts.Walk = walk.GridWalk
+	case "ball":
+		opts.Walk = walk.BallWalk
+	default:
+		return opts, fmt.Errorf("unknown walk %q (want hit-and-run, grid or ball)", o.Walk)
+	}
+	if o.Gamma != 0 || o.Eps != 0 || o.Delta != 0 {
+		p := core.DefaultParams()
+		if o.Gamma != 0 {
+			p.Gamma = o.Gamma
+		}
+		if o.Eps != 0 {
+			p.Eps = o.Eps
+		}
+		if o.Delta != 0 {
+			p.Delta = o.Delta
+		}
+		opts.Params = p
+	}
+	opts.WalkSteps = o.WalkSteps
+	opts.RoundingIterations = o.RoundingIterations
+	opts.MaxPhaseSamples = o.MaxPhaseSamples
+	return opts, nil
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError maps library errors onto HTTP statuses: client mistakes are
+// 400/404, relations outside the algorithms' preconditions are 422, and
+// the probability-δ generator abort is 503. Definition 2.2 allows
+// failure with probability δ, but responses are deterministic per
+// request, so the documented client recovery is retrying with a
+// *different* seed — replaying the identical request replays the abort.
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
+	switch {
+	case errors.Is(err, errTargetNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, cdb.ErrNotWellBounded), errors.Is(err, cdb.ErrNotPolyRelated), errors.Is(err, cdb.ErrUnsupportedQuery):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, cdb.ErrGeneratorFailed):
+		status = http.StatusServiceUnavailable
+	}
+	s.metrics.IncError(endpoint)
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// --- POST /v1/databases -------------------------------------------------
+
+type registerRequest struct {
+	// Name is the optional database id; defaults to a content hash.
+	Name string `json:"name,omitempty"`
+	// Source is the constraint database program, e.g.
+	// `rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 };`.
+	Source string `json:"source"`
+}
+
+type relationInfo struct {
+	Name   string   `json:"name"`
+	Vars   []string `json:"vars"`
+	Tuples int      `json:"tuples"`
+}
+
+type queryInfo struct {
+	Name string   `json:"name"`
+	Vars []string `json:"vars"`
+}
+
+type databaseResponse struct {
+	ID        string         `json:"id"`
+	Name      string         `json:"name,omitempty"`
+	Created   bool           `json:"created"`
+	Relations []relationInfo `json:"relations"`
+	Queries   []queryInfo    `json:"queries"`
+}
+
+func describeDatabase(e *DatabaseEntry, created bool) databaseResponse {
+	resp := databaseResponse{
+		ID:        e.ID,
+		Name:      e.Name,
+		Created:   created,
+		Relations: []relationInfo{},
+		Queries:   []queryInfo{},
+	}
+	for _, name := range e.DB.Names {
+		rel := e.DB.Schema[name]
+		resp.Relations = append(resp.Relations, relationInfo{Name: name, Vars: rel.Vars, Tuples: len(rel.Tuples)})
+	}
+	for _, q := range e.DB.Queries {
+		resp.Queries = append(resp.Queries, queryInfo{Name: q.Name, Vars: q.Vars})
+	}
+	return resp
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("databases")
+	var req registerRequest
+	if !decodeBody(w, r, int64(s.cfg.MaxSourceBytes), &req) {
+		s.metrics.IncError("databases")
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, "databases", http.StatusBadRequest, errors.New("missing source"))
+		return
+	}
+	entry, created, err := s.registry.Register(req.Name, req.Source)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrConflict):
+			status = http.StatusConflict
+		case errors.Is(err, ErrRegistryFull):
+			status = http.StatusInsufficientStorage
+		}
+		s.writeError(w, "databases", status, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, describeDatabase(entry, created))
+}
+
+func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("databases")
+	entries := s.registry.List()
+	out := make([]databaseResponse, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, describeDatabase(e, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"databases": out})
+}
+
+func (s *Server) handleGetDatabase(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("databases")
+	entry, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, "databases", http.StatusNotFound, fmt.Errorf("database %q not registered", r.PathValue("id")))
+		return
+	}
+	resp := describeDatabase(entry, false)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": resp.ID, "name": resp.Name,
+		"relations": resp.Relations, "queries": resp.Queries,
+		"source": entry.Source,
+	})
+}
+
+// --- sampler resolution -------------------------------------------------
+
+// errNeedsProjection marks a query whose sampling plan requires the
+// projection generator (Algorithm 2) and therefore cannot be served
+// from the prepared-sampler cache.
+var errNeedsProjection = errors.New("query needs the projection generator")
+
+// errTargetNotFound marks a relation or query name absent from its
+// database — a 404, like an unknown database id.
+var errTargetNotFound = errors.New("target not found")
+
+// targetKindName validates the relation/query arguments and returns the
+// cache-key kind and name. Shared by resolveTarget and preparedFor so
+// the two cannot diverge.
+func targetKindName(relName, queryName string) (kind, name string, err error) {
+	switch {
+	case relName != "" && queryName != "":
+		return "", "", errors.New("specify relation or query, not both")
+	case relName != "":
+		return "rel", relName, nil
+	case queryName != "":
+		return "query", queryName, nil
+	default:
+		return "", "", errors.New("missing relation (or query) name")
+	}
+}
+
+// resolveTarget finds the relation to sample: either a declared relation
+// or a query whose sampling plan is quantifier-free (every disjunct is a
+// plain conjunction), which compiles to an equivalent relation over the
+// output variables. Queries that need the projection generator are
+// served per-request through /v1/query instead of the prepared cache.
+func resolveTarget(e *DatabaseEntry, relName, queryName string, opts cdb.Options) (*constraint.Relation, string, string, error) {
+	kind, _, err := targetKindName(relName, queryName)
+	if err != nil {
+		return nil, "", "", err
+	}
+	switch kind {
+	case "rel":
+		rel, ok := e.DB.Relation(relName)
+		if !ok {
+			return nil, "", "", fmt.Errorf("%w: relation %q in database %q", errTargetNotFound, relName, e.ID)
+		}
+		return rel, "rel", relName, nil
+	default:
+		q, ok := e.DB.Query(queryName)
+		if !ok {
+			return nil, "", "", fmt.Errorf("%w: query %q in database %q", errTargetNotFound, queryName, e.ID)
+		}
+		eng := query.NewEngine(e.DB.Schema, opts, 0)
+		plan, err := eng.NewPlan(q)
+		if err != nil {
+			return nil, "", "", err
+		}
+		tuples := make([]constraint.Tuple, 0, len(plan.Disjuncts))
+		for _, d := range plan.Disjuncts {
+			if d.ExVars > 0 {
+				return nil, "", "", fmt.Errorf("%w: query %q; use POST /v1/query", errNeedsProjection, queryName)
+			}
+			tuples = append(tuples, d.Poly.Tuple())
+		}
+		rel, err := constraint.NewRelation(queryName, plan.OutVars, tuples...)
+		if err != nil {
+			return nil, "", "", err
+		}
+		return rel, "query", queryName, nil
+	}
+}
+
+// preparedFor returns the cached prepared sampler for the target,
+// building it on first use. Target resolution — including the query
+// planning pass — runs inside the build closure, so a warm request pays
+// only the cache lookup; on a hit the target necessarily resolved when
+// the entry was built.
+func (s *Server) preparedFor(e *DatabaseEntry, relName, queryName string, opts cdb.Options) (*cdb.PreparedSampler, string, bool, error) {
+	kind, name, err := targetKindName(relName, queryName)
+	if err != nil {
+		return nil, "", false, err
+	}
+	key := samplerKey(e.ID, kind, name, opts.CacheKey())
+	ps, hit, err := s.cache.Get(key, func() (*cdb.PreparedSampler, error) {
+		rel, _, _, err := resolveTarget(e, relName, queryName, opts)
+		if err != nil {
+			return nil, err
+		}
+		return cdb.PrepareSampler(rel, prepSeedFor(key), opts)
+	})
+	return ps, key, hit, err
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// --- POST /v1/sample ----------------------------------------------------
+
+type sampleRequest struct {
+	Database string       `json:"database"`
+	Relation string       `json:"relation,omitempty"`
+	Query    string       `json:"query,omitempty"`
+	N        int          `json:"n,omitempty"`       // default 1
+	Workers  int          `json:"workers,omitempty"` // default Config.DefaultWorkers
+	Seed     uint64       `json:"seed"`
+	Options  *OptionsJSON `json:"options,omitempty"`
+	// Stream selects NDJSON output: a meta line followed by one point
+	// per line. Equivalent to Accept: application/x-ndjson.
+	Stream bool `json:"stream,omitempty"`
+}
+
+type sampleResponse struct {
+	Database  string       `json:"database"`
+	Target    string       `json:"target"`
+	N         int          `json:"n"`
+	Workers   int          `json:"workers"`
+	Seed      uint64       `json:"seed"`
+	Cache     string       `json:"cache"` // "hit" or "miss"
+	Coalesced bool         `json:"coalesced,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	Points    []cdb.Vector `json:"points,omitempty"`
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("sample")
+	var req sampleRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		s.metrics.IncError("sample")
+		return
+	}
+	entry, ok := s.registry.Get(req.Database)
+	if !ok {
+		s.writeError(w, "sample", http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		s.writeError(w, "sample", http.StatusBadRequest, err)
+		return
+	}
+	n := req.N
+	if n <= 0 {
+		n = 1
+	}
+	if n > s.cfg.MaxSamples {
+		s.writeError(w, "sample", http.StatusBadRequest,
+			fmt.Errorf("n=%d exceeds the per-request cap %d", n, s.cfg.MaxSamples))
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	start := time.Now()
+	ps, key, hit, err := s.preparedFor(entry, req.Relation, req.Query, opts)
+	if err != nil {
+		s.writeError(w, "sample", http.StatusBadRequest, err)
+		return
+	}
+	pts, coalesced, err := s.exec.SampleMany(key, ps, n, workers, req.Seed)
+	if err != nil {
+		s.writeError(w, "sample", http.StatusInternalServerError, err)
+		return
+	}
+	s.metrics.SamplesServed.Add(int64(len(pts)))
+	resp := sampleResponse{
+		Database:  entry.ID,
+		Target:    firstNonEmpty(req.Relation, req.Query),
+		N:         n,
+		Workers:   workers,
+		Seed:      req.Seed,
+		Cache:     cacheLabel(hit),
+		Coalesced: coalesced,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		streamPoints(w, resp, pts)
+		return
+	}
+	resp.Points = pts
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// streamPoints writes the NDJSON form: the response meta (without
+// points) on the first line, then one JSON array per sample, flushing
+// every flushEvery lines so clients consume points as they arrive.
+func streamPoints(w http.ResponseWriter, meta sampleResponse, pts []cdb.Vector) {
+	const flushEvery = 256
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(meta); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	for i, p := range pts {
+		if err := enc.Encode(p); err != nil {
+			return // client went away; stop serializing to a dead connection
+		}
+		if flusher != nil && (i+1)%flushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// --- POST /v1/volume ----------------------------------------------------
+
+type volumeRequest struct {
+	Database string `json:"database"`
+	Relation string `json:"relation,omitempty"`
+	Query    string `json:"query,omitempty"`
+	Seed     uint64 `json:"seed"`
+	// MedianK > 1 runs k independent cold estimators and returns the
+	// median (cdb.MedianVolume's ln(1/δ) confidence amplification); the
+	// default uses the warm prepared estimate.
+	MedianK int          `json:"median_k,omitempty"`
+	Options *OptionsJSON `json:"options,omitempty"`
+}
+
+type volumeResponse struct {
+	Database  string  `json:"database"`
+	Target    string  `json:"target"`
+	Volume    float64 `json:"volume"`
+	Method    string  `json:"method"` // "prepared" or "median"
+	Cache     string  `json:"cache,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("volume")
+	var req volumeRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		s.metrics.IncError("volume")
+		return
+	}
+	entry, ok := s.registry.Get(req.Database)
+	if !ok {
+		s.writeError(w, "volume", http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		s.writeError(w, "volume", http.StatusBadRequest, err)
+		return
+	}
+	if req.MedianK > s.cfg.MaxMedianK {
+		s.writeError(w, "volume", http.StatusBadRequest,
+			fmt.Errorf("median_k=%d exceeds the cap %d", req.MedianK, s.cfg.MaxMedianK))
+		return
+	}
+	start := time.Now()
+	resp := volumeResponse{Database: entry.ID, Target: firstNonEmpty(req.Relation, req.Query)}
+	if req.MedianK > 1 {
+		rel, _, _, err := resolveTarget(entry, req.Relation, req.Query, opts)
+		if err != nil {
+			s.writeError(w, "volume", http.StatusBadRequest, err)
+			return
+		}
+		v, err := cdb.MedianVolume(rel, req.MedianK, req.Seed, opts)
+		if err != nil {
+			s.writeError(w, "volume", http.StatusInternalServerError, err)
+			return
+		}
+		resp.Volume, resp.Method = v, "median"
+	} else {
+		ps, _, hit, err := s.preparedFor(entry, req.Relation, req.Query, opts)
+		if err != nil {
+			s.writeError(w, "volume", http.StatusBadRequest, err)
+			return
+		}
+		v, err := ps.Volume(req.Seed)
+		if err != nil {
+			s.writeError(w, "volume", http.StatusInternalServerError, err)
+			return
+		}
+		resp.Volume, resp.Method, resp.Cache = v, "prepared", cacheLabel(hit)
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- POST /v1/query -----------------------------------------------------
+
+type queryRequest struct {
+	Database string `json:"database"`
+	Query    string `json:"query"`
+	// Mode selects the evaluation: "volume" (default), "sample", "plan",
+	// "symbolic" or "reconstruct".
+	Mode    string       `json:"mode,omitempty"`
+	N       int          `json:"n,omitempty"` // samples for sample/reconstruct (default 100)
+	Seed    uint64       `json:"seed"`
+	Options *OptionsJSON `json:"options,omitempty"`
+}
+
+type queryResponse struct {
+	Database  string       `json:"database"`
+	Query     string       `json:"query"`
+	Mode      string       `json:"mode"`
+	Volume    *float64     `json:"volume,omitempty"`
+	Points    []cdb.Vector `json:"points,omitempty"`
+	Plan      string       `json:"plan,omitempty"`
+	Source    string       `json:"source,omitempty"`
+	Hulls     []hullJSON   `json:"hulls,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+type hullJSON struct {
+	Vertices []cdb.Vector `json:"vertices"`
+}
+
+// hullVertices extracts a hull's extreme points for the wire. Grid-walk
+// samples repeat grid points, and Hull.Vertices drops a duplicated
+// extreme entirely (each copy lies in the hull of the others), so the
+// point set is deduplicated first; a fully degenerate hull falls back
+// to its distinct points.
+func hullVertices(h *cdb.Hull) []cdb.Vector {
+	pts := geom.DedupPoints(h.Points, 1e-12)
+	if v := geom.NewHull(pts).Vertices(); len(v) > 0 {
+		return v
+	}
+	return pts
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("query")
+	var req queryRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		s.metrics.IncError("query")
+		return
+	}
+	entry, ok := s.registry.Get(req.Database)
+	if !ok {
+		s.writeError(w, "query", http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
+		return
+	}
+	q, ok := entry.DB.Query(req.Query)
+	if !ok {
+		s.writeError(w, "query", http.StatusNotFound, fmt.Errorf("query %q not found in database %q", req.Query, entry.ID))
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		s.writeError(w, "query", http.StatusBadRequest, err)
+		return
+	}
+	n := req.N
+	if n <= 0 {
+		n = 100
+	}
+	if n > s.cfg.MaxSamples {
+		s.writeError(w, "query", http.StatusBadRequest,
+			fmt.Errorf("n=%d exceeds the per-request cap %d", n, s.cfg.MaxSamples))
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "volume"
+	}
+	eng := cdb.NewEngine(entry.DB.Schema, opts, req.Seed)
+	start := time.Now()
+	resp := queryResponse{Database: entry.ID, Query: req.Query, Mode: mode}
+	switch mode {
+	case "volume":
+		v, err := eng.EstimateVolume(q)
+		if err != nil {
+			s.writeError(w, "query", http.StatusInternalServerError, err)
+			return
+		}
+		resp.Volume = &v
+	case "sample":
+		obs, err := eng.Observable(q)
+		if err != nil {
+			s.writeError(w, "query", http.StatusInternalServerError, err)
+			return
+		}
+		pts := make([]cdb.Vector, 0, n)
+		for i := 0; i < n; i++ {
+			x, err := obs.Sample()
+			if err != nil {
+				s.writeError(w, "query", http.StatusInternalServerError, err)
+				return
+			}
+			pts = append(pts, x)
+		}
+		s.metrics.SamplesServed.Add(int64(len(pts)))
+		resp.Points = pts
+	case "plan":
+		plan, err := eng.NewPlan(q)
+		if err != nil {
+			s.writeError(w, "query", http.StatusInternalServerError, err)
+			return
+		}
+		resp.Plan = plan.Describe()
+	case "symbolic":
+		rel, err := eng.EvalSymbolic(q)
+		if err != nil {
+			s.writeError(w, "query", http.StatusInternalServerError, err)
+			return
+		}
+		resp.Source = rel.Source()
+	case "reconstruct":
+		est, err := eng.Reconstruct(q, n)
+		if err != nil {
+			s.writeError(w, "query", http.StatusInternalServerError, err)
+			return
+		}
+		for _, h := range est.Hulls {
+			resp.Hulls = append(resp.Hulls, hullJSON{Vertices: hullVertices(h)})
+		}
+	default:
+		s.writeError(w, "query", http.StatusBadRequest,
+			fmt.Errorf("unknown mode %q (want volume, sample, plan, symbolic or reconstruct)", mode))
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- POST /v1/reconstruct -----------------------------------------------
+
+type reconstructRequest struct {
+	Database string       `json:"database"`
+	Relation string       `json:"relation,omitempty"`
+	Query    string       `json:"query,omitempty"`
+	N        int          `json:"n,omitempty"` // samples per hull (default 200)
+	Seed     uint64       `json:"seed"`
+	Options  *OptionsJSON `json:"options,omitempty"`
+}
+
+type reconstructResponse struct {
+	Database    string     `json:"database"`
+	Target      string     `json:"target"`
+	N           int        `json:"n"`
+	Seed        uint64     `json:"seed"`
+	Cache       string     `json:"cache,omitempty"`
+	Dim         int        `json:"dim"`
+	Hulls       []hullJSON `json:"hulls"`
+	VertexCount int        `json:"vertex_count"`
+	ElapsedMS   float64    `json:"elapsed_ms"`
+}
+
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("reconstruct")
+	var req reconstructRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		s.metrics.IncError("reconstruct")
+		return
+	}
+	entry, ok := s.registry.Get(req.Database)
+	if !ok {
+		s.writeError(w, "reconstruct", http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		s.writeError(w, "reconstruct", http.StatusBadRequest, err)
+		return
+	}
+	n := req.N
+	if n <= 0 {
+		n = 200
+	}
+	if n > s.cfg.MaxSamples {
+		s.writeError(w, "reconstruct", http.StatusBadRequest,
+			fmt.Errorf("n=%d exceeds the per-request cap %d", n, s.cfg.MaxSamples))
+		return
+	}
+	start := time.Now()
+	resp := reconstructResponse{Database: entry.ID, Target: firstNonEmpty(req.Relation, req.Query), N: n, Seed: req.Seed}
+
+	// Queries with existential quantifiers need Algorithm 5 through the
+	// engine; everything else reconstructs from the cached sampler.
+	ps, _, hit, err := s.preparedFor(entry, req.Relation, req.Query, opts)
+	if errors.Is(err, errNeedsProjection) {
+		// resolveTarget found the query before reporting ∃-variables, so
+		// the lookup cannot miss here.
+		q, _ := entry.DB.Query(req.Query)
+		eng := cdb.NewEngine(entry.DB.Schema, opts, req.Seed)
+		est, err := eng.Reconstruct(q, n)
+		if err != nil {
+			s.writeError(w, "reconstruct", http.StatusInternalServerError, err)
+			return
+		}
+		resp.Dim = est.Dim()
+		for _, h := range est.Hulls {
+			verts := hullVertices(h)
+			resp.Hulls = append(resp.Hulls, hullJSON{Vertices: verts})
+			resp.VertexCount += len(verts)
+		}
+		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if err != nil {
+		s.writeError(w, "reconstruct", http.StatusBadRequest, err)
+		return
+	}
+	// One hull per convex tuple (Algorithm 5's per-disjunct estimators):
+	// a single hull over a multi-tuple union would report the gaps
+	// between tuples as part of the set.
+	resp.Cache = cacheLabel(hit)
+	resp.Dim = ps.Dim()
+	for i := 0; i < ps.Tuples(); i++ {
+		gen, err := ps.NewMemberObservable(i, req.Seed)
+		if err != nil {
+			s.writeError(w, "reconstruct", http.StatusInternalServerError, err)
+			return
+		}
+		hull, err := cdb.ReconstructConvex(gen, n)
+		if err != nil {
+			s.writeError(w, "reconstruct", http.StatusInternalServerError, err)
+			return
+		}
+		verts := hullVertices(hull)
+		resp.Hulls = append(resp.Hulls, hullJSON{Vertices: verts})
+		resp.VertexCount += len(verts)
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- GET /metrics, /healthz ---------------------------------------------
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w, map[string]float64{
+		"cdbserve_databases":          float64(s.registry.Len()),
+		"cdbserve_sampler_cache_size": float64(s.cache.Len()),
+		"cdbserve_pool_workers":       float64(s.pool.Size()),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

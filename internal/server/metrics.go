@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects the server's operational counters and renders them in
+// the Prometheus text exposition format (no client library dependency —
+// the format is four lines of fmt per family).
+type Metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]*atomic.Int64 // per-endpoint request counts
+	errors   map[string]*atomic.Int64 // per-endpoint error counts
+
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+	Coalesced      atomic.Int64 // sample requests served by another request's draw
+	BatchJobs      atomic.Int64 // worker-pool jobs executed
+	SamplesServed  atomic.Int64 // points returned across all sample responses
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:    time.Now(),
+		requests: map[string]*atomic.Int64{},
+		errors:   map[string]*atomic.Int64{},
+	}
+}
+
+func (m *Metrics) counter(set map[string]*atomic.Int64, key string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := set[key]
+	if !ok {
+		c = &atomic.Int64{}
+		set[key] = c
+	}
+	return c
+}
+
+// IncRequest counts one request to the named endpoint.
+func (m *Metrics) IncRequest(endpoint string) { m.counter(m.requests, endpoint).Add(1) }
+
+// IncError counts one failed request to the named endpoint.
+func (m *Metrics) IncError(endpoint string) { m.counter(m.errors, endpoint).Add(1) }
+
+// snapshot copies a labelled counter family under the lock.
+func (m *Metrics) snapshot(set map[string]*atomic.Int64) map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(set))
+	for k, c := range set {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// WriteTo renders the metrics in Prometheus text format. The extra
+// gauges (cache size, database count) are supplied by the server, which
+// owns those structures.
+func (m *Metrics) WriteTo(w io.Writer, gauges map[string]float64) {
+	writeFamily := func(name, help, typ string, vals map[string]int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{endpoint=%q} %d\n", name, k, vals[k])
+		}
+	}
+	writeFamily("cdbserve_requests_total", "Requests received per endpoint.", "counter", m.snapshot(m.requests))
+	writeFamily("cdbserve_errors_total", "Failed requests per endpoint.", "counter", m.snapshot(m.errors))
+
+	scalar := func(name, help, typ string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	scalar("cdbserve_sampler_cache_hits_total", "Prepared-sampler cache hits.", "counter", float64(m.CacheHits.Load()))
+	scalar("cdbserve_sampler_cache_misses_total", "Prepared-sampler cache misses (cold builds).", "counter", float64(m.CacheMisses.Load()))
+	scalar("cdbserve_sampler_cache_evictions_total", "Prepared samplers evicted by the LRU.", "counter", float64(m.CacheEvictions.Load()))
+	scalar("cdbserve_coalesced_requests_total", "Sample requests served by an identical in-flight draw.", "counter", float64(m.Coalesced.Load()))
+	scalar("cdbserve_batch_jobs_total", "Jobs executed on the sampling worker pool.", "counter", float64(m.BatchJobs.Load()))
+	scalar("cdbserve_samples_served_total", "Sample points returned across all responses.", "counter", float64(m.SamplesServed.Load()))
+	scalar("cdbserve_uptime_seconds", "Seconds since the server started.", "gauge", time.Since(m.start).Seconds())
+
+	names := make([]string, 0, len(gauges))
+	for k := range gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		scalar(k, "See cdbserve documentation.", "gauge", gauges[k])
+	}
+}

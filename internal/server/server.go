@@ -1,0 +1,138 @@
+// Package server implements cdbserve, the HTTP sampling service over the
+// constraint-database library: clients register constraint database
+// programs, then draw almost-uniform samples, volume estimates, query
+// evaluations and shape reconstructions over HTTP.
+//
+// The paper's observation is that uniform generation makes constraint
+// query evaluation a cheap, repeatable online operation; this package is
+// the layer that actually serves it. Three mechanisms carry the load:
+//
+//   - a Registry of parsed databases (parse once, sample forever),
+//   - a singleflight LRU SamplerCache of prepared samplers, so the
+//     expensive rounding/well-boundedness/volume setup is paid once per
+//     (database, relation, options) and every later request binds its
+//     seed to the warm geometry, and
+//   - an Executor whose shared worker pool bounds the concurrency of
+//     batched /v1/sample draws and coalesces identical concurrent ones
+//     (single-walker paths — query sampling, reconstruction — run
+//     sequentially on their handler goroutines).
+//
+// Sampling is deterministic per request: the preparation seed is derived
+// from the sampler's cache key and the response depends only on
+// (database, relation, options, n, workers, seed).
+package server
+
+import (
+	"hash/fnv"
+	"net/http"
+	"runtime"
+)
+
+// Config tunes the server. The zero value picks sensible defaults.
+type Config struct {
+	// PoolSize is the sampling worker pool size (default GOMAXPROCS).
+	PoolSize int
+	// CacheSize caps the prepared-sampler LRU (default 64).
+	CacheSize int
+	// DefaultWorkers is the per-request logical worker count when the
+	// request does not specify one (default min(4, PoolSize)).
+	DefaultWorkers int
+	// MaxSamples caps n for a single sample request (default 1e6).
+	MaxSamples int
+	// MaxSourceBytes caps the program size accepted by POST /v1/databases
+	// (default 1 MiB).
+	MaxSourceBytes int
+	// MaxMedianK caps the median_k amplification factor of /v1/volume —
+	// each of the k runs pays a full cold estimator (default 64).
+	MaxMedianK int
+	// MaxDatabases caps the registry size (default 1024).
+	MaxDatabases int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = min(4, c.PoolSize)
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 1_000_000
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxMedianK <= 0 {
+		c.MaxMedianK = 64
+	}
+	if c.MaxDatabases <= 0 {
+		c.MaxDatabases = 1024
+	}
+	return c
+}
+
+// Server wires the registry, sampler cache, batch executor and metrics
+// behind an http.Handler.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	cache    *SamplerCache
+	pool     *Pool
+	exec     *Executor
+	metrics  *Metrics
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	pool := NewPool(cfg.PoolSize, m)
+	return &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.MaxDatabases),
+		cache:    NewSamplerCache(cfg.CacheSize, m),
+		pool:     pool,
+		exec:     NewExecutor(pool, m),
+		metrics:  m,
+	}
+}
+
+// Close stops the worker pool.
+func (s *Server) Close() { s.pool.Close() }
+
+// Registry exposes the database registry (used by cmd/cdbserve to
+// preload programs at boot).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/databases", s.handleRegister)
+	mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
+	mux.HandleFunc("GET /v1/databases/{id}", s.handleGetDatabase)
+	mux.HandleFunc("POST /v1/sample", s.handleSample)
+	mux.HandleFunc("POST /v1/volume", s.handleVolume)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/reconstruct", s.handleReconstruct)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// samplerKey is the prepared-sampler cache key: database, target kind
+// ("rel" or "query"), target name and the canonical options fingerprint.
+func samplerKey(dbID, kind, name, optsKey string) string {
+	return dbID + "\x1f" + kind + "\x1f" + name + "\x1f" + optsKey
+}
+
+// prepSeedFor derives the preparation seed from the cache key, so the
+// prepared geometry — and therefore every response — is a pure function
+// of (database, target, options), stable across server restarts.
+func prepSeedFor(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

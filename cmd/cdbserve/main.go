@@ -36,6 +36,10 @@ func main() {
 		cache   = flag.Int("cache", 64, "prepared-sampler cache capacity")
 		workers = flag.Int("workers", 0, "default logical workers per sample request (0 = min(4, pool))")
 		maxN    = flag.Int("max-samples", 0, "per-request sample cap (0 = 1e6)")
+		// Large NDJSON streams and long-polling dashboards need tunable
+		// write/idle deadlines; 0 keeps Go's no-timeout default.
+		writeTimeout = flag.Duration("write-timeout", 0, "max duration for writing a response (0 = unlimited)")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -55,6 +59,8 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	go func() {
 		log.Printf("listening on %s", *addr)

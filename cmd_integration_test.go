@@ -90,4 +90,33 @@ query Q(x)  := exists y. S(x, y);
 			t.Errorf("bench output %q", out)
 		}
 	})
+
+	t.Run("cdbmotion fleet slice alibi", func(t *testing.T) {
+		fleetPath := filepath.Join(dir, "fleet.cdb")
+		run("./cmd/cdbmotion", "-mode", "fleet", "-n", "2", "-steps", "2", "-seed", "5", "-o", fleetPath)
+		data, err := os.ReadFile(fleetPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "rel obj0(x, y, t)") {
+			t.Fatalf("fleet program missing obj0:\n%s", data)
+		}
+
+		out := run("./cmd/cdbmotion", "-mode", "slice", "-file", fleetPath, "-rel", "obj0",
+			"-t0", "12.5", "-samples", "4", "-seed", "1")
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 4 {
+			t.Fatalf("want 4 slice samples, got %d:\n%s", len(lines), out)
+		}
+		for _, l := range lines {
+			if len(strings.Fields(l)) != 2 {
+				t.Errorf("slice sample %q is not a 2-D position", l)
+			}
+		}
+
+		out = run("./cmd/cdbmotion", "-mode", "alibi", "-file", fleetPath, "-a", "obj0", "-b", "obj1", "-seed", "3")
+		if !strings.Contains(out, "cross-check: consistent=true") {
+			t.Errorf("alibi verdicts disagree:\n%s", out)
+		}
+	})
 }

@@ -241,6 +241,23 @@ func lex(src string) ([]token, error) {
 				}
 				j++
 			}
+			// Optional exponent ([eE][+-]?digits) for externally written
+			// programs. Consumed only when a digit follows, so
+			// `exists e. ...` still lexes `e` as an identifier. Caveat: a
+			// coefficient juxtaposed to a variable named like e1 ("2e1")
+			// now reads as the number 20 — write "2 e1" for the product.
+			if j < n && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < n && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < n && unicode.IsDigit(rune(src[k])) {
+					for k < n && unicode.IsDigit(rune(src[k])) {
+						k++
+					}
+					j = k
+				}
+			}
 			toks = append(toks, token{tokNumber, src[i:j], i})
 			i = j
 		default:

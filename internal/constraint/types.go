@@ -14,6 +14,7 @@ package constraint
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 
 	"repro/internal/linalg"
@@ -381,7 +382,8 @@ func atomSource(a Atom, vars []string) string {
 			sb.WriteString(" + ")
 		}
 		if ac := math.Abs(c); math.Abs(ac-1) > 1e-15 {
-			fmt.Fprintf(&sb, "%.12g ", ac)
+			sb.WriteString(sourceFloat(ac))
+			sb.WriteString(" ")
 		}
 		sb.WriteString(vars[i])
 		first = false
@@ -396,8 +398,20 @@ func atomSource(a Atom, vars []string) string {
 	} else {
 		sb.WriteString(" <= ")
 	}
-	fmt.Fprintf(&sb, "%.12g", a.B)
+	sb.WriteString(sourceFloat(a.B))
 	return sb.String()
+}
+
+// sourceFloat renders a number for Source output: the shortest decimal
+// that round-trips the float64 exactly, in plain (never scientific)
+// notation — so tiny bounds like 6.1e-14 stay parseable by any reader
+// and a coefficient juxtaposed to a variable cannot be mistaken for an
+// exponent.
+func sourceFloat(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fmt.Sprintf("%g", v) // unparseable anyway; keep it visible
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
 }
 
 // String renders the relation as a DNF.

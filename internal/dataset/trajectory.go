@@ -1,0 +1,175 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+	"repro/internal/spacetime"
+)
+
+// TrajectoryConfig tunes the random moving-object generator. The zero
+// value of a field selects the default noted on it.
+type TrajectoryConfig struct {
+	Dim    int     // spatial dimension (default 2)
+	Steps  int     // number of legs, i.e. observations-1 (default 4)
+	Extent float64 // positions stay in [0, Extent]^d (default 100)
+	DT     float64 // seconds between observations (default 10)
+	VMax   float64 // speed bound (default 0.9·Extent/(Steps·DT) keeps walks inside)
+	Facets int     // speed-polygon facets for d=2 (default spacetime.DefaultFacets)
+	Slack  float64 // fraction of VMax·DT actually travelled per leg (default 0.6)
+}
+
+func (c TrajectoryConfig) withDefaults() TrajectoryConfig {
+	if c.Dim <= 0 {
+		c.Dim = 2
+	}
+	if c.Steps <= 0 {
+		c.Steps = 4
+	}
+	if c.Extent <= 0 {
+		c.Extent = 100
+	}
+	if c.DT <= 0 {
+		c.DT = 10
+	}
+	if c.VMax <= 0 {
+		c.VMax = 0.9 * c.Extent / (float64(c.Steps) * c.DT)
+	}
+	if c.Slack <= 0 || c.Slack >= 1 {
+		c.Slack = 0.6
+	}
+	return c
+}
+
+// RandomTrajectory generates one moving object: a random walk of Steps
+// legs inside [0, Extent]^d, each leg travelling at most Slack·VMax·DT
+// in Euclidean norm — strictly inside the speed bound, so every bead is
+// full-dimensional and the trajectory validates under any polyhedral
+// speed norm (the polyhedral ball contains the Euclidean one).
+func RandomTrajectory(r *rng.RNG, name string, cfg TrajectoryConfig) *spacetime.Trajectory {
+	cfg = cfg.withDefaults()
+	pos := make(linalg.Vector, cfg.Dim)
+	for i := range pos {
+		pos[i] = r.Uniform(0.2*cfg.Extent, 0.8*cfg.Extent)
+	}
+	obs := make([]spacetime.Observation, 0, cfg.Steps+1)
+	obs = append(obs, spacetime.Observation{T: 0, P: pos.Clone()})
+	dir := make(linalg.Vector, cfg.Dim)
+	for s := 1; s <= cfg.Steps; s++ {
+		r.OnSphere(dir)
+		step := r.Uniform(0.2, cfg.Slack) * cfg.VMax * cfg.DT
+		next := pos.Clone()
+		next.AddScaled(step, dir)
+		for i := range next {
+			next[i] = math.Min(math.Max(next[i], 0), cfg.Extent)
+		}
+		// Clamping only shortens the leg, so reachability is preserved.
+		pos = next
+		obs = append(obs, spacetime.Observation{T: float64(s) * cfg.DT, P: pos.Clone()})
+	}
+	tr, err := spacetime.NewTrajectory(name, cfg.VMax, cfg.Facets, obs...)
+	if err != nil {
+		// The construction keeps every leg strictly inside the bound, so
+		// this is unreachable short of a generator bug.
+		panic(fmt.Sprintf("dataset: random trajectory invalid: %v", err))
+	}
+	return tr
+}
+
+// Fleet generates n independent random trajectories named obj0..obj{n-1}
+// — the moving-object workload for the spacetime endpoints and
+// benchmarks.
+func Fleet(r *rng.RNG, n int, cfg TrajectoryConfig) []*spacetime.Trajectory {
+	out := make([]*spacetime.Trajectory, n)
+	for i := range out {
+		out[i] = RandomTrajectory(r, fmt.Sprintf("obj%d", i), cfg)
+	}
+	return out
+}
+
+// FleetProgram renders trajectories as a constraint database program —
+// one `rel` declaration per object over (x, .., t) — registrable with
+// cdbserve or loadable by the CLIs.
+func FleetProgram(fleet []*spacetime.Trajectory) string {
+	var sb strings.Builder
+	sb.WriteString("// moving-object fleet: unions of space-time prisms over (x, y, t)\n")
+	for _, tr := range fleet {
+		sb.WriteString(tr.Relation().Source())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CrossingPair returns two trajectories guaranteed to have been able to
+// meet: both pass through the same waypoint at the same time (the
+// middle observation), with generous speed slack, so the meet region is
+// full-dimensional. The pair is the positive control of the alibi
+// cross-check suite.
+func CrossingPair(r *rng.RNG, cfg TrajectoryConfig) (a, b *spacetime.Trajectory) {
+	cfg = cfg.withDefaults()
+	a = RandomTrajectory(r, "A", cfg)
+	mid := len(a.Obs) / 2
+	// B shares A's middle fix exactly and wanders off on its own.
+	bObs := make([]spacetime.Observation, len(a.Obs))
+	bObs[mid] = spacetime.Observation{T: a.Obs[mid].T, P: a.Obs[mid].P.Clone()}
+	dir := make(linalg.Vector, cfg.Dim)
+	for i := mid - 1; i >= 0; i-- {
+		bObs[i] = stepFrom(r, bObs[i+1], -cfg.DT, cfg, dir)
+	}
+	for i := mid + 1; i < len(bObs); i++ {
+		bObs[i] = stepFrom(r, bObs[i-1], cfg.DT, cfg, dir)
+	}
+	b, err := spacetime.NewTrajectory("B", cfg.VMax, cfg.Facets, bObs...)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: crossing pair invalid: %v", err))
+	}
+	return a, b
+}
+
+// stepFrom extends an observation by one leg of dt seconds (dt < 0
+// steps backwards in time) within the speed and extent bounds.
+func stepFrom(r *rng.RNG, from spacetime.Observation, dt float64, cfg TrajectoryConfig, dir linalg.Vector) spacetime.Observation {
+	r.OnSphere(dir)
+	step := r.Uniform(0.2, cfg.Slack) * cfg.VMax * math.Abs(dt)
+	p := from.P.Clone()
+	p.AddScaled(step, dir)
+	for i := range p {
+		p[i] = math.Min(math.Max(p[i], 0), cfg.Extent)
+	}
+	return spacetime.Observation{T: from.T + dt, P: p}
+}
+
+// SeparatedPair returns two trajectories that provably could not have
+// met: each is confined to its own spatial box and the boxes are
+// farther apart than the objects' speed cones can bridge. The pair is
+// the negative control of the alibi cross-check suite.
+func SeparatedPair(r *rng.RNG, cfg TrajectoryConfig) (a, b *spacetime.Trajectory) {
+	cfg = cfg.withDefaults()
+	// Confine each walk to a box of a quarter extent; the gap between the
+	// boxes along axis 0 is half the extent. A bead reaches at most
+	// ~1.1·VMax·DT beyond its waypoints under the polyhedral norm, so
+	// capping VMax·DT at Extent/16 leaves a provable gap.
+	boxed := cfg
+	boxed.Extent = cfg.Extent / 4
+	if boxed.VMax*boxed.DT > cfg.Extent/16 {
+		boxed.VMax = cfg.Extent / 16 / boxed.DT
+	}
+	a = RandomTrajectory(r, "A", boxed)
+	b = RandomTrajectory(r, "B", boxed)
+	// Shift B's box to the far side of the extent along axis 0.
+	shift := 3 * cfg.Extent / 4
+	obs := make([]spacetime.Observation, len(b.Obs))
+	for i, o := range b.Obs {
+		p := o.P.Clone()
+		p[0] += shift
+		obs[i] = spacetime.Observation{T: o.T, P: p}
+	}
+	shifted, err := spacetime.NewTrajectory("B", b.VMax, b.Facets, obs...)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: separated pair invalid: %v", err))
+	}
+	return a, shifted
+}

@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/rng"
+	"repro/internal/spacetime"
+)
+
+func TestRandomTrajectoryAndFleet(t *testing.T) {
+	r := rng.New(11)
+	fleet := Fleet(r, 5, TrajectoryConfig{})
+	if len(fleet) != 5 {
+		t.Fatalf("fleet size = %d", len(fleet))
+	}
+	for _, tr := range fleet {
+		if tr.SpatialDim() != 2 || tr.Beads() != 4 {
+			t.Fatalf("%s: dim=%d beads=%d", tr.Name, tr.SpatialDim(), tr.Beads())
+		}
+		rel := tr.Relation()
+		if rel.IsEmpty() {
+			t.Fatalf("%s: empty relation", tr.Name)
+		}
+		for _, o := range tr.Obs {
+			if o.P[0] < 0 || o.P[0] > 100 || o.P[1] < 0 || o.P[1] > 100 {
+				t.Fatalf("%s: waypoint %v escapes the extent", tr.Name, o.P)
+			}
+		}
+	}
+}
+
+func TestFleetProgramRegistrable(t *testing.T) {
+	r := rng.New(5)
+	prog := FleetProgram(Fleet(r, 3, TrajectoryConfig{Steps: 2}))
+	db, err := constraint.Parse(prog)
+	if err != nil {
+		t.Fatalf("parse fleet program: %v\n%s", err, prog)
+	}
+	if len(db.Names) != 3 {
+		t.Fatalf("parsed %d relations, want 3", len(db.Names))
+	}
+	for _, name := range db.Names {
+		if !strings.HasPrefix(name, "obj") {
+			t.Errorf("unexpected relation name %q", name)
+		}
+		rel := db.Schema[name]
+		if rel.Arity() != 3 {
+			t.Errorf("%s: arity %d, want 3", name, rel.Arity())
+		}
+	}
+}
+
+func TestCrossingPairSharesWaypoint(t *testing.T) {
+	r := rng.New(3)
+	a, b := CrossingPair(r, TrajectoryConfig{})
+	mid := len(a.Obs) / 2
+	if a.Obs[mid].T != b.Obs[mid].T {
+		t.Fatalf("mid times differ: %g vs %g", a.Obs[mid].T, b.Obs[mid].T)
+	}
+	if d := a.Obs[mid].P.Dist(b.Obs[mid].P); d > 1e-12 {
+		t.Fatalf("mid waypoints %g apart", d)
+	}
+}
+
+func TestSeparatedPairDisjoint(t *testing.T) {
+	r := rng.New(4)
+	a, b := SeparatedPair(r, TrajectoryConfig{})
+	ra, rb := a.Relation(), b.Relation()
+	tc := spacetime.TimeColumn(ra)
+	_, t1 := a.Support()
+	m, err := spacetime.MeetRegion(ra, rb, tc, 0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tuples) != 0 {
+		t.Fatalf("separated pair has a non-empty meet region (%d tuples)", len(m.Tuples))
+	}
+}

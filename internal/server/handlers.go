@@ -83,7 +83,8 @@ func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, 
 	switch {
 	case errors.Is(err, errTargetNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, cdb.ErrNotWellBounded), errors.Is(err, cdb.ErrNotPolyRelated), errors.Is(err, cdb.ErrUnsupportedQuery):
+	case errors.Is(err, errEmptySlice),
+		errors.Is(err, cdb.ErrNotWellBounded), errors.Is(err, cdb.ErrNotPolyRelated), errors.Is(err, cdb.ErrUnsupportedQuery):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, cdb.ErrGeneratorFailed):
 		status = http.StatusServiceUnavailable
@@ -151,7 +152,6 @@ func describeDatabase(e *DatabaseEntry, created bool) databaseResponse {
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	s.metrics.IncRequest("databases")
 	var req registerRequest
 	if !decodeBody(w, r, int64(s.cfg.MaxSourceBytes), &req) {
 		s.metrics.IncError("databases")
@@ -181,7 +181,6 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
-	s.metrics.IncRequest("databases")
 	entries := s.registry.List()
 	out := make([]databaseResponse, 0, len(entries))
 	for _, e := range entries {
@@ -191,7 +190,6 @@ func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetDatabase(w http.ResponseWriter, r *http.Request) {
-	s.metrics.IncRequest("databases")
 	entry, ok := s.registry.Get(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, "databases", http.StatusNotFound, fmt.Errorf("database %q not registered", r.PathValue("id")))
@@ -330,7 +328,6 @@ type sampleResponse struct {
 }
 
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
-	s.metrics.IncRequest("sample")
 	var req sampleRequest
 	if !decodeBody(w, r, 1<<16, &req) {
 		s.metrics.IncError("sample")
@@ -399,7 +396,7 @@ func firstNonEmpty(a, b string) string {
 // streamPoints writes the NDJSON form: the response meta (without
 // points) on the first line, then one JSON array per sample, flushing
 // every flushEvery lines so clients consume points as they arrive.
-func streamPoints(w http.ResponseWriter, meta sampleResponse, pts []cdb.Vector) {
+func streamPoints(w http.ResponseWriter, meta any, pts []cdb.Vector) {
 	const flushEvery = 256
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -445,7 +442,6 @@ type volumeResponse struct {
 }
 
 func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
-	s.metrics.IncRequest("volume")
 	var req volumeRequest
 	if !decodeBody(w, r, 1<<16, &req) {
 		s.metrics.IncError("volume")
@@ -540,7 +536,6 @@ func hullVertices(h *cdb.Hull) []cdb.Vector {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.metrics.IncRequest("query")
 	var req queryRequest
 	if !decodeBody(w, r, 1<<16, &req) {
 		s.metrics.IncError("query")
@@ -658,7 +653,6 @@ type reconstructResponse struct {
 }
 
 func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
-	s.metrics.IncRequest("reconstruct")
 	var req reconstructRequest
 	if !decodeBody(w, r, 1<<16, &req) {
 		s.metrics.IncError("reconstruct")

@@ -15,9 +15,10 @@ import (
 type Metrics struct {
 	start time.Time
 
-	mu       sync.Mutex
-	requests map[string]*atomic.Int64 // per-endpoint request counts
-	errors   map[string]*atomic.Int64 // per-endpoint error counts
+	mu        sync.Mutex
+	requests  map[string]*atomic.Int64 // per-endpoint request counts
+	errors    map[string]*atomic.Int64 // per-endpoint error counts
+	latencies map[string]*latencySummary
 
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
@@ -27,12 +28,21 @@ type Metrics struct {
 	SamplesServed  atomic.Int64 // points returned across all sample responses
 }
 
+// latencySummary accumulates a Prometheus summary without quantiles:
+// observation count, total seconds and the worst observation.
+type latencySummary struct {
+	count int64
+	sum   float64
+	max   float64
+}
+
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:    time.Now(),
-		requests: map[string]*atomic.Int64{},
-		errors:   map[string]*atomic.Int64{},
+		start:     time.Now(),
+		requests:  map[string]*atomic.Int64{},
+		errors:    map[string]*atomic.Int64{},
+		latencies: map[string]*latencySummary{},
 	}
 }
 
@@ -52,6 +62,34 @@ func (m *Metrics) IncRequest(endpoint string) { m.counter(m.requests, endpoint).
 
 // IncError counts one failed request to the named endpoint.
 func (m *Metrics) IncError(endpoint string) { m.counter(m.errors, endpoint).Add(1) }
+
+// ObserveLatency records one request's wall-clock duration in seconds
+// under the endpoint label.
+func (m *Metrics) ObserveLatency(endpoint string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.latencies[endpoint]
+	if !ok {
+		l = &latencySummary{}
+		m.latencies[endpoint] = l
+	}
+	l.count++
+	l.sum += seconds
+	if seconds > l.max {
+		l.max = seconds
+	}
+}
+
+// latencySnapshot copies the latency summaries under the lock.
+func (m *Metrics) latencySnapshot() map[string]latencySummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]latencySummary, len(m.latencies))
+	for k, l := range m.latencies {
+		out[k] = *l
+	}
+	return out
+}
 
 // snapshot copies a labelled counter family under the lock.
 func (m *Metrics) snapshot(set map[string]*atomic.Int64) map[string]int64 {
@@ -81,6 +119,24 @@ func (m *Metrics) WriteTo(w io.Writer, gauges map[string]float64) {
 	}
 	writeFamily("cdbserve_requests_total", "Requests received per endpoint.", "counter", m.snapshot(m.requests))
 	writeFamily("cdbserve_errors_total", "Failed requests per endpoint.", "counter", m.snapshot(m.errors))
+
+	// Per-endpoint latency: a summary (count + sum, so rate(sum)/rate(count)
+	// is the mean latency) plus a max gauge for outlier spotting.
+	lat := m.latencySnapshot()
+	keys := make([]string, 0, len(lat))
+	for k := range lat {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP cdbserve_request_duration_seconds Request latency per endpoint.\n# TYPE cdbserve_request_duration_seconds summary\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "cdbserve_request_duration_seconds_count{endpoint=%q} %d\n", k, lat[k].count)
+		fmt.Fprintf(w, "cdbserve_request_duration_seconds_sum{endpoint=%q} %g\n", k, lat[k].sum)
+	}
+	fmt.Fprintf(w, "# HELP cdbserve_request_duration_seconds_max Worst observed request latency per endpoint.\n# TYPE cdbserve_request_duration_seconds_max gauge\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "cdbserve_request_duration_seconds_max{endpoint=%q} %g\n", k, lat[k].max)
+	}
 
 	scalar := func(name, help, typ string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)

@@ -26,6 +26,7 @@ import (
 	"hash/fnv"
 	"net/http"
 	"runtime"
+	"time"
 )
 
 // Config tunes the server. The zero value picks sensible defaults.
@@ -107,19 +108,35 @@ func (s *Server) Close() { s.pool.Close() }
 // preload programs at boot).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler. Every endpoint is wrapped by
+// instrument, which owns the per-endpoint request count and latency
+// metrics — handlers themselves only report errors.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/databases", s.handleRegister)
-	mux.HandleFunc("GET /v1/databases", s.handleListDatabases)
-	mux.HandleFunc("GET /v1/databases/{id}", s.handleGetDatabase)
-	mux.HandleFunc("POST /v1/sample", s.handleSample)
-	mux.HandleFunc("POST /v1/volume", s.handleVolume)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/reconstruct", s.handleReconstruct)
+	mux.HandleFunc("POST /v1/databases", s.instrument("databases", s.handleRegister))
+	mux.HandleFunc("GET /v1/databases", s.instrument("databases", s.handleListDatabases))
+	mux.HandleFunc("GET /v1/databases/{id}", s.instrument("databases", s.handleGetDatabase))
+	mux.HandleFunc("POST /v1/sample", s.instrument("sample", s.handleSample))
+	mux.HandleFunc("POST /v1/volume", s.instrument("volume", s.handleVolume))
+	mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("POST /v1/reconstruct", s.instrument("reconstruct", s.handleReconstruct))
+	mux.HandleFunc("POST /v1/spacetime/slice", s.instrument("spacetime_slice", s.handleSpacetimeSlice))
+	mux.HandleFunc("POST /v1/spacetime/sample", s.instrument("spacetime_sample", s.handleSpacetimeSample))
+	mux.HandleFunc("POST /v1/spacetime/alibi", s.instrument("spacetime_alibi", s.handleSpacetimeAlibi))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	return mux
+}
+
+// instrument counts the request and records its wall-clock latency
+// under the endpoint label.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.IncRequest(endpoint)
+		start := time.Now()
+		h(w, r)
+		s.metrics.ObserveLatency(endpoint, time.Since(start).Seconds())
+	}
 }
 
 // samplerKey is the prepared-sampler cache key: database, target kind

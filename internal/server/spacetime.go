@@ -1,0 +1,398 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	cdb "repro"
+	"repro/internal/constraint"
+	"repro/internal/spacetime"
+)
+
+// The spacetime endpoints serve the moving-object workload: relations
+// over (x_1..x_d, t) — typically trajectory fleets of space-time prisms
+// — queried through the time-slice operator, whole-trajectory sampling
+// and alibi evaluation.
+//
+// Time slices are where the prepared-sampler cache earns its keep for
+// this workload: a dashboard replaying "where could everything have
+// been at t0?" hits the same (database, relation, t0, options) key on
+// every frame, so the slicing + rounding + volume setup is paid once
+// per distinct t0 and every later request binds only its seed.
+
+// errEmptySlice marks a time slice (or window) with no feasible tuple —
+// t0 outside the relation's support. Mapped to 422 by writeError;
+// volume-mode requests convert it to a zero-volume 200 instead.
+var errEmptySlice = errors.New("empty time slice")
+
+// sliceCacheName canonically names a slice target for the sampler
+// cache: relation name plus the slice time (shortest round-trip float
+// format, so 1.5 and 1.50 share an entry).
+func sliceCacheName(rel string, t0 float64) string {
+	return rel + "@" + strconv.FormatFloat(t0, 'g', -1, 64)
+}
+
+// windowCacheName names a windowed space-time target.
+func windowCacheName(rel string, t0, t1 float64) string {
+	return rel + "@" + strconv.FormatFloat(t0, 'g', -1, 64) + ":" + strconv.FormatFloat(t1, 'g', -1, 64)
+}
+
+// spacetimeRelation resolves a plain relation (spacetime targets are
+// always declared relations, not queries).
+func spacetimeRelation(e *DatabaseEntry, name string) (*constraint.Relation, error) {
+	if name == "" {
+		return nil, errors.New("missing relation name")
+	}
+	rel, ok := e.DB.Relation(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: relation %q in database %q", errTargetNotFound, name, e.ID)
+	}
+	return rel, nil
+}
+
+// preparedSlice returns the cached prepared sampler for the t0-slice of
+// a relation, slicing and preparing on first use. The returned key
+// feeds the batch executor's coalescing.
+func (s *Server) preparedSlice(e *DatabaseEntry, relName string, t0 float64, opts cdb.Options) (*cdb.PreparedSampler, string, bool, error) {
+	key := samplerKey(e.ID, "slice", sliceCacheName(relName, t0), opts.CacheKey())
+	ps, hit, err := s.cache.Get(key, func() (*cdb.PreparedSampler, error) {
+		rel, err := spacetimeRelation(e, relName)
+		if err != nil {
+			return nil, err
+		}
+		slice, err := spacetime.TimeSlice(rel, spacetime.TimeColumn(rel), t0)
+		if err != nil {
+			return nil, err
+		}
+		if len(slice.Tuples) == 0 {
+			if lo, hi, ok := spacetime.Support(rel, spacetime.TimeColumn(rel)); ok {
+				return nil, fmt.Errorf("%w: t0=%g outside the support [%.6g, %.6g] of %q",
+					errEmptySlice, t0, spacetime.SnapNoise(lo), spacetime.SnapNoise(hi), relName)
+			}
+			return nil, fmt.Errorf("%w: t0=%g, relation %q", errEmptySlice, t0, relName)
+		}
+		// Shed measure-zero pieces (e.g. a slice exactly at another
+		// bead's observation time) so one degenerate tuple cannot sink a
+		// snapshot that is otherwise full-dimensional.
+		slice, _ = spacetime.PruneThin(slice, 0)
+		if len(slice.Tuples) == 0 {
+			return nil, fmt.Errorf("%w: the slice of %q at t0=%g is a measure-zero set "+
+				"(t0 coincides with an observation time)", errEmptySlice, relName, t0)
+		}
+		return cdb.PrepareSampler(slice, prepSeedFor(key), opts)
+	})
+	return ps, key, hit, err
+}
+
+// preparedWindow is preparedSlice's counterpart for time windows: the
+// cached prepared sampler for the [t0, t1] restriction of a relation,
+// windowing and preparing on first use. A window whose boundary touches
+// an observation time clips a bead to a flat (measure-zero) set, so
+// thin tuples are shed before the well-boundedness setup.
+func (s *Server) preparedWindow(e *DatabaseEntry, relName string, t0, t1 float64, opts cdb.Options) (*cdb.PreparedSampler, string, bool, error) {
+	key := samplerKey(e.ID, "window", windowCacheName(relName, t0, t1), opts.CacheKey())
+	ps, hit, err := s.cache.Get(key, func() (*cdb.PreparedSampler, error) {
+		rel, err := spacetimeRelation(e, relName)
+		if err != nil {
+			return nil, err
+		}
+		win, err := spacetime.TimeWindow(rel, spacetime.TimeColumn(rel), t0, t1)
+		if err != nil {
+			return nil, err
+		}
+		win, _ = spacetime.PruneThin(win, 0)
+		if len(win.Tuples) == 0 {
+			return nil, fmt.Errorf("%w: window [%g, %g], relation %q", errEmptySlice, t0, t1, relName)
+		}
+		return cdb.PrepareSampler(win, prepSeedFor(key), opts)
+	})
+	return ps, key, hit, err
+}
+
+// --- POST /v1/spacetime/slice -------------------------------------------
+
+type spacetimeSliceRequest struct {
+	Database string  `json:"database"`
+	Relation string  `json:"relation"`
+	T0       float64 `json:"t0"`
+	// Mode is "sample" (default) or "volume" (the snapshot's measure;
+	// zero with empty=true when t0 lies outside the support).
+	Mode    string       `json:"mode,omitempty"`
+	N       int          `json:"n,omitempty"`       // default 1
+	Workers int          `json:"workers,omitempty"` // default Config.DefaultWorkers
+	Seed    uint64       `json:"seed"`
+	Options *OptionsJSON `json:"options,omitempty"`
+	Stream  bool         `json:"stream,omitempty"`
+}
+
+type spacetimeSliceResponse struct {
+	Database  string       `json:"database"`
+	Relation  string       `json:"relation"`
+	T0        float64      `json:"t0"`
+	Mode      string       `json:"mode"`
+	N         int          `json:"n,omitempty"`
+	Workers   int          `json:"workers,omitempty"`
+	Seed      uint64       `json:"seed"`
+	Cache     string       `json:"cache,omitempty"`
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Empty     bool         `json:"empty,omitempty"`
+	Volume    *float64     `json:"volume,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	Points    []cdb.Vector `json:"points,omitempty"`
+}
+
+func (s *Server) handleSpacetimeSlice(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "spacetime_slice"
+	var req spacetimeSliceRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		s.metrics.IncError(endpoint)
+		return
+	}
+	entry, ok := s.registry.Get(req.Database)
+	if !ok {
+		s.writeError(w, endpoint, http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "sample"
+	}
+	start := time.Now()
+	resp := spacetimeSliceResponse{
+		Database: entry.ID, Relation: req.Relation, T0: req.T0, Mode: mode, Seed: req.Seed,
+	}
+	switch mode {
+	case "volume":
+		ps, _, hit, err := s.preparedSlice(entry, req.Relation, req.T0, opts)
+		if errors.Is(err, errEmptySlice) {
+			zero := 0.0
+			resp.Empty, resp.Volume = true, &zero
+			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if err != nil {
+			s.writeError(w, endpoint, http.StatusBadRequest, err)
+			return
+		}
+		v, err := ps.Volume(req.Seed)
+		if err != nil {
+			s.writeError(w, endpoint, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Volume, resp.Cache = &v, cacheLabel(hit)
+	case "sample":
+		n := req.N
+		if n <= 0 {
+			n = 1
+		}
+		if n > s.cfg.MaxSamples {
+			s.writeError(w, endpoint, http.StatusBadRequest,
+				fmt.Errorf("n=%d exceeds the per-request cap %d", n, s.cfg.MaxSamples))
+			return
+		}
+		workers := req.Workers
+		if workers <= 0 {
+			workers = s.cfg.DefaultWorkers
+		}
+		ps, key, hit, err := s.preparedSlice(entry, req.Relation, req.T0, opts)
+		if err != nil {
+			s.writeError(w, endpoint, http.StatusBadRequest, err)
+			return
+		}
+		pts, coalesced, err := s.exec.SampleMany(key, ps, n, workers, req.Seed)
+		if err != nil {
+			s.writeError(w, endpoint, http.StatusInternalServerError, err)
+			return
+		}
+		s.metrics.SamplesServed.Add(int64(len(pts)))
+		resp.N, resp.Workers, resp.Cache, resp.Coalesced = n, workers, cacheLabel(hit), coalesced
+		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		if req.Stream {
+			streamPoints(w, resp, pts)
+			return
+		}
+		resp.Points = pts
+		writeJSON(w, http.StatusOK, resp)
+		return
+	default:
+		s.writeError(w, endpoint, http.StatusBadRequest,
+			fmt.Errorf("unknown mode %q (want sample or volume)", mode))
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- POST /v1/spacetime/sample ------------------------------------------
+
+type spacetimeSampleRequest struct {
+	Database string `json:"database"`
+	Relation string `json:"relation"`
+	// T0/T1 optionally restrict sampling to the time window [t0, t1];
+	// omitted, the whole trajectory is sampled.
+	T0      *float64     `json:"t0,omitempty"`
+	T1      *float64     `json:"t1,omitempty"`
+	N       int          `json:"n,omitempty"`
+	Workers int          `json:"workers,omitempty"`
+	Seed    uint64       `json:"seed"`
+	Options *OptionsJSON `json:"options,omitempty"`
+	Stream  bool         `json:"stream,omitempty"`
+}
+
+func (s *Server) handleSpacetimeSample(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "spacetime_sample"
+	var req spacetimeSampleRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		s.metrics.IncError(endpoint)
+		return
+	}
+	entry, ok := s.registry.Get(req.Database)
+	if !ok {
+		s.writeError(w, endpoint, http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	if (req.T0 == nil) != (req.T1 == nil) {
+		s.writeError(w, endpoint, http.StatusBadRequest, errors.New("t0 and t1 must be given together"))
+		return
+	}
+	n := req.N
+	if n <= 0 {
+		n = 1
+	}
+	if n > s.cfg.MaxSamples {
+		s.writeError(w, endpoint, http.StatusBadRequest,
+			fmt.Errorf("n=%d exceeds the per-request cap %d", n, s.cfg.MaxSamples))
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	start := time.Now()
+	var (
+		ps  *cdb.PreparedSampler
+		key string
+		hit bool
+	)
+	if req.T0 != nil {
+		ps, key, hit, err = s.preparedWindow(entry, req.Relation, *req.T0, *req.T1, opts)
+	} else {
+		// No window: share the cache entry with plain /v1/sample.
+		ps, key, hit, err = s.preparedFor(entry, req.Relation, "", opts)
+	}
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	pts, coalesced, err := s.exec.SampleMany(key, ps, n, workers, req.Seed)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusInternalServerError, err)
+		return
+	}
+	s.metrics.SamplesServed.Add(int64(len(pts)))
+	resp := sampleResponse{
+		Database:  entry.ID,
+		Target:    req.Relation,
+		N:         n,
+		Workers:   workers,
+		Seed:      req.Seed,
+		Cache:     cacheLabel(hit),
+		Coalesced: coalesced,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if req.Stream {
+		streamPoints(w, resp, pts)
+		return
+	}
+	resp.Points = pts
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- POST /v1/spacetime/alibi -------------------------------------------
+
+type alibiRequest struct {
+	Database string  `json:"database"`
+	A        string  `json:"a"`
+	B        string  `json:"b"`
+	T0       float64 `json:"t0"`
+	T1       float64 `json:"t1"`
+	Seed     uint64  `json:"seed"`
+	// MedianK > 1 amplifies the meeting-volume confidence with k
+	// independent estimators (capped by Config.MaxMedianK).
+	MedianK int          `json:"median_k,omitempty"`
+	Options *OptionsJSON `json:"options,omitempty"`
+}
+
+type alibiResponse struct {
+	Database  string  `json:"database"`
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	spacetime.Report
+}
+
+func (s *Server) handleSpacetimeAlibi(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "spacetime_alibi"
+	var req alibiRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		s.metrics.IncError(endpoint)
+		return
+	}
+	entry, ok := s.registry.Get(req.Database)
+	if !ok {
+		s.writeError(w, endpoint, http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	if req.MedianK > s.cfg.MaxMedianK {
+		s.writeError(w, endpoint, http.StatusBadRequest,
+			fmt.Errorf("median_k=%d exceeds the cap %d", req.MedianK, s.cfg.MaxMedianK))
+		return
+	}
+	relA, err := spacetimeRelation(entry, req.A)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, fmt.Errorf("a: %w", err))
+		return
+	}
+	relB, err := spacetimeRelation(entry, req.B)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, fmt.Errorf("b: %w", err))
+		return
+	}
+	if req.T1 < req.T0 {
+		s.writeError(w, endpoint, http.StatusBadRequest,
+			fmt.Errorf("empty window [%g, %g]", req.T0, req.T1))
+		return
+	}
+	start := time.Now()
+	rep, err := spacetime.Alibi(relA, relB, spacetime.TimeColumn(relA), req.T0, req.T1, req.Seed, req.MedianK, opts)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, alibiResponse{
+		Database:  entry.ID,
+		A:         req.A,
+		B:         req.B,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Report:    *rep,
+	})
+}

@@ -1,0 +1,191 @@
+package spacetime
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+	"repro/internal/lp"
+	"repro/internal/polytope"
+)
+
+// TimeVar is the conventional name of the time column.
+const TimeVar = "t"
+
+// TimeColumn returns the index of the time coordinate of a space-time
+// relation: the column named TimeVar when present, the last column
+// otherwise.
+func TimeColumn(rel *constraint.Relation) int {
+	for i, v := range rel.Vars {
+		if v == TimeVar {
+			return i
+		}
+	}
+	return len(rel.Vars) - 1
+}
+
+// TimeSlice fixes t = t0 in every tuple of a space-time relation and
+// returns the snapshot relation over the remaining (spatial)
+// coordinates — the time-slice operator. Substitution is per atom:
+// coef·(x, t) ≤ b becomes coef_x·x ≤ b − coef_t·t0, preserving
+// strictness; atoms made constant by the substitution either drop
+// (satisfied) or kill their tuple (violated), and tuples the LP proves
+// infeasible are pruned. The result is empty — zero tuples — when t0
+// lies outside the relation's support.
+func TimeSlice(rel *constraint.Relation, timeCol int, t0 float64) (*constraint.Relation, error) {
+	d := rel.Arity()
+	if timeCol < 0 || timeCol >= d {
+		return nil, fmt.Errorf("spacetime: time column %d out of range for arity %d", timeCol, d)
+	}
+	if d < 2 {
+		return nil, fmt.Errorf("spacetime: relation %q has no spatial coordinates to slice onto", rel.Name)
+	}
+	vars := make([]string, 0, d-1)
+	for i, v := range rel.Vars {
+		if i != timeCol {
+			vars = append(vars, v)
+		}
+	}
+	out := &constraint.Relation{
+		Name: fmt.Sprintf("%s@t=%g", rel.Name, t0),
+		Vars: vars,
+	}
+tuples:
+	for _, t := range rel.Tuples {
+		atoms := make([]constraint.Atom, 0, len(t.Atoms))
+		for _, a := range t.Atoms {
+			coef := make(linalg.Vector, 0, d-1)
+			for i, c := range a.Coef {
+				if i != timeCol {
+					coef = append(coef, c)
+				}
+			}
+			na := constraint.Atom{Coef: coef, B: a.B - a.Coef[timeCol]*t0, Strict: a.Strict}
+			if trivial, sat := na.IsTrivial(); trivial {
+				if !sat {
+					continue tuples
+				}
+				continue
+			}
+			atoms = append(atoms, na)
+		}
+		nt := constraint.NewTuple(d-1, atoms...)
+		if nt.IsEmpty() {
+			continue
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}
+
+// TimeWindow restricts a space-time relation to t0 ≤ t ≤ t1, keeping the
+// arity: each tuple gains the two window atoms, and tuples that become
+// infeasible are pruned. t1 < t0 is an error.
+func TimeWindow(rel *constraint.Relation, timeCol int, t0, t1 float64) (*constraint.Relation, error) {
+	d := rel.Arity()
+	if timeCol < 0 || timeCol >= d {
+		return nil, fmt.Errorf("spacetime: time column %d out of range for arity %d", timeCol, d)
+	}
+	if t1 < t0 {
+		return nil, fmt.Errorf("spacetime: empty time window [%g, %g]", t0, t1)
+	}
+	up := make(linalg.Vector, d)
+	up[timeCol] = 1
+	down := make(linalg.Vector, d)
+	down[timeCol] = -1
+	out := &constraint.Relation{
+		Name: fmt.Sprintf("%s@t=[%g,%g]", rel.Name, t0, t1),
+		Vars: rel.Vars,
+	}
+	for _, t := range rel.Tuples {
+		nt := t.With(constraint.NewAtom(up, t1, false), constraint.NewAtom(down, -t0, false))
+		if nt.IsEmpty() {
+			continue
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}
+
+// SnapNoise rounds LP epsilon off a support bound for presentation
+// (1e-9 grid, −0 normalized). Display-only: cache keys and constraint
+// math use the exact values.
+func SnapNoise(v float64) float64 {
+	r := math.Round(v*1e9) / 1e9
+	if r == 0 {
+		return 0
+	}
+	return r
+}
+
+// DefaultThinTol is the inscribed-radius floor below which a tuple
+// counts as degenerate (measure ~zero) for sampling purposes.
+const DefaultThinTol = 1e-7
+
+// PruneThin returns a copy of rel without tuples whose inscribed
+// (Chebyshev) radius is at most tol (≤ 0 selects DefaultThinTol), plus
+// the number of tuples dropped. Sampling paths use it to shed
+// measure-zero pieces — a bead clipped to a window boundary, a slice
+// taken exactly at an observation time — which carry no volume but
+// would break the sampler's well-boundedness witnesses. Exact paths
+// (Fourier–Motzkin) keep the unpruned relation.
+func PruneThin(rel *constraint.Relation, tol float64) (*constraint.Relation, int) {
+	if tol <= 0 {
+		tol = DefaultThinTol
+	}
+	out := &constraint.Relation{Name: rel.Name, Vars: rel.Vars}
+	pruned := 0
+	for _, t := range rel.Tuples {
+		if _, r, err := polytope.FromTuple(t).Chebyshev(); err == nil && r > tol {
+			out.Tuples = append(out.Tuples, t)
+		} else {
+			pruned++
+		}
+	}
+	return out, pruned
+}
+
+// Support returns the time extent [lo, hi] of a space-time relation,
+// computed by two LPs per tuple. ok is false when the relation is empty
+// or unbounded in time.
+func Support(rel *constraint.Relation, timeCol int) (lo, hi float64, ok bool) {
+	first := true
+	for _, t := range rel.Tuples {
+		a, b := t.System()
+		dir := make(linalg.Vector, rel.Arity())
+		dir[timeCol] = 1
+		tmax, okMax := lp.Extent(a, b, dir)
+		dir = make(linalg.Vector, rel.Arity())
+		dir[timeCol] = -1
+		tminNeg, okMin := lp.Extent(a, b, dir)
+		if !okMax || !okMin {
+			if t.IsEmpty() {
+				continue
+			}
+			return 0, 0, false
+		}
+		tmin := -tminNeg
+		if first {
+			lo, hi, first = tmin, tmax, false
+			continue
+		}
+		if tmin < lo {
+			lo = tmin
+		}
+		if tmax > hi {
+			hi = tmax
+		}
+	}
+	if first {
+		return 0, 0, false
+	}
+	// Normalize the LP's negative zeros for presentable bounds.
+	if lo == 0 {
+		lo = 0
+	}
+	if hi == 0 {
+		hi = 0
+	}
+	return lo, hi, true
+}

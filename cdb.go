@@ -4,25 +4,34 @@
 // (PODS 2000 / JCSS 72(3), 2006).
 //
 // The library evaluates queries over linear constraint databases by
-// random sampling instead of symbolic quantifier elimination:
+// random sampling instead of symbolic quantifier elimination. The
+// single public entry point is the DB handle:
 //
-//   - Parse a constraint database program (relations in disjunctive
-//     normal form over linear constraints, plus named queries).
-//   - NewSampler gives an almost-uniform (γ, ε, δ)-generator and an
-//     (ε, δ)-relative volume estimator for any well-bounded relation
-//     (the Dyer–Frieze–Kannan walk composed through union, intersection,
+//	db, _ := cdb.Open(`rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 };`)
+//	defer db.Close()
+//	pts, _ := db.SampleN(ctx, "S", 100) // almost uniform points of S
+//	v, _ := db.Volume(ctx, "S")         // relative estimate of area(S)
+//
+// Open parses the program once and returns a handle owning the warm
+// sampling runtime — a singleflight LRU of prepared samplers and a
+// bounded worker pool — in the database/sql tradition: share one handle
+// across goroutines; every method takes a context that cancels
+// in-flight walks. Underneath:
+//
+//   - Each well-bounded relation gets an almost-uniform
+//     (γ, ε, δ)-generator and an (ε, δ)-relative volume estimator (the
+//     Dyer–Frieze–Kannan walk composed through union, intersection,
 //     difference and projection — the paper's Theorems 4.1–4.3).
-//   - NewEngine evaluates FO+LIN queries either symbolically
+//   - DB.Query / DB.Engine evaluate FO+LIN queries either symbolically
 //     (Fourier–Motzkin baseline) or by sampling, including shape
 //     reconstruction as unions of convex hulls (Algorithms 3–5).
+//   - DB.TimeSlice / DB.Alibi serve the moving-object workload (see
+//     motion.go).
 //
-// Quickstart:
-//
-//	db, _ := cdb.Parse(`rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 };`)
-//	s, _ := db.Relation("S")
-//	gen, _ := cdb.NewSampler(s, 42, cdb.DefaultOptions())
-//	p, _ := gen.Sample()            // almost uniform point of S
-//	v, _ := gen.Volume()            // relative estimate of area(S)
+// The package-level functions (NewSampler, EstimateVolume, SampleMany,
+// MedianVolume, ...) predate the handle; they still work but pay the
+// full sampler setup on every call and are deprecated in favour of the
+// DB methods — see the migration table in README.md.
 package cdb
 
 import (
@@ -34,6 +43,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/reconstruct"
 	"repro/internal/rng"
+	"repro/internal/runtime"
 	"repro/internal/semialg"
 	"repro/internal/walk"
 )
@@ -136,6 +146,11 @@ func FaithfulOptions() Options {
 // NewSampler returns an Observable — almost-uniform generator plus
 // volume estimator — for a well-bounded generalized relation (a DFK
 // generator per tuple under the union combinator).
+//
+// Deprecated: NewSampler pays the full rounding/volume setup on every
+// call and is not cancellable. Open a DB handle and use
+// DB.Sampler(ctx, name) (cached, coalesced) or DB.Samples for a
+// streaming iterator. Kept for compatibility; behaviour is unchanged.
 func NewSampler(rel *Relation, seed uint64, opts Options) (Observable, error) {
 	return core.NewRelationObservable(rel, rng.New(seed), opts)
 }
@@ -143,78 +158,29 @@ func NewSampler(rel *Relation, seed uint64, opts Options) (Observable, error) {
 // PreparedSampler is the cache-friendly form of NewSampler: the
 // expensive setup (per-tuple rounding, well-boundedness witnesses and
 // volume estimation) is paid once by PrepareSampler, and NewObservable
-// then binds request seeds to the warm geometry for the cost of a walker
-// initialisation. A PreparedSampler is safe for concurrent use — Bind
-// creates independent generators — and is what cdbserve's sampler cache
-// stores.
-type PreparedSampler struct {
-	prep *core.PreparedRelation
-	opts Options
-}
+// (or NewObservableCtx, for cancellable generators) then binds request
+// seeds to the warm geometry for the cost of a walker initialisation.
+// A PreparedSampler is safe for concurrent use — binds create
+// independent generators — and is what DB.Sampler returns and every
+// prepared-sampler cache stores.
+type PreparedSampler = runtime.Prepared
 
 // PrepareSampler runs the full sampler setup for a well-bounded relation
 // under a fixed preparation seed. The prepared geometry (and therefore
 // every volume estimate and every sample stream drawn from it) is
 // deterministic in (rel, prepSeed, opts).
+//
+// Most callers want DB.Sampler instead, which caches preparations in
+// the handle's LRU and coalesces concurrent builds.
 func PrepareSampler(rel *Relation, prepSeed uint64, opts Options) (*PreparedSampler, error) {
-	p, err := core.PrepareRelation(rel, rng.New(prepSeed), opts)
-	if err != nil {
-		return nil, err
-	}
-	return &PreparedSampler{prep: p, opts: opts}, nil
+	return runtime.Prepare(rel, prepSeed, opts)
 }
-
-// NewObservable binds a sampling seed to the prepared geometry and
-// returns an independent generator/estimator. Calls with the same seed
-// return generators producing identical streams.
-func (p *PreparedSampler) NewObservable(seed uint64) (Observable, error) {
-	return p.prep.Bind(rng.New(seed))
-}
-
-// Dim returns the ambient dimension.
-func (p *PreparedSampler) Dim() int { return p.prep.Dim() }
-
-// Tuples returns the number of non-empty tuples under the union.
-func (p *PreparedSampler) Tuples() int { return p.prep.Tuples() }
-
-// NewMemberObservable binds a seed to the i-th non-empty tuple alone —
-// the per-convex-piece generator reconstruction builds hulls from.
-func (p *PreparedSampler) NewMemberObservable(i int, seed uint64) (Observable, error) {
-	return p.prep.BindMember(i, rng.New(seed))
-}
-
-// Volume returns the relation's volume estimate from the warm geometry,
-// using seed for the union-acceptance pass (single-tuple relations
-// return the preparation-time estimate directly).
-func (p *PreparedSampler) Volume(seed uint64) (float64, error) {
-	obs, err := p.NewObservable(seed)
-	if err != nil {
-		return 0, err
-	}
-	return obs.Volume()
-}
-
-// SampleMany draws n samples with w parallel workers from the warm
-// geometry — the prepared counterpart of the package-level SampleMany,
-// with identical determinism semantics: worker i owns seed
-// baseSeed+7919·i and the indices ≡ i (mod w).
-func (p *PreparedSampler) SampleMany(n, w int, baseSeed uint64) ([]Vector, error) {
-	return core.SampleMany(p.NewObservable, n, w, baseSeed)
-}
-
-// SampleManyVia is SampleMany with worker execution scheduled through
-// submit (e.g. a server's bounded worker pool). The output is identical
-// to SampleMany for the same arguments.
-func (p *PreparedSampler) SampleManyVia(submit core.Submitter, n, w int, baseSeed uint64) ([]Vector, error) {
-	return core.SampleManyVia(submit, p.NewObservable, n, w, baseSeed)
-}
-
-// CacheKey fingerprints the options the prepared geometry was built
-// with; combined with a database id, relation name and preparation seed
-// it uniquely identifies the prepared sampler.
-func (p *PreparedSampler) CacheKey() string { return p.opts.CacheKey() }
 
 // EstimateVolume is a convenience for NewSampler(...).Volume().
+//
+// Deprecated: use DB.Volume(ctx, name), which reuses the warm prepared
+// geometry (single-tuple relations return the preparation-time estimate
+// with no walker bound at all) and honours ctx. Kept for compatibility.
 func EstimateVolume(rel *Relation, seed uint64, opts Options) (float64, error) {
 	obs, err := NewSampler(rel, seed, opts)
 	if err != nil {
@@ -227,6 +193,11 @@ func EstimateVolume(rel *Relation, seed uint64, opts Options) (float64, error) {
 // running k independent estimators in parallel and returning the median
 // — the classical powering that realises Definition 2.2's ln(1/δ)
 // complexity dependence.
+//
+// Deprecated: each of the k runs pays a cold sampler setup. Prefer
+// DB.Volume over a handle (warm geometry), or
+// PreparedSampler.MedianVolumeCtx for warm median amplification. Kept
+// for compatibility.
 func MedianVolume(rel *Relation, k int, baseSeed uint64, opts Options) (float64, error) {
 	return core.MedianVolume(func(seed uint64) (Observable, error) {
 		return NewSampler(rel, seed, opts)
@@ -235,6 +206,11 @@ func MedianVolume(rel *Relation, k int, baseSeed uint64, opts Options) (float64,
 
 // SampleMany draws n almost-uniform samples using w parallel workers,
 // each with an independent generator.
+//
+// Deprecated: every call spawns unbounded goroutines and repeats the
+// sampler setup per worker. Use DB.SampleN(ctx, name, n), which runs on
+// the handle's bounded pool over cached geometry, coalesces identical
+// concurrent draws and honours ctx. Kept for compatibility.
 func SampleMany(rel *Relation, n, w int, baseSeed uint64, opts Options) ([]Vector, error) {
 	return core.SampleMany(func(seed uint64) (Observable, error) {
 		return NewSampler(rel, seed, opts)

@@ -1,5 +1,8 @@
 // Command cdbmotion works with moving-object constraint databases:
-// trajectory fleets as unions of space-time prisms over (x, y, t).
+// trajectory fleets as unions of space-time prisms over (x, y, t),
+// served through the cdb.DB handle — time slices and alibi
+// preparations come from the handle's warm cache, and Ctrl-C cancels an
+// in-flight estimate mid-walk.
 //
 // Usage:
 //
@@ -16,11 +19,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	cdb "repro"
 	"repro/internal/dataset"
@@ -57,6 +63,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	switch *mode {
 	case "fleet":
 		cfg := dataset.TrajectoryConfig{
@@ -73,35 +82,24 @@ func main() {
 		log.Printf("wrote %d objects to %s", *n, *out)
 
 	case "slice":
-		rel := loadRelation(*file, *relName)
-		slice, err := cdb.TimeSlice(rel, *t0)
+		if *relName == "" {
+			log.Fatal("missing -rel")
+		}
+		db := openDB(*file)
+		defer db.Close()
+		ps, err := db.TimeSlice(ctx, *relName, *t0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if len(slice.Tuples) == 0 {
-			lo, hi, ok := cdb.TimeSupport(rel)
-			if ok {
-				log.Fatalf("empty slice: t0=%g outside the support [%g, %g] of %q",
-					*t0, spacetime.SnapNoise(lo), spacetime.SnapNoise(hi), *relName)
-			}
-			log.Fatalf("empty slice at t0=%g", *t0)
-		}
-		// Shed measure-zero pieces (a slice exactly at an observation
-		// time), matching the HTTP path's diagnostics.
-		slice, _ = spacetime.PruneThin(slice, 0)
-		if len(slice.Tuples) == 0 {
-			log.Fatalf("the slice of %q at t0=%g is a measure-zero set (t0 coincides with an observation time)",
-				*relName, *t0)
-		}
 		if *volume {
-			v, err := cdb.EstimateVolume(slice, *seed, cdb.DefaultOptions())
+			v, err := ps.VolumeCtx(ctx, *seed)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("area(%s @ t=%g) ≈ %.6g\n", *relName, *t0, v)
 			return
 		}
-		gen, err := cdb.NewSampler(slice, *seed, cdb.DefaultOptions())
+		gen, err := ps.NewObservableCtx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -118,12 +116,11 @@ func main() {
 		}
 
 	case "alibi":
-		db := loadDB(*file)
 		if *aName == "" || *bName == "" {
 			log.Fatal("alibi needs -a and -b")
 		}
-		relA := mustRelation(db, *aName)
-		relB := mustRelation(db, *bName)
+		db := openDB(*file)
+		defer db.Close()
 		// Flags left unset default to the union of both supports, so a
 		// one-sided window (-t0 only, or -t1 only) does the right thing.
 		t0Set, t1Set := false, false
@@ -137,8 +134,8 @@ func main() {
 		})
 		lo, hi := *t0, *t1
 		if !t0Set || !t1Set {
-			alo, ahi, aok := cdb.TimeSupport(relA)
-			blo, bhi, bok := cdb.TimeSupport(relB)
+			alo, ahi, aok := db.TimeSupportOf(*aName)
+			blo, bhi, bok := db.TimeSupportOf(*bName)
 			if aok && bok {
 				if !t0Set {
 					lo = spacetime.SnapNoise(min(alo, blo))
@@ -148,7 +145,7 @@ func main() {
 				}
 			}
 		}
-		rep, err := cdb.AlibiQuery(relA, relB, lo, hi, *seed, *medianK, cdb.DefaultOptions())
+		rep, err := db.AlibiSeeded(ctx, *aName, *bName, lo, hi, *seed, *medianK)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -179,7 +176,8 @@ func main() {
 	}
 }
 
-func loadDB(file string) *cdb.Database {
+// openDB opens a handle over a program file.
+func openDB(file string) *cdb.DB {
 	if file == "" {
 		log.Fatal("missing -file")
 	}
@@ -187,24 +185,9 @@ func loadDB(file string) *cdb.Database {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := cdb.Parse(string(src))
+	db, err := cdb.Open(string(src))
 	if err != nil {
 		log.Fatal(err)
 	}
 	return db
-}
-
-func mustRelation(db *cdb.Database, name string) *cdb.Relation {
-	rel, ok := db.Relation(name)
-	if !ok {
-		log.Fatalf("relation %q not found (have %v)", name, db.Names)
-	}
-	return rel
-}
-
-func loadRelation(file, name string) *cdb.Relation {
-	if name == "" {
-		log.Fatal("missing -rel")
-	}
-	return mustRelation(loadDB(file), name)
 }

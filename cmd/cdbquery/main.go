@@ -1,7 +1,8 @@
 // Command cdbquery evaluates a query of a constraint database program,
 // either symbolically (Fourier–Motzkin quantifier elimination, the
 // classical baseline) or approximately (sampling plans and hull
-// reconstruction, the paper's contribution).
+// reconstruction, the paper's contribution), through the cdb.DB handle.
+// Ctrl-C cancels an in-flight sampling evaluation mid-walk.
 //
 // Usage:
 //
@@ -11,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	cdb "repro"
 )
@@ -38,15 +42,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := cdb.Parse(string(src))
+	db, err := cdb.Open(string(src))
 	if err != nil {
 		log.Fatal(err)
 	}
-	q, ok := db.Query(*qName)
+	defer db.Close()
+	q, ok := db.Database().Query(*qName)
 	if !ok {
 		log.Fatalf("query %q not found", *qName)
 	}
-	e := cdb.NewEngine(db.Schema, cdb.DefaultOptions(), *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	e := db.Engine(ctx, *seed)
+
 	switch *mode {
 	case "plan":
 		plan, err := e.NewPlan(q)

@@ -1,5 +1,8 @@
-// Command cdbsample draws almost-uniform samples from a relation of a
-// constraint database program.
+// Command cdbsample draws almost-uniform samples from a relation (or
+// quantifier-free query) of a constraint database program, through the
+// cdb.DB handle: the sampler is prepared once on the handle's warm
+// cache and the batch draw runs on its bounded worker pool. Ctrl-C
+// cancels an in-flight draw mid-walk.
 //
 // Usage:
 //
@@ -9,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	cdb "repro"
 )
@@ -26,7 +32,7 @@ func main() {
 		relName = flag.String("rel", "", "relation to sample (required)")
 		n       = flag.Int("n", 10, "number of samples")
 		seed    = flag.Uint64("seed", 42, "random seed")
-		walkK   = flag.String("walk", "hit-and-run", "walk kind: hit-and-run | grid")
+		walkK   = flag.String("walk", "hit-and-run", "walk kind: hit-and-run | grid | ball")
 		eps     = flag.Float64("eps", 0.25, "distribution quality ε")
 		gamma   = flag.Float64("gamma", 0.2, "grid resolution γ")
 		delta   = flag.Float64("delta", 0.1, "failure probability δ")
@@ -40,28 +46,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := cdb.Parse(string(src))
+	kind := cdb.WalkHitAndRun
+	switch *walkK {
+	case "grid":
+		kind = cdb.WalkGrid
+	case "ball":
+		kind = cdb.WalkBall
+	}
+	db, err := cdb.Open(string(src),
+		cdb.WithWalk(kind),
+		cdb.WithParams(cdb.Params{Gamma: *gamma, Eps: *eps, Delta: *delta}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rel, ok := db.Relation(*relName)
-	if !ok {
-		log.Fatalf("relation %q not found (have %v)", *relName, db.Names)
-	}
-	opts := cdb.DefaultOptions()
-	if *walkK == "grid" {
-		opts = cdb.FaithfulOptions()
-	}
-	opts.Params = cdb.Params{Gamma: *gamma, Eps: *eps, Delta: *delta}
-	gen, err := cdb.NewSampler(rel, *seed, opts)
+	defer db.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	pts, err := db.SampleNSeeded(ctx, *relName, *n, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < *n; i++ {
-		x, err := gen.Sample()
-		if err != nil {
-			log.Fatalf("sample %d: %v", i, err)
-		}
+	for _, x := range pts {
 		parts := make([]string, len(x))
 		for j, v := range x {
 			parts[j] = fmt.Sprintf("%.6g", v)

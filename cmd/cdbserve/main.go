@@ -1,6 +1,7 @@
-// Command cdbserve runs the constraint-database sampling service: an
-// HTTP server with a registry of parsed programs, a prepared-sampler
-// cache and a batched sampling executor.
+// Command cdbserve runs the constraint-database sampling service: a
+// thin HTTP adapter over the shared sampling runtime (the same
+// registry, prepared-sampler cache and bounded worker pool behind the
+// cdb.DB handle).
 //
 // Usage:
 //

@@ -1,5 +1,8 @@
 // Command cdbvol estimates (or exactly computes) the volume of a
-// relation or query result in a constraint database program.
+// relation or query result in a constraint database program, through
+// the cdb.DB handle: estimates come from the handle's warm prepared
+// geometry (single-tuple relations pay no walker at all), and Ctrl-C
+// cancels an in-flight estimate mid-walk.
 //
 // Usage:
 //
@@ -9,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	cdb "repro"
 )
@@ -25,7 +31,7 @@ func main() {
 		relName = flag.String("rel", "", "relation to measure")
 		qName   = flag.String("query", "", "query to measure (sampling plan)")
 		exact   = flag.Bool("exact", false, "use the exact fixed-dimension algorithm (Lemma 3.1)")
-		seed    = flag.Uint64("seed", 42, "random seed")
+		seed    = flag.Uint64("seed", 42, "random seed (query volumes)")
 		eps     = flag.Float64("eps", 0.25, "relative error ε")
 		delta   = flag.Float64("delta", 0.1, "failure probability δ")
 	)
@@ -38,17 +44,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := cdb.Parse(string(src))
+	params := cdb.Params{Gamma: 0.2, Eps: *eps, Delta: *delta}
+	db, err := cdb.Open(string(src), cdb.WithParams(params), cdb.WithPrepSeed(*seed))
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := cdb.DefaultOptions()
-	opts.Params.Eps = *eps
-	opts.Params.Delta = *delta
+	defer db.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch {
 	case *relName != "" && *exact:
-		rel, ok := db.Relation(*relName)
+		rel, ok := db.Database().Relation(*relName)
 		if !ok {
 			log.Fatalf("relation %q not found", *relName)
 		}
@@ -58,22 +66,13 @@ func main() {
 		}
 		fmt.Printf("exact volume(%s) = %.9g\n", *relName, v)
 	case *relName != "":
-		rel, ok := db.Relation(*relName)
-		if !ok {
-			log.Fatalf("relation %q not found", *relName)
-		}
-		v, err := cdb.EstimateVolume(rel, *seed, opts)
+		v, err := db.Volume(ctx, *relName)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("volume(%s) ≈ %.6g  (relative ε=%g, δ=%g)\n", *relName, v, *eps, *delta)
 	default:
-		q, ok := db.Query(*qName)
-		if !ok {
-			log.Fatalf("query %q not found", *qName)
-		}
-		e := cdb.NewEngine(db.Schema, opts, *seed)
-		v, err := e.EstimateVolume(q)
+		v, err := db.QueryVolume(ctx, *qName)
 		if err != nil {
 			log.Fatal(err)
 		}

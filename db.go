@@ -1,0 +1,487 @@
+package cdb
+
+// The DB handle: the package's single public entry point for warm,
+// concurrent, cancellable sampling. Open parses a program once and
+// returns a handle owning the shared runtime — a registry, the
+// singleflight prepared-sampler LRU and a bounded worker pool — so the
+// paper's pipeline (prepare a (γ, ε, δ)-generator once, then draw cheap
+// almost-uniform samples and volume estimates from it) becomes a
+// connection/statement lifecycle, in the database/sql tradition: the
+// handle is cheap to share, safe for concurrent use, and every method
+// takes a context honoured inside the sampling hot loops.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync/atomic"
+
+	"repro/internal/query"
+	"repro/internal/runtime"
+	"repro/internal/spacetime"
+	"repro/internal/walk"
+)
+
+// WalkKind selects the Markov chain driving the samplers.
+type WalkKind = walk.Kind
+
+// The available walks: the paper's lazy grid walk (faithful), the ball
+// walk, and hit-and-run (fastest practical mixing, the default).
+const (
+	WalkGrid      WalkKind = walk.GridWalk
+	WalkBall      WalkKind = walk.BallWalk
+	WalkHitAndRun WalkKind = walk.HitAndRun
+)
+
+// ErrClosed reports a call on a closed DB handle.
+var ErrClosed = errors.New("cdb: database handle is closed")
+
+// ErrNeedsProjection reports a query whose sampling plan requires the
+// projection generator (Algorithm 2) and therefore has no cacheable
+// prepared sampler. DB.Sampler returns it; SampleN, Samples and Volume
+// transparently fall back to a per-call query engine instead.
+var ErrNeedsProjection = runtime.ErrNeedsProjection
+
+// dbConfig collects the functional options of Open/OpenDatabase.
+type dbConfig struct {
+	opts        Options
+	cacheSize   int
+	poolSize    int
+	workers     int
+	prepSeed    uint64
+	prepSeedSet bool
+}
+
+// Option configures a DB handle at Open time.
+type Option func(*dbConfig)
+
+// WithOptions replaces the handle's sampling Options wholesale (walk
+// kind, (γ, ε, δ), step and rounding budgets). Later WithWalk/WithParams
+// options apply on top of it.
+func WithOptions(opts Options) Option {
+	return func(c *dbConfig) { c.opts = opts }
+}
+
+// WithWalk selects the Markov chain (default WalkHitAndRun).
+func WithWalk(k WalkKind) Option {
+	return func(c *dbConfig) { c.opts.Walk = k }
+}
+
+// WithParams sets the approximation parameters (γ, ε, δ) of
+// Definition 2.2 (default γ=0.2, ε=0.25, δ=0.1).
+func WithParams(p Params) Option {
+	return func(c *dbConfig) { c.opts.Params = p }
+}
+
+// WithCacheSize caps the handle's prepared-sampler LRU (default 64).
+func WithCacheSize(n int) Option {
+	return func(c *dbConfig) { c.cacheSize = n }
+}
+
+// WithPoolSize sets the sampling worker pool size (default GOMAXPROCS).
+func WithPoolSize(n int) Option {
+	return func(c *dbConfig) { c.poolSize = n }
+}
+
+// WithWorkers sets the logical worker count per SampleN call (default
+// min(4, pool size)). Output remains deterministic in the worker count:
+// worker i owns the sample indices ≡ i (mod workers).
+func WithWorkers(n int) Option {
+	return func(c *dbConfig) { c.workers = n }
+}
+
+// WithPrepSeed pins the handle's sampling randomness: the preparation
+// seed for relation/query samplers built through Sampler/SampleN/
+// Volume/Samples, and the base of the per-call seed sequence SampleN
+// and Samples draw from. By default both derive from the program,
+// target and options (cache-key hashing), so results are already
+// stable across processes; pin a seed only to decouple them from the
+// program text. Spacetime preparations (TimeSlice, TimeWindow, Alibi)
+// always use the key-derived seed, keeping their replies shared across
+// handles regardless of this option.
+func WithPrepSeed(seed uint64) Option {
+	return func(c *dbConfig) { c.prepSeed = seed; c.prepSeedSet = true }
+}
+
+// DB is a handle on one parsed constraint database program plus the
+// shared warm-geometry runtime: a registry, a singleflight LRU of
+// prepared samplers and a bounded sampling worker pool. A DB is safe
+// for concurrent use by multiple goroutines; open one handle and share
+// it, exactly like database/sql.
+//
+// Every sampling method takes a context.Context honoured inside the
+// hot loops — walk mixing epochs, union acceptance rounds, batched
+// worker draws — so a cancelled or expired context aborts an in-flight
+// call with ctx.Err() within one walk epoch.
+type DB struct {
+	rt      *runtime.Runtime
+	entry   *runtime.DatabaseEntry
+	opts    Options
+	workers int
+
+	prepSeed    uint64
+	prepSeedSet bool
+
+	seedBase uint64
+	seq      atomic.Uint64
+	closed   atomic.Bool
+}
+
+// Open parses a constraint database program and returns a handle over
+// it. See Parse for the grammar. The returned handle owns background
+// resources; call Close when done.
+func Open(src string, options ...Option) (*DB, error) {
+	db, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return openEntry(db, src, options)
+}
+
+// OpenDatabase wraps an already-parsed (or programmatically built)
+// Database in a handle.
+func OpenDatabase(database *Database, options ...Option) (*DB, error) {
+	if database == nil {
+		return nil, errors.New("cdb: OpenDatabase on a nil database")
+	}
+	return openEntry(database, "", options)
+}
+
+func openEntry(database *Database, src string, options []Option) (*DB, error) {
+	cfg := dbConfig{opts: DefaultOptions()}
+	for _, o := range options {
+		o(&cfg)
+	}
+	rt := runtime.New(runtime.Config{
+		PoolSize:  cfg.poolSize,
+		CacheSize: cfg.cacheSize,
+	}, nil)
+	entry, _, err := rt.Registry().RegisterParsed("main", src, database)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = min(4, rt.Pool().Size())
+	}
+	h := &DB{
+		rt:          rt,
+		entry:       entry,
+		opts:        cfg.opts,
+		workers:     workers,
+		prepSeed:    cfg.prepSeed,
+		prepSeedSet: cfg.prepSeedSet,
+	}
+	// Per-call sampling seeds derive from a base that is itself a pure
+	// function of the program and options, so a fixed call sequence on a
+	// fresh handle is reproducible run to run.
+	h.seedBase = runtime.PrepSeedFor(runtime.SamplerKey(entry.ID, "seedbase", src, cfg.opts.CacheKey()))
+	if cfg.prepSeedSet {
+		h.seedBase = cfg.prepSeed
+	}
+	return h, nil
+}
+
+// Close releases the handle's worker pool. Calls after Close return
+// ErrClosed; in-flight calls finish normally.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	db.rt.Close()
+	return nil
+}
+
+// Database returns the parsed program behind the handle.
+func (db *DB) Database() *Database { return db.entry.DB }
+
+// Options returns the handle's sampling options.
+func (db *DB) Options() Options { return db.opts }
+
+// nextSeed returns the next per-call sampling seed: deterministic in
+// the call sequence on a handle, distinct across calls.
+func (db *DB) nextSeed() uint64 {
+	return db.seedBase + db.seq.Add(1)*0x9E3779B97F4A7C15
+}
+
+func (db *DB) check(ctx context.Context) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return ctx.Err()
+}
+
+// targetArgs resolves name against the program: declared relations are
+// sampled directly, query names go through the sampling planner.
+func (db *DB) targetArgs(name string) (relName, queryName string) {
+	if _, ok := db.entry.DB.Relation(name); ok {
+		return name, ""
+	}
+	if _, ok := db.entry.DB.Query(name); ok {
+		return "", name
+	}
+	// Let the runtime produce its canonical not-found error.
+	return name, ""
+}
+
+// prepared returns the warm sampler for a relation or query name,
+// building (and caching) it on first use.
+func (db *DB) prepared(ctx context.Context, name string) (*PreparedSampler, string, error) {
+	if err := db.check(ctx); err != nil {
+		return nil, "", err
+	}
+	relName, queryName := db.targetArgs(name)
+	if db.prepSeedSet {
+		ps, key, _, err := db.rt.PreparedForWithSeed(db.entry, relName, queryName, db.opts, db.prepSeed)
+		return ps, key, err
+	}
+	ps, key, _, err := db.rt.PreparedFor(db.entry, relName, queryName, db.opts)
+	return ps, key, err
+}
+
+// Sampler returns the prepared (warm) sampler for a relation or query
+// name: rounding, well-boundedness witnesses and per-tuple volume
+// estimates are computed once and cached in the handle's LRU; bind
+// request seeds with NewObservable/NewObservableCtx for independent
+// generators. Concurrent calls for the same cold target coalesce into
+// a single preparation.
+func (db *DB) Sampler(ctx context.Context, name string) (*PreparedSampler, error) {
+	ps, _, err := db.prepared(ctx, name)
+	return ps, err
+}
+
+// SampleN draws n almost-uniform points from the named relation or
+// query on the handle's bounded worker pool, preparing (or reusing) the
+// warm sampler. Each call uses a fresh seed from the handle's
+// deterministic sequence; use SampleNSeeded to pin one.
+func (db *DB) SampleN(ctx context.Context, name string, n int) ([]Vector, error) {
+	return db.SampleNSeeded(ctx, name, n, db.nextSeed())
+}
+
+// SampleNSeeded is SampleN with an explicit base seed: the output is
+// deterministic in (program, target, options, n, workers, seed), and
+// byte-identical concurrent draws are coalesced into a single
+// execution. Projection-needing queries (no cacheable sampler) run
+// sequentially on a per-call engine instead of the pool.
+func (db *DB) SampleNSeeded(ctx context.Context, name string, n int, seed uint64) ([]Vector, error) {
+	ps, key, err := db.prepared(ctx, name)
+	if errors.Is(err, ErrNeedsProjection) {
+		return db.querySampleN(ctx, name, n, seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pts, _, err := db.rt.Executor().SampleManyCtx(ctx, key, ps, n, db.workers, seed)
+	return pts, err
+}
+
+// querySampleN draws n samples sequentially from a query engine
+// observable — the fallback for plans that need Algorithm 2.
+func (db *DB) querySampleN(ctx context.Context, name string, n int, seed uint64) ([]Vector, error) {
+	q, ok := db.entry.DB.Query(name)
+	if !ok {
+		return nil, fmt.Errorf("cdb: query %q not found", name)
+	}
+	obs, err := db.engine(ctx, seed).Observable(q)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Vector, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		x, err := obs.Sample()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, x)
+	}
+	return pts, nil
+}
+
+// Samples streams almost-uniform points from the named relation or
+// query as a Go 1.23+ iterator: it yields (point, nil) until the
+// context is cancelled, the generator aborts (probability δ, see
+// ErrGeneratorFailed) or the consumer breaks. After a non-nil error the
+// sequence stops. The stream binds one generator, so points arrive in
+// one walker's deterministic order; independent streams come from
+// separate Samples calls.
+//
+//	for p, err := range db.Samples(ctx, "S") {
+//	    if err != nil { ... }
+//	    consume(p)
+//	    if enough { break }
+//	}
+func (db *DB) Samples(ctx context.Context, name string) iter.Seq2[Vector, error] {
+	seed := db.nextSeed()
+	return func(yield func(Vector, error) bool) {
+		var obs Observable
+		ps, _, err := db.prepared(ctx, name)
+		switch {
+		case errors.Is(err, ErrNeedsProjection):
+			// No cacheable sampler: stream from a per-call engine.
+			q, _ := db.entry.DB.Query(name)
+			obs, err = db.engine(ctx, seed).Observable(q)
+		case err == nil:
+			obs, err = ps.NewObservableCtx(ctx, seed)
+		}
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for {
+			if err := ctx.Err(); err != nil {
+				yield(nil, err)
+				return
+			}
+			x, err := obs.Sample()
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(x, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Volume returns the (ε, δ)-relative volume estimate of the named
+// relation or query from the warm geometry. Single-tuple relations
+// surface the preparation-time estimate directly (no walker is bound);
+// unions run the Karp–Luby acceptance pass under a seed derived from
+// the cache key, so the result is deterministic per
+// (program, target, options).
+func (db *DB) Volume(ctx context.Context, name string) (float64, error) {
+	ps, key, err := db.prepared(ctx, name)
+	if errors.Is(err, ErrNeedsProjection) {
+		// No prepared sampler exists for a projection plan; run the
+		// engine path under a key-derived seed so the determinism
+		// contract above still holds. A pinned WithPrepSeed folds in,
+		// mirroring the prepared path.
+		q, _ := db.entry.DB.Query(name)
+		seed := runtime.PrepSeedFor(runtime.SamplerKey(db.entry.ID, "queryvol", name, db.opts.CacheKey()))
+		if db.prepSeedSet {
+			seed = db.prepSeed + runtime.PrepSeedFor("queryvol\x1f"+name)
+		}
+		return db.engine(ctx, seed).EstimateVolume(q)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return ps.VolumeCtx(ctx, runtime.PrepSeedFor(key+"\x1fvolume"))
+}
+
+// Query returns a generator/estimator for a named query via its
+// sampling plan (Theorem 4.4's existential fragment: unions,
+// intersections, differences and projections of the schema relations).
+// The observable's hot loops honour ctx. Each call builds an
+// independent engine under a fresh seed.
+func (db *DB) Query(ctx context.Context, name string) (Observable, error) {
+	if err := db.check(ctx); err != nil {
+		return nil, err
+	}
+	q, ok := db.entry.DB.Query(name)
+	if !ok {
+		return nil, fmt.Errorf("cdb: query %q not found", name)
+	}
+	return db.engine(ctx, db.nextSeed()).Observable(q)
+}
+
+// QueryVolume estimates the volume of a named query's result through
+// its sampling plan.
+func (db *DB) QueryVolume(ctx context.Context, name string) (float64, error) {
+	if err := db.check(ctx); err != nil {
+		return 0, err
+	}
+	q, ok := db.entry.DB.Query(name)
+	if !ok {
+		return 0, fmt.Errorf("cdb: query %q not found", name)
+	}
+	return db.engine(ctx, db.nextSeed()).EstimateVolume(q)
+}
+
+// Engine returns a query engine over the handle's schema whose
+// generators honour ctx, for the surfaces the prepared cache does not
+// cover (symbolic evaluation, plan inspection, reconstruction).
+func (db *DB) Engine(ctx context.Context, seed uint64) *Engine {
+	return db.engine(ctx, seed)
+}
+
+func (db *DB) engine(ctx context.Context, seed uint64) *Engine {
+	opts := db.opts
+	if ctx != nil && ctx.Done() != nil {
+		opts.Interrupt = ctx.Err
+	}
+	return query.NewEngine(db.entry.DB.Schema, opts, seed)
+}
+
+// TimeSlice returns the warm sampler for the t = t0 snapshot of a
+// space-time relation (time column = the column named "t", or the last
+// one). Slices are cached per (relation, t0, options); empty slices —
+// t0 outside the relation's support — are cached as negative entries,
+// so repeated out-of-support probes are O(1) and return an error
+// wrapping ErrEmptySlice.
+func (db *DB) TimeSlice(ctx context.Context, relName string, t0 float64) (*PreparedSampler, error) {
+	if err := db.check(ctx); err != nil {
+		return nil, err
+	}
+	ps, _, _, err := db.rt.PreparedSlice(db.entry, relName, t0, db.opts)
+	return ps, err
+}
+
+// TimeWindow returns the warm sampler for the t ∈ [t0, t1] restriction
+// of a space-time relation, cached like TimeSlice.
+func (db *DB) TimeWindow(ctx context.Context, relName string, t0, t1 float64) (*PreparedSampler, error) {
+	if err := db.check(ctx); err != nil {
+		return nil, err
+	}
+	ps, _, _, err := db.rt.PreparedWindow(db.entry, relName, t0, t1, db.opts)
+	return ps, err
+}
+
+// Alibi answers "could the objects of relations a and b have met
+// during [t0, t1]?" both by sampling (meeting-volume estimate over the
+// meet region) and symbolically (exact Fourier–Motzkin meeting-time
+// intervals), cross-checked in the returned report. The meet region,
+// the intervals and the volume observable are prepared once and cached
+// per (a, b, t0, t1, options); replays only bind seeds.
+func (db *DB) Alibi(ctx context.Context, a, b string, t0, t1 float64) (*AlibiReport, error) {
+	return db.AlibiSeeded(ctx, a, b, t0, t1, db.nextSeed(), 1)
+}
+
+// AlibiSeeded is Alibi with an explicit seed and median-of-k
+// amplification of the meeting-volume confidence (k <= 1 runs a single
+// estimate).
+func (db *DB) AlibiSeeded(ctx context.Context, a, b string, t0, t1 float64, seed uint64, k int) (*AlibiReport, error) {
+	if err := db.check(ctx); err != nil {
+		return nil, err
+	}
+	if t1 < t0 {
+		return nil, fmt.Errorf("cdb: empty alibi window [%g, %g]", t0, t1)
+	}
+	pa, _, err := db.rt.PreparedAlibi(db.entry, a, b, t0, t1, db.opts)
+	if err != nil {
+		return nil, err
+	}
+	return pa.Report(ctx, seed, k)
+}
+
+// TimeSupportOf returns the time extent [lo, hi] of a space-time
+// relation of the program; ok is false for unknown, empty or
+// time-unbounded relations.
+func (db *DB) TimeSupportOf(relName string) (lo, hi float64, ok bool) {
+	rel, found := db.entry.DB.Relation(relName)
+	if !found {
+		return 0, 0, false
+	}
+	return spacetime.Support(rel, spacetime.TimeColumn(rel))
+}
+
+// ErrEmptySlice marks a time slice or window with no feasible tuple —
+// the probe time lies outside the relation's support. Returned (wrapped)
+// by TimeSlice and TimeWindow.
+var ErrEmptySlice = runtime.ErrEmptySlice

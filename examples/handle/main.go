@@ -1,0 +1,88 @@
+// Example handle: one cdb.DB shared across goroutines.
+//
+// Open parses the program once and returns a handle owning the warm
+// sampling runtime — a singleflight LRU of prepared samplers and a
+// bounded worker pool. Many goroutines then drive the same handle
+// concurrently: the first request for each target pays the preparation
+// (rounding, well-boundedness witnesses, volume estimation), everyone
+// else binds seeds to the shared warm geometry, and a context deadline
+// aborts in-flight walks mid-epoch.
+//
+// Run with: go run ./examples/handle
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	cdb "repro"
+)
+
+const program = `
+rel S(x, y)  := { x >= 0, y >= 0, x + y <= 1 };
+rel U(x, y)  := { 0 <= x <= 1, 0 <= y <= 1 } | { 2 <= x <= 3, 0 <= y <= 1 };
+query Q(x)   := exists y. S(x, y);
+`
+
+func main() {
+	log.SetFlags(0)
+	db, err := cdb.Open(program,
+		cdb.WithParams(cdb.Params{Gamma: 0.2, Eps: 0.25, Delta: 0.1}),
+		cdb.WithWorkers(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Six goroutines, three distinct targets: each target is prepared
+	// exactly once (concurrent requests for a cold target coalesce), and
+	// all draws share the handle's bounded worker pool.
+	targets := []string{"S", "U", "S", "U", "S", "U"}
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			pts, err := db.SampleN(ctx, target, 200)
+			if err != nil {
+				log.Printf("worker %d: %v", i, err)
+				return
+			}
+			v, err := db.Volume(ctx, target)
+			if err != nil {
+				log.Printf("worker %d: %v", i, err)
+				return
+			}
+			fmt.Printf("worker %d: %3d points of %s, volume ≈ %.3f\n", i, len(pts), target, v)
+		}(i, target)
+	}
+	wg.Wait()
+
+	// The streaming iterator draws from one bound generator until the
+	// consumer breaks (or ctx fires).
+	fmt.Println("first 3 streamed points of Q:")
+	n := 0
+	for p, err := range db.Samples(ctx, "Q") {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %v\n", p)
+		if n++; n == 3 {
+			break
+		}
+	}
+
+	// A deadline aborts an in-flight call with ctx.Err() mid-walk.
+	short, cancelShort := context.WithTimeout(context.Background(), 1*time.Nanosecond)
+	defer cancelShort()
+	if _, err := db.SampleN(short, "S", 1); err != nil {
+		fmt.Printf("deadline honoured: %v\n", err)
+	}
+}

@@ -95,6 +95,14 @@ func (p *PreparedConvex) VolumeKnown() bool { return p.volKnown }
 // randomness. The cost is one walker initialisation — O(d) — versus the
 // rounding + volume passes of a cold NewConvexPolytope call.
 func (p *PreparedConvex) Bind(r *rng.RNG) (*Convex, error) {
+	return p.BindInterrupt(r, p.opts.Interrupt)
+}
+
+// BindInterrupt is Bind with a per-generator interrupt hook: the bound
+// generator polls it inside its walk epochs and volume passes, aborting
+// with the hook's error. The RNG stream consumed is identical to Bind's,
+// so the hook changes only when a walk can stop, never what it produces.
+func (p *PreparedConvex) BindInterrupt(r *rng.RNG, interrupt func() error) (*Convex, error) {
 	c := &Convex{
 		body:     p.body,
 		rounded:  p.rounded,
@@ -106,6 +114,7 @@ func (p *PreparedConvex) Bind(r *rng.RNG) (*Convex, error) {
 		vol:      p.vol,
 		volKnown: p.volKnown,
 	}
+	c.opts.Interrupt = interrupt
 	if err := c.initWalker(); err != nil {
 		return nil, err
 	}
@@ -208,6 +217,7 @@ func (c *Convex) initWalker() error {
 		Kind:        c.opts.Walk,
 		Grid:        c.grid,
 		OuterRadius: c.rounded.OuterRadius,
+		Interrupt:   c.opts.Interrupt,
 	}
 	if cfg.Kind == walk.BallWalk {
 		cfg.Delta = c.rounded.InnerRadius / math.Sqrt(float64(d))
@@ -239,11 +249,23 @@ func (c *Convex) Contains(x linalg.Vector) bool { return c.body.Contains(x) }
 // the exact object of Definition 2.2.
 func (c *Convex) SampleRounded() (linalg.Vector, error) {
 	steps := c.thin
-	if !c.mixed {
+	burning := !c.mixed
+	if burning {
 		steps = c.burnIn
 		c.mixed = true
 	}
-	return c.walker.Sample(steps), nil
+	pt := c.walker.Sample(steps)
+	if err := c.walker.Err(); err != nil {
+		if burning {
+			// The burn-in was aborted mid-epoch: the walker is not mixed,
+			// and a later retry on this generator must pay the full
+			// burn-in again rather than silently sampling an unmixed
+			// chain with thin steps only.
+			c.mixed = false
+		}
+		return nil, err
+	}
+	return pt, nil
 }
 
 // Sample returns an almost-uniform point of the original body (the
@@ -328,12 +350,12 @@ func (c *Convex) phaseRatio(rSmall, rBig float64, n int) (float64, error) {
 		c.rounded.Body,
 		walk.BallBody{Center: make(linalg.Vector, d), Radius: rBig},
 	}}
-	cfg := walk.Config{Kind: walk.HitAndRun, OuterRadius: rBig}
+	cfg := walk.Config{Kind: walk.HitAndRun, OuterRadius: rBig, Interrupt: c.opts.Interrupt}
 	if c.opts.Walk == walk.GridWalk {
 		// Stay faithful to the configured walk for the phase sampling
 		// when explicitly requested; a finer grid keeps thin shells
 		// reachable.
-		cfg = walk.Config{Kind: walk.GridWalk, Grid: c.grid, OuterRadius: rBig}
+		cfg = walk.Config{Kind: walk.GridWalk, Grid: c.grid, OuterRadius: rBig, Interrupt: c.opts.Interrupt}
 	}
 	w, err := walk.New(big, make(linalg.Vector, d), c.r.Split(), cfg)
 	if err != nil {
@@ -341,10 +363,16 @@ func (c *Convex) phaseRatio(rSmall, rBig float64, n int) (float64, error) {
 	}
 	burn, thin := c.burnIn, c.thin
 	w.Run(burn)
+	if err := w.Err(); err != nil {
+		return 0, err
+	}
 	hits := 0
 	r2 := rSmall * rSmall
 	for i := 0; i < n; i++ {
 		pt := w.Run(thin)
+		if err := w.Err(); err != nil {
+			return 0, err
+		}
 		var norm2 float64
 		for _, v := range pt {
 			norm2 += v * v

@@ -121,6 +121,23 @@ type Options struct {
 	// acceptance of an intersection/difference falls below it, the
 	// generator aborts with ErrNotPolyRelated (0 = default 1e-4).
 	AcceptanceFloor float64
+	// Interrupt, when non-nil, is polled inside every sampling hot loop
+	// — walk mixing epochs, union/intersection/difference/projection
+	// acceptance rounds and volume passes. A non-nil return aborts the
+	// operation with that error (typically ctx.Err()), making every
+	// generator cancellable mid-walk. Interrupt is a per-call concern:
+	// it is deliberately excluded from CacheKey, and prepared-sampler
+	// caches strip it before preparation so a request's context is never
+	// baked into shared geometry.
+	Interrupt func() error
+}
+
+// interrupted polls the Interrupt hook.
+func (o Options) interrupted() error {
+	if o.Interrupt == nil {
+		return nil
+	}
+	return o.Interrupt()
 }
 
 func (o Options) params() Params {

@@ -86,6 +86,9 @@ func (in *Intersection) Sample() (linalg.Vector, error) {
 	floor := in.opts.acceptanceFloor()
 	rounds := in.opts.maxRounds(floor)
 	for k := 0; k < rounds; k++ {
+		if err := in.opts.interrupted(); err != nil {
+			return nil, err
+		}
 		in.trials++
 		x, err := in.members[in.base].Sample()
 		if err != nil {
@@ -143,6 +146,9 @@ func (in *Intersection) Volume() (float64, error) {
 	}
 	accept := 0
 	for i := 0; i < n; i++ {
+		if err := in.opts.interrupted(); err != nil {
+			return 0, err
+		}
 		in.trials++
 		x, err := in.members[in.base].Sample()
 		if err != nil {
@@ -209,6 +215,9 @@ func (df *Difference) Sample() (linalg.Vector, error) {
 	floor := df.opts.acceptanceFloor()
 	rounds := df.opts.maxRounds(floor)
 	for k := 0; k < rounds; k++ {
+		if err := df.opts.interrupted(); err != nil {
+			return nil, err
+		}
 		df.trials++
 		x, err := df.s1.Sample()
 		if err != nil {
@@ -249,6 +258,9 @@ func (df *Difference) Volume() (float64, error) {
 	}
 	accept := 0
 	for i := 0; i < n; i++ {
+		if err := df.opts.interrupted(); err != nil {
+			return 0, err
+		}
 		df.trials++
 		x, err := df.s1.Sample()
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -91,6 +92,16 @@ type Submitter func(fn func())
 // many concurrent requests onto one bounded pool without changing what
 // any request returns.
 func SampleManyVia(submit Submitter, factory Factory, n, w int, baseSeed uint64) ([]linalg.Vector, error) {
+	return SampleManyCtx(context.Background(), submit, factory, n, w, baseSeed)
+}
+
+// SampleManyCtx is SampleManyVia with cooperative cancellation: every
+// worker polls ctx between samples (and the factories it is given are
+// expected to bind ctx into their generators, so cancellation also cuts
+// a sample short mid-walk). On cancellation the call returns ctx.Err()
+// once every worker has stopped — workers never outlive the call, so a
+// cancelled batch cannot leak pool capacity.
+func SampleManyCtx(ctx context.Context, submit Submitter, factory Factory, n, w int, baseSeed uint64) ([]linalg.Vector, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -115,12 +126,20 @@ func SampleManyVia(submit Submitter, factory Factory, n, w int, baseSeed uint64)
 					errs[i] = fmt.Errorf("core: sampling worker %d panicked: %v", i, r)
 				}
 			}()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			obs, err := factory(baseSeed + uint64(7919*i))
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			for j := i; j < n; j += w {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
 				x, err := obs.Sample()
 				if err != nil {
 					errs[i] = err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/constraint"
@@ -76,6 +77,18 @@ func (p *PreparedRelation) MemberVolumes() []float64 {
 	return out
 }
 
+// PreparedVolume returns the preparation-time volume estimate when it
+// is already the whole relation's estimate — a single-tuple relation,
+// where no union-acceptance pass is needed. Multi-tuple unions report
+// ok = false: their total must be corrected for overlap by the
+// Karp–Luby acceptance pass of a bound Observable.
+func (p *PreparedRelation) PreparedVolume() (v float64, ok bool) {
+	if len(p.members) == 1 && p.members[0].volKnown {
+		return p.members[0].vol, true
+	}
+	return 0, false
+}
+
 // BindMember instantiates a generator for the i-th non-empty tuple
 // alone — the per-disjunct view a reconstruction needs (Algorithm 5
 // builds one hull per convex piece, not one hull over the union).
@@ -91,9 +104,26 @@ func (p *PreparedRelation) BindMember(i int, r *rng.RNG) (Observable, error) {
 // the cached member weights. Cost is O(tuples · d) — no rounding, no
 // volume passes.
 func (p *PreparedRelation) Bind(r *rng.RNG) (Observable, error) {
+	return p.BindInterrupt(r, p.opts.Interrupt)
+}
+
+// BindCtx is Bind with every hot loop of the returned Observable —
+// walk epochs, union acceptance rounds, volume passes — polling ctx, so
+// an in-flight Sample or Volume call aborts with ctx.Err() within one
+// walk epoch of cancellation. The RNG stream is identical to Bind's:
+// the same seed produces the same points, cancellable or not.
+func (p *PreparedRelation) BindCtx(ctx context.Context, r *rng.RNG) (Observable, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return p.Bind(r)
+	}
+	return p.BindInterrupt(r, ctx.Err)
+}
+
+// BindInterrupt is Bind with an explicit interrupt hook (nil = none).
+func (p *PreparedRelation) BindInterrupt(r *rng.RNG, interrupt func() error) (Observable, error) {
 	members := make([]Observable, 0, len(p.members))
 	for i, pc := range p.members {
-		c, err := pc.Bind(r.Split())
+		c, err := pc.BindInterrupt(r.Split(), interrupt)
 		if err != nil {
 			return nil, fmt.Errorf("core: binding tuple %d of %q: %w", i, p.name, err)
 		}
@@ -104,5 +134,7 @@ func (p *PreparedRelation) Bind(r *rng.RNG) (Observable, error) {
 	}
 	// Member volumes are already cached on the bound Convex instances, so
 	// NewUnion's eager weighting pass costs nothing here.
-	return NewUnion(members, r.Split(), p.opts)
+	opts := p.opts
+	opts.Interrupt = interrupt
+	return NewUnion(members, r.Split(), opts)
 }

@@ -105,6 +105,9 @@ func (pr *Projection) calibrate() error {
 	const pilot = 48
 	minH := math.Inf(1)
 	for i := 0; i < pilot; i++ {
+		if err := pr.opts.interrupted(); err != nil {
+			return err
+		}
 		x, err := pr.src.Sample()
 		if err != nil {
 			continue
@@ -215,6 +218,9 @@ func (pr *Projection) Sample() (linalg.Vector, error) {
 	}
 	rounds := pr.opts.maxRounds(perRound)
 	for k := 0; k < rounds; k++ {
+		if err := pr.opts.interrupted(); err != nil {
+			return nil, err
+		}
 		pr.rounds++
 		x, err := pr.src.Sample()
 		if err != nil {
@@ -287,6 +293,9 @@ func (pr *Projection) Volume() (float64, error) {
 	var sumW float64
 	got := 0
 	for i := 0; i < n; i++ {
+		if err := pr.opts.interrupted(); err != nil {
+			return 0, err
+		}
 		x, err := pr.src.Sample()
 		if err != nil {
 			continue

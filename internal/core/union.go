@@ -101,6 +101,9 @@ func (u *Union) canonicalIndex(x linalg.Vector) int {
 func (u *Union) Sample() (linalg.Vector, error) {
 	rounds := u.opts.maxRounds(1 / float64(len(u.members)))
 	for k := 0; k < rounds; k++ {
+		if err := u.opts.interrupted(); err != nil {
+			return nil, err
+		}
 		u.rounds++
 		j := u.pickMember()
 		x, err := u.members[j].Sample()
@@ -154,6 +157,9 @@ func (u *Union) Volume() (float64, error) {
 	}
 	accept := 0
 	for i := 0; i < n; i++ {
+		if err := u.opts.interrupted(); err != nil {
+			return 0, err
+		}
 		j := u.pickMember()
 		x, err := u.members[j].Sample()
 		if err != nil {

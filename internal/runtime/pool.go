@@ -1,0 +1,202 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// Pool is a fixed-size worker pool. Every batched sample draw runs its
+// worker chunks on it, so the concurrency of batched sampling is bounded
+// by the pool size no matter how many requests are in flight —
+// concurrent requests are coalesced onto the same workers instead of
+// each spawning their own. (Single-walker paths — query sampling,
+// reconstruction — run one sequential walk on their caller's goroutine
+// and are bounded by the caller's own concurrency.)
+type Pool struct {
+	jobs  chan func()
+	wg    sync.WaitGroup
+	size  int
+	hooks Hooks
+
+	mu        sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+}
+
+// NewPool starts size workers (minimum 1). hooks may be nil.
+func NewPool(size int, hooks Hooks) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{jobs: make(chan func()), size: size, hooks: hooks}
+	for i := 0; i < size; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.jobs {
+				if p.hooks != nil {
+					p.hooks.BatchJob()
+				}
+				runJob(fn)
+			}
+		}()
+	}
+	return p
+}
+
+// runJob shields the worker from a panicking job: handler goroutines are
+// recovered per-connection by net/http, but a bare pool goroutine would
+// take the whole process down. The job's own waiters see the failure
+// through their error slots (SampleManyVia converts worker panics to
+// errors); the recover here is the process-level backstop.
+func runJob(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+
+// Submit schedules fn on the pool, blocking until a worker accepts it.
+// After Close, fn runs synchronously on the caller instead — a request
+// that raced a shutdown still completes rather than panicking on the
+// closed channel.
+func (p *Pool) Submit(fn func()) {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		fn()
+		return
+	}
+	// Hold the read lock across the send so Close cannot close the
+	// channel between the check and the send.
+	defer p.mu.RUnlock()
+	p.jobs <- fn
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+// Close stops the workers after draining queued jobs. Submitters that
+// already passed the closed check finish their sends first (the workers
+// keep consuming until the channel drains).
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		close(p.jobs)
+		p.mu.Unlock()
+	})
+	p.wg.Wait()
+}
+
+// Executor is the batch executor for sample requests. It does two
+// things on top of the raw pool:
+//
+//   - every request's worker chunks run on the shared pool (bounded
+//     concurrency, same deterministic output as Prepared.SampleMany), and
+//   - byte-identical concurrent requests — same prepared sampler, n,
+//     workers and seed — are coalesced into a single draw whose result
+//     every caller shares.
+type Executor struct {
+	pool *Pool
+
+	mu       sync.Mutex
+	inflight map[string]*draw
+
+	hooks Hooks
+}
+
+type draw struct {
+	ready chan struct{}
+	pts   []linalg.Vector
+	err   error
+}
+
+// NewExecutor returns an executor over the given pool. hooks may be nil.
+func NewExecutor(pool *Pool, hooks Hooks) *Executor {
+	return &Executor{pool: pool, inflight: map[string]*draw{}, hooks: hooks}
+}
+
+// SampleMany draws n points from ps with w logical workers and base seed
+// seed, deterministically identical to ps.SampleMany(n, w, seed).
+// samplerKey identifies the prepared sampler (the cache key); coalesced
+// reports that the result was shared with an identical in-flight draw.
+func (e *Executor) SampleMany(samplerKey string, ps *Prepared, n, w int, seed uint64) (pts []linalg.Vector, coalesced bool, err error) {
+	return e.SampleManyCtx(context.Background(), samplerKey, ps, n, w, seed)
+}
+
+// SampleManyCtx is SampleMany with cooperative cancellation: the draw's
+// workers poll ctx between samples and inside every walk epoch, and a
+// coalesced waiter stops waiting when its own ctx is cancelled. The
+// shared draw runs under the initiating request's ctx; if the initiator
+// cancels while a coalesced waiter's ctx is still live, that waiter
+// does not inherit the cancellation — it re-enters and runs the draw
+// itself (output unchanged: the result is deterministic in the seed).
+// Workers always return to the pool — a cancelled batch cannot leak
+// pool capacity.
+func (e *Executor) SampleManyCtx(ctx context.Context, samplerKey string, ps *Prepared, n, w int, seed uint64) (pts []linalg.Vector, coalesced bool, err error) {
+	key := fmt.Sprintf("%s|n=%d|w=%d|seed=%d", samplerKey, n, w, seed)
+	for {
+		e.mu.Lock()
+		d, ok := e.inflight[key]
+		if !ok {
+			d = &draw{ready: make(chan struct{})}
+			e.inflight[key] = d
+			e.mu.Unlock()
+			// Whether this caller is the first arrival or a waiter that
+			// took over a cancelled draw, it did the work itself:
+			// coalesced=false, and no CoalescedDraw event — the metric
+			// and the response field report only actual work-sharing.
+			pts, err := e.runDraw(ctx, key, d, ps, n, w, seed)
+			return pts, false, err
+		}
+		e.mu.Unlock()
+		select {
+		case <-d.ready:
+			if d.err != nil && isContextErr(d.err) && ctx.Err() == nil {
+				// The initiator was cancelled, not us: take over. The
+				// dead draw is already out of the inflight map (runDraw
+				// unregisters before signalling ready), so the next loop
+				// iteration either joins a fresh draw or initiates one.
+				continue
+			}
+			if e.hooks != nil {
+				e.hooks.CoalescedDraw()
+			}
+			return d.pts, true, d.err
+		case <-ctx.Done():
+			// Nothing was shared with this caller either.
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// runDraw executes one batched draw and publishes the result. The
+// inflight slot is unregistered before ready is signalled, so waiters
+// that decide to retry never re-join this finished draw. The defer
+// releases waiters even if the draw panics on this goroutine, mirroring
+// Cache.Get — otherwise every coalesced waiter would block forever.
+func (e *Executor) runDraw(ctx context.Context, key string, d *draw, ps *Prepared, n, w int, seed uint64) ([]linalg.Vector, error) {
+	finished := false
+	defer func() {
+		if !finished {
+			d.err = errors.New("runtime: batched draw panicked")
+		}
+		e.mu.Lock()
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		close(d.ready)
+	}()
+	d.pts, d.err = ps.SampleManyCtx(ctx, e.pool.Submit, n, w, seed)
+	finished = true
+	return d.pts, d.err
+}
+
+// isContextErr reports a cancellation/deadline error — the only errors
+// a coalesced waiter refuses to share, because they belong to the
+// initiating request, not to the draw.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,133 @@
+package runtime
+
+import (
+	"context"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// Prepared is the cache-friendly form of a relation sampler: the
+// expensive setup (per-tuple rounding, well-boundedness witnesses and
+// volume estimation) is paid once by Prepare, and NewObservable then
+// binds request seeds to the warm geometry for the cost of a walker
+// initialisation. A Prepared is safe for concurrent use — binds create
+// independent generators — and is what the sampler cache stores.
+//
+// The cdb package re-exports this type as cdb.PreparedSampler.
+type Prepared struct {
+	prep *core.PreparedRelation
+	opts core.Options
+}
+
+// Prepare runs the full sampler setup for a well-bounded relation under
+// a fixed preparation seed. The prepared geometry (and therefore every
+// volume estimate and every sample stream drawn from it) is
+// deterministic in (rel, prepSeed, opts). A per-call Interrupt hook in
+// opts is stripped: cancellation is a per-request concern and must
+// never be baked into geometry shared across requests.
+func Prepare(rel *constraint.Relation, prepSeed uint64, opts core.Options) (*Prepared, error) {
+	opts.Interrupt = nil
+	p, err := core.PrepareRelation(rel, rng.New(prepSeed), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{prep: p, opts: opts}, nil
+}
+
+// NewObservable binds a sampling seed to the prepared geometry and
+// returns an independent generator/estimator. Calls with the same seed
+// return generators producing identical streams.
+func (p *Prepared) NewObservable(seed uint64) (core.Observable, error) {
+	return p.prep.Bind(rng.New(seed))
+}
+
+// NewObservableCtx is NewObservable with ctx polled inside every hot
+// loop of the returned generator, so in-flight Sample and Volume calls
+// abort with ctx.Err() within one walk epoch of cancellation. The
+// sample stream for a given seed is identical to NewObservable's.
+func (p *Prepared) NewObservableCtx(ctx context.Context, seed uint64) (core.Observable, error) {
+	return p.prep.BindCtx(ctx, rng.New(seed))
+}
+
+// Dim returns the ambient dimension.
+func (p *Prepared) Dim() int { return p.prep.Dim() }
+
+// Tuples returns the number of non-empty tuples under the union.
+func (p *Prepared) Tuples() int { return p.prep.Tuples() }
+
+// NewMemberObservable binds a seed to the i-th non-empty tuple alone —
+// the per-convex-piece generator reconstruction builds hulls from.
+func (p *Prepared) NewMemberObservable(i int, seed uint64) (core.Observable, error) {
+	return p.prep.BindMember(i, rng.New(seed))
+}
+
+// Volume returns the relation's volume estimate from the warm geometry.
+// Single-tuple relations surface the preparation-time estimate directly
+// — no observable is bound, no walker initialised — because the
+// per-tuple estimate is already the whole relation's estimate. Unions
+// bind seed for the Karp–Luby acceptance pass that corrects overlap.
+func (p *Prepared) Volume(seed uint64) (float64, error) {
+	return p.VolumeCtx(context.Background(), seed)
+}
+
+// VolumeCtx is Volume with cooperative cancellation of the acceptance
+// pass (the single-tuple fast path never blocks and ignores ctx).
+func (p *Prepared) VolumeCtx(ctx context.Context, seed uint64) (float64, error) {
+	if v, ok := p.prep.PreparedVolume(); ok {
+		return v, nil
+	}
+	obs, err := p.prep.BindCtx(ctx, rng.New(seed))
+	if err != nil {
+		return 0, err
+	}
+	return obs.Volume()
+}
+
+// MedianVolumeCtx amplifies the volume confidence over the warm
+// geometry: k independently seeded estimators (the same seed schedule
+// as the classical ln(1/δ) median powering) run concurrently and the
+// median estimate is returned. Unlike the deprecated package-level
+// MedianVolume, no estimator pays a cold sampler setup. Note that for
+// single-tuple relations every bound estimator shares the
+// preparation-time estimate, so amplification is meaningful only for
+// unions (whose acceptance pass depends on the seed).
+func (p *Prepared) MedianVolumeCtx(ctx context.Context, k int, baseSeed uint64) (float64, error) {
+	return core.MedianVolume(func(s uint64) (core.Observable, error) {
+		return p.NewObservableCtx(ctx, s)
+	}, k, baseSeed)
+}
+
+// SampleMany draws n samples with w parallel workers from the warm
+// geometry; worker i owns seed baseSeed+7919·i and the indices ≡ i
+// (mod w), so the output is deterministic in (n, w, baseSeed).
+func (p *Prepared) SampleMany(n, w int, baseSeed uint64) ([]linalg.Vector, error) {
+	return core.SampleMany(p.NewObservable, n, w, baseSeed)
+}
+
+// SampleManyVia is SampleMany with worker execution scheduled through
+// submit (e.g. the runtime's bounded worker pool). The output is
+// identical to SampleMany for the same arguments.
+func (p *Prepared) SampleManyVia(submit core.Submitter, n, w int, baseSeed uint64) ([]linalg.Vector, error) {
+	return core.SampleManyVia(submit, p.NewObservable, n, w, baseSeed)
+}
+
+// SampleManyCtx is SampleManyVia with cooperative cancellation: workers
+// poll ctx between samples and the bound generators poll it inside
+// their walk epochs. Points drawn for a given seed are identical to
+// SampleMany's when the context never fires.
+func (p *Prepared) SampleManyCtx(ctx context.Context, submit core.Submitter, n, w int, baseSeed uint64) ([]linalg.Vector, error) {
+	return core.SampleManyCtx(ctx, submit, func(seed uint64) (core.Observable, error) {
+		return p.NewObservableCtx(ctx, seed)
+	}, n, w, baseSeed)
+}
+
+// CacheKey fingerprints the options the prepared geometry was built
+// with; combined with a database id, relation name and preparation seed
+// it uniquely identifies the prepared sampler.
+func (p *Prepared) CacheKey() string { return p.opts.CacheKey() }
+
+// Options returns the options the geometry was prepared with.
+func (p *Prepared) Options() core.Options { return p.opts }

@@ -1,4 +1,4 @@
-package server
+package runtime
 
 import (
 	"errors"
@@ -12,10 +12,10 @@ import (
 
 // ErrConflict reports a registration under an id that already holds a
 // different program.
-var ErrConflict = errors.New("server: database id already registered with different source")
+var ErrConflict = errors.New("runtime: database id already registered with different source")
 
 // ErrRegistryFull reports that the registry reached its capacity.
-var ErrRegistryFull = errors.New("server: database registry is full")
+var ErrRegistryFull = errors.New("runtime: database registry is full")
 
 // DatabaseEntry is one registered constraint database program.
 type DatabaseEntry struct {
@@ -26,7 +26,7 @@ type DatabaseEntry struct {
 	CreatedAt time.Time
 }
 
-// Registry holds the parsed constraint databases the server can sample
+// Registry holds the parsed constraint databases a runtime can sample
 // from. Registration parses and compiles the program once; all later
 // requests address relations and queries by (database id, name).
 type Registry struct {
@@ -62,6 +62,18 @@ func (r *Registry) Register(name, source string) (entry *DatabaseEntry, created 
 	if err != nil {
 		return nil, false, fmt.Errorf("parse: %w", err)
 	}
+	return r.add(name, source, db)
+}
+
+// RegisterParsed stores an already-parsed database under
+// DatabaseID(name, source) with the same idempotence and conflict rules
+// as Register. Source may be empty for databases built in code; the id
+// then hashes the empty string unless a name is given.
+func (r *Registry) RegisterParsed(name, source string, db *constraint.Database) (*DatabaseEntry, bool, error) {
+	return r.add(name, source, db)
+}
+
+func (r *Registry) add(name, source string, db *constraint.Database) (*DatabaseEntry, bool, error) {
 	id := DatabaseID(name, source)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -74,7 +86,7 @@ func (r *Registry) Register(name, source string) (entry *DatabaseEntry, created 
 	if r.cap > 0 && len(r.byID) >= r.cap {
 		return nil, false, fmt.Errorf("%w (capacity %d)", ErrRegistryFull, r.cap)
 	}
-	entry = &DatabaseEntry{ID: id, Name: name, Source: source, DB: db, CreatedAt: time.Now()}
+	entry := &DatabaseEntry{ID: id, Name: name, Source: source, DB: db, CreatedAt: time.Now()}
 	r.byID[id] = entry
 	r.order = append(r.order, id)
 	return entry, true, nil

@@ -1,0 +1,129 @@
+// Package runtime is the shared warm-geometry runtime behind every
+// surface of the library: the cdb.DB handle, the cdbserve HTTP service
+// and the command-line tools all drive the same three mechanisms:
+//
+//   - a Registry of parsed constraint database programs (parse once,
+//     sample forever),
+//   - a singleflight LRU Cache of prepared samplers, so the expensive
+//     rounding/well-boundedness/volume setup is paid once per
+//     (database, target, options) and every later request binds its
+//     seed to the warm geometry — including negative entries for
+//     provably empty targets (an out-of-support time slice replays as
+//     an O(1) cached verdict instead of a repeated failed build), and
+//   - a bounded worker Pool with a batch Executor that coalesces
+//     identical concurrent draws.
+//
+// The paper's pipeline — prepare a (γ, ε, δ)-generator once, then draw
+// cheap almost-uniform samples and volume estimates from it — is a
+// connection/statement lifecycle, and this package is the connection
+// pool. Everything here is safe for concurrent use.
+package runtime
+
+import (
+	"hash/fnv"
+	"runtime"
+)
+
+// Hooks receives runtime events; a serving layer maps them onto its
+// metrics. All methods must be safe for concurrent use. A nil Hooks is
+// valid and drops every event.
+type Hooks interface {
+	// CacheHit records a prepared-sampler cache hit (including negative
+	// entries and joins of an in-flight build).
+	CacheHit()
+	// CacheMiss records a cold build.
+	CacheMiss()
+	// CacheEviction records an LRU eviction.
+	CacheEviction()
+	// CoalescedDraw records a batched draw served by an identical
+	// in-flight draw.
+	CoalescedDraw()
+	// BatchJob records one worker-pool job execution.
+	BatchJob()
+}
+
+// Config tunes the runtime. The zero value picks sensible defaults.
+type Config struct {
+	// PoolSize is the sampling worker pool size (default GOMAXPROCS).
+	PoolSize int
+	// CacheSize caps each prepared LRU — samplers and alibi preparations
+	// (default 64).
+	CacheSize int
+	// MaxDatabases caps the registry (default 1024; negative = unbounded).
+	MaxDatabases int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	switch {
+	case c.MaxDatabases == 0:
+		c.MaxDatabases = 1024
+	case c.MaxDatabases < 0:
+		c.MaxDatabases = 0 // registry convention: 0 = unbounded
+	}
+	return c
+}
+
+// Runtime owns the registry, the prepared caches and the worker pool —
+// one shared, concurrency-safe instance per handle or server.
+type Runtime struct {
+	cfg      Config
+	registry *Registry
+	cache    *SamplerCache
+	alibis   *Cache[*PreparedAlibi]
+	pool     *Pool
+	exec     *Executor
+}
+
+// New builds a runtime from cfg. hooks may be nil.
+func New(cfg Config, hooks Hooks) *Runtime {
+	cfg = cfg.withDefaults()
+	pool := NewPool(cfg.PoolSize, hooks)
+	return &Runtime{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.MaxDatabases),
+		cache:    NewSamplerCache(cfg.CacheSize, hooks),
+		alibis:   NewCache[*PreparedAlibi](cfg.CacheSize, hooks),
+		pool:     pool,
+		exec:     NewExecutor(pool, hooks),
+	}
+}
+
+// Close stops the worker pool after draining queued jobs.
+func (rt *Runtime) Close() { rt.pool.Close() }
+
+// Registry returns the database registry.
+func (rt *Runtime) Registry() *Registry { return rt.registry }
+
+// Cache returns the prepared-sampler cache.
+func (rt *Runtime) Cache() *SamplerCache { return rt.cache }
+
+// AlibiCache returns the prepared-alibi cache.
+func (rt *Runtime) AlibiCache() *Cache[*PreparedAlibi] { return rt.alibis }
+
+// Pool returns the bounded worker pool.
+func (rt *Runtime) Pool() *Pool { return rt.pool }
+
+// Executor returns the batch executor over the pool.
+func (rt *Runtime) Executor() *Executor { return rt.exec }
+
+// SamplerKey is the prepared cache key: database, target kind ("rel",
+// "query", "slice", "window", "alibi"), target name and the canonical
+// options fingerprint.
+func SamplerKey(dbID, kind, name, optsKey string) string {
+	return dbID + "\x1f" + kind + "\x1f" + name + "\x1f" + optsKey
+}
+
+// PrepSeedFor derives the preparation seed from the cache key, so the
+// prepared geometry — and therefore every response — is a pure function
+// of (database, target, options), stable across restarts.
+func PrepSeedFor(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -1,0 +1,122 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// ErrNeedsProjection marks a query whose sampling plan requires the
+// projection generator (Algorithm 2) and therefore cannot be served
+// from the prepared-sampler cache.
+var ErrNeedsProjection = errors.New("query needs the projection generator")
+
+// ErrTargetNotFound marks a relation or query name absent from its
+// database.
+var ErrTargetNotFound = errors.New("target not found")
+
+// TargetKindName validates the relation/query arguments and returns the
+// cache-key kind and name. Shared by ResolveTarget and PreparedFor so
+// the two cannot diverge.
+func TargetKindName(relName, queryName string) (kind, name string, err error) {
+	switch {
+	case relName != "" && queryName != "":
+		return "", "", errors.New("specify relation or query, not both")
+	case relName != "":
+		return "rel", relName, nil
+	case queryName != "":
+		return "query", queryName, nil
+	default:
+		return "", "", errors.New("missing relation (or query) name")
+	}
+}
+
+// ResolveTarget finds the relation to sample: either a declared relation
+// or a query whose sampling plan is quantifier-free (every disjunct is a
+// plain conjunction), which compiles to an equivalent relation over the
+// output variables. Queries that need the projection generator are
+// served per-request through a query engine instead of the prepared
+// cache (ErrNeedsProjection).
+func ResolveTarget(e *DatabaseEntry, relName, queryName string, opts core.Options) (*constraint.Relation, string, string, error) {
+	kind, _, err := TargetKindName(relName, queryName)
+	if err != nil {
+		return nil, "", "", err
+	}
+	switch kind {
+	case "rel":
+		rel, ok := e.DB.Relation(relName)
+		if !ok {
+			return nil, "", "", fmt.Errorf("%w: relation %q in database %q", ErrTargetNotFound, relName, e.ID)
+		}
+		return rel, "rel", relName, nil
+	default:
+		q, ok := e.DB.Query(queryName)
+		if !ok {
+			return nil, "", "", fmt.Errorf("%w: query %q in database %q", ErrTargetNotFound, queryName, e.ID)
+		}
+		eng := query.NewEngine(e.DB.Schema, opts, 0)
+		plan, err := eng.NewPlan(q)
+		if err != nil {
+			return nil, "", "", err
+		}
+		tuples := make([]constraint.Tuple, 0, len(plan.Disjuncts))
+		for _, d := range plan.Disjuncts {
+			if d.ExVars > 0 {
+				return nil, "", "", fmt.Errorf("%w: query %q", ErrNeedsProjection, queryName)
+			}
+			tuples = append(tuples, d.Poly.Tuple())
+		}
+		rel, err := constraint.NewRelation(queryName, plan.OutVars, tuples...)
+		if err != nil {
+			return nil, "", "", err
+		}
+		return rel, "query", queryName, nil
+	}
+}
+
+// PreparedFor returns the cached prepared sampler for the target,
+// building it on first use. Target resolution — including the query
+// planning pass — runs inside the build closure, so a warm request pays
+// only the cache lookup; on a hit the target necessarily resolved when
+// the entry was built. A per-call Interrupt hook in opts affects only
+// the cache key's absence — preparation always strips it (see Prepare).
+func (rt *Runtime) PreparedFor(e *DatabaseEntry, relName, queryName string, opts core.Options) (*Prepared, string, bool, error) {
+	return rt.preparedFor(e, relName, queryName, opts, nil)
+}
+
+// PreparedForWithSeed is PreparedFor with an explicit preparation seed
+// overriding the key-derived default. The cache key is unchanged, so a
+// caller must use one consistent seed per key (the cdb.DB handle pins
+// one per handle via WithPrepSeed).
+func (rt *Runtime) PreparedForWithSeed(e *DatabaseEntry, relName, queryName string, opts core.Options, prepSeed uint64) (*Prepared, string, bool, error) {
+	return rt.preparedFor(e, relName, queryName, opts, &prepSeed)
+}
+
+func (rt *Runtime) preparedFor(e *DatabaseEntry, relName, queryName string, opts core.Options, prepSeed *uint64) (*Prepared, string, bool, error) {
+	kind, name, err := TargetKindName(relName, queryName)
+	if err != nil {
+		return nil, "", false, err
+	}
+	key := SamplerKey(e.ID, kind, name, opts.CacheKey())
+	ps, hit, err := rt.cache.Get(key, func() (*Prepared, error) {
+		rel, _, _, err := ResolveTarget(e, relName, queryName, opts)
+		if errors.Is(err, ErrNeedsProjection) {
+			// A deterministic verdict of the program text: cache it, so
+			// repeated calls on an ∃-query skip straight to the engine
+			// fallback instead of re-running the planning pass.
+			return nil, Negative(err)
+		}
+		if err != nil {
+			return nil, err
+		}
+		seed := PrepSeedFor(key)
+		if prepSeed != nil {
+			seed = *prepSeed
+		}
+		return Prepare(rel, seed, opts)
+	})
+	return ps, key, hit, err
+}

@@ -82,3 +82,46 @@ func BenchmarkBatchExecutorSampleMany(b *testing.B) {
 		}
 	}
 }
+
+// benchSingleTupleRelation is a single-tuple target, where the
+// preparation-time volume estimate is already the whole answer.
+func benchSingleTupleRelation() *cdb.Relation {
+	return cdb.MustRelation("S", []string{"a", "b", "c", "d"}, cdb.Simplex(4, 1))
+}
+
+// BenchmarkPreparedVolumeRebind is the historical /v1/volume warm path:
+// every request bound a full observable (walker initialisation included)
+// just to read back the preparation-time estimate of a single-tuple
+// relation.
+func BenchmarkPreparedVolumeRebind(b *testing.B) {
+	ps, err := cdb.PrepareSampler(benchSingleTupleRelation(), 1, cdb.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs, err := ps.NewObservable(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := obs.Volume(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedVolumeFastPath is the current warm path:
+// PreparedSampler.Volume surfaces the preparation-time estimate
+// directly for single-tuple relations — no observable, no walker.
+func BenchmarkPreparedVolumeFastPath(b *testing.B) {
+	ps, err := cdb.PrepareSampler(benchSingleTupleRelation(), 1, cdb.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ps.Volume(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"repro/internal/runtime"
+)
+
+// The registry, the singleflight prepared-sampler LRU and the bounded
+// worker pool used to be implemented here; they now live in
+// internal/runtime, shared by the cdb.DB handle, this server and the
+// command-line tools. These aliases keep the server's historical
+// surface (and its test suite) intact — the server contributes only
+// HTTP handling and metrics on top of the shared runtime.
+
+// Registry holds the parsed constraint databases the server can sample
+// from.
+type Registry = runtime.Registry
+
+// DatabaseEntry is one registered constraint database program.
+type DatabaseEntry = runtime.DatabaseEntry
+
+// ErrConflict reports a registration under an id that already holds a
+// different program.
+var ErrConflict = runtime.ErrConflict
+
+// ErrRegistryFull reports that the registry reached its capacity.
+var ErrRegistryFull = runtime.ErrRegistryFull
+
+// NewRegistry returns an empty registry holding at most capacity
+// databases (0 = unbounded).
+func NewRegistry(capacity int) *Registry { return runtime.NewRegistry(capacity) }
+
+// DatabaseID returns the id a program registers under.
+func DatabaseID(name, source string) string { return runtime.DatabaseID(name, source) }
+
+// SamplerCache is the prepared-sampler cache: a singleflight LRU over
+// (database, target, Options) keys whose values are warm
+// *cdb.PreparedSampler instances.
+type SamplerCache = runtime.SamplerCache
+
+// NewSamplerCache returns a cache holding at most capacity prepared
+// samplers (minimum 1). metrics may be nil.
+func NewSamplerCache(capacity int, metrics *Metrics) *SamplerCache {
+	return runtime.NewSamplerCache(capacity, hooksFor(metrics))
+}
+
+// Pool is the fixed-size sampling worker pool.
+type Pool = runtime.Pool
+
+// NewPool starts size workers (minimum 1). metrics may be nil.
+func NewPool(size int, metrics *Metrics) *Pool {
+	return runtime.NewPool(size, hooksFor(metrics))
+}
+
+// Executor is the batch executor for sample requests: bounded
+// concurrency over the shared pool plus coalescing of byte-identical
+// concurrent draws.
+type Executor = runtime.Executor
+
+// NewExecutor returns an executor over the given pool. metrics may be
+// nil.
+func NewExecutor(pool *Pool, metrics *Metrics) *Executor {
+	return runtime.NewExecutor(pool, hooksFor(metrics))
+}
+
+// hooksFor adapts the server metrics to the runtime's event hooks,
+// avoiding the typed-nil interface trap.
+func hooksFor(m *Metrics) runtime.Hooks {
+	if m == nil {
+		return nil
+	}
+	return m
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,10 +10,9 @@ import (
 	"time"
 
 	cdb "repro"
-	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/geom"
-	"repro/internal/query"
+	"repro/internal/runtime"
 	"repro/internal/walk"
 )
 
@@ -79,8 +79,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // failure with probability δ, but responses are deterministic per
 // request, so the documented client recovery is retrying with a
 // *different* seed — replaying the identical request replays the abort.
+// A cancelled request context (the client went away mid-walk) is not a
+// server error: it maps to 499 (nginx's "client closed request") and
+// stays out of the error metrics.
 func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
 	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, statusClientClosedRequest, errorResponse{Error: err.Error()})
+		return
 	case errors.Is(err, errTargetNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, errEmptySlice),
@@ -92,6 +98,10 @@ func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, 
 	s.metrics.IncError(endpoint)
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// cancelled the request before the response was produced.
+const statusClientClosedRequest = 499
 
 func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
 	body := http.MaxBytesReader(w, r.Body, maxBytes)
@@ -161,7 +171,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, "databases", http.StatusBadRequest, errors.New("missing source"))
 		return
 	}
-	entry, created, err := s.registry.Register(req.Name, req.Source)
+	entry, created, err := s.rt.Registry().Register(req.Name, req.Source)
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
@@ -181,7 +191,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
-	entries := s.registry.List()
+	entries := s.rt.Registry().List()
 	out := make([]databaseResponse, 0, len(entries))
 	for _, e := range entries {
 		out = append(out, describeDatabase(e, false))
@@ -190,7 +200,7 @@ func (s *Server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetDatabase(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.registry.Get(r.PathValue("id"))
+	entry, ok := s.rt.Registry().Get(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, "databases", http.StatusNotFound, fmt.Errorf("database %q not registered", r.PathValue("id")))
 		return
@@ -207,90 +217,38 @@ func (s *Server) handleGetDatabase(w http.ResponseWriter, r *http.Request) {
 
 // errNeedsProjection marks a query whose sampling plan requires the
 // projection generator (Algorithm 2) and therefore cannot be served
-// from the prepared-sampler cache.
-var errNeedsProjection = errors.New("query needs the projection generator")
+// from the prepared-sampler cache (the client uses POST /v1/query).
+var errNeedsProjection = runtime.ErrNeedsProjection
 
 // errTargetNotFound marks a relation or query name absent from its
 // database — a 404, like an unknown database id.
-var errTargetNotFound = errors.New("target not found")
+var errTargetNotFound = runtime.ErrTargetNotFound
 
-// targetKindName validates the relation/query arguments and returns the
-// cache-key kind and name. Shared by resolveTarget and preparedFor so
-// the two cannot diverge.
-func targetKindName(relName, queryName string) (kind, name string, err error) {
-	switch {
-	case relName != "" && queryName != "":
-		return "", "", errors.New("specify relation or query, not both")
-	case relName != "":
-		return "rel", relName, nil
-	case queryName != "":
-		return "query", queryName, nil
-	default:
-		return "", "", errors.New("missing relation (or query) name")
-	}
-}
-
-// resolveTarget finds the relation to sample: either a declared relation
-// or a query whose sampling plan is quantifier-free (every disjunct is a
-// plain conjunction), which compiles to an equivalent relation over the
-// output variables. Queries that need the projection generator are
-// served per-request through /v1/query instead of the prepared cache.
-func resolveTarget(e *DatabaseEntry, relName, queryName string, opts cdb.Options) (*constraint.Relation, string, string, error) {
-	kind, _, err := targetKindName(relName, queryName)
-	if err != nil {
-		return nil, "", "", err
-	}
-	switch kind {
-	case "rel":
-		rel, ok := e.DB.Relation(relName)
-		if !ok {
-			return nil, "", "", fmt.Errorf("%w: relation %q in database %q", errTargetNotFound, relName, e.ID)
-		}
-		return rel, "rel", relName, nil
-	default:
-		q, ok := e.DB.Query(queryName)
-		if !ok {
-			return nil, "", "", fmt.Errorf("%w: query %q in database %q", errTargetNotFound, queryName, e.ID)
-		}
-		eng := query.NewEngine(e.DB.Schema, opts, 0)
-		plan, err := eng.NewPlan(q)
-		if err != nil {
-			return nil, "", "", err
-		}
-		tuples := make([]constraint.Tuple, 0, len(plan.Disjuncts))
-		for _, d := range plan.Disjuncts {
-			if d.ExVars > 0 {
-				return nil, "", "", fmt.Errorf("%w: query %q; use POST /v1/query", errNeedsProjection, queryName)
-			}
-			tuples = append(tuples, d.Poly.Tuple())
-		}
-		rel, err := constraint.NewRelation(queryName, plan.OutVars, tuples...)
-		if err != nil {
-			return nil, "", "", err
-		}
-		return rel, "query", queryName, nil
-	}
-}
-
-// preparedFor returns the cached prepared sampler for the target,
-// building it on first use. Target resolution — including the query
-// planning pass — runs inside the build closure, so a warm request pays
-// only the cache lookup; on a hit the target necessarily resolved when
-// the entry was built.
+// preparedFor returns the cached prepared sampler for the target from
+// the shared runtime, building it on first use. Projection-needing
+// queries gain the HTTP-level hint the runtime cannot know about.
 func (s *Server) preparedFor(e *DatabaseEntry, relName, queryName string, opts cdb.Options) (*cdb.PreparedSampler, string, bool, error) {
-	kind, name, err := targetKindName(relName, queryName)
-	if err != nil {
-		return nil, "", false, err
+	ps, key, hit, err := s.rt.PreparedFor(e, relName, queryName, opts)
+	return ps, key, hit, hintProjection(err)
+}
+
+// hintProjection decorates the runtime's projection error with the
+// endpoint that does serve such queries.
+func hintProjection(err error) error {
+	if errors.Is(err, errNeedsProjection) {
+		return fmt.Errorf("%w; use POST /v1/query", err)
 	}
-	key := samplerKey(e.ID, kind, name, opts.CacheKey())
-	ps, hit, err := s.cache.Get(key, func() (*cdb.PreparedSampler, error) {
-		rel, _, _, err := resolveTarget(e, relName, queryName, opts)
-		if err != nil {
-			return nil, err
-		}
-		return cdb.PrepareSampler(rel, prepSeedFor(key), opts)
-	})
-	return ps, key, hit, err
+	return err
+}
+
+// ctxOptions wires the request context into the options' Interrupt
+// hook, so per-request generators (query engines, median estimators)
+// abort their walks when the client goes away. Cached preparations are
+// unaffected: the runtime strips the hook before building shared
+// geometry.
+func ctxOptions(ctx context.Context, opts cdb.Options) cdb.Options {
+	opts.Interrupt = ctx.Err
+	return opts
 }
 
 func cacheLabel(hit bool) string {
@@ -333,7 +291,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncError("sample")
 		return
 	}
-	entry, ok := s.registry.Get(req.Database)
+	entry, ok := s.rt.Registry().Get(req.Database)
 	if !ok {
 		s.writeError(w, "sample", http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
 		return
@@ -362,7 +320,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, "sample", http.StatusBadRequest, err)
 		return
 	}
-	pts, coalesced, err := s.exec.SampleMany(key, ps, n, workers, req.Seed)
+	pts, coalesced, err := s.rt.Executor().SampleManyCtx(r.Context(), key, ps, n, workers, req.Seed)
 	if err != nil {
 		s.writeError(w, "sample", http.StatusInternalServerError, err)
 		return
@@ -447,7 +405,7 @@ func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncError("volume")
 		return
 	}
-	entry, ok := s.registry.Get(req.Database)
+	entry, ok := s.rt.Registry().Get(req.Database)
 	if !ok {
 		s.writeError(w, "volume", http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
 		return
@@ -465,12 +423,12 @@ func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	resp := volumeResponse{Database: entry.ID, Target: firstNonEmpty(req.Relation, req.Query)}
 	if req.MedianK > 1 {
-		rel, _, _, err := resolveTarget(entry, req.Relation, req.Query, opts)
+		rel, _, _, err := runtime.ResolveTarget(entry, req.Relation, req.Query, opts)
 		if err != nil {
-			s.writeError(w, "volume", http.StatusBadRequest, err)
+			s.writeError(w, "volume", http.StatusBadRequest, hintProjection(err))
 			return
 		}
-		v, err := cdb.MedianVolume(rel, req.MedianK, req.Seed, opts)
+		v, err := cdb.MedianVolume(rel, req.MedianK, req.Seed, ctxOptions(r.Context(), opts))
 		if err != nil {
 			s.writeError(w, "volume", http.StatusInternalServerError, err)
 			return
@@ -482,7 +440,7 @@ func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, "volume", http.StatusBadRequest, err)
 			return
 		}
-		v, err := ps.Volume(req.Seed)
+		v, err := ps.VolumeCtx(r.Context(), req.Seed)
 		if err != nil {
 			s.writeError(w, "volume", http.StatusInternalServerError, err)
 			return
@@ -541,7 +499,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncError("query")
 		return
 	}
-	entry, ok := s.registry.Get(req.Database)
+	entry, ok := s.rt.Registry().Get(req.Database)
 	if !ok {
 		s.writeError(w, "query", http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
 		return
@@ -569,7 +527,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if mode == "" {
 		mode = "volume"
 	}
-	eng := cdb.NewEngine(entry.DB.Schema, opts, req.Seed)
+	eng := cdb.NewEngine(entry.DB.Schema, ctxOptions(r.Context(), opts), req.Seed)
 	start := time.Now()
 	resp := queryResponse{Database: entry.ID, Query: req.Query, Mode: mode}
 	switch mode {
@@ -658,7 +616,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncError("reconstruct")
 		return
 	}
-	entry, ok := s.registry.Get(req.Database)
+	entry, ok := s.rt.Registry().Get(req.Database)
 	if !ok {
 		s.writeError(w, "reconstruct", http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
 		return
@@ -687,7 +645,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		// resolveTarget found the query before reporting ∃-variables, so
 		// the lookup cannot miss here.
 		q, _ := entry.DB.Query(req.Query)
-		eng := cdb.NewEngine(entry.DB.Schema, opts, req.Seed)
+		eng := cdb.NewEngine(entry.DB.Schema, ctxOptions(r.Context(), opts), req.Seed)
 		est, err := eng.Reconstruct(q, n)
 		if err != nil {
 			s.writeError(w, "reconstruct", http.StatusInternalServerError, err)
@@ -736,9 +694,9 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w, map[string]float64{
-		"cdbserve_databases":          float64(s.registry.Len()),
-		"cdbserve_sampler_cache_size": float64(s.cache.Len()),
-		"cdbserve_pool_workers":       float64(s.pool.Size()),
+		"cdbserve_databases":          float64(s.rt.Registry().Len()),
+		"cdbserve_sampler_cache_size": float64(s.rt.Cache().Len()),
+		"cdbserve_pool_workers":       float64(s.rt.Pool().Size()),
 	})
 }
 

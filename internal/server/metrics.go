@@ -57,6 +57,26 @@ func (m *Metrics) counter(set map[string]*atomic.Int64, key string) *atomic.Int6
 	return c
 }
 
+// The runtime.Hooks implementation: the shared runtime reports cache
+// and pool events through these, keeping the counters (and their
+// Prometheus rendering) where the HTTP layer owns them.
+
+// CacheHit records a prepared-sampler cache hit.
+func (m *Metrics) CacheHit() { m.CacheHits.Add(1) }
+
+// CacheMiss records a cold prepared-sampler build.
+func (m *Metrics) CacheMiss() { m.CacheMisses.Add(1) }
+
+// CacheEviction records an LRU eviction.
+func (m *Metrics) CacheEviction() { m.CacheEvictions.Add(1) }
+
+// CoalescedDraw records a batched draw served by an identical in-flight
+// draw.
+func (m *Metrics) CoalescedDraw() { m.Coalesced.Add(1) }
+
+// BatchJob records one worker-pool job execution.
+func (m *Metrics) BatchJob() { m.BatchJobs.Add(1) }
+
 // IncRequest counts one request to the named endpoint.
 func (m *Metrics) IncRequest(endpoint string) { m.counter(m.requests, endpoint).Add(1) }
 

@@ -5,17 +5,14 @@
 //
 // The paper's observation is that uniform generation makes constraint
 // query evaluation a cheap, repeatable online operation; this package is
-// the layer that actually serves it. Three mechanisms carry the load:
-//
-//   - a Registry of parsed databases (parse once, sample forever),
-//   - a singleflight LRU SamplerCache of prepared samplers, so the
-//     expensive rounding/well-boundedness/volume setup is paid once per
-//     (database, relation, options) and every later request binds its
-//     seed to the warm geometry, and
-//   - an Executor whose shared worker pool bounds the concurrency of
-//     batched /v1/sample draws and coalesces identical concurrent ones
-//     (single-walker paths — query sampling, reconstruction — run
-//     sequentially on their handler goroutines).
+// the HTTP adapter that serves it. All of the heavy lifting — the
+// registry of parsed databases, the singleflight LRU of prepared
+// samplers (including negative entries for empty time slices and the
+// prepared-alibi cache) and the bounded worker pool with request
+// coalescing — lives in the shared internal/runtime package, the same
+// runtime behind the cdb.DB handle. Handlers here only decode requests,
+// call into the runtime with the request's context (cancelled clients
+// abort their walks mid-epoch) and encode responses plus metrics.
 //
 // Sampling is deterministic per request: the preparation seed is derived
 // from the sampler's cache key and the response depends only on
@@ -23,10 +20,10 @@
 package server
 
 import (
-	"hash/fnv"
 	"net/http"
-	"runtime"
 	"time"
+
+	"repro/internal/runtime"
 )
 
 // Config tunes the server. The zero value picks sensible defaults.
@@ -51,14 +48,10 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.PoolSize <= 0 {
-		c.PoolSize = runtime.GOMAXPROCS(0)
-	}
-	if c.CacheSize <= 0 {
-		c.CacheSize = 64
-	}
-	if c.DefaultWorkers <= 0 {
-		c.DefaultWorkers = min(4, c.PoolSize)
+	if c.MaxDatabases <= 0 {
+		// The server's historical contract: non-positive means the 1024
+		// default, never the runtime's "negative = unbounded" escape.
+		c.MaxDatabases = 1024
 	}
 	if c.MaxSamples <= 0 {
 		c.MaxSamples = 1_000_000
@@ -69,44 +62,42 @@ func (c Config) withDefaults() Config {
 	if c.MaxMedianK <= 0 {
 		c.MaxMedianK = 64
 	}
-	if c.MaxDatabases <= 0 {
-		c.MaxDatabases = 1024
-	}
 	return c
 }
 
-// Server wires the registry, sampler cache, batch executor and metrics
-// behind an http.Handler.
+// Server wires the shared sampling runtime and metrics behind an
+// http.Handler. It owns no registry, cache or pool of its own — those
+// live in internal/runtime.
 type Server struct {
-	cfg      Config
-	registry *Registry
-	cache    *SamplerCache
-	pool     *Pool
-	exec     *Executor
-	metrics  *Metrics
+	cfg     Config
+	rt      *runtime.Runtime
+	metrics *Metrics
 }
 
 // New builds a server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
-	pool := NewPool(cfg.PoolSize, m)
-	return &Server{
-		cfg:      cfg,
-		registry: NewRegistry(cfg.MaxDatabases),
-		cache:    NewSamplerCache(cfg.CacheSize, m),
-		pool:     pool,
-		exec:     NewExecutor(pool, m),
-		metrics:  m,
+	rt := runtime.New(runtime.Config{
+		PoolSize:     cfg.PoolSize,
+		CacheSize:    cfg.CacheSize,
+		MaxDatabases: cfg.MaxDatabases,
+	}, m)
+	if cfg.DefaultWorkers <= 0 {
+		cfg.DefaultWorkers = min(4, rt.Pool().Size())
 	}
+	return &Server{cfg: cfg, rt: rt, metrics: m}
 }
 
 // Close stops the worker pool.
-func (s *Server) Close() { s.pool.Close() }
+func (s *Server) Close() { s.rt.Close() }
 
 // Registry exposes the database registry (used by cmd/cdbserve to
 // preload programs at boot).
-func (s *Server) Registry() *Registry { return s.registry }
+func (s *Server) Registry() *Registry { return s.rt.Registry() }
+
+// Runtime exposes the shared sampling runtime.
+func (s *Server) Runtime() *runtime.Runtime { return s.rt }
 
 // Handler returns the routed HTTP handler. Every endpoint is wrapped by
 // instrument, which owns the per-endpoint request count and latency
@@ -137,19 +128,4 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		h(w, r)
 		s.metrics.ObserveLatency(endpoint, time.Since(start).Seconds())
 	}
-}
-
-// samplerKey is the prepared-sampler cache key: database, target kind
-// ("rel" or "query"), target name and the canonical options fingerprint.
-func samplerKey(dbID, kind, name, optsKey string) string {
-	return dbID + "\x1f" + kind + "\x1f" + name + "\x1f" + optsKey
-}
-
-// prepSeedFor derives the preparation seed from the cache key, so the
-// prepared geometry — and therefore every response — is a pure function
-// of (database, target, options), stable across server restarts.
-func prepSeedFor(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return h.Sum64()
 }

@@ -378,8 +378,8 @@ func TestQuantifierFreeQueryUsesPreparedCache(t *testing.T) {
 			t.Fatalf("point %v violates C", p)
 		}
 	}
-	if s.cache.Len() != 1 {
-		t.Fatalf("cache holds %d entries, want 1", s.cache.Len())
+	if s.rt.Cache().Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", s.rt.Cache().Len())
 	}
 
 	// The ∃ query is rejected from the cached sample path with guidance.

@@ -4,113 +4,34 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	cdb "repro"
-	"repro/internal/constraint"
+	"repro/internal/runtime"
 	"repro/internal/spacetime"
 )
 
 // The spacetime endpoints serve the moving-object workload: relations
 // over (x_1..x_d, t) — typically trajectory fleets of space-time prisms
 // — queried through the time-slice operator, whole-trajectory sampling
-// and alibi evaluation.
+// and alibi evaluation. The slicing/windowing/alibi preparation and its
+// caching live in internal/runtime; handlers here only decode, call and
+// encode.
 //
 // Time slices are where the prepared-sampler cache earns its keep for
 // this workload: a dashboard replaying "where could everything have
 // been at t0?" hits the same (database, relation, t0, options) key on
 // every frame, so the slicing + rounding + volume setup is paid once
-// per distinct t0 and every later request binds only its seed.
+// per distinct t0 and every later request binds only its seed. Empty
+// slices are cached as negative entries, so out-of-support replays are
+// O(1) verdict lookups. Alibi queries cache the meet region, its exact
+// Fourier–Motzkin meeting-time intervals and the volume observable the
+// same way.
 
 // errEmptySlice marks a time slice (or window) with no feasible tuple —
 // t0 outside the relation's support. Mapped to 422 by writeError;
 // volume-mode requests convert it to a zero-volume 200 instead.
-var errEmptySlice = errors.New("empty time slice")
-
-// sliceCacheName canonically names a slice target for the sampler
-// cache: relation name plus the slice time (shortest round-trip float
-// format, so 1.5 and 1.50 share an entry).
-func sliceCacheName(rel string, t0 float64) string {
-	return rel + "@" + strconv.FormatFloat(t0, 'g', -1, 64)
-}
-
-// windowCacheName names a windowed space-time target.
-func windowCacheName(rel string, t0, t1 float64) string {
-	return rel + "@" + strconv.FormatFloat(t0, 'g', -1, 64) + ":" + strconv.FormatFloat(t1, 'g', -1, 64)
-}
-
-// spacetimeRelation resolves a plain relation (spacetime targets are
-// always declared relations, not queries).
-func spacetimeRelation(e *DatabaseEntry, name string) (*constraint.Relation, error) {
-	if name == "" {
-		return nil, errors.New("missing relation name")
-	}
-	rel, ok := e.DB.Relation(name)
-	if !ok {
-		return nil, fmt.Errorf("%w: relation %q in database %q", errTargetNotFound, name, e.ID)
-	}
-	return rel, nil
-}
-
-// preparedSlice returns the cached prepared sampler for the t0-slice of
-// a relation, slicing and preparing on first use. The returned key
-// feeds the batch executor's coalescing.
-func (s *Server) preparedSlice(e *DatabaseEntry, relName string, t0 float64, opts cdb.Options) (*cdb.PreparedSampler, string, bool, error) {
-	key := samplerKey(e.ID, "slice", sliceCacheName(relName, t0), opts.CacheKey())
-	ps, hit, err := s.cache.Get(key, func() (*cdb.PreparedSampler, error) {
-		rel, err := spacetimeRelation(e, relName)
-		if err != nil {
-			return nil, err
-		}
-		slice, err := spacetime.TimeSlice(rel, spacetime.TimeColumn(rel), t0)
-		if err != nil {
-			return nil, err
-		}
-		if len(slice.Tuples) == 0 {
-			if lo, hi, ok := spacetime.Support(rel, spacetime.TimeColumn(rel)); ok {
-				return nil, fmt.Errorf("%w: t0=%g outside the support [%.6g, %.6g] of %q",
-					errEmptySlice, t0, spacetime.SnapNoise(lo), spacetime.SnapNoise(hi), relName)
-			}
-			return nil, fmt.Errorf("%w: t0=%g, relation %q", errEmptySlice, t0, relName)
-		}
-		// Shed measure-zero pieces (e.g. a slice exactly at another
-		// bead's observation time) so one degenerate tuple cannot sink a
-		// snapshot that is otherwise full-dimensional.
-		slice, _ = spacetime.PruneThin(slice, 0)
-		if len(slice.Tuples) == 0 {
-			return nil, fmt.Errorf("%w: the slice of %q at t0=%g is a measure-zero set "+
-				"(t0 coincides with an observation time)", errEmptySlice, relName, t0)
-		}
-		return cdb.PrepareSampler(slice, prepSeedFor(key), opts)
-	})
-	return ps, key, hit, err
-}
-
-// preparedWindow is preparedSlice's counterpart for time windows: the
-// cached prepared sampler for the [t0, t1] restriction of a relation,
-// windowing and preparing on first use. A window whose boundary touches
-// an observation time clips a bead to a flat (measure-zero) set, so
-// thin tuples are shed before the well-boundedness setup.
-func (s *Server) preparedWindow(e *DatabaseEntry, relName string, t0, t1 float64, opts cdb.Options) (*cdb.PreparedSampler, string, bool, error) {
-	key := samplerKey(e.ID, "window", windowCacheName(relName, t0, t1), opts.CacheKey())
-	ps, hit, err := s.cache.Get(key, func() (*cdb.PreparedSampler, error) {
-		rel, err := spacetimeRelation(e, relName)
-		if err != nil {
-			return nil, err
-		}
-		win, err := spacetime.TimeWindow(rel, spacetime.TimeColumn(rel), t0, t1)
-		if err != nil {
-			return nil, err
-		}
-		win, _ = spacetime.PruneThin(win, 0)
-		if len(win.Tuples) == 0 {
-			return nil, fmt.Errorf("%w: window [%g, %g], relation %q", errEmptySlice, t0, t1, relName)
-		}
-		return cdb.PrepareSampler(win, prepSeedFor(key), opts)
-	})
-	return ps, key, hit, err
-}
+var errEmptySlice = runtime.ErrEmptySlice
 
 // --- POST /v1/spacetime/slice -------------------------------------------
 
@@ -151,7 +72,7 @@ func (s *Server) handleSpacetimeSlice(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncError(endpoint)
 		return
 	}
-	entry, ok := s.registry.Get(req.Database)
+	entry, ok := s.rt.Registry().Get(req.Database)
 	if !ok {
 		s.writeError(w, endpoint, http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
 		return
@@ -171,7 +92,7 @@ func (s *Server) handleSpacetimeSlice(w http.ResponseWriter, r *http.Request) {
 	}
 	switch mode {
 	case "volume":
-		ps, _, hit, err := s.preparedSlice(entry, req.Relation, req.T0, opts)
+		ps, _, hit, err := s.rt.PreparedSlice(entry, req.Relation, req.T0, opts)
 		if errors.Is(err, errEmptySlice) {
 			zero := 0.0
 			resp.Empty, resp.Volume = true, &zero
@@ -183,7 +104,7 @@ func (s *Server) handleSpacetimeSlice(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, endpoint, http.StatusBadRequest, err)
 			return
 		}
-		v, err := ps.Volume(req.Seed)
+		v, err := ps.VolumeCtx(r.Context(), req.Seed)
 		if err != nil {
 			s.writeError(w, endpoint, http.StatusInternalServerError, err)
 			return
@@ -203,12 +124,12 @@ func (s *Server) handleSpacetimeSlice(w http.ResponseWriter, r *http.Request) {
 		if workers <= 0 {
 			workers = s.cfg.DefaultWorkers
 		}
-		ps, key, hit, err := s.preparedSlice(entry, req.Relation, req.T0, opts)
+		ps, key, hit, err := s.rt.PreparedSlice(entry, req.Relation, req.T0, opts)
 		if err != nil {
 			s.writeError(w, endpoint, http.StatusBadRequest, err)
 			return
 		}
-		pts, coalesced, err := s.exec.SampleMany(key, ps, n, workers, req.Seed)
+		pts, coalesced, err := s.rt.Executor().SampleManyCtx(r.Context(), key, ps, n, workers, req.Seed)
 		if err != nil {
 			s.writeError(w, endpoint, http.StatusInternalServerError, err)
 			return
@@ -255,7 +176,7 @@ func (s *Server) handleSpacetimeSample(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncError(endpoint)
 		return
 	}
-	entry, ok := s.registry.Get(req.Database)
+	entry, ok := s.rt.Registry().Get(req.Database)
 	if !ok {
 		s.writeError(w, endpoint, http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
 		return
@@ -289,7 +210,7 @@ func (s *Server) handleSpacetimeSample(w http.ResponseWriter, r *http.Request) {
 		hit bool
 	)
 	if req.T0 != nil {
-		ps, key, hit, err = s.preparedWindow(entry, req.Relation, *req.T0, *req.T1, opts)
+		ps, key, hit, err = s.rt.PreparedWindow(entry, req.Relation, *req.T0, *req.T1, opts)
 	} else {
 		// No window: share the cache entry with plain /v1/sample.
 		ps, key, hit, err = s.preparedFor(entry, req.Relation, "", opts)
@@ -298,7 +219,7 @@ func (s *Server) handleSpacetimeSample(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, endpoint, http.StatusBadRequest, err)
 		return
 	}
-	pts, coalesced, err := s.exec.SampleMany(key, ps, n, workers, req.Seed)
+	pts, coalesced, err := s.rt.Executor().SampleManyCtx(r.Context(), key, ps, n, workers, req.Seed)
 	if err != nil {
 		s.writeError(w, endpoint, http.StatusInternalServerError, err)
 		return
@@ -332,7 +253,7 @@ type alibiRequest struct {
 	T1       float64 `json:"t1"`
 	Seed     uint64  `json:"seed"`
 	// MedianK > 1 amplifies the meeting-volume confidence with k
-	// independent estimators (capped by Config.MaxMedianK).
+	// independently seeded estimators (capped by Config.MaxMedianK).
 	MedianK int          `json:"median_k,omitempty"`
 	Options *OptionsJSON `json:"options,omitempty"`
 }
@@ -341,6 +262,7 @@ type alibiResponse struct {
 	Database  string  `json:"database"`
 	A         string  `json:"a"`
 	B         string  `json:"b"`
+	Cache     string  `json:"cache,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	spacetime.Report
 }
@@ -352,7 +274,7 @@ func (s *Server) handleSpacetimeAlibi(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncError(endpoint)
 		return
 	}
-	entry, ok := s.registry.Get(req.Database)
+	entry, ok := s.rt.Registry().Get(req.Database)
 	if !ok {
 		s.writeError(w, endpoint, http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
 		return
@@ -367,23 +289,21 @@ func (s *Server) handleSpacetimeAlibi(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("median_k=%d exceeds the cap %d", req.MedianK, s.cfg.MaxMedianK))
 		return
 	}
-	relA, err := spacetimeRelation(entry, req.A)
-	if err != nil {
-		s.writeError(w, endpoint, http.StatusBadRequest, fmt.Errorf("a: %w", err))
-		return
-	}
-	relB, err := spacetimeRelation(entry, req.B)
-	if err != nil {
-		s.writeError(w, endpoint, http.StatusBadRequest, fmt.Errorf("b: %w", err))
-		return
-	}
 	if req.T1 < req.T0 {
 		s.writeError(w, endpoint, http.StatusBadRequest,
 			fmt.Errorf("empty window [%g, %g]", req.T0, req.T1))
 		return
 	}
 	start := time.Now()
-	rep, err := spacetime.Alibi(relA, relB, spacetime.TimeColumn(relA), req.T0, req.T1, req.Seed, req.MedianK, opts)
+	// The meet region, its Fourier–Motzkin intervals and the volume
+	// observable are prepared once per (db, a, b, t0, t1, options) in the
+	// shared cache; this request only binds its seed.
+	pa, hit, err := s.rt.PreparedAlibi(entry, req.A, req.B, req.T0, req.T1, opts)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := pa.Report(r.Context(), req.Seed, req.MedianK)
 	if err != nil {
 		s.writeError(w, endpoint, http.StatusInternalServerError, err)
 		return
@@ -392,6 +312,7 @@ func (s *Server) handleSpacetimeAlibi(w http.ResponseWriter, r *http.Request) {
 		Database:  entry.ID,
 		A:         req.A,
 		B:         req.B,
+		Cache:     cacheLabel(hit),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		Report:    *rep,
 	})

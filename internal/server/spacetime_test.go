@@ -85,14 +85,14 @@ func TestSpacetimeSliceSampleAndCache(t *testing.T) {
 			t.Fatalf("point %d differs between cold and warm: %v vs %v", i, out.Points[i], warm.Points[i])
 		}
 	}
-	if got := s.cache.Len(); got != 1 {
+	if got := s.rt.Cache().Len(); got != 1 {
 		t.Errorf("sampler cache holds %d entries, want 1", got)
 	}
 
 	// A different t0 is a different cache entry.
 	req.T0 = 7.5
 	postJSON(t, ts.URL+"/v1/spacetime/slice", req)
-	if got := s.cache.Len(); got != 2 {
+	if got := s.rt.Cache().Len(); got != 2 {
 		t.Errorf("sampler cache holds %d entries, want 2", got)
 	}
 }

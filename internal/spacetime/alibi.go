@@ -86,6 +86,13 @@ func MeetTimes(a, b *constraint.Relation, timeCol int, t0, t1 float64) ([]Interv
 	return meetTimesOf(m, timeCol), nil
 }
 
+// MeetTimesOf eliminates the spatial coordinates of an already-built
+// meet region — the exported form warm-cache layers use to share one
+// region construction between the symbolic and sampling paths.
+func MeetTimesOf(region *constraint.Relation, timeCol int) []Interval {
+	return meetTimesOf(region, timeCol)
+}
+
 // meetTimesOf eliminates the spatial coordinates of an already-built
 // meet region. It simplifies region's tuples in place (RemoveRedundant
 // preserves the denoted set).

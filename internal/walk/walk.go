@@ -97,6 +97,10 @@ type Walker struct {
 	cur         linalg.Vector
 	r           *rng.RNG
 	dirBuf      linalg.Vector
+	// interrupt aborts long runs early (see Config.Interrupt); err holds
+	// the abort cause until read through Err.
+	interrupt func() error
+	err       error
 	// Steps executed and proposals accepted, for diagnostics.
 	steps, accepted int
 }
@@ -112,6 +116,11 @@ type Config struct {
 	// OuterRadius bounds bisection chords for membership-only bodies
 	// under HitAndRun. Required when the body is not a ChordBody.
 	OuterRadius float64
+	// Interrupt, when non-nil, is polled during multi-step runs; a
+	// non-nil return aborts the run early (the walker stays at its last
+	// position and reports the cause through Err). Callers wire a
+	// context's Err here to make mixing runs cancellable mid-epoch.
+	Interrupt func() error
 }
 
 // New returns a walker positioned at start.
@@ -141,8 +150,17 @@ func New(body Body, start linalg.Vector, r *rng.RNG, cfg Config) (*Walker, error
 		cur:         cur,
 		r:           r,
 		dirBuf:      make(linalg.Vector, body.Dim()),
+		interrupt:   cfg.Interrupt,
 	}, nil
 }
+
+// interruptStride bounds how many steps run between interrupt polls, so
+// cancellation latency is a tiny fraction of any mixing epoch while the
+// poll stays off the per-step fast path.
+const interruptStride = 32
+
+// Err returns the interrupt error that aborted the last Run, if any.
+func (w *Walker) Err() error { return w.err }
 
 // Current returns the walker's position (aliased; clone to keep).
 func (w *Walker) Current() linalg.Vector { return w.cur }
@@ -201,9 +219,26 @@ func (w *Walker) Step() {
 	}
 }
 
-// Run advances n steps and returns the (aliased) final position.
+// Run advances n steps and returns the (aliased) final position. When
+// the walker has an Interrupt hook, it is polled every interruptStride
+// steps; a non-nil return aborts the run and is reported through Err.
+// The hook check is hoisted out of the loop so uncancellable walkers
+// pay nothing per step.
 func (w *Walker) Run(n int) linalg.Vector {
+	if w.interrupt == nil {
+		for i := 0; i < n; i++ {
+			w.Step()
+		}
+		return w.cur
+	}
+	w.err = nil
 	for i := 0; i < n; i++ {
+		if i%interruptStride == 0 {
+			if err := w.interrupt(); err != nil {
+				w.err = err
+				return w.cur
+			}
+		}
 		w.Step()
 	}
 	return w.cur

@@ -9,6 +9,7 @@
 //	cdbquery -file db.cdb -query Q -mode symbolic
 //	cdbquery -file db.cdb -query Q -mode volume
 //	cdbquery -file db.cdb -query Q -mode reconstruct -n 500
+//	cdbquery -file db.cdb -query Q -explain
 package main
 
 import (
@@ -27,11 +28,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cdbquery: ")
 	var (
-		file  = flag.String("file", "", "constraint database program (required)")
-		qName = flag.String("query", "", "query name (required)")
-		mode  = flag.String("mode", "symbolic", "symbolic | plan | volume | reconstruct")
-		n     = flag.Int("n", 400, "samples per disjunct for reconstruction")
-		seed  = flag.Uint64("seed", 42, "random seed")
+		file    = flag.String("file", "", "constraint database program (required)")
+		qName   = flag.String("query", "", "query name (required)")
+		mode    = flag.String("mode", "symbolic", "symbolic | plan | volume | reconstruct")
+		n       = flag.Int("n", 400, "samples per disjunct for reconstruction")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		explain = flag.Bool("explain", false, "print the normalized (canonical) sampling plan, its cache key and per-disjunct cache status before evaluating; with -mode volume the evaluation runs afterwards and a second report shows the warmed cache")
 	)
 	flag.Parse()
 	if *file == "" || *qName == "" {
@@ -55,6 +57,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	e := db.Engine(ctx, *seed)
+
+	if *explain {
+		rep, err := db.Rel(*qName).Explain(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep)
+		if *mode != "volume" {
+			return
+		}
+		// Evaluate through the expression surface, then re-explain: the
+		// second report shows the now-warm (or negative) cache entry.
+		v, err := db.Rel(*qName).Volume(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("volume(%s) ≈ %.6g\n", *qName, v)
+		rep, err = db.Rel(*qName).Explain(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after evaluation: cache %s\n", rep.Cache)
+		return
+	}
 
 	switch *mode {
 	case "plan":

@@ -72,6 +72,15 @@ query Q(x)  := exists y. S(x, y);
 		}
 	})
 
+	t.Run("cdbquery explain", func(t *testing.T) {
+		out := run("./cmd/cdbquery", "-file", dbPath, "-query", "Q", "-explain")
+		for _, want := range []string{"canonical key: cplan:", "cache: miss", "disjunct 0"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("explain output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("cdbplot", func(t *testing.T) {
 		svgPath := filepath.Join(dir, "out.svg")
 		run("./cmd/cdbplot", "-file", dbPath, "-rel", "S", "-samples", "30", "-hull", "-o", svgPath)

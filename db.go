@@ -104,6 +104,67 @@ func WithPrepSeed(seed uint64) Option {
 	return func(c *dbConfig) { c.prepSeed = seed; c.prepSeedSet = true }
 }
 
+// CallOption overrides the handle's sampling options for a single call
+// on DB.Sampler/SampleN/SampleNSeeded/Samples/Volume (and, via
+// Expr.WithOptions and friends, per expression). The effective options
+// key into the prepared-sampler cache, so a per-call override warms its
+// own entry and replays against it.
+type CallOption func(*Options)
+
+// CallOptions replaces the options wholesale for one call; later
+// CallWalk/CallParams options apply on top of it.
+func CallOptions(opts Options) CallOption {
+	return func(o *Options) { *o = opts }
+}
+
+// CallWalk selects the Markov chain for one call.
+func CallWalk(k WalkKind) CallOption {
+	return func(o *Options) { o.Walk = k }
+}
+
+// CallParams sets the approximation parameters (γ, ε, δ) for one call.
+func CallParams(p Params) CallOption {
+	return func(o *Options) { o.Params = p }
+}
+
+// callOpts resolves the effective options of a call: the handle's
+// options with the per-call overrides applied.
+func (db *DB) callOpts(copts []CallOption) Options {
+	opts := db.opts
+	for _, o := range copts {
+		o(&opts)
+	}
+	return opts
+}
+
+// CacheStats is a snapshot of the handle's prepared-cache and executor
+// counters; see DB.CacheStats.
+type CacheStats struct {
+	// Hits counts prepared-cache hits, including negative entries and
+	// joins of an in-flight build.
+	Hits int64
+	// Misses counts cold builds.
+	Misses int64
+	// Evictions counts LRU evictions.
+	Evictions int64
+	// CoalescedDraws counts batched draws served by an identical
+	// in-flight draw.
+	CoalescedDraws int64
+	// BatchJobs counts worker-pool job executions.
+	BatchJobs int64
+}
+
+// dbHooks adapts the runtime's event hooks onto the handle's counters.
+type dbHooks struct {
+	hits, misses, evictions, coalesced, jobs atomic.Int64
+}
+
+func (h *dbHooks) CacheHit()      { h.hits.Add(1) }
+func (h *dbHooks) CacheMiss()     { h.misses.Add(1) }
+func (h *dbHooks) CacheEviction() { h.evictions.Add(1) }
+func (h *dbHooks) CoalescedDraw() { h.coalesced.Add(1) }
+func (h *dbHooks) BatchJob()      { h.jobs.Add(1) }
+
 // DB is a handle on one parsed constraint database program plus the
 // shared warm-geometry runtime: a registry, a singleflight LRU of
 // prepared samplers and a bounded sampling worker pool. A DB is safe
@@ -119,6 +180,7 @@ type DB struct {
 	entry   *runtime.DatabaseEntry
 	opts    Options
 	workers int
+	hooks   *dbHooks
 
 	prepSeed    uint64
 	prepSeedSet bool
@@ -153,10 +215,11 @@ func openEntry(database *Database, src string, options []Option) (*DB, error) {
 	for _, o := range options {
 		o(&cfg)
 	}
+	hooks := &dbHooks{}
 	rt := runtime.New(runtime.Config{
 		PoolSize:  cfg.poolSize,
 		CacheSize: cfg.cacheSize,
-	}, nil)
+	}, hooks)
 	entry, _, err := rt.Registry().RegisterParsed("main", src, database)
 	if err != nil {
 		rt.Close()
@@ -171,6 +234,7 @@ func openEntry(database *Database, src string, options []Option) (*DB, error) {
 		entry:       entry,
 		opts:        cfg.opts,
 		workers:     workers,
+		hooks:       hooks,
 		prepSeed:    cfg.prepSeed,
 		prepSeedSet: cfg.prepSeedSet,
 	}
@@ -196,6 +260,21 @@ func (db *DB) Close() error {
 
 // Database returns the parsed program behind the handle.
 func (db *DB) Database() *Database { return db.entry.DB }
+
+// CacheStats returns a snapshot of the handle's prepared-sampler cache
+// and batch-executor counters — the observable that lets tests (and
+// operators embedding the handle) assert cache sharing: two
+// structurally equal expressions cost one Miss and the replays count as
+// Hits.
+func (db *DB) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:           db.hooks.hits.Load(),
+		Misses:         db.hooks.misses.Load(),
+		Evictions:      db.hooks.evictions.Load(),
+		CoalescedDraws: db.hooks.coalesced.Load(),
+		BatchJobs:      db.hooks.jobs.Load(),
+	}
+}
 
 // Options returns the handle's sampling options.
 func (db *DB) Options() Options { return db.opts }
@@ -226,18 +305,18 @@ func (db *DB) targetArgs(name string) (relName, queryName string) {
 	return name, ""
 }
 
-// prepared returns the warm sampler for a relation or query name,
-// building (and caching) it on first use.
-func (db *DB) prepared(ctx context.Context, name string) (*PreparedSampler, string, error) {
+// prepared returns the warm sampler for a relation or query name under
+// the given options, building (and caching) it on first use.
+func (db *DB) prepared(ctx context.Context, name string, opts Options) (*PreparedSampler, string, error) {
 	if err := db.check(ctx); err != nil {
 		return nil, "", err
 	}
 	relName, queryName := db.targetArgs(name)
 	if db.prepSeedSet {
-		ps, key, _, err := db.rt.PreparedForWithSeed(db.entry, relName, queryName, db.opts, db.prepSeed)
+		ps, key, _, err := db.rt.PreparedForWithSeed(db.entry, relName, queryName, opts, db.prepSeed)
 		return ps, key, err
 	}
-	ps, key, _, err := db.rt.PreparedFor(db.entry, relName, queryName, db.opts)
+	ps, key, _, err := db.rt.PreparedFor(db.entry, relName, queryName, opts)
 	return ps, key, err
 }
 
@@ -246,9 +325,11 @@ func (db *DB) prepared(ctx context.Context, name string) (*PreparedSampler, stri
 // estimates are computed once and cached in the handle's LRU; bind
 // request seeds with NewObservable/NewObservableCtx for independent
 // generators. Concurrent calls for the same cold target coalesce into
-// a single preparation.
-func (db *DB) Sampler(ctx context.Context, name string) (*PreparedSampler, error) {
-	ps, _, err := db.prepared(ctx, name)
+// a single preparation. Per-call overrides (CallWalk, CallParams,
+// CallOptions) key into the cache, so each distinct configuration warms
+// its own entry.
+func (db *DB) Sampler(ctx context.Context, name string, copts ...CallOption) (*PreparedSampler, error) {
+	ps, _, err := db.prepared(ctx, name, db.callOpts(copts))
 	return ps, err
 }
 
@@ -256,8 +337,8 @@ func (db *DB) Sampler(ctx context.Context, name string) (*PreparedSampler, error
 // query on the handle's bounded worker pool, preparing (or reusing) the
 // warm sampler. Each call uses a fresh seed from the handle's
 // deterministic sequence; use SampleNSeeded to pin one.
-func (db *DB) SampleN(ctx context.Context, name string, n int) ([]Vector, error) {
-	return db.SampleNSeeded(ctx, name, n, db.nextSeed())
+func (db *DB) SampleN(ctx context.Context, name string, n int, copts ...CallOption) ([]Vector, error) {
+	return db.SampleNSeeded(ctx, name, n, db.nextSeed(), copts...)
 }
 
 // SampleNSeeded is SampleN with an explicit base seed: the output is
@@ -265,10 +346,11 @@ func (db *DB) SampleN(ctx context.Context, name string, n int) ([]Vector, error)
 // byte-identical concurrent draws are coalesced into a single
 // execution. Projection-needing queries (no cacheable sampler) run
 // sequentially on a per-call engine instead of the pool.
-func (db *DB) SampleNSeeded(ctx context.Context, name string, n int, seed uint64) ([]Vector, error) {
-	ps, key, err := db.prepared(ctx, name)
+func (db *DB) SampleNSeeded(ctx context.Context, name string, n int, seed uint64, copts ...CallOption) ([]Vector, error) {
+	opts := db.callOpts(copts)
+	ps, key, err := db.prepared(ctx, name, opts)
 	if errors.Is(err, ErrNeedsProjection) {
-		return db.querySampleN(ctx, name, n, seed)
+		return db.querySampleN(ctx, name, n, seed, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -279,12 +361,12 @@ func (db *DB) SampleNSeeded(ctx context.Context, name string, n int, seed uint64
 
 // querySampleN draws n samples sequentially from a query engine
 // observable — the fallback for plans that need Algorithm 2.
-func (db *DB) querySampleN(ctx context.Context, name string, n int, seed uint64) ([]Vector, error) {
+func (db *DB) querySampleN(ctx context.Context, name string, n int, seed uint64, opts Options) ([]Vector, error) {
 	q, ok := db.entry.DB.Query(name)
 	if !ok {
 		return nil, fmt.Errorf("cdb: query %q not found", name)
 	}
-	obs, err := db.engine(ctx, seed).Observable(q)
+	obs, err := db.engineWith(ctx, seed, opts).Observable(q)
 	if err != nil {
 		return nil, err
 	}
@@ -315,16 +397,17 @@ func (db *DB) querySampleN(ctx context.Context, name string, n int, seed uint64)
 //	    consume(p)
 //	    if enough { break }
 //	}
-func (db *DB) Samples(ctx context.Context, name string) iter.Seq2[Vector, error] {
+func (db *DB) Samples(ctx context.Context, name string, copts ...CallOption) iter.Seq2[Vector, error] {
 	seed := db.nextSeed()
+	opts := db.callOpts(copts)
 	return func(yield func(Vector, error) bool) {
 		var obs Observable
-		ps, _, err := db.prepared(ctx, name)
+		ps, _, err := db.prepared(ctx, name, opts)
 		switch {
 		case errors.Is(err, ErrNeedsProjection):
 			// No cacheable sampler: stream from a per-call engine.
 			q, _ := db.entry.DB.Query(name)
-			obs, err = db.engine(ctx, seed).Observable(q)
+			obs, err = db.engineWith(ctx, seed, opts).Observable(q)
 		case err == nil:
 			obs, err = ps.NewObservableCtx(ctx, seed)
 		}
@@ -354,20 +437,28 @@ func (db *DB) Samples(ctx context.Context, name string) iter.Seq2[Vector, error]
 // surface the preparation-time estimate directly (no walker is bound);
 // unions run the Karp–Luby acceptance pass under a seed derived from
 // the cache key, so the result is deterministic per
-// (program, target, options).
-func (db *DB) Volume(ctx context.Context, name string) (float64, error) {
-	ps, key, err := db.prepared(ctx, name)
+// (program, target, options). A provably empty (or measure-zero)
+// target returns 0 — the same contract as Expr.Volume; replays serve
+// the cached verdict in O(1).
+func (db *DB) Volume(ctx context.Context, name string, copts ...CallOption) (float64, error) {
+	opts := db.callOpts(copts)
+	ps, key, err := db.prepared(ctx, name, opts)
+	if errors.Is(err, ErrEmptyExpr) {
+		// The empty set has volume 0 — same contract as Expr.Volume;
+		// replays serve the cached verdict.
+		return 0, nil
+	}
 	if errors.Is(err, ErrNeedsProjection) {
 		// No prepared sampler exists for a projection plan; run the
 		// engine path under a key-derived seed so the determinism
 		// contract above still holds. A pinned WithPrepSeed folds in,
 		// mirroring the prepared path.
 		q, _ := db.entry.DB.Query(name)
-		seed := runtime.PrepSeedFor(runtime.SamplerKey(db.entry.ID, "queryvol", name, db.opts.CacheKey()))
+		seed := runtime.PrepSeedFor(runtime.SamplerKey(db.entry.ID, "queryvol", name, opts.CacheKey()))
 		if db.prepSeedSet {
 			seed = db.prepSeed + runtime.PrepSeedFor("queryvol\x1f"+name)
 		}
-		return db.engine(ctx, seed).EstimateVolume(q)
+		return db.engineWith(ctx, seed, opts).EstimateVolume(q)
 	}
 	if err != nil {
 		return 0, err
@@ -412,7 +503,12 @@ func (db *DB) Engine(ctx context.Context, seed uint64) *Engine {
 }
 
 func (db *DB) engine(ctx context.Context, seed uint64) *Engine {
-	opts := db.opts
+	return db.engineWith(ctx, seed, db.opts)
+}
+
+// engineWith is engine with explicit (per-call or per-expression)
+// options.
+func (db *DB) engineWith(ctx context.Context, seed uint64, opts Options) *Engine {
 	if ctx != nil && ctx.Done() != nil {
 		opts.Interrupt = ctx.Err
 	}

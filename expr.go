@@ -1,0 +1,353 @@
+package cdb
+
+// The lazy relational-algebra query surface: db.Rel("parcels") returns
+// an *Expr; combinators (Where, Intersect, Union, Minus, Project,
+// TimeSliceAt) build a plan without touching any geometry; terminal
+// verbs (SampleN, Samples, Volume, Reconstruct, Explain) compile the
+// expression once into a canonical plan — commutative operands sorted,
+// projections collapsed, selections pushed into tuples, LP-infeasible
+// disjuncts pruned — and execute it through the handle's shared
+// runtime. The canonical plan's hash is the cache key, so structurally
+// equal expressions, however they were built, share one prepared
+// sampler; provably empty expressions cache as O(1) negative verdicts.
+//
+//	warm := db.Rel("parcels").Intersect(db.Rel("floodzone")).
+//	    Where(cdb.NewAtom(cdb.Vector{1, 0}, 10, false)) // x <= 10
+//	pts, err := warm.SampleN(ctx, 1000)
+//	v, err := warm.Volume(ctx) // 0 for provably empty expressions
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/runtime"
+)
+
+// ErrEmptyExpr marks an expression whose canonical plan has no
+// LP-feasible disjunct: it provably denotes the empty set. SampleN and
+// Samples return it (wrapped); Volume translates it to 0. The verdict
+// is cached as a negative entry, so replays are O(1) and never evict
+// warm geometry.
+var ErrEmptyExpr = runtime.ErrEmptyExpr
+
+// NewAtom returns the linear constraint coef·x <= b (or < b when
+// strict) over an expression's output columns, in order — the building
+// block of Expr.Where.
+func NewAtom(coef Vector, b float64, strict bool) Atom {
+	return Atom{Coef: coef, B: b, Strict: strict}
+}
+
+// Expr is a lazy relational-algebra expression over a DB handle.
+// Expressions are immutable — every combinator returns a new Expr
+// sharing subtrees — and safe for concurrent use; the compiled
+// canonical plan is memoized per Expr value, so repeated terminal calls
+// on one expression pay the normalization pass once.
+type Expr struct {
+	db   *DB
+	node *query.Node
+	opts *Options // nil: inherit the handle's options
+	err  error    // construction error (cross-handle operands), surfaced at terminals
+
+	compileOnce sync.Once
+	cp          *query.CanonicalPlan
+	cerr        error
+}
+
+// Rel returns the algebra leaf for a declared relation or a named query
+// of the program. Resolution is lazy: an unknown name errors at the
+// first terminal verb.
+func (db *DB) Rel(name string) *Expr {
+	return &Expr{db: db, node: query.NewRel(name)}
+}
+
+// derive returns a fresh Expr on the same handle, carrying the
+// receiver's option overrides and any construction error.
+func (e *Expr) derive(node *query.Node, err error) *Expr {
+	ne := &Expr{db: e.db, node: node, opts: e.opts, err: e.err}
+	if ne.err == nil {
+		ne.err = err
+	}
+	return ne
+}
+
+// checkOperand validates a binary combinator's right operand.
+func (e *Expr) checkOperand(o *Expr) error {
+	if o == nil {
+		return errors.New("cdb: nil Expr operand")
+	}
+	if o.db != e.db {
+		return errors.New("cdb: Expr operands belong to different DB handles")
+	}
+	return o.err
+}
+
+// Where returns the selection of the expression: each atom is a linear
+// constraint over the expression's output columns, in order (see
+// NewAtom). Selections are pushed into every disjunct's tuple during
+// canonicalization.
+func (e *Expr) Where(atoms ...Atom) *Expr {
+	return e.derive(e.node.Where(atoms...), nil)
+}
+
+// Intersect returns the intersection with o. Columns are identified
+// positionally; both operands must come from the same DB handle.
+func (e *Expr) Intersect(o *Expr) *Expr {
+	if err := e.checkOperand(o); err != nil {
+		return e.derive(e.node, err)
+	}
+	return e.derive(e.node.Intersect(o.node), nil)
+}
+
+// Union returns the union with o (same arity, positional columns).
+func (e *Expr) Union(o *Expr) *Expr {
+	if err := e.checkOperand(o); err != nil {
+		return e.derive(e.node, err)
+	}
+	return e.derive(e.node.Union(o.node), nil)
+}
+
+// Minus returns the difference e \ o. The right operand must be
+// quantifier-free (negation under ∃ leaves the sampling fragment).
+func (e *Expr) Minus(o *Expr) *Expr {
+	if err := e.checkOperand(o); err != nil {
+		return e.derive(e.node, err)
+	}
+	return e.derive(e.node.Minus(o.node), nil)
+}
+
+// Project keeps the named columns in the given order, existentially
+// projecting the rest away (Algorithm 2's projection generator when the
+// dropped columns are constrained).
+func (e *Expr) Project(vars ...string) *Expr {
+	return e.derive(e.node.Project(vars...), nil)
+}
+
+// TimeSliceAt returns the t = t0 snapshot of a space-time expression:
+// the time column (the column named "t", or the last one) is
+// substituted by t0 and dropped from the output.
+func (e *Expr) TimeSliceAt(t0 float64) *Expr {
+	return e.derive(e.node.TimeSlice(t0), nil)
+}
+
+// WithOptions returns the expression with its sampling options replaced
+// wholesale for every terminal verb — the per-expression form of the
+// handle-wide Open options. The options key into the prepared cache.
+func (e *Expr) WithOptions(opts Options) *Expr {
+	ne := e.derive(e.node, nil)
+	ne.opts = &opts
+	return ne
+}
+
+// WithWalk returns the expression with the Markov chain overridden.
+func (e *Expr) WithWalk(k WalkKind) *Expr {
+	opts := e.effectiveOptions()
+	opts.Walk = k
+	return e.WithOptions(opts)
+}
+
+// WithParams returns the expression with the approximation parameters
+// (γ, ε, δ) overridden.
+func (e *Expr) WithParams(p Params) *Expr {
+	opts := e.effectiveOptions()
+	opts.Params = p
+	return e.WithOptions(opts)
+}
+
+// effectiveOptions resolves the expression's sampling options: its own
+// override, or the handle's.
+func (e *Expr) effectiveOptions() Options {
+	if e.opts != nil {
+		return *e.opts
+	}
+	return e.db.opts
+}
+
+// compile lowers the expression to its canonical plan, once per Expr.
+func (e *Expr) compile() (*query.CanonicalPlan, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.compileOnce.Do(func() {
+		plan, err := e.node.Compile(e.db.entry.DB)
+		if err != nil {
+			e.cerr = err
+			return
+		}
+		e.cp = query.Canonicalize(plan)
+	})
+	return e.cp, e.cerr
+}
+
+// Columns returns the expression's output column names.
+func (e *Expr) Columns() ([]string, error) {
+	cp, err := e.compile()
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), cp.Plan.OutVars...), nil
+}
+
+// CanonicalKey returns the canonical fingerprint of the expression's
+// normalized plan: equal for structurally equal expressions regardless
+// of construction order, and the basis of the prepared-sampler cache
+// key.
+func (e *Expr) CanonicalKey() (string, error) {
+	cp, err := e.compile()
+	if err != nil {
+		return "", err
+	}
+	return cp.Key, nil
+}
+
+// prepared resolves the warm sampler for the expression through the
+// shared runtime, keyed by the canonical plan hash.
+func (e *Expr) prepared(ctx context.Context) (*PreparedSampler, string, *query.CanonicalPlan, error) {
+	if err := e.db.check(ctx); err != nil {
+		return nil, "", nil, err
+	}
+	cp, err := e.compile()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	opts := e.effectiveOptions()
+	if e.db.prepSeedSet {
+		ps, key, _, err := e.db.rt.PreparedPlanWithSeed(e.db.entry, cp, opts, e.db.prepSeed)
+		return ps, key, cp, err
+	}
+	ps, key, _, err := e.db.rt.PreparedPlan(e.db.entry, cp, opts)
+	return ps, key, cp, err
+}
+
+// Sampler returns the prepared (warm) sampler for the expression —
+// rounding, well-boundedness witnesses and per-tuple volume estimates
+// computed once and cached under the canonical plan key. Expressions
+// needing the projection generator return ErrNeedsProjection (SampleN,
+// Samples and Volume fall back transparently); provably empty
+// expressions return ErrEmptyExpr.
+func (e *Expr) Sampler(ctx context.Context) (*PreparedSampler, error) {
+	ps, _, _, err := e.prepared(ctx)
+	return ps, err
+}
+
+// SampleN draws n almost-uniform points of the expression on the
+// handle's bounded worker pool, preparing (or reusing) the warm
+// sampler. Each call uses a fresh seed from the handle's deterministic
+// sequence; use SampleNSeeded to pin one.
+func (e *Expr) SampleN(ctx context.Context, n int) ([]Vector, error) {
+	return e.SampleNSeeded(ctx, n, e.db.nextSeed())
+}
+
+// SampleNSeeded is SampleN with an explicit base seed: deterministic in
+// (program, expression, options, n, workers, seed); byte-identical
+// concurrent draws coalesce. Projection-needing expressions run
+// sequentially on a per-call engine.
+func (e *Expr) SampleNSeeded(ctx context.Context, n int, seed uint64) ([]Vector, error) {
+	ps, key, cp, err := e.prepared(ctx)
+	if errors.Is(err, ErrNeedsProjection) {
+		return e.engineSampleN(ctx, cp, n, seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pts, _, err := e.db.rt.Executor().SampleManyCtx(ctx, key, ps, n, e.db.workers, seed)
+	return pts, err
+}
+
+// engineSampleN draws n samples sequentially from a per-call engine
+// observable over the canonical plan — the Algorithm 2 fallback.
+func (e *Expr) engineSampleN(ctx context.Context, cp *query.CanonicalPlan, n int, seed uint64) ([]Vector, error) {
+	obs, err := e.db.engineWith(ctx, seed, e.effectiveOptions()).ObservableFromPlan(cp.Plan)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Vector, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		x, err := obs.Sample()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, x)
+	}
+	return pts, nil
+}
+
+// Samples streams almost-uniform points of the expression as a Go
+// 1.23+ iterator, like DB.Samples: it yields (point, nil) until the
+// context is cancelled, the generator aborts or the consumer breaks.
+func (e *Expr) Samples(ctx context.Context) iter.Seq2[Vector, error] {
+	seed := e.db.nextSeed()
+	return func(yield func(Vector, error) bool) {
+		var obs Observable
+		ps, _, cp, err := e.prepared(ctx)
+		switch {
+		case errors.Is(err, ErrNeedsProjection):
+			obs, err = e.db.engineWith(ctx, seed, e.effectiveOptions()).ObservableFromPlan(cp.Plan)
+		case err == nil:
+			obs, err = ps.NewObservableCtx(ctx, seed)
+		}
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for {
+			if err := ctx.Err(); err != nil {
+				yield(nil, err)
+				return
+			}
+			x, err := obs.Sample()
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(x, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Volume returns the (ε, δ)-relative volume estimate of the expression
+// from the warm geometry, deterministic per (program, expression,
+// options). A provably empty expression returns 0 — on replay an O(1)
+// cached verdict, no geometry touched. Projection-needing expressions
+// fall back to a per-call engine under a key-derived seed.
+func (e *Expr) Volume(ctx context.Context) (float64, error) {
+	ps, key, cp, err := e.prepared(ctx)
+	switch {
+	case errors.Is(err, ErrEmptyExpr):
+		return 0, nil
+	case errors.Is(err, ErrNeedsProjection):
+		seed := runtime.PrepSeedFor(key + "\x1fexprvol")
+		if e.db.prepSeedSet {
+			seed = e.db.prepSeed + runtime.PrepSeedFor("exprvol\x1f"+cp.Key)
+		}
+		return e.db.engineWith(ctx, seed, e.effectiveOptions()).EstimateVolumeFromPlan(cp.Plan)
+	case err != nil:
+		return 0, err
+	}
+	return ps.VolumeCtx(ctx, runtime.PrepSeedFor(key+"\x1fvolume"))
+}
+
+// Reconstruct runs Algorithm 5 on the expression: per-disjunct hulls of
+// n samples each, unioned into a SetEstimate.
+func (e *Expr) Reconstruct(ctx context.Context, n int) (*SetEstimate, error) {
+	if err := e.db.check(ctx); err != nil {
+		return nil, err
+	}
+	cp, err := e.compile()
+	if err != nil {
+		return nil, err
+	}
+	if cp.Empty() {
+		return nil, fmt.Errorf("cdb: reconstruct: %w", ErrEmptyExpr)
+	}
+	eng := e.db.engineWith(ctx, e.db.nextSeed(), e.effectiveOptions())
+	return eng.ReconstructFromPlan(cp.Plan, n)
+}

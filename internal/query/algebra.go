@@ -1,0 +1,381 @@
+package query
+
+// The relational-algebra IR behind cdb.Expr and the server's /v1/expr
+// endpoint: a small closed set of operators — base relations (or named
+// queries), selection, intersection, union, difference, projection and
+// time slicing — that compiles to the same existential positive Plan the
+// formula pipeline produces. Keeping the IR here (rather than in the
+// public package) lets every surface share one compiler and one
+// canonicalization pass, and therefore one prepared-sampler cache.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/constraint"
+)
+
+// ErrUnknownTarget marks an algebra leaf naming a relation or query the
+// database does not declare. Serving layers map it to "not found".
+var ErrUnknownTarget = errors.New("query: unknown relation or query")
+
+type nodeOp int
+
+const (
+	opRel nodeOp = iota
+	opWhere
+	opIntersect
+	opUnion
+	opMinus
+	opProject
+	opTimeSlice
+)
+
+func (o nodeOp) String() string {
+	switch o {
+	case opRel:
+		return "rel"
+	case opWhere:
+		return "where"
+	case opIntersect:
+		return "intersect"
+	case opUnion:
+		return "union"
+	case opMinus:
+		return "minus"
+	case opProject:
+		return "project"
+	case opTimeSlice:
+		return "timeslice"
+	}
+	return "?"
+}
+
+// Node is one operator of a lazy relational-algebra expression. Nodes
+// are immutable: every combinator returns a fresh node, so expressions
+// can share subtrees freely across goroutines.
+type Node struct {
+	op          nodeOp
+	name        string            // opRel
+	left, right *Node             // operands
+	atoms       []constraint.Atom // opWhere: over the child's columns
+	vars        []string          // opProject: columns to keep, in order
+	t           float64           // opTimeSlice
+}
+
+// NewRel returns the leaf node for a declared relation or named query.
+func NewRel(name string) *Node { return &Node{op: opRel, name: name} }
+
+// Where returns the selection σ_atoms(n); each atom is a linear
+// constraint over the node's output columns, in order.
+func (n *Node) Where(atoms ...constraint.Atom) *Node {
+	return &Node{op: opWhere, left: n, atoms: atoms}
+}
+
+// Intersect returns n ∩ o (columns of o are positionally identified
+// with n's).
+func (n *Node) Intersect(o *Node) *Node { return &Node{op: opIntersect, left: n, right: o} }
+
+// Union returns n ∪ o.
+func (n *Node) Union(o *Node) *Node { return &Node{op: opUnion, left: n, right: o} }
+
+// Minus returns n \ o. The right operand must be quantifier-free (the
+// sampling fragment admits negation on atoms, not under ∃).
+func (n *Node) Minus(o *Node) *Node { return &Node{op: opMinus, left: n, right: o} }
+
+// Project returns π_vars(n): keep the named columns in the given order,
+// existentially projecting the rest away.
+func (n *Node) Project(vars ...string) *Node {
+	return &Node{op: opProject, left: n, vars: append([]string(nil), vars...)}
+}
+
+// TimeSlice returns the t = t0 snapshot of a space-time expression: the
+// time column (the column named "t", or the last one) is substituted by
+// t0 and dropped from the output.
+func (n *Node) TimeSlice(t0 float64) *Node { return &Node{op: opTimeSlice, left: n, t: t0} }
+
+// String renders the expression tree for diagnostics.
+func (n *Node) String() string {
+	switch n.op {
+	case opRel:
+		return n.name
+	case opWhere:
+		return fmt.Sprintf("σ[%d](%s)", len(n.atoms), n.left)
+	case opIntersect:
+		return fmt.Sprintf("(%s ∩ %s)", n.left, n.right)
+	case opUnion:
+		return fmt.Sprintf("(%s ∪ %s)", n.left, n.right)
+	case opMinus:
+		return fmt.Sprintf("(%s \\ %s)", n.left, n.right)
+	case opProject:
+		return fmt.Sprintf("π%v(%s)", n.vars, n.left)
+	case opTimeSlice:
+		return fmt.Sprintf("slice[t=%g](%s)", n.t, n.left)
+	}
+	return "?"
+}
+
+// Compile lowers the expression to an existential positive Plan over the
+// database: leaves are inlined to their DNF bodies, operators become
+// formula connectives (∩ → ∧, ∪ → ∨, \ → ∧¬, π → ∃, slice →
+// substitution) and the shared pipeline normalises the result. Callers
+// canonicalize the returned plan for execution and cache keying.
+func (n *Node) Compile(db *constraint.Database) (*Plan, error) {
+	fresh := 0
+	f, cols, err := n.compile(db, &fresh)
+	if err != nil {
+		return nil, err
+	}
+	return planInlined(cols, f)
+}
+
+// Columns resolves the output column names of the expression without
+// running the full plan pipeline.
+func (n *Node) Columns(db *constraint.Database) ([]string, error) {
+	fresh := 0
+	_, cols, err := n.compile(db, &fresh)
+	return cols, err
+}
+
+// compile returns the inlined formula (atoms, ∧, ∨, ∃ only — predicates
+// resolved, no negation except what Minus introduces) plus the output
+// column names. fresh numbers capture-avoiding renames.
+func (n *Node) compile(db *constraint.Database, fresh *int) (constraint.Formula, []string, error) {
+	switch n.op {
+	case opRel:
+		if rel, ok := db.Relation(n.name); ok {
+			f, err := inline(constraint.Pred{Name: n.name, Args: rel.Vars}, db.Schema)
+			return f, rel.Vars, err
+		}
+		if q, ok := db.Query(n.name); ok {
+			f, err := inline(q.F, db.Schema)
+			return f, q.Vars, err
+		}
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownTarget, n.name)
+	case opWhere:
+		f, cols, err := n.left.compile(db, fresh)
+		if err != nil {
+			return nil, nil, err
+		}
+		fs := []constraint.Formula{f}
+		for _, a := range n.atoms {
+			if a.Dim() != len(cols) {
+				return nil, nil, fmt.Errorf("query: Where atom arity %d over %d column(s)", a.Dim(), len(cols))
+			}
+			fs = append(fs, constraint.AtomF{Vars: cols, Atom: a})
+		}
+		return constraint.And{Fs: fs}, cols, nil
+	case opIntersect, opUnion, opMinus:
+		l, cols, err := n.left.compile(db, fresh)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rcols, err := n.right.compile(db, fresh)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rcols) != len(cols) {
+			return nil, nil, fmt.Errorf("query: %s arity mismatch: %d vs %d columns", n.op, len(cols), len(rcols))
+		}
+		// Relational operators are positional: identify the right
+		// operand's columns with the left's by renaming its free
+		// variables (capture-avoiding — binders inside r that collide
+		// with a target name are freshened first).
+		ren := map[string]string{}
+		for i, v := range rcols {
+			if v != cols[i] {
+				ren[v] = cols[i]
+			}
+		}
+		if len(ren) > 0 {
+			r = renameFree(r, ren, fresh)
+		}
+		switch n.op {
+		case opIntersect:
+			return constraint.And{Fs: []constraint.Formula{l, r}}, cols, nil
+		case opUnion:
+			return constraint.Or{Fs: []constraint.Formula{l, r}}, cols, nil
+		default:
+			return constraint.And{Fs: []constraint.Formula{l, constraint.Not{F: r}}}, cols, nil
+		}
+	case opProject:
+		f, cols, err := n.left.compile(db, fresh)
+		if err != nil {
+			return nil, nil, err
+		}
+		have := map[string]bool{}
+		for _, v := range cols {
+			have[v] = true
+		}
+		keep := map[string]bool{}
+		for _, v := range n.vars {
+			if !have[v] {
+				return nil, nil, fmt.Errorf("query: Project column %q not among %v", v, cols)
+			}
+			if keep[v] {
+				return nil, nil, fmt.Errorf("query: Project column %q repeated", v)
+			}
+			keep[v] = true
+		}
+		var drop []string
+		for _, v := range cols {
+			if !keep[v] {
+				drop = append(drop, v)
+			}
+		}
+		if len(drop) > 0 {
+			f = constraint.Exists{Vars: drop, F: f}
+		}
+		return f, append([]string(nil), n.vars...), nil
+	case opTimeSlice:
+		f, cols, err := n.left.compile(db, fresh)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(cols) < 2 {
+			return nil, nil, fmt.Errorf("query: TimeSlice needs at least 2 columns, have %v", cols)
+		}
+		tcol := len(cols) - 1
+		for i, v := range cols {
+			if v == "t" {
+				tcol = i
+				break
+			}
+		}
+		out := make([]string, 0, len(cols)-1)
+		out = append(out, cols[:tcol]...)
+		out = append(out, cols[tcol+1:]...)
+		return substConst(f, cols[tcol], n.t), out, nil
+	}
+	return nil, nil, fmt.Errorf("query: unknown algebra node op %d", n.op)
+}
+
+// renameFree renames free variable occurrences per ren, respecting
+// binder shadowing. A binder whose name collides with a rename target
+// is itself freshened (so the renamed variable cannot be captured).
+func renameFree(f constraint.Formula, ren map[string]string, fresh *int) constraint.Formula {
+	targets := map[string]bool{}
+	for _, to := range ren {
+		targets[to] = true
+	}
+	switch g := f.(type) {
+	case constraint.AtomF:
+		vars := make([]string, len(g.Vars))
+		for i, v := range g.Vars {
+			if nv, ok := ren[v]; ok {
+				vars[i] = nv
+			} else {
+				vars[i] = v
+			}
+		}
+		return constraint.AtomF{Vars: vars, Atom: g.Atom}
+	case constraint.Pred:
+		args := make([]string, len(g.Args))
+		for i, v := range g.Args {
+			if nv, ok := ren[v]; ok {
+				args[i] = nv
+			} else {
+				args[i] = v
+			}
+		}
+		return constraint.Pred{Name: g.Name, Args: args}
+	case constraint.Not:
+		return constraint.Not{F: renameFree(g.F, ren, fresh)}
+	case constraint.And:
+		fs := make([]constraint.Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = renameFree(sub, ren, fresh)
+		}
+		return constraint.And{Fs: fs}
+	case constraint.Or:
+		fs := make([]constraint.Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = renameFree(sub, ren, fresh)
+		}
+		return constraint.Or{Fs: fs}
+	case constraint.Exists:
+		inner := map[string]string{}
+		for k, v := range ren {
+			inner[k] = v
+		}
+		vars := make([]string, len(g.Vars))
+		for i, v := range g.Vars {
+			vars[i] = v
+			delete(inner, v) // binder shadows a free rename source
+			if targets[v] {
+				// Binder collides with a name being introduced: freshen it.
+				*fresh++
+				nv := fmt.Sprintf("%s!r%d", v, *fresh)
+				vars[i] = nv
+				inner[v] = nv
+			}
+		}
+		return constraint.Exists{Vars: vars, F: renameFree(g.F, inner, fresh)}
+	case constraint.ForAll:
+		// Outside the sampling fragment; pass through for the pipeline's
+		// own rejection, renaming conservatively like Exists.
+		return constraint.ForAll{Vars: g.Vars, F: renameFree(g.F, ren, fresh)}
+	}
+	return f
+}
+
+// substConst substitutes the constant value for every free occurrence of
+// name: the coefficient is folded into the atom's bound and zeroed, so
+// the variable drops out of the polytope frame. Binders shadow.
+func substConst(f constraint.Formula, name string, value float64) constraint.Formula {
+	switch g := f.(type) {
+	case constraint.AtomF:
+		hit := false
+		for i, v := range g.Vars {
+			if v == name && g.Atom.Coef[i] != 0 {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return g
+		}
+		coef := append(g.Atom.Coef[:0:0], g.Atom.Coef...)
+		b := g.Atom.B
+		for i, v := range g.Vars {
+			if v == name {
+				b -= coef[i] * value
+				coef[i] = 0
+			}
+		}
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			b = math.Inf(1) // degenerate substitution: keep it visibly trivial-true
+		}
+		return constraint.AtomF{Vars: g.Vars, Atom: constraint.Atom{Coef: coef, B: b, Strict: g.Atom.Strict}}
+	case constraint.Not:
+		return constraint.Not{F: substConst(g.F, name, value)}
+	case constraint.And:
+		fs := make([]constraint.Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = substConst(sub, name, value)
+		}
+		return constraint.And{Fs: fs}
+	case constraint.Or:
+		fs := make([]constraint.Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = substConst(sub, name, value)
+		}
+		return constraint.Or{Fs: fs}
+	case constraint.Exists:
+		for _, v := range g.Vars {
+			if v == name {
+				return g // shadowed
+			}
+		}
+		return constraint.Exists{Vars: g.Vars, F: substConst(g.F, name, value)}
+	case constraint.ForAll:
+		for _, v := range g.Vars {
+			if v == name {
+				return g
+			}
+		}
+		return constraint.ForAll{Vars: g.Vars, F: substConst(g.F, name, value)}
+	}
+	return f
+}

@@ -1,0 +1,208 @@
+package query
+
+// Plan canonicalization: the rewrite pass that turns a freshly compiled
+// Plan into a normal form with a stable fingerprint. Structurally equal
+// expressions — however they were built (operand order of unions and
+// intersections, nested vs flat projections, duplicated atoms) — reach
+// the same canonical plan and therefore the same cache key, so every
+// surface of the system (cdb.Expr, the HTTP /v1/expr endpoint, named
+// queries through the DB handle) shares one prepared-sampler entry per
+// distinct geometry.
+//
+// The pass applies, per disjunct: atom normalization (unit ∞-norm
+// coefficients), trivial-atom elimination, duplicate-atom removal,
+// lexicographic atom sorting (commutative-conjunct canonicalization) and
+// LP-feasibility pruning; then across disjuncts: duplicate removal
+// (union idempotence) and lexicographic sorting (commutative-operand
+// canonicalization). The key hashes the sorted renders, so it is a pure
+// function of the denoted geometry's normal form — column names are
+// deliberately excluded (coordinates are positional).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+	"repro/internal/polytope"
+)
+
+// CanonicalPlan couples a normalized executable plan with its stable
+// fingerprint.
+type CanonicalPlan struct {
+	// Plan is the normalized plan: sorted, deduplicated, LP-pruned. It
+	// is what executors should run — two expressions with equal Keys
+	// execute byte-identical plans.
+	Plan *Plan
+	// Key is the canonical fingerprint: equal for structurally equal
+	// expressions regardless of construction order.
+	Key string
+
+	disjunctRenders []string
+}
+
+// Canonicalize rewrites the plan into its normal form and fingerprints
+// it. The input plan is not modified.
+func Canonicalize(p *Plan) *CanonicalPlan {
+	type cd struct {
+		render string
+		d      PlanDisjunct
+	}
+	var cds []cd
+	seen := map[string]bool{}
+	for _, d := range p.Disjuncts {
+		nd, render, ok := canonicalDisjunct(d)
+		if !ok || seen[render] {
+			continue // LP-infeasible, trivially empty, or a duplicate disjunct
+		}
+		seen[render] = true
+		cds = append(cds, cd{render: render, d: nd})
+	}
+	sort.Slice(cds, func(i, j int) bool { return cds[i].render < cds[j].render })
+	cp := &CanonicalPlan{Plan: &Plan{OutVars: append([]string(nil), p.OutVars...)}}
+	for _, c := range cds {
+		cp.Plan.Disjuncts = append(cp.Plan.Disjuncts, c.d)
+		cp.disjunctRenders = append(cp.disjunctRenders, c.render)
+	}
+	cp.Key = keyFor(len(p.OutVars), cp.disjunctRenders)
+	return cp
+}
+
+// keyFor hashes the output arity plus the sorted disjunct renders into
+// the canonical fingerprint.
+func keyFor(arity int, renders []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|out=%d", arity)
+	for _, r := range renders {
+		h.Write([]byte{0x1e})
+		h.Write([]byte(r))
+	}
+	return "cplan:" + hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// canonicalDisjunct normalizes one disjunct: rows scaled to unit ∞-norm,
+// trivial rows resolved, duplicates dropped, rows sorted; ok is false
+// when the disjunct is provably empty (a trivially false row, or LP
+// infeasibility of the normalized system).
+func canonicalDisjunct(d PlanDisjunct) (PlanDisjunct, string, bool) {
+	type row struct {
+		render string
+		coef   linalg.Vector
+		b      float64
+	}
+	var rows []row
+	seen := map[string]bool{}
+	for i := range d.Poly.A {
+		a := constraint.Atom{Coef: d.Poly.A[i], B: d.Poly.B[i]}.Normalize()
+		if trivial, sat := a.IsTrivial(); trivial {
+			if !sat {
+				return PlanDisjunct{}, "", false
+			}
+			continue
+		}
+		r := renderRow(a.Coef, a.B)
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		rows = append(rows, row{render: r, coef: a.Coef, b: a.B})
+	}
+	if len(rows) == 0 {
+		// No constraints left: the whole space — unbounded, and never
+		// produced by a feasible compile; treat as empty for safety.
+		return PlanDisjunct{}, "", false
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].render < rows[j].render })
+	a := make([]linalg.Vector, len(rows))
+	b := make([]float64, len(rows))
+	renders := make([]string, len(rows))
+	for i, r := range rows {
+		a[i], b[i], renders[i] = r.coef, r.b, r.render
+	}
+	poly := polytope.New(a, b)
+	if poly.IsEmpty() {
+		return PlanDisjunct{}, "", false
+	}
+	if d.ExVars == 0 {
+		// Flat pruning: a bounded disjunct with zero inner radius is a
+		// measure-zero sliver (negated boundary atoms of a difference
+		// produce these) — it contributes nothing to sampling or volume
+		// and would only fail the well-boundedness check at preparation.
+		// Disjuncts with existential coordinates are kept: a flat body
+		// can still project to a full-dimensional set. Chebyshev errors
+		// (unbounded bodies) keep the disjunct, so unbounded inputs
+		// surface ErrNotWellBounded at preparation as before.
+		if _, r, err := poly.Chebyshev(); err == nil && r <= 1e-9 {
+			return PlanDisjunct{}, "", false
+		}
+	}
+	render := fmt.Sprintf("ex=%d|%s", d.ExVars, strings.Join(renders, ";"))
+	return PlanDisjunct{Poly: poly, ExVars: d.ExVars}, render, true
+}
+
+// renderRow renders one normalized constraint row deterministically
+// (shortest round-trip decimals; -0 folded into +0).
+func renderRow(coef linalg.Vector, b float64) string {
+	var sb strings.Builder
+	for i, c := range coef {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(renderFloat(c))
+	}
+	sb.WriteByte('<')
+	sb.WriteString(renderFloat(b))
+	return sb.String()
+}
+
+func renderFloat(v float64) string {
+	if v == 0 {
+		v = 0 // fold -0 into +0
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Empty reports whether the canonical plan has no feasible disjunct:
+// the expression provably denotes the empty set.
+func (cp *CanonicalPlan) Empty() bool { return len(cp.Plan.Disjuncts) == 0 }
+
+// NeedsProjection reports whether any disjunct carries existential
+// coordinates — such plans need Algorithm 2's projection generator and
+// cannot be served from the prepared-sampler cache.
+func (cp *CanonicalPlan) NeedsProjection() bool {
+	for _, d := range cp.Plan.Disjuncts {
+		if d.ExVars > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Relation materialises a quantifier-free canonical plan as a derived
+// generalized relation (one tuple per disjunct) ready for sampler
+// preparation. It errors on plans that need the projection generator.
+func (cp *CanonicalPlan) Relation(name string) (*constraint.Relation, error) {
+	if cp.NeedsProjection() {
+		return nil, fmt.Errorf("query: plan with existential coordinates has no derived relation")
+	}
+	tuples := make([]constraint.Tuple, 0, len(cp.Plan.Disjuncts))
+	for _, d := range cp.Plan.Disjuncts {
+		tuples = append(tuples, d.Poly.Tuple())
+	}
+	return constraint.NewRelation(name, cp.Plan.OutVars, tuples...)
+}
+
+// DisjunctKeys returns the canonical key each disjunct would have as a
+// standalone single-disjunct expression — what Explain uses to report
+// per-disjunct cache residency.
+func (cp *CanonicalPlan) DisjunctKeys() []string {
+	keys := make([]string, len(cp.disjunctRenders))
+	for i, r := range cp.disjunctRenders {
+		keys[i] = keyFor(len(cp.Plan.OutVars), []string{r})
+	}
+	return keys
+}

@@ -1,0 +1,278 @@
+package query
+
+// White-box tests of the algebra compiler (Node → Plan) and the
+// canonicalization pass: operand-order invariance, idempotent unions,
+// duplicate-atom removal, LP and flat pruning, capture-avoiding
+// renames and constant substitution.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/constraint"
+)
+
+func mustParseCanon(t *testing.T, src string) *constraint.Database {
+	t.Helper()
+	db, err := constraint.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func canonKey(t *testing.T, db *constraint.Database, n *Node) string {
+	t.Helper()
+	plan, err := n.Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Canonicalize(plan).Key
+}
+
+const canonProgram = `
+rel A(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+rel B(x, y) := { 0.5 <= x <= 2, 0 <= y <= 1 };
+rel C(x, y) := { 3 <= x <= 4, 0 <= y <= 1 };
+`
+
+// TestCanonicalKeyOperandOrder: commutative operands reach one key.
+func TestCanonicalKeyOperandOrder(t *testing.T) {
+	db := mustParseCanon(t, canonProgram)
+	a, b, c := NewRel("A"), NewRel("B"), NewRel("C")
+
+	if k1, k2 := canonKey(t, db, a.Intersect(b)), canonKey(t, db, b.Intersect(a)); k1 != k2 {
+		t.Fatalf("intersect order changed the key:\n%s\n%s", k1, k2)
+	}
+	if k1, k2 := canonKey(t, db, a.Union(c)), canonKey(t, db, c.Union(a)); k1 != k2 {
+		t.Fatalf("union order changed the key:\n%s\n%s", k1, k2)
+	}
+	k1 := canonKey(t, db, NewRel("A").Union(NewRel("C")).Intersect(NewRel("B")))
+	k2 := canonKey(t, db, NewRel("B").Intersect(NewRel("C").Union(NewRel("A"))))
+	if k1 != k2 {
+		t.Fatalf("nested construction order changed the key:\n%s\n%s", k1, k2)
+	}
+	// Note (A ∪ C) ∩ B canonicalizes to A ∩ B: the C ∩ B disjunct is
+	// LP-infeasible and pruned, so the keys coincide — semantically
+	// equal expressions converge even across different shapes.
+	if k1 != canonKey(t, db, a.Intersect(b)) {
+		t.Fatal("(A ∪ C) ∩ B should prune to A ∩ B's key")
+	}
+	// Genuinely distinct geometry must not collide.
+	if canonKey(t, db, a.Union(b)) == canonKey(t, db, a.Union(c)) {
+		t.Fatal("distinct expressions share a key")
+	}
+}
+
+// TestCanonicalUnionIdempotence: A ∪ A canonicalizes to A's single
+// disjunct and A's key.
+func TestCanonicalUnionIdempotence(t *testing.T) {
+	db := mustParseCanon(t, canonProgram)
+	plan, err := NewRel("A").Union(NewRel("A")).Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := Canonicalize(plan)
+	if len(cp.Plan.Disjuncts) != 1 {
+		t.Fatalf("A ∪ A has %d canonical disjuncts, want 1", len(cp.Plan.Disjuncts))
+	}
+	if cp.Key != canonKey(t, db, NewRel("A")) {
+		t.Fatal("A ∪ A and A have different keys")
+	}
+}
+
+// TestCanonicalDuplicateAtoms: repeating a selection produces the same
+// key (duplicate rows collapse).
+func TestCanonicalDuplicateAtoms(t *testing.T) {
+	db := mustParseCanon(t, canonProgram)
+	half := constraint.NewAtom([]float64{1, 0}, 0.5, false)
+	k1 := canonKey(t, db, NewRel("A").Where(half))
+	k2 := canonKey(t, db, NewRel("A").Where(half, half).Where(half))
+	if k1 != k2 {
+		t.Fatalf("duplicate atoms changed the key:\n%s\n%s", k1, k2)
+	}
+	// Scaled duplicates collapse too (rows normalize to unit ∞-norm).
+	double := constraint.NewAtom([]float64{2, 0}, 1, false)
+	if k1 != canonKey(t, db, NewRel("A").Where(double)) {
+		t.Fatal("scaled duplicate atom changed the key")
+	}
+}
+
+// TestCanonicalPruning: LP-infeasible and measure-zero disjuncts drop;
+// a fully infeasible expression reports Empty.
+func TestCanonicalPruning(t *testing.T) {
+	db := mustParseCanon(t, canonProgram)
+	plan, err := NewRel("A").Intersect(NewRel("C")).Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := Canonicalize(plan)
+	if !cp.Empty() {
+		t.Fatalf("A ∩ C should be empty, got %d disjuncts", len(cp.Plan.Disjuncts))
+	}
+
+	// A \ B: the negated boundary atoms produce flat slivers that must
+	// be pruned, leaving the single full-dimensional piece [0,0.5)×[0,1].
+	plan, err = NewRel("A").Minus(NewRel("B")).Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp = Canonicalize(plan)
+	if len(cp.Plan.Disjuncts) != 1 {
+		t.Fatalf("A \\ B canonicalizes to %d disjuncts, want 1", len(cp.Plan.Disjuncts))
+	}
+}
+
+// TestCompileProjectAndColumns: Project reorders and drops columns;
+// nested projections collapse into one existential block.
+func TestCompileProjectAndColumns(t *testing.T) {
+	db := mustParseCanon(t, canonProgram)
+	plan, err := NewRel("A").Project("y").Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.OutVars) != 1 || plan.OutVars[0] != "y" {
+		t.Fatalf("OutVars = %v, want [y]", plan.OutVars)
+	}
+	if len(plan.Disjuncts) != 1 || plan.Disjuncts[0].ExVars != 1 {
+		t.Fatalf("disjuncts = %+v, want one with 1 existential coordinate", plan.Disjuncts)
+	}
+	// Reorder-only projection stays quantifier-free.
+	plan, err = NewRel("A").Project("y", "x").Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Disjuncts[0].ExVars != 0 {
+		t.Fatal("reorder-only projection introduced existential coordinates")
+	}
+	if _, err := NewRel("A").Project("z").Compile(db); err == nil {
+		t.Fatal("projecting an unknown column must fail")
+	}
+	if _, err := NewRel("A").Project("x", "x").Compile(db); err == nil {
+		t.Fatal("repeated projection column must fail")
+	}
+}
+
+// TestCompileRenameCaptureAvoidance: a binary operand whose columns are
+// renamed onto the left's must not let the rename be captured by an
+// inner binder of the same name.
+func TestCompileRenameCaptureAvoidance(t *testing.T) {
+	db := mustParseCanon(t, `
+rel A(x, y)  := { 0 <= x <= 1, 0 <= y <= 1 };
+rel P(u, v)  := { 0 <= u <= 1, 0 <= v <= 1 };
+query R(u, y) := exists x. (P(u, x) & P(x, y) & u <= 1/2);
+`)
+	// Left columns are (x, y); right is the query R(u, y) whose body
+	// binds x. Renaming u → x must freshen R's binder, not capture it.
+	plan, err := NewRel("A").Intersect(NewRel("R")).Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Disjuncts) != 1 {
+		t.Fatalf("%d disjuncts, want 1", len(plan.Disjuncts))
+	}
+	d := plan.Disjuncts[0]
+	if d.ExVars != 1 {
+		t.Fatalf("ExVars = %d, want 1 (the renamed binder)", d.ExVars)
+	}
+	// Output x inherits R's u <= 1/2 bound: no feasible point has x > 0.5.
+	p := d.Poly
+	if p.Contains([]float64{0.9, 0.5, 0.5}) {
+		t.Fatal("rename was captured: x > 1/2 should be infeasible")
+	}
+	if !p.Contains([]float64{0.3, 0.5, 0.4}) {
+		t.Fatal("feasible point rejected")
+	}
+}
+
+// TestCompileTimeSlice: substitution fixes the time column, drops it
+// from the frame and respects binder shadowing.
+func TestCompileTimeSlice(t *testing.T) {
+	db := mustParseCanon(t, `
+rel M(x, t) := { 0 <= x <= 2, 0 <= t <= 10, x <= t };
+rel N(a, b) := { 0 <= a <= 1, 0 <= b <= 1 };
+`)
+	plan, err := NewRel("M").TimeSlice(1).Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.OutVars) != 1 || plan.OutVars[0] != "x" {
+		t.Fatalf("OutVars = %v, want [x]", plan.OutVars)
+	}
+	d := plan.Disjuncts[0]
+	if d.Poly.Dim() != 1 {
+		t.Fatalf("slice dimension %d, want 1", d.Poly.Dim())
+	}
+	if !d.Poly.Contains([]float64{0.5}) || d.Poly.Contains([]float64{1.5}) {
+		t.Fatal("slice at t=1 should be exactly [0, 1] in x")
+	}
+	// No column named "t": the last column is the time axis.
+	plan, err = NewRel("N").TimeSlice(0.5).Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.OutVars) != 1 || plan.OutVars[0] != "a" {
+		t.Fatalf("OutVars = %v, want [a]", plan.OutVars)
+	}
+}
+
+// TestCompileErrors: unknown targets, arity mismatches, Where arity and
+// Minus over a projection are all rejected.
+func TestCompileErrors(t *testing.T) {
+	db := mustParseCanon(t, `
+rel A(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+rel D(x)    := { 0 <= x <= 1 };
+query Q(x)  := exists y. A(x, y);
+`)
+	if _, err := NewRel("nope").Compile(db); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("unknown target error = %v, want ErrUnknownTarget", err)
+	}
+	if _, err := NewRel("A").Union(NewRel("D")).Compile(db); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if _, err := NewRel("A").Where(constraint.NewAtom([]float64{1}, 0, false)).Compile(db); err == nil {
+		t.Fatal("Where atom arity mismatch must fail")
+	}
+	if _, err := NewRel("D").Minus(NewRel("Q")).Compile(db); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Minus over a projection = %v, want ErrUnsupported", err)
+	}
+}
+
+// TestRelationFromCanonicalPlan: quantifier-free canonical plans
+// materialise as derived relations; projection plans refuse.
+func TestRelationFromCanonicalPlan(t *testing.T) {
+	db := mustParseCanon(t, canonProgram)
+	plan, err := NewRel("A").Intersect(NewRel("B")).Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := Canonicalize(plan)
+	rel, err := cp.Relation("derived")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Arity() != 2 || len(rel.Tuples) != 1 {
+		t.Fatalf("derived relation %d-ary with %d tuples, want 2/1", rel.Arity(), len(rel.Tuples))
+	}
+	if !rel.Contains([]float64{0.7, 0.5}) || rel.Contains([]float64{0.2, 0.5}) {
+		t.Fatal("derived relation has the wrong geometry")
+	}
+
+	proj, err := NewRel("A").Project("x").Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Canonicalize(proj).Relation("derived"); err == nil {
+		t.Fatal("projection plan must not materialise as a relation")
+	}
+	keys := Canonicalize(plan).DisjunctKeys()
+	if len(keys) != 1 || keys[0] == cp.Key {
+		// A single-disjunct plan's standalone disjunct key IS the plan key.
+		if len(keys) != 1 {
+			t.Fatalf("DisjunctKeys = %v", keys)
+		}
+	}
+	if keys[0] != cp.Key {
+		t.Fatal("single-disjunct plan should equal its disjunct's standalone key")
+	}
+}

@@ -100,7 +100,15 @@ func (e *Engine) NewPlan(q constraint.Query) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err = toNNF(f, false)
+	return planInlined(q.Vars, f)
+}
+
+// planInlined runs the plan pipeline on an already-inlined formula
+// (predicates replaced by their DNF bodies): negation pushdown, alpha
+// renaming of binders, DNF normalisation and per-disjunct polytope
+// layout. Shared by NewPlan and the algebra compiler.
+func planInlined(outVars []string, f constraint.Formula) (*Plan, error) {
+	f, err := toNNF(f, false)
 	if err != nil {
 		return nil, err
 	}
@@ -111,9 +119,9 @@ func (e *Engine) NewPlan(q constraint.Query) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan := &Plan{OutVars: q.Vars}
+	plan := &Plan{OutVars: outVars}
 	for _, d := range ds {
-		pd, ok, err := d.toPolytope(q.Vars)
+		pd, ok, err := d.toPolytope(outVars)
 		if err != nil {
 			return nil, err
 		}
@@ -131,6 +139,17 @@ func (e *Engine) Observable(q constraint.Query) (core.Observable, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.observableFromPlan(plan, q.Name)
+}
+
+// ObservableFromPlan builds the compositional generator directly from a
+// plan — the entry point for pre-planned (and canonicalized) algebra
+// expressions, which skip the per-call normalisation pass.
+func (e *Engine) ObservableFromPlan(plan *Plan) (core.Observable, error) {
+	return e.observableFromPlan(plan, "expression")
+}
+
+func (e *Engine) observableFromPlan(plan *Plan, name string) (core.Observable, error) {
 	var members []core.Observable
 	for i, d := range plan.Disjuncts {
 		obs, err := e.disjunctObservable(d)
@@ -143,7 +162,7 @@ func (e *Engine) Observable(q constraint.Query) (core.Observable, error) {
 		members = append(members, obs)
 	}
 	if len(members) == 0 {
-		return nil, fmt.Errorf("query: %s defines an empty (or zero-measure) set", q.Name)
+		return nil, fmt.Errorf("query: %s defines an empty (or zero-measure) set", name)
 	}
 	if len(members) == 1 {
 		return members[0], nil
@@ -165,6 +184,16 @@ func (e *Engine) disjunctObservable(d PlanDisjunct) (core.Observable, error) {
 // EstimateVolume returns the sampling-based volume of the query result.
 func (e *Engine) EstimateVolume(q constraint.Query) (float64, error) {
 	obs, err := e.Observable(q)
+	if err != nil {
+		return 0, err
+	}
+	return obs.Volume()
+}
+
+// EstimateVolumeFromPlan returns the sampling-based volume directly
+// from a plan.
+func (e *Engine) EstimateVolumeFromPlan(plan *Plan) (float64, error) {
+	obs, err := e.ObservableFromPlan(plan)
 	if err != nil {
 		return 0, err
 	}
@@ -202,6 +231,11 @@ func (e *Engine) Reconstruct(q constraint.Query, n int) (*reconstruct.SetEstimat
 	if err != nil {
 		return nil, err
 	}
+	return e.ReconstructFromPlan(plan, n)
+}
+
+// ReconstructFromPlan runs Algorithm 5 directly on a plan.
+func (e *Engine) ReconstructFromPlan(plan *Plan, n int) (*reconstruct.SetEstimate, error) {
 	var ds []reconstruct.Disjunct
 	for _, d := range plan.Disjuncts {
 		rd := reconstruct.Disjunct{Tuples: []constraint.Tuple{d.Poly.Tuple()}}

@@ -213,6 +213,25 @@ func (c *Cache[V]) remove(slot *cacheSlot[V]) {
 	}
 }
 
+// Peek reports whether key holds a completed entry, without touching
+// the LRU order, joining an in-flight build or counting hit/miss
+// metrics. negative reports whether the entry is a cached verdict.
+// Explain-style introspection uses it to label cache residency.
+func (c *Cache[V]) Peek(key string) (cached, negative bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.slots[key]
+	if !ok {
+		return false, false
+	}
+	select {
+	case <-slot.ready:
+		return true, slot.negative
+	default:
+		return false, false // still building
+	}
+}
+
 // Len returns the number of cached (or in-flight) entries.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()

@@ -78,7 +78,19 @@ type Runtime struct {
 	alibis   *Cache[*PreparedAlibi]
 	pool     *Pool
 	exec     *Executor
+
+	// planKeys maps name-addressed targets — (db, kind, name, options)
+	// — to the canonical plan key of their prepared geometry, so warm
+	// name lookups skip the planning pass entirely. It is itself a
+	// singleflight cache: a thundering herd of identical cold requests
+	// runs the planning pass (NNF/DNF expansion plus LP pruning) once,
+	// not once per caller. Hookless — alias lookups are bookkeeping,
+	// not prepared-cache traffic.
+	planKeys *Cache[string]
 }
+
+// maxPlanKeys bounds the name → plan-key alias cache.
+const maxPlanKeys = 4096
 
 // New builds a runtime from cfg. hooks may be nil.
 func New(cfg Config, hooks Hooks) *Runtime {
@@ -91,6 +103,7 @@ func New(cfg Config, hooks Hooks) *Runtime {
 		alibis:   NewCache[*PreparedAlibi](cfg.CacheSize, hooks),
 		pool:     pool,
 		exec:     NewExecutor(pool, hooks),
+		planKeys: NewCache[string](maxPlanKeys, nil),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/core"
+	"repro/internal/polytope"
 	"repro/internal/query"
 )
 
@@ -17,6 +18,15 @@ var ErrNeedsProjection = errors.New("query needs the projection generator")
 // ErrTargetNotFound marks a relation or query name absent from its
 // database.
 var ErrTargetNotFound = errors.New("target not found")
+
+// ErrEmptyExpr marks a target whose canonical plan has no full-
+// dimensional LP-feasible disjunct: the expression provably denotes an
+// empty (or measure-zero) set. The verdict is cached as a negative
+// entry, so replays are O(1) and — negatives park at the LRU's
+// eviction end — never evict warm geometry. Callers that want set
+// semantics (an empty set has volume 0) translate it; callers that
+// need a sampler surface it as an error.
+var ErrEmptyExpr = errors.New("expression denotes an empty (or measure-zero) set")
 
 // TargetKindName validates the relation/query arguments and returns the
 // cache-key kind and name. Shared by ResolveTarget and PreparedFor so
@@ -77,12 +87,51 @@ func ResolveTarget(e *DatabaseEntry, relName, queryName string, opts core.Option
 	}
 }
 
+// canonicalFor compiles the named target to its canonical plan: declared
+// relations become one disjunct per tuple; named queries run the plan
+// pipeline. Either way the result is the same normal form cdb.Expr and
+// the /v1/expr endpoint reach, so all surfaces share cache entries.
+func canonicalFor(e *DatabaseEntry, relName, queryName string, opts core.Options) (*query.CanonicalPlan, error) {
+	kind, _, err := TargetKindName(relName, queryName)
+	if err != nil {
+		return nil, err
+	}
+	if kind == "rel" {
+		rel, ok := e.DB.Relation(relName)
+		if !ok {
+			return nil, fmt.Errorf("%w: relation %q in database %q", ErrTargetNotFound, relName, e.ID)
+		}
+		return query.Canonicalize(PlanOfRelation(rel)), nil
+	}
+	q, ok := e.DB.Query(queryName)
+	if !ok {
+		return nil, fmt.Errorf("%w: query %q in database %q", ErrTargetNotFound, queryName, e.ID)
+	}
+	plan, err := query.NewEngine(e.DB.Schema, opts, 0).NewPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	return query.Canonicalize(plan), nil
+}
+
+// PlanOfRelation lifts a declared relation into plan form: one
+// quantifier-free disjunct per tuple.
+func PlanOfRelation(rel *constraint.Relation) *query.Plan {
+	p := &query.Plan{OutVars: rel.Vars}
+	for _, t := range rel.Tuples {
+		p.Disjuncts = append(p.Disjuncts, query.PlanDisjunct{Poly: polytope.FromTuple(t)})
+	}
+	return p
+}
+
 // PreparedFor returns the cached prepared sampler for the target,
-// building it on first use. Target resolution — including the query
-// planning pass — runs inside the build closure, so a warm request pays
-// only the cache lookup; on a hit the target necessarily resolved when
-// the entry was built. A per-call Interrupt hook in opts affects only
-// the cache key's absence — preparation always strips it (see Prepare).
+// building it on first use. The cache key is the target's canonical
+// plan hash — not its name — so a named query, a declared relation and
+// a structurally equal cdb.Expr all share one entry. A name → plan-key
+// alias map makes warm requests pay only two lookups (the planning pass
+// runs once per (target, options)). A per-call Interrupt hook in opts
+// affects only the cache key's absence — preparation always strips it
+// (see Prepare).
 func (rt *Runtime) PreparedFor(e *DatabaseEntry, relName, queryName string, opts core.Options) (*Prepared, string, bool, error) {
 	return rt.preparedFor(e, relName, queryName, opts, nil)
 }
@@ -100,23 +149,87 @@ func (rt *Runtime) preparedFor(e *DatabaseEntry, relName, queryName string, opts
 	if err != nil {
 		return nil, "", false, err
 	}
-	key := SamplerKey(e.ID, kind, name, opts.CacheKey())
-	ps, hit, err := rt.cache.Get(key, func() (*Prepared, error) {
-		rel, _, _, err := ResolveTarget(e, relName, queryName, opts)
-		if errors.Is(err, ErrNeedsProjection) {
-			// A deterministic verdict of the program text: cache it, so
-			// repeated calls on an ∃-query skip straight to the engine
-			// fallback instead of re-running the planning pass.
-			return nil, Negative(err)
-		}
+	aliasKey := SamplerKey(e.ID, kind, name, opts.CacheKey())
+	// The alias cache singleflights the planning pass: concurrent cold
+	// requests for one target plan once. Only the building caller's cp
+	// is set; waiters (and later callers whose prepared entry was
+	// evicted) re-plan inside the prepared build closure below.
+	var cp *query.CanonicalPlan
+	key, _, err := rt.planKeys.Get(aliasKey, func() (string, error) {
+		p, err := canonicalFor(e, relName, queryName, opts)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
-		seed := PrepSeedFor(key)
-		if prepSeed != nil {
-			seed = *prepSeed
+		cp = p
+		return PlanKey(e.ID, p.Key, opts.CacheKey()), nil
+	})
+	if err != nil {
+		return nil, "", false, err
+	}
+	ps, hit, err := rt.cache.Get(key, func() (*Prepared, error) {
+		if cp == nil {
+			// Alias hit but the prepared entry was (re)built: re-plan.
+			p, err := canonicalFor(e, relName, queryName, opts)
+			if err != nil {
+				return nil, err
+			}
+			cp = p
 		}
-		return Prepare(rel, seed, opts)
+		return buildFromPlan(cp, key, prepSeed, opts)
 	})
 	return ps, key, hit, err
+}
+
+// PlanKey is the prepared cache key of a canonical plan under a
+// database and options fingerprint.
+func PlanKey(dbID, canonKey, optsKey string) string {
+	return SamplerKey(dbID, "plan", canonKey, optsKey)
+}
+
+// PreparedPlan returns the cached prepared sampler for a pre-compiled
+// canonical plan — the execution path of cdb.Expr and /v1/expr. The key
+// is the plan's canonical hash, so structurally equal expressions (and
+// name-addressed targets with the same geometry) share the entry.
+// Provably empty plans cache as Negative(ErrEmptyExpr); plans needing
+// the projection generator cache as Negative(ErrNeedsProjection) —
+// both O(1) on replay.
+func (rt *Runtime) PreparedPlan(e *DatabaseEntry, cp *query.CanonicalPlan, opts core.Options) (*Prepared, string, bool, error) {
+	return rt.preparedPlan(e, cp, opts, nil)
+}
+
+// PreparedPlanWithSeed is PreparedPlan with an explicit preparation
+// seed; see PreparedForWithSeed for the consistency contract.
+func (rt *Runtime) PreparedPlanWithSeed(e *DatabaseEntry, cp *query.CanonicalPlan, opts core.Options, prepSeed uint64) (*Prepared, string, bool, error) {
+	return rt.preparedPlan(e, cp, opts, &prepSeed)
+}
+
+func (rt *Runtime) preparedPlan(e *DatabaseEntry, cp *query.CanonicalPlan, opts core.Options, prepSeed *uint64) (*Prepared, string, bool, error) {
+	key := PlanKey(e.ID, cp.Key, opts.CacheKey())
+	ps, hit, err := rt.cache.Get(key, func() (*Prepared, error) {
+		return buildFromPlan(cp, key, prepSeed, opts)
+	})
+	return ps, key, hit, err
+}
+
+// buildFromPlan is the shared cold-build closure body: empty and
+// projection-needing plans become cached verdicts, everything else
+// materialises as a derived relation and pays the preparation pass.
+// The cached verdicts carry no target name — the entry is shared by
+// every structurally equal target, whatever it was called.
+func buildFromPlan(cp *query.CanonicalPlan, key string, prepSeed *uint64, opts core.Options) (*Prepared, error) {
+	if cp.Empty() {
+		return nil, Negative(ErrEmptyExpr)
+	}
+	if cp.NeedsProjection() {
+		return nil, Negative(ErrNeedsProjection)
+	}
+	rel, err := cp.Relation("derived")
+	if err != nil {
+		return nil, err
+	}
+	seed := PrepSeedFor(key)
+	if prepSeed != nil {
+		seed = *prepSeed
+	}
+	return Prepare(rel, seed, opts)
 }

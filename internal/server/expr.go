@@ -1,0 +1,335 @@
+package server
+
+// POST /v1/expr: the relational-algebra endpoint. Clients send a small
+// JSON expression tree (rel / where / intersect / union / minus /
+// project / timeslice) instead of a named query; the server compiles it
+// to the same canonical plan cdb.Expr produces, so structurally equal
+// expressions — whichever surface built them, in whatever operand order
+// — share one prepared-sampler cache entry. Provably empty expressions
+// replay as O(1) cached verdicts (volume 0).
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	cdb "repro"
+	"repro/internal/constraint"
+	"repro/internal/query"
+	"repro/internal/runtime"
+)
+
+// maxExprNodes bounds the operator count of one expression tree.
+const maxExprNodes = 256
+
+// exprNodeJSON is the wire form of one algebra operator.
+type exprNodeJSON struct {
+	// Op is one of "rel", "where", "intersect", "union", "minus",
+	// "project", "timeslice".
+	Op string `json:"op"`
+	// Name is the relation or query name of a "rel" leaf.
+	Name string `json:"name,omitempty"`
+	// Args are the operand subtrees: one for where/project/timeslice,
+	// two for intersect/union/minus.
+	Args []*exprNodeJSON `json:"args,omitempty"`
+	// Atoms are "where" selections over the child's columns, in order.
+	Atoms []exprAtomJSON `json:"atoms,omitempty"`
+	// Vars are the "project" columns to keep, in order.
+	Vars []string `json:"vars,omitempty"`
+	// T is the "timeslice" probe time.
+	T float64 `json:"t,omitempty"`
+}
+
+// exprAtomJSON is the wire form of a linear constraint coef·x <= b
+// (< b when strict).
+type exprAtomJSON struct {
+	Coef   []float64 `json:"coef"`
+	B      float64   `json:"b"`
+	Strict bool      `json:"strict,omitempty"`
+}
+
+// toNode lowers the wire tree onto the algebra IR, charging each
+// operator against the node budget.
+func (n *exprNodeJSON) toNode(budget *int) (*query.Node, error) {
+	if n == nil {
+		return nil, errors.New("missing expr node")
+	}
+	*budget--
+	if *budget < 0 {
+		return nil, fmt.Errorf("expression exceeds %d operators", maxExprNodes)
+	}
+	one := func() (*query.Node, error) {
+		if len(n.Args) != 1 {
+			return nil, fmt.Errorf("op %q wants 1 operand, got %d", n.Op, len(n.Args))
+		}
+		return n.Args[0].toNode(budget)
+	}
+	two := func() (l, r *query.Node, err error) {
+		if len(n.Args) != 2 {
+			return nil, nil, fmt.Errorf("op %q wants 2 operands, got %d", n.Op, len(n.Args))
+		}
+		if l, err = n.Args[0].toNode(budget); err != nil {
+			return nil, nil, err
+		}
+		r, err = n.Args[1].toNode(budget)
+		return l, r, err
+	}
+	switch n.Op {
+	case "rel":
+		if n.Name == "" {
+			return nil, errors.New(`op "rel" wants a name`)
+		}
+		return query.NewRel(n.Name), nil
+	case "where":
+		child, err := one()
+		if err != nil {
+			return nil, err
+		}
+		atoms := make([]constraint.Atom, len(n.Atoms))
+		for i, a := range n.Atoms {
+			if len(a.Coef) == 0 {
+				return nil, fmt.Errorf("where atom %d has no coefficients", i)
+			}
+			atoms[i] = constraint.NewAtom(a.Coef, a.B, a.Strict)
+		}
+		return child.Where(atoms...), nil
+	case "intersect", "union", "minus":
+		l, r, err := two()
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "intersect":
+			return l.Intersect(r), nil
+		case "union":
+			return l.Union(r), nil
+		default:
+			return l.Minus(r), nil
+		}
+	case "project":
+		child, err := one()
+		if err != nil {
+			return nil, err
+		}
+		if len(n.Vars) == 0 {
+			return nil, errors.New(`op "project" wants vars`)
+		}
+		return child.Project(n.Vars...), nil
+	case "timeslice":
+		child, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return child.TimeSlice(n.T), nil
+	default:
+		return nil, fmt.Errorf("unknown op %q (want rel, where, intersect, union, minus, project or timeslice)", n.Op)
+	}
+}
+
+// --- POST /v1/expr --------------------------------------------------------
+
+type exprRequest struct {
+	Database string        `json:"database"`
+	Expr     *exprNodeJSON `json:"expr"`
+	// Mode selects the evaluation: "volume" (default), "sample" or
+	// "explain".
+	Mode    string       `json:"mode,omitempty"`
+	N       int          `json:"n,omitempty"`       // samples for mode=sample (default 1)
+	Workers int          `json:"workers,omitempty"` // default Config.DefaultWorkers
+	Seed    uint64       `json:"seed"`
+	Options *OptionsJSON `json:"options,omitempty"`
+}
+
+type exprDisjunctJSON struct {
+	Kind         string `json:"kind"` // "convex" or "projection"
+	Dim          int    `json:"dim"`
+	Constraints  int    `json:"constraints"`
+	ExVars       int    `json:"ex_vars,omitempty"`
+	CanonicalKey string `json:"canonical_key"`
+	Cache        string `json:"cache"`
+}
+
+type exprResponse struct {
+	Database     string             `json:"database"`
+	Mode         string             `json:"mode"`
+	Columns      []string           `json:"columns"`
+	CanonicalKey string             `json:"canonical_key"`
+	Cache        string             `json:"cache"` // hit | miss | negative
+	Empty        bool               `json:"empty,omitempty"`
+	Volume       *float64           `json:"volume,omitempty"`
+	Points       []cdb.Vector       `json:"points,omitempty"`
+	Plan         string             `json:"plan,omitempty"`
+	Disjuncts    []exprDisjunctJSON `json:"disjuncts,omitempty"`
+	Coalesced    bool               `json:"coalesced,omitempty"`
+	ElapsedMS    float64            `json:"elapsed_ms"`
+}
+
+func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
+	var req exprRequest
+	if !decodeBody(w, r, 1<<18, &req) {
+		s.metrics.IncError("expr")
+		return
+	}
+	entry, ok := s.rt.Registry().Get(req.Database)
+	if !ok {
+		s.writeError(w, "expr", http.StatusNotFound, fmt.Errorf("database %q not registered", req.Database))
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		s.writeError(w, "expr", http.StatusBadRequest, err)
+		return
+	}
+	budget := maxExprNodes
+	node, err := req.Expr.toNode(&budget)
+	if err != nil {
+		s.writeError(w, "expr", http.StatusBadRequest, err)
+		return
+	}
+	plan, err := node.Compile(entry.DB)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, query.ErrUnknownTarget) {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, "expr", status, err)
+		return
+	}
+	cp := query.Canonicalize(plan)
+	mode := req.Mode
+	if mode == "" {
+		mode = "volume"
+	}
+	start := time.Now()
+	resp := exprResponse{
+		Database:     entry.ID,
+		Mode:         mode,
+		Columns:      cp.Plan.OutVars,
+		CanonicalKey: cp.Key,
+		Empty:        cp.Empty(),
+	}
+
+	if mode == "explain" {
+		key := runtime.PlanKey(entry.ID, cp.Key, opts.CacheKey())
+		resp.Cache = peekLabel(s.rt, key)
+		resp.Plan = cp.Plan.Describe()
+		dkeys := cp.DisjunctKeys()
+		for i, d := range cp.Plan.Disjuncts {
+			kind := "convex"
+			if d.ExVars > 0 {
+				kind = "projection"
+			}
+			resp.Disjuncts = append(resp.Disjuncts, exprDisjunctJSON{
+				Kind:         kind,
+				Dim:          d.Poly.Dim(),
+				Constraints:  d.Poly.Rows(),
+				ExVars:       d.ExVars,
+				CanonicalKey: dkeys[i],
+				Cache:        peekLabel(s.rt, runtime.PlanKey(entry.ID, dkeys[i], opts.CacheKey())),
+			})
+		}
+		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	ps, key, hit, err := s.rt.PreparedPlan(entry, cp, opts)
+	resp.Cache = cacheLabel(hit)
+	if hit && runtime.IsNegative(err) {
+		// A replayed cached verdict (empty or projection-needing plan):
+		// distinguish it from warm prepared geometry.
+		resp.Cache = "negative"
+	}
+	switch mode {
+	case "volume":
+		switch {
+		case errors.Is(err, runtime.ErrEmptyExpr):
+			// The empty set has volume 0; replays serve the cached verdict.
+			zero := 0.0
+			resp.Volume = &zero
+		case errors.Is(err, runtime.ErrNeedsProjection):
+			eng := cdb.NewEngine(entry.DB.Schema, ctxOptions(r.Context(), opts), req.Seed)
+			v, verr := eng.EstimateVolumeFromPlan(cp.Plan)
+			if verr != nil {
+				s.writeError(w, "expr", http.StatusInternalServerError, verr)
+				return
+			}
+			resp.Volume = &v
+		case err != nil:
+			s.writeError(w, "expr", http.StatusUnprocessableEntity, err)
+			return
+		default:
+			v, verr := ps.VolumeCtx(r.Context(), runtime.PrepSeedFor(key+"\x1fvolume"))
+			if verr != nil {
+				s.writeError(w, "expr", http.StatusInternalServerError, verr)
+				return
+			}
+			resp.Volume = &v
+		}
+	case "sample":
+		n := req.N
+		if n <= 0 {
+			n = 1
+		}
+		if n > s.cfg.MaxSamples {
+			s.writeError(w, "expr", http.StatusBadRequest,
+				fmt.Errorf("n=%d exceeds the per-request cap %d", n, s.cfg.MaxSamples))
+			return
+		}
+		switch {
+		case errors.Is(err, runtime.ErrNeedsProjection):
+			eng := cdb.NewEngine(entry.DB.Schema, ctxOptions(r.Context(), opts), req.Seed)
+			obs, oerr := eng.ObservableFromPlan(cp.Plan)
+			if oerr != nil {
+				s.writeError(w, "expr", http.StatusInternalServerError, oerr)
+				return
+			}
+			pts := make([]cdb.Vector, 0, n)
+			for i := 0; i < n; i++ {
+				x, serr := obs.Sample()
+				if serr != nil {
+					s.writeError(w, "expr", http.StatusInternalServerError, serr)
+					return
+				}
+				pts = append(pts, x)
+			}
+			resp.Points = pts
+		case err != nil:
+			s.writeError(w, "expr", http.StatusUnprocessableEntity, err)
+			return
+		default:
+			workers := req.Workers
+			if workers <= 0 {
+				workers = s.cfg.DefaultWorkers
+			}
+			pts, coalesced, serr := s.rt.Executor().SampleManyCtx(r.Context(), key, ps, n, workers, req.Seed)
+			if serr != nil {
+				s.writeError(w, "expr", http.StatusInternalServerError, serr)
+				return
+			}
+			resp.Points, resp.Coalesced = pts, coalesced
+		}
+		s.metrics.SamplesServed.Add(int64(len(resp.Points)))
+	default:
+		s.writeError(w, "expr", http.StatusBadRequest,
+			fmt.Errorf("unknown mode %q (want volume, sample or explain)", mode))
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// peekLabel reports cache residency without touching LRU order or
+// metrics.
+func peekLabel(rt *runtime.Runtime, key string) string {
+	cached, negative := rt.Cache().Peek(key)
+	switch {
+	case !cached:
+		return "miss"
+	case negative:
+		return "negative"
+	default:
+		return "hit"
+	}
+}

@@ -89,7 +89,7 @@ func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, 
 		return
 	case errors.Is(err, errTargetNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, errEmptySlice),
+	case errors.Is(err, errEmptySlice), errors.Is(err, runtime.ErrEmptyExpr),
 		errors.Is(err, cdb.ErrNotWellBounded), errors.Is(err, cdb.ErrNotPolyRelated), errors.Is(err, cdb.ErrUnsupportedQuery):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, cdb.ErrGeneratorFailed):
@@ -436,6 +436,14 @@ func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
 		resp.Volume, resp.Method = v, "median"
 	} else {
 		ps, _, hit, err := s.preparedFor(entry, req.Relation, req.Query, opts)
+		if errors.Is(err, runtime.ErrEmptyExpr) {
+			// The empty set has volume 0 — same contract as the library
+			// and /v1/expr; replays serve the cached verdict.
+			resp.Volume, resp.Method, resp.Cache = 0, "prepared", cacheLabel(hit)
+			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		if err != nil {
 			s.writeError(w, "volume", http.StatusBadRequest, err)
 			return

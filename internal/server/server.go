@@ -110,6 +110,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sample", s.instrument("sample", s.handleSample))
 	mux.HandleFunc("POST /v1/volume", s.instrument("volume", s.handleVolume))
 	mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("POST /v1/expr", s.instrument("expr", s.handleExpr))
 	mux.HandleFunc("POST /v1/reconstruct", s.instrument("reconstruct", s.handleReconstruct))
 	mux.HandleFunc("POST /v1/spacetime/slice", s.instrument("spacetime_slice", s.handleSpacetimeSlice))
 	mux.HandleFunc("POST /v1/spacetime/sample", s.instrument("spacetime_sample", s.handleSpacetimeSample))

@@ -1,0 +1,135 @@
+package cdb
+
+// Plan inspection for the algebra surface: Expr.Explain reports the
+// normalized (canonical) sampling plan, its stable cache key and the
+// cache residency of the whole expression and of each disjunct —
+// without preparing any geometry. cmd/cdbquery -explain prints it.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/runtime"
+)
+
+// QueryPlan is a sampling execution plan: a disjunction of convex-or-
+// projected disjuncts over the output coordinates, as produced by
+// Engine.NewPlan and by Expr compilation.
+type QueryPlan = query.Plan
+
+// DisjunctExplain describes one disjunct of a canonical plan.
+type DisjunctExplain struct {
+	// Kind is "convex" (a DFK generator) or "projection" (Algorithm 2).
+	Kind string
+	// Dim is the disjunct's ambient dimension (outputs + existential
+	// coordinates); Constraints its row count; ExVars the number of
+	// trailing existential coordinates.
+	Dim, Constraints, ExVars int
+	// CanonicalKey is the fingerprint the disjunct would have as a
+	// standalone single-disjunct expression.
+	CanonicalKey string
+	// Cache is the residency of that standalone entry in the handle's
+	// prepared cache: "hit", "negative" or "miss". A disjunct sampled
+	// on its own earlier (or shared with another expression) shows
+	// "hit".
+	Cache string
+}
+
+// ExplainReport is the result of Expr.Explain: the rewritten
+// (canonical) plan plus cache-key and cache-residency information.
+type ExplainReport struct {
+	// Columns are the output column names.
+	Columns []string
+	// CanonicalKey fingerprints the normalized plan: equal for
+	// structurally equal expressions regardless of construction order.
+	CanonicalKey string
+	// CacheKey is the full prepared-cache key (database, canonical
+	// plan, options fingerprint).
+	CacheKey string
+	// Cache is the expression's residency in the prepared cache:
+	// "hit", "negative" or "miss". Explain never populates the cache.
+	Cache string
+	// Empty reports a provably empty expression (every disjunct LP-
+	// infeasible); NeedsProjection reports a plan requiring Algorithm 2.
+	Empty, NeedsProjection bool
+	// Plan is the human-readable normalized plan (Plan.Describe).
+	Plan string
+	// Disjuncts describes each disjunct of the canonical plan.
+	Disjuncts []DisjunctExplain
+}
+
+// String renders the report for terminals.
+func (r *ExplainReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "columns: (%s)\n", strings.Join(r.Columns, ", "))
+	fmt.Fprintf(&sb, "canonical key: %s\n", r.CanonicalKey)
+	fmt.Fprintf(&sb, "cache: %s\n", r.Cache)
+	if r.Empty {
+		sb.WriteString("provably empty: every disjunct is LP-infeasible (volume 0)\n")
+		return sb.String()
+	}
+	sb.WriteString(r.Plan)
+	for i, d := range r.Disjuncts {
+		fmt.Fprintf(&sb, "  disjunct %d: cache %s (%s)\n", i, d.Cache, d.CanonicalKey)
+	}
+	return sb.String()
+}
+
+// cacheStateLabel renders a Peek result.
+func cacheStateLabel(cached, negative bool) string {
+	switch {
+	case !cached:
+		return "miss"
+	case negative:
+		return "negative"
+	default:
+		return "hit"
+	}
+}
+
+// Explain compiles the expression and reports its canonical plan, key
+// and cache residency without preparing any geometry: a cold Explain
+// leaves the cache untouched, so "miss" means a terminal verb would pay
+// the preparation pass.
+func (e *Expr) Explain(ctx context.Context) (*ExplainReport, error) {
+	if err := e.db.check(ctx); err != nil {
+		return nil, err
+	}
+	cp, err := e.compile()
+	if err != nil {
+		return nil, err
+	}
+	opts := e.effectiveOptions()
+	optsKey := opts.CacheKey()
+	key := runtime.PlanKey(e.db.entry.ID, cp.Key, optsKey)
+	cached, negative := e.db.rt.Cache().Peek(key)
+	rep := &ExplainReport{
+		Columns:         append([]string(nil), cp.Plan.OutVars...),
+		CanonicalKey:    cp.Key,
+		CacheKey:        key,
+		Cache:           cacheStateLabel(cached, negative),
+		Empty:           cp.Empty(),
+		NeedsProjection: cp.NeedsProjection(),
+		Plan:            cp.Plan.Describe(),
+	}
+	dkeys := cp.DisjunctKeys()
+	for i, d := range cp.Plan.Disjuncts {
+		kind := "convex"
+		if d.ExVars > 0 {
+			kind = "projection"
+		}
+		dkey := runtime.PlanKey(e.db.entry.ID, dkeys[i], optsKey)
+		dcached, dnegative := e.db.rt.Cache().Peek(dkey)
+		rep.Disjuncts = append(rep.Disjuncts, DisjunctExplain{
+			Kind:         kind,
+			Dim:          d.Poly.Dim(),
+			Constraints:  d.Poly.Rows(),
+			ExVars:       d.ExVars,
+			CanonicalKey: dkeys[i],
+			Cache:        cacheStateLabel(dcached, dnegative),
+		})
+	}
+	return rep, nil
+}

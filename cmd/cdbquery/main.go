@@ -90,11 +90,18 @@ func main() {
 		}
 		fmt.Print(plan.Describe())
 	case "symbolic":
-		rel, err := e.EvalSymbolic(q)
+		// Evaluate through the expression surface: the eliminated DNF is
+		// cached in the handle's prepared-symbolic LRU (keyed by the
+		// canonical plan hash), and — unlike the sampling modes — the
+		// full first-order algebra (minus of a projection, division /
+		// forall) is accepted.
+		rel, err := db.Rel(*qName).EvalSymbolic(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rel.Name = *qName
 		fmt.Println(rel.String())
+		fmt.Println(rel.Source())
 		fmt.Printf("-- %d tuple(s), description size %d\n", len(rel.Tuples), rel.Size())
 	case "volume":
 		v, err := e.EstimateVolume(q)

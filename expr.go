@@ -55,6 +55,10 @@ type Expr struct {
 	compileOnce sync.Once
 	cp          *query.CanonicalPlan
 	cerr        error
+
+	symOnce sync.Once
+	sq      *query.SymbolicQuery
+	serr    error
 }
 
 // Rel returns the algebra leaf for a declared relation or a named query
@@ -126,6 +130,20 @@ func (e *Expr) Project(vars ...string) *Expr {
 	return e.derive(e.node.Project(vars...), nil)
 }
 
+// Div returns the relational division e ÷ o: the prefixes x over e's
+// leading columns such that (x, y) ∈ e for EVERY y ∈ o — the
+// universally quantified formula ∀y (o(y) → e(x, y)), with o's columns
+// identified positionally with e's trailing columns. Division is
+// outside the existential sampling fragment (Theorem 4.4), so the
+// sampling terminals reject it; evaluate with EvalSymbolic or
+// VolumeSymbolic.
+func (e *Expr) Div(o *Expr) *Expr {
+	if err := e.checkOperand(o); err != nil {
+		return e.derive(e.node, err)
+	}
+	return e.derive(e.node.Div(o.node), nil)
+}
+
 // TimeSliceAt returns the t = t0 snapshot of a space-time expression:
 // the time column (the column named "t", or the last one) is
 // substituted by t0 and dropped from the output.
@@ -182,13 +200,38 @@ func (e *Expr) compile() (*query.CanonicalPlan, error) {
 	return e.cp, e.cerr
 }
 
-// Columns returns the expression's output column names.
+// compileSymbolic lowers the expression for symbolic evaluation, once
+// per Expr. Unlike compile it accepts the full first-order algebra
+// (Minus of a projection, Div). In-fragment expressions reuse the
+// memoized canonical plan instead of planning twice.
+func (e *Expr) compileSymbolic() (*query.SymbolicQuery, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.symOnce.Do(func() {
+		cp, err := e.compile()
+		switch {
+		case err == nil:
+			e.sq = query.SymbolicFromPlan(cp)
+		case errors.Is(err, ErrUnsupportedQuery):
+			// Full first-order: no sampling plan exists; compile the
+			// formula form.
+			e.sq, e.serr = e.node.CompileSymbolic(e.db.entry.DB)
+		default:
+			e.serr = err
+		}
+	})
+	return e.sq, e.serr
+}
+
+// Columns returns the expression's output column names, from the
+// memoized compile (symbolic, so full-FO expressions resolve too).
 func (e *Expr) Columns() ([]string, error) {
-	cp, err := e.compile()
+	sq, err := e.compileSymbolic()
 	if err != nil {
 		return nil, err
 	}
-	return append([]string(nil), cp.Plan.OutVars...), nil
+	return append([]string(nil), sq.OutVars...), nil
 }
 
 // CanonicalKey returns the canonical fingerprint of the expression's
@@ -333,6 +376,73 @@ func (e *Expr) Volume(ctx context.Context) (float64, error) {
 		return 0, err
 	}
 	return ps.VolumeCtx(ctx, runtime.PrepSeedFor(key+"\x1fvolume"))
+}
+
+// EvalSymbolic evaluates the expression symbolically — the paper's
+// §4.3 classical baseline — and returns the quantifier-free DNF
+// relation it denotes, as a derived *Relation whose Source() is
+// parseable. Unlike the sampling terminals it accepts the FULL
+// first-order algebra: Minus of a projection (¬∃, expanded per-disjunct
+// complements) and Div (∀, compiled as ¬∃¬), eliminated by
+// Fourier–Motzkin with LP redundancy pruning after each step.
+//
+// The eliminated relation is cached in the handle's runtime keyed by
+// the canonical plan hash (the same key the prepared-sampler cache
+// uses, so structurally equal expressions share the entry); provably
+// empty results cache as O(1) negative verdicts and return a relation
+// with no tuples. The cost of a cold call is the classical
+// doubly-exponential blow-up (experiment E9) — prefer the sampling
+// terminals when an estimate suffices.
+func (e *Expr) EvalSymbolic(ctx context.Context) (*Relation, error) {
+	if err := e.db.check(ctx); err != nil {
+		return nil, err
+	}
+	sq, err := e.compileSymbolic()
+	if err != nil {
+		return nil, err
+	}
+	se, _, _, err := e.db.rt.Symbolic(ctx, e.db.entry, sq)
+	if errors.Is(err, ErrEmptyExpr) {
+		return &Relation{Name: "derived", Vars: append([]string(nil), sq.OutVars...)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The cached relation is shared across callers; hand out fresh
+	// slice headers so renaming columns (or appending tuples) cannot
+	// corrupt the cache entry. The tuples themselves stay shared and
+	// are immutable by convention.
+	return &Relation{
+		Name:   se.Rel.Name,
+		Vars:   append([]string(nil), se.Rel.Vars...),
+		Tuples: append([]Tuple(nil), se.Rel.Tuples...),
+	}, nil
+}
+
+// VolumeSymbolic returns the EXACT volume of the expression via its
+// eliminated DNF: signed inclusion–exclusion over the tuples, each
+// intersection measured by Lasserre's recursive formula. Exponential in
+// tuple count and dimension (the Lemma 3.1 regime — exact evaluation is
+// polynomial only for fixed dimension); relations beyond 20 tuples are
+// rejected. Provably empty expressions return 0. Both the eliminated
+// relation and the volume live in the symbolic cache entry, so replays
+// pay neither elimination nor the inclusion–exclusion pass.
+func (e *Expr) VolumeSymbolic(ctx context.Context) (float64, error) {
+	if err := e.db.check(ctx); err != nil {
+		return 0, err
+	}
+	sq, err := e.compileSymbolic()
+	if err != nil {
+		return 0, err
+	}
+	se, _, _, err := e.db.rt.Symbolic(ctx, e.db.entry, sq)
+	if errors.Is(err, ErrEmptyExpr) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return se.ExactVolume(ctx)
 }
 
 // Reconstruct runs Algorithm 5 on the expression: per-disjunct hulls of

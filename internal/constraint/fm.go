@@ -1,6 +1,9 @@
 package constraint
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/linalg"
 	"repro/internal/lp"
 	"repro/internal/num"
@@ -25,14 +28,29 @@ type EliminateOptions struct {
 // so the result denotes the cylinder over the projection. Used by the
 // formula compiler, which trims unconstrained columns at the end.
 func EliminateInFrame(r *Relation, j int) *Relation {
+	out, _ := EliminateInFrameCtx(r, j, nil)
+	return out
+}
+
+// EliminateInFrameCtx is EliminateInFrame with an optional interrupt
+// polled between tuples: quantifier elimination is the one pass whose
+// cost is doubly exponential (experiment E9), so a cancelled request
+// must be able to abandon it mid-relation. A non-nil interrupt return
+// aborts with that error.
+func EliminateInFrameCtx(r *Relation, j int, interrupt func() error) (*Relation, error) {
 	out := &Relation{Vars: r.Vars}
 	for _, t := range r.Tuples {
+		if interrupt != nil {
+			if err := interrupt(); err != nil {
+				return nil, err
+			}
+		}
 		nt, ok := eliminateTuple(t, j, EliminateOptions{})
 		if ok {
 			out.Tuples = append(out.Tuples, nt)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Eliminate removes the variable in column j from every tuple of r and
@@ -69,17 +87,28 @@ func Eliminate(r *Relation, j int, opts EliminateOptions) *Relation {
 
 // EliminateAll projects out the columns js (indices into r's columns),
 // returning the relation over the remaining columns in their original
-// order.
+// order. Duplicate indices are folded (∃x ∃x ≡ ∃x); an out-of-range
+// index panics with a clear message — after the first elimination a
+// stale index would silently address a different column, so it is
+// always a programming error (same contract as NewTuple).
 func EliminateAll(r *Relation, js []int, opts EliminateOptions) *Relation {
-	// Eliminate from the highest index down so earlier indices stay valid.
-	sorted := append([]int{}, js...)
-	for i := 0; i < len(sorted); i++ {
-		for k := i + 1; k < len(sorted); k++ {
-			if sorted[k] > sorted[i] {
-				sorted[i], sorted[k] = sorted[k], sorted[i]
-			}
+	// Dedupe first: eliminating a column shifts every higher index, so a
+	// repeated index in the descending sweep would re-eliminate whatever
+	// column slid into its place.
+	seen := make(map[int]bool, len(js))
+	sorted := make([]int, 0, len(js))
+	for _, j := range js {
+		if j < 0 || j >= r.Arity() {
+			panic(fmt.Sprintf("constraint: EliminateAll index %d out of range for arity %d", j, r.Arity()))
 		}
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		sorted = append(sorted, j)
 	}
+	// Eliminate from the highest index down so earlier indices stay valid.
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
 	out := r
 	for _, j := range sorted {
 		out = Eliminate(out, j, opts)
@@ -159,7 +188,12 @@ func dedupAtoms(atoms []Atom) []Atom {
 
 // RemoveRedundant drops atoms implied by the rest of the tuple, using one
 // LP per atom: a·x <= b is redundant when max a·x over the remaining
-// atoms is at most b.
+// atoms is at most b. The LP sees only closures, so strictness needs
+// separate care: a strict atom active at the survivors' boundary (its
+// bound is attained) is NOT implied by a coinciding non-strict atom —
+// dropping it would close an open face and change Source() round-trips.
+// Such an atom either transfers its strictness to a survivor on the
+// same hyperplane or is kept.
 func RemoveRedundant(t Tuple) Tuple {
 	atoms := append([]Atom{}, t.Atoms...)
 	for i := 0; i < len(atoms); i++ {
@@ -176,10 +210,32 @@ func RemoveRedundant(t Tuple) Tuple {
 			break
 		}
 		v, ok := lp.Extent(others, rhs, atoms[i].Coef)
-		if ok && v <= atoms[i].B+num.Eps {
-			atoms = append(atoms[:i], atoms[i+1:]...)
-			i--
+		if !ok || v > atoms[i].B+num.Eps {
+			continue
 		}
+		if atoms[i].Strict && v >= atoms[i].B-num.Eps {
+			// The strict bound is attained by the survivors' closure: the
+			// open face matters. Move the strictness onto a survivor on
+			// the same hyperplane, or keep the atom.
+			ni := atoms[i].Normalize()
+			transferred := false
+			for k := range atoms {
+				if k == i {
+					continue
+				}
+				na := atoms[k].Normalize()
+				if num.Eq(na.B, ni.B) && na.Coef.Equal(ni.Coef, num.Eps) {
+					atoms[k].Strict = true
+					transferred = true
+					break
+				}
+			}
+			if !transferred {
+				continue
+			}
+		}
+		atoms = append(atoms[:i], atoms[i+1:]...)
+		i--
 	}
 	return NewTuple(t.Dim(), atoms...)
 }

@@ -237,3 +237,129 @@ func TestEliminationGrowthWithoutPruning(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoveRedundantKeepsStrictness: a strict atom whose bound is
+// attained by the non-strict survivors must not be silently deleted —
+// that would close an open boundary. The strictness either survives on
+// the atom itself or transfers to a coinciding survivor. (Regression:
+// the pre-fix LP pass saw only closures and dropped whichever of
+// {x < 1, x <= 1} came first.)
+func TestRemoveRedundantKeepsStrictness(t *testing.T) {
+	// Strict atom first, so the pre-fix scan deletes it.
+	tup := NewTuple(1,
+		NewAtom(linalg.Vector{1}, 1, true),   // x < 1
+		NewAtom(linalg.Vector{1}, 1, false),  // x <= 1 (redundant, non-strict)
+		NewAtom(linalg.Vector{-1}, 0, false), // x >= 0
+	)
+	out := RemoveRedundant(tup)
+	if len(out.Atoms) >= len(tup.Atoms) {
+		t.Fatalf("nothing pruned: %d atoms", len(out.Atoms))
+	}
+	if out.Contains(linalg.Vector{1}) {
+		t.Errorf("boundary point x=1 contained after pruning: open face closed (atoms %v)", out.Atoms)
+	}
+	if !out.Contains(linalg.Vector{0.5}) || !out.Contains(linalg.Vector{0}) {
+		t.Error("interior/closed-boundary points must stay contained")
+	}
+}
+
+// TestRemoveRedundantStrictInterior: a strict atom that is strictly
+// interior to the survivors (bound not attained) is genuinely redundant
+// and must still be dropped.
+func TestRemoveRedundantStrictInterior(t *testing.T) {
+	tup := NewTuple(1,
+		NewAtom(linalg.Vector{1}, 5, true),   // x < 5, implied by x <= 1
+		NewAtom(linalg.Vector{1}, 1, false),  // x <= 1
+		NewAtom(linalg.Vector{-1}, 0, false), // x >= 0
+	)
+	out := RemoveRedundant(tup)
+	if len(out.Atoms) != 2 {
+		t.Fatalf("want the strictly interior strict atom dropped, got %v", out.Atoms)
+	}
+}
+
+// TestPropertyRemoveRedundantPreservesMembership: for random boxes whose
+// facets are duplicated with random strictness, pruning never changes
+// membership — including for points ON each facet, where strict vs
+// non-strict differ.
+func TestPropertyRemoveRedundantPreservesMembership(t *testing.T) {
+	r := rng.New(71)
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + int(r.Uint64()%3)
+		lo := make(linalg.Vector, d)
+		hi := make(linalg.Vector, d)
+		for j := 0; j < d; j++ {
+			lo[j] = r.Uniform(-2, 0)
+			hi[j] = r.Uniform(0.5, 2)
+		}
+		// Each facet atom appears twice with independently random
+		// strictness (plus the occasional slack duplicate bound).
+		base := Box(lo, hi).Atoms
+		var atoms []Atom
+		for _, a := range base {
+			atoms = append(atoms, Atom{Coef: a.Coef, B: a.B, Strict: r.Uint64()%2 == 0})
+			atoms = append(atoms, Atom{Coef: a.Coef, B: a.B, Strict: r.Uint64()%2 == 0})
+		}
+		tup := NewTuple(d, atoms...)
+		out := RemoveRedundant(tup)
+		// Probe the center and the midpoint of every facet.
+		probes := []linalg.Vector{mid(lo, hi)}
+		for j := 0; j < d; j++ {
+			pLo := mid(lo, hi)
+			pLo[j] = lo[j]
+			pHi := mid(lo, hi)
+			pHi[j] = hi[j]
+			probes = append(probes, pLo, pHi)
+		}
+		for _, x := range probes {
+			if tup.Contains(x) != out.Contains(x) {
+				t.Fatalf("trial %d: membership of %v changed: %v -> %v\nbefore %v\nafter  %v",
+					trial, x, tup.Contains(x), out.Contains(x), tup.Atoms, out.Atoms)
+			}
+		}
+	}
+}
+
+func mid(lo, hi linalg.Vector) linalg.Vector {
+	m := make(linalg.Vector, len(lo))
+	for j := range m {
+		m[j] = (lo[j] + hi[j]) / 2
+	}
+	return m
+}
+
+// TestEliminateAllDuplicateIndices: repeated indices fold (∃x ∃x ≡ ∃x)
+// instead of silently eliminating whatever column slid into the stale
+// index after the first round. (Regression: pre-fix, js = {1, 1} on a
+// 3-ary relation eliminated columns 1 AND 2.)
+func TestEliminateAllDuplicateIndices(t *testing.T) {
+	// Box [0,1] x [0,2] x [0,3].
+	r := MustRelation("B", []string{"x", "y", "z"},
+		Box(linalg.Vector{0, 0, 0}, linalg.Vector{1, 2, 3}))
+	dup := EliminateAll(r, []int{1, 1}, EliminateOptions{})
+	if dup.Arity() != 2 {
+		t.Fatalf("arity after duplicate eliminate = %d, want 2", dup.Arity())
+	}
+	once := EliminateAll(r, []int{1}, EliminateOptions{})
+	for _, x := range []linalg.Vector{{0.5, 2.5}, {0.5, 3.5}, {1.5, 1}} {
+		if dup.Contains(x) != once.Contains(x) {
+			t.Errorf("membership of %v diverges: dup=%v once=%v", x, dup.Contains(x), once.Contains(x))
+		}
+	}
+}
+
+// TestEliminateAllOutOfRangePanics: a stale index is a programming
+// error and must fail loudly, not address an arbitrary column.
+func TestEliminateAllOutOfRangePanics(t *testing.T) {
+	r := MustRelation("B", []string{"x", "y"}, Cube(2, 0, 1))
+	for _, js := range [][]int{{2}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EliminateAll(%v) did not panic", js)
+				}
+			}()
+			EliminateAll(r, js, EliminateOptions{})
+		}()
+	}
+}

@@ -223,6 +223,15 @@ type Schema map[string]*Relation
 // variables, which is precisely what the paper's sampling approach avoids
 // (Prop 4.3, experiment E9).
 func Compile(f Formula, schema Schema, outVars []string) (*Relation, error) {
+	return CompileInterruptible(f, schema, outVars, nil)
+}
+
+// CompileInterruptible is Compile with an optional interrupt hook,
+// polled at every formula node and between eliminated/complemented
+// tuples. Quantifier elimination has no useful cost bound, so serving
+// layers pass their request context's Err here; a non-nil return
+// aborts the compilation with that error.
+func CompileInterruptible(f Formula, schema Schema, outVars []string, interrupt func() error) (*Relation, error) {
 	for _, v := range FreeVars(f) {
 		if indexOf(outVars, v) < 0 {
 			return nil, fmt.Errorf("constraint: free variable %q not in output variables %v", v, outVars)
@@ -242,7 +251,7 @@ func Compile(f Formula, schema Schema, outVars []string) (*Relation, error) {
 	sort.Strings(bound)
 	frame = append(frame, bound...)
 
-	c := &compiler{schema: schema, frame: frame, index: map[string]int{}}
+	c := &compiler{schema: schema, frame: frame, index: map[string]int{}, interrupt: interrupt}
 	for i, v := range frame {
 		c.index[v] = i
 	}
@@ -348,9 +357,18 @@ func pushScope(vars []string, env map[string]string, ctr *int) (map[string]strin
 }
 
 type compiler struct {
-	schema Schema
-	frame  []string
-	index  map[string]int
+	schema    Schema
+	frame     []string
+	index     map[string]int
+	interrupt func() error
+}
+
+// check polls the interrupt hook.
+func (c *compiler) check() error {
+	if c.interrupt == nil {
+		return nil
+	}
+	return c.interrupt()
 }
 
 // embed lifts an atom over named variables into the full frame,
@@ -368,6 +386,9 @@ func (c *compiler) embed(vars []string, a Atom) (Atom, error) {
 }
 
 func (c *compiler) compile(f Formula) (*Relation, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
 	switch g := f.(type) {
 	case AtomF:
 		a, err := c.embed(g.Vars, g.Atom)
@@ -432,7 +453,7 @@ func (c *compiler) compile(f Formula) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Complement(r), nil
+		return complement(r, c.interrupt)
 	case Exists:
 		r, err := c.compile(g.F)
 		if err != nil {
@@ -443,7 +464,10 @@ func (c *compiler) compile(f Formula) (*Relation, error) {
 			if !ok {
 				return nil, fmt.Errorf("constraint: bound variable %q not in frame", v)
 			}
-			r = EliminateInFrame(r, j)
+			r, err = EliminateInFrameCtx(r, j, c.interrupt)
+			if err != nil {
+				return nil, err
+			}
 		}
 		return r, nil
 	case ForAll:
@@ -457,6 +481,13 @@ func (c *compiler) compile(f Formula) (*Relation, error) {
 // the same columns, by De Morgan and DNF distribution (exponential in the
 // worst case, as in classical quantifier elimination).
 func Complement(r *Relation) *Relation {
+	out, _ := complement(r, nil)
+	return out
+}
+
+// complement is Complement with an interrupt polled per distributed
+// tuple — the DNF expansion is the exponential half of ¬∃¬.
+func complement(r *Relation, interrupt func() error) (*Relation, error) {
 	d := r.Arity()
 	// ¬(T1 ∨ ... ∨ Tk) = ¬T1 ∧ ... ∧ ¬Tk; each ¬Ti is a disjunction of
 	// negated atoms. Distribute the conjunction of disjunctions into DNF.
@@ -464,6 +495,11 @@ func Complement(r *Relation) *Relation {
 	for _, t := range r.Tuples {
 		var next []Tuple
 		for _, partial := range acc {
+			if interrupt != nil {
+				if err := interrupt(); err != nil {
+					return nil, err
+				}
+			}
 			for _, a := range t.Atoms {
 				cand := partial.With(a.Negate())
 				if !cand.IsEmpty() {
@@ -476,5 +512,5 @@ func Complement(r *Relation) *Relation {
 			break
 		}
 	}
-	return &Relation{Vars: r.Vars, Tuples: acc}
+	return &Relation{Vars: r.Vars, Tuples: acc}, nil
 }

@@ -526,6 +526,15 @@ func (p *Polytope) Vertices() ([]linalg.Vector, error) {
 // Lemma 3.1 regime (exact evaluation is polynomial only for fixed
 // dimension). Tuples beyond maxTuples are rejected.
 func RelationVolume(r *constraint.Relation) (float64, error) {
+	return RelationVolumeInterruptible(r, nil)
+}
+
+// RelationVolumeInterruptible is RelationVolume with an optional
+// interrupt polled once per inclusion–exclusion term (up to 2^n − 1 of
+// them), so serving layers can abandon the exponential pass when the
+// request is cancelled. A non-nil interrupt return aborts with that
+// error.
+func RelationVolumeInterruptible(r *constraint.Relation, interrupt func() error) (float64, error) {
 	const maxTuples = 20
 	tuples := r.PruneEmpty().Tuples
 	n := len(tuples)
@@ -541,6 +550,11 @@ func RelationVolume(r *constraint.Relation) (float64, error) {
 	}
 	terms := make([]float64, 0, 1<<n)
 	for mask := 1; mask < 1<<n; mask++ {
+		if interrupt != nil {
+			if err := interrupt(); err != nil {
+				return 0, err
+			}
+		}
 		var inter *Polytope
 		bits := 0
 		for i := 0; i < n; i++ {

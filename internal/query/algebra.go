@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"repro/internal/constraint"
+	"repro/internal/linalg"
 )
 
 // ErrUnknownTarget marks an algebra leaf naming a relation or query the
@@ -30,6 +31,7 @@ const (
 	opMinus
 	opProject
 	opTimeSlice
+	opDiv
 )
 
 func (o nodeOp) String() string {
@@ -48,6 +50,8 @@ func (o nodeOp) String() string {
 		return "project"
 	case opTimeSlice:
 		return "timeslice"
+	case opDiv:
+		return "div"
 	}
 	return "?"
 }
@@ -95,6 +99,14 @@ func (n *Node) Project(vars ...string) *Node {
 // t0 and dropped from the output.
 func (n *Node) TimeSlice(t0 float64) *Node { return &Node{op: opTimeSlice, left: n, t: t0} }
 
+// Div returns the relational division n ÷ o: the prefixes x over n's
+// leading columns such that (x, y) ∈ n for EVERY y ∈ o. o's columns are
+// identified positionally with n's trailing columns, and the result is
+// compiled as the universally quantified formula ∀y (o(y) → n(x, y)).
+// Division is outside the existential sampling fragment — evaluate it
+// with the symbolic terminal (CompileSymbolic / Expr.EvalSymbolic).
+func (n *Node) Div(o *Node) *Node { return &Node{op: opDiv, left: n, right: o} }
+
 // String renders the expression tree for diagnostics.
 func (n *Node) String() string {
 	switch n.op {
@@ -112,6 +124,8 @@ func (n *Node) String() string {
 		return fmt.Sprintf("π%v(%s)", n.vars, n.left)
 	case opTimeSlice:
 		return fmt.Sprintf("slice[t=%g](%s)", n.t, n.left)
+	case opDiv:
+		return fmt.Sprintf("(%s ÷ %s)", n.left, n.right)
 	}
 	return "?"
 }
@@ -228,6 +242,33 @@ func (n *Node) compile(db *constraint.Database, fresh *int) (constraint.Formula,
 			f = constraint.Exists{Vars: drop, F: f}
 		}
 		return f, append([]string(nil), n.vars...), nil
+	case opDiv:
+		l, cols, err := n.left.compile(db, fresh)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rcols, err := n.right.compile(db, fresh)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rcols) == 0 || len(rcols) >= len(cols) {
+			return nil, nil, fmt.Errorf("query: Div divisor arity %d must be positive and below the dividend's %d", len(rcols), len(cols))
+		}
+		k := len(cols) - len(rcols)
+		yvars := append([]string(nil), cols[k:]...)
+		// Identify the divisor's columns with the dividend's trailing
+		// columns, then universally quantify them: ∀y (¬o(y) ∨ n(x, y)).
+		ren := map[string]string{}
+		for i, v := range rcols {
+			if v != yvars[i] {
+				ren[v] = yvars[i]
+			}
+		}
+		if len(ren) > 0 {
+			r = renameFree(r, ren, fresh)
+		}
+		body := constraint.Or{Fs: []constraint.Formula{constraint.Not{F: r}, l}}
+		return constraint.ForAll{Vars: yvars, F: body}, append([]string(nil), cols[:k]...), nil
 	case opTimeSlice:
 		f, cols, err := n.left.compile(db, fresh)
 		if err != nil {
@@ -295,29 +336,40 @@ func renameFree(f constraint.Formula, ren map[string]string, fresh *int) constra
 		}
 		return constraint.Or{Fs: fs}
 	case constraint.Exists:
-		inner := map[string]string{}
-		for k, v := range ren {
-			inner[k] = v
-		}
-		vars := make([]string, len(g.Vars))
-		for i, v := range g.Vars {
-			vars[i] = v
-			delete(inner, v) // binder shadows a free rename source
-			if targets[v] {
-				// Binder collides with a name being introduced: freshen it.
-				*fresh++
-				nv := fmt.Sprintf("%s!r%d", v, *fresh)
-				vars[i] = nv
-				inner[v] = nv
-			}
-		}
-		return constraint.Exists{Vars: vars, F: renameFree(g.F, inner, fresh)}
+		vars, body := renameUnderBinder(g.Vars, g.F, ren, targets, fresh)
+		return constraint.Exists{Vars: vars, F: body}
 	case constraint.ForAll:
-		// Outside the sampling fragment; pass through for the pipeline's
-		// own rejection, renaming conservatively like Exists.
-		return constraint.ForAll{Vars: g.Vars, F: renameFree(g.F, ren, fresh)}
+		// ForAll is reachable in accepted (symbolic) paths since Div —
+		// it needs the same shadowing and binder freshening as Exists,
+		// or a renamed free variable gets captured by the quantifier.
+		vars, body := renameUnderBinder(g.Vars, g.F, ren, targets, fresh)
+		return constraint.ForAll{Vars: vars, F: body}
 	}
 	return f
+}
+
+// renameUnderBinder applies a free-variable renaming below a quantifier
+// binding vars: binders shadow rename sources, and a binder colliding
+// with a rename target is freshened so the incoming name cannot be
+// captured.
+func renameUnderBinder(bound []string, f constraint.Formula, ren map[string]string, targets map[string]bool, fresh *int) ([]string, constraint.Formula) {
+	inner := map[string]string{}
+	for k, v := range ren {
+		inner[k] = v
+	}
+	vars := make([]string, len(bound))
+	for i, v := range bound {
+		vars[i] = v
+		delete(inner, v) // binder shadows a free rename source
+		if targets[v] {
+			// Binder collides with a name being introduced: freshen it.
+			*fresh++
+			nv := fmt.Sprintf("%s!r%d", v, *fresh)
+			vars[i] = nv
+			inner[v] = nv
+		}
+	}
+	return vars, renameFree(f, inner, fresh)
 }
 
 // substConst substitutes the constant value for every free occurrence of
@@ -345,7 +397,19 @@ func substConst(f constraint.Formula, name string, value float64) constraint.For
 			}
 		}
 		if math.IsNaN(b) || math.IsInf(b, 0) {
-			b = math.Inf(1) // degenerate substitution: keep it visibly trivial-true
+			// Degenerate substitution: the folded bound overflowed, so the
+			// atom is now a constant truth value. b = -Inf means NO point
+			// satisfies a·x <= -Inf — the conjunct is empty, not the whole
+			// space — and a NaN fold (slicing at t = NaN, or cancelling
+			// overflows) compares false in the denotation, so both map to
+			// trivially-false. Collapse to canonical constant atoms so no
+			// ±Inf/NaN bound leaks into the LP layer.
+			cb := 1.0 // +Inf: trivially true
+			if math.IsInf(b, -1) || math.IsNaN(b) {
+				cb = -1 // unsatisfiable: trivially false
+			}
+			return constraint.AtomF{Vars: g.Vars, Atom: constraint.Atom{
+				Coef: make(linalg.Vector, len(coef)), B: cb, Strict: g.Atom.Strict}}
 		}
 		return constraint.AtomF{Vars: g.Vars, Atom: constraint.Atom{Coef: coef, B: b, Strict: g.Atom.Strict}}
 	case constraint.Not:

@@ -76,6 +76,7 @@ type Runtime struct {
 	registry *Registry
 	cache    *SamplerCache
 	alibis   *Cache[*PreparedAlibi]
+	symbolic *Cache[*SymbolicEntry]
 	pool     *Pool
 	exec     *Executor
 
@@ -101,6 +102,7 @@ func New(cfg Config, hooks Hooks) *Runtime {
 		registry: NewRegistry(cfg.MaxDatabases),
 		cache:    NewSamplerCache(cfg.CacheSize, hooks),
 		alibis:   NewCache[*PreparedAlibi](cfg.CacheSize, hooks),
+		symbolic: NewCache[*SymbolicEntry](cfg.CacheSize, hooks),
 		pool:     pool,
 		exec:     NewExecutor(pool, hooks),
 		planKeys: NewCache[string](maxPlanKeys, nil),
@@ -118,6 +120,11 @@ func (rt *Runtime) Cache() *SamplerCache { return rt.cache }
 
 // AlibiCache returns the prepared-alibi cache.
 func (rt *Runtime) AlibiCache() *Cache[*PreparedAlibi] { return rt.alibis }
+
+// SymbolicCache returns the prepared-symbolic cache: eliminated
+// (quantifier-free DNF) relations, plus their lazily computed exact
+// volumes, keyed by canonical plan hash.
+func (rt *Runtime) SymbolicCache() *Cache[*SymbolicEntry] { return rt.symbolic }
 
 // Pool returns the bounded worker pool.
 func (rt *Runtime) Pool() *Pool { return rt.pool }

@@ -1,0 +1,101 @@
+package runtime
+
+// The prepared-symbolic cache entry kind: quantifier elimination is the
+// one evaluation whose cost (doubly exponential in eliminated
+// variables, experiment E9) dwarfs even sampler preparation, so its
+// results — quantifier-free DNF relations — are cached in their own
+// singleflight LRU, keyed by the same canonical plan hash the sampler
+// cache uses. A provably empty result caches as a Negative(ErrEmptyExpr)
+// verdict, parked at the LRU's eviction end like every negative entry.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/constraint"
+	"repro/internal/polytope"
+	"repro/internal/query"
+)
+
+// interruptOf converts a request context into the poll hook the
+// elimination and inclusion–exclusion passes understand.
+func interruptOf(ctx context.Context) func() error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return ctx.Err
+}
+
+// SymbolicEntry is a cached symbolic-evaluation result: the eliminated
+// quantifier-free DNF relation plus its lazily computed exact volume.
+// Entries are shared by every caller of a key — treat Rel as immutable.
+type SymbolicEntry struct {
+	// Rel is the eliminated relation, infeasible tuples pruned.
+	Rel *constraint.Relation
+
+	volMu   sync.Mutex
+	volDone bool
+	vol     float64
+	volErr  error
+}
+
+// ExactVolume returns the exact inclusion–exclusion volume of the
+// eliminated DNF, computed once per cache entry (the pass is
+// exponential in tuple count and dimension, so warm replays must not
+// re-pay it per request). The pass polls ctx per term; a cancellation
+// aborts THIS caller without memoizing — the next request recomputes.
+func (se *SymbolicEntry) ExactVolume(ctx context.Context) (float64, error) {
+	se.volMu.Lock()
+	defer se.volMu.Unlock()
+	if se.volDone {
+		return se.vol, se.volErr
+	}
+	v, err := polytope.RelationVolumeInterruptible(se.Rel, interruptOf(ctx))
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return 0, err // transient: never memoize someone's cancellation
+	}
+	se.volDone, se.vol, se.volErr = true, v, err
+	return v, err
+}
+
+// SymbolicKey is the prepared-symbolic cache key of an expression
+// under a database. Symbolic evaluation is exact — it depends on no
+// sampling options, so the options fingerprint slot stays empty and
+// every walk/params configuration shares one entry.
+func SymbolicKey(dbID, symKey string) string {
+	return SamplerKey(dbID, "symbolic", symKey, "")
+}
+
+// Symbolic returns the cached eliminated relation for a compiled
+// symbolic query, building it (once, under singleflight) on first use.
+// The build polls the builder's ctx between formula nodes and
+// elimination rounds; a cancelled build is a transient error — never
+// cached. A waiter that joined a flight whose BUILDER cancelled (its
+// own ctx still live) rebuilds under its own ctx instead of surfacing
+// someone else's cancellation. Provably empty results come back as
+// ErrEmptyExpr with hit=true on replay; callers wanting set semantics
+// translate the error to an empty relation over sq.OutVars.
+func (rt *Runtime) Symbolic(ctx context.Context, e *DatabaseEntry, sq *query.SymbolicQuery) (*SymbolicEntry, string, bool, error) {
+	key := SymbolicKey(e.ID, sq.Key)
+	for {
+		se, hit, err := rt.symbolic.Get(key, func() (*SymbolicEntry, error) {
+			rel, err := sq.EvalCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if len(rel.Tuples) == 0 {
+				return nil, Negative(ErrEmptyExpr)
+			}
+			return &SymbolicEntry{Rel: rel}, nil
+		})
+		if err != nil && ctx != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The flight we joined died with its builder's cancellation,
+			// not ours; the failed slot is gone, so looping makes us the
+			// builder under our own ctx.
+			continue
+		}
+		return se, key, hit, err
+	}
+}

@@ -26,7 +26,7 @@ const maxExprNodes = 256
 // exprNodeJSON is the wire form of one algebra operator.
 type exprNodeJSON struct {
 	// Op is one of "rel", "where", "intersect", "union", "minus",
-	// "project", "timeslice".
+	// "project", "timeslice", "div".
 	Op string `json:"op"`
 	// Name is the relation or query name of a "rel" leaf.
 	Name string `json:"name,omitempty"`
@@ -94,7 +94,7 @@ func (n *exprNodeJSON) toNode(budget *int) (*query.Node, error) {
 			atoms[i] = constraint.NewAtom(a.Coef, a.B, a.Strict)
 		}
 		return child.Where(atoms...), nil
-	case "intersect", "union", "minus":
+	case "intersect", "union", "minus", "div":
 		l, r, err := two()
 		if err != nil {
 			return nil, err
@@ -104,6 +104,8 @@ func (n *exprNodeJSON) toNode(budget *int) (*query.Node, error) {
 			return l.Intersect(r), nil
 		case "union":
 			return l.Union(r), nil
+		case "div":
+			return l.Div(r), nil
 		default:
 			return l.Minus(r), nil
 		}
@@ -123,7 +125,7 @@ func (n *exprNodeJSON) toNode(budget *int) (*query.Node, error) {
 		}
 		return child.TimeSlice(n.T), nil
 	default:
-		return nil, fmt.Errorf("unknown op %q (want rel, where, intersect, union, minus, project or timeslice)", n.Op)
+		return nil, fmt.Errorf("unknown op %q (want rel, where, intersect, union, minus, div, project or timeslice)", n.Op)
 	}
 }
 
@@ -132,8 +134,9 @@ func (n *exprNodeJSON) toNode(budget *int) (*query.Node, error) {
 type exprRequest struct {
 	Database string        `json:"database"`
 	Expr     *exprNodeJSON `json:"expr"`
-	// Mode selects the evaluation: "volume" (default), "sample" or
-	// "explain".
+	// Mode selects the evaluation: "volume" (default), "sample",
+	// "explain" or "symbolic" (full first-order quantifier elimination
+	// — the only mode accepting "div" and minus-of-projection trees).
 	Mode    string       `json:"mode,omitempty"`
 	N       int          `json:"n,omitempty"`       // samples for mode=sample (default 1)
 	Workers int          `json:"workers,omitempty"` // default Config.DefaultWorkers
@@ -162,7 +165,13 @@ type exprResponse struct {
 	Plan         string             `json:"plan,omitempty"`
 	Disjuncts    []exprDisjunctJSON `json:"disjuncts,omitempty"`
 	Coalesced    bool               `json:"coalesced,omitempty"`
-	ElapsedMS    float64            `json:"elapsed_ms"`
+	// Source and Tuples are set by mode=symbolic: the eliminated
+	// quantifier-free DNF as a parseable `rel` declaration and its
+	// tuple count; Volume then carries the EXACT inclusion–exclusion
+	// volume (omitted when the relation is too large or unbounded).
+	Source    string  `json:"source,omitempty"`
+	Tuples    int     `json:"tuples,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
@@ -185,6 +194,10 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 	node, err := req.Expr.toNode(&budget)
 	if err != nil {
 		s.writeError(w, "expr", http.StatusBadRequest, err)
+		return
+	}
+	if req.Mode == "symbolic" {
+		s.handleExprSymbolic(w, r, entry, node)
 		return
 	}
 	plan, err := node.Compile(entry.DB)
@@ -313,9 +326,63 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 		s.metrics.SamplesServed.Add(int64(len(resp.Points)))
 	default:
 		s.writeError(w, "expr", http.StatusBadRequest,
-			fmt.Errorf("unknown mode %q (want volume, sample or explain)", mode))
+			fmt.Errorf("unknown mode %q (want volume, sample, explain or symbolic)", mode))
 		return
 	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExprSymbolic serves mode=symbolic: full first-order quantifier
+// elimination through the prepared-symbolic cache. The eliminated DNF
+// is returned as a parseable Source() declaration plus, when the
+// inclusion–exclusion pass is feasible, its exact volume. Options are
+// irrelevant — symbolic evaluation is exact, so every configuration
+// shares one cache entry per canonical plan.
+func (s *Server) handleExprSymbolic(w http.ResponseWriter, r *http.Request, entry *runtime.DatabaseEntry, node *query.Node) {
+	start := time.Now()
+	sq, err := node.CompileSymbolic(entry.DB)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, query.ErrUnknownTarget) {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, "expr", status, err)
+		return
+	}
+	se, _, hit, err := s.rt.Symbolic(r.Context(), entry, sq)
+	resp := exprResponse{
+		Database:     entry.ID,
+		Mode:         "symbolic",
+		Columns:      sq.OutVars,
+		CanonicalKey: sq.Key,
+		Cache:        cacheLabel(hit),
+	}
+	var rel *constraint.Relation
+	switch {
+	case errors.Is(err, runtime.ErrEmptyExpr):
+		if hit {
+			resp.Cache = "negative"
+		}
+		resp.Empty = true
+		zero := 0.0
+		resp.Volume = &zero
+		rel = &constraint.Relation{Name: "derived", Vars: sq.OutVars}
+	case err != nil:
+		s.writeError(w, "expr", http.StatusUnprocessableEntity, err)
+		return
+	default:
+		rel = se.Rel
+		// The exact inclusion–exclusion pass is exponential in tuple
+		// count; it is computed once per cache entry and replayed here —
+		// warm requests must not re-pay it. Omitted when infeasible
+		// (too many tuples, unbounded).
+		if v, verr := se.ExactVolume(r.Context()); verr == nil {
+			resp.Volume = &v
+		}
+	}
+	resp.Source = rel.Source()
+	resp.Tuples = len(rel.Tuples)
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -231,3 +231,58 @@ func TestExprEndpointErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestExprEndpointSymbolicMode: mode=symbolic runs full quantifier
+// elimination — including trees the sampling modes reject (division) —
+// returns the eliminated DNF as a parseable source plus its exact
+// volume, and replays from the prepared-symbolic cache.
+func TestExprEndpointSymbolicMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	dbID := register(t, ts.URL, "symdb", exprProgram+`
+rel N(x, y) := { 0 <= x <= 3, 0 <= y <= 1, x + y <= 3 };
+rel O(y)    := { 0 <= y <= 1 };
+`)
+
+	// In-fragment union: exact area 2.
+	e := binOp("union", rel("A"), rel("B"))
+	resp, out, body := postExpr(t, ts.URL, exprRequest{Database: dbID, Expr: e, Mode: "symbolic"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("symbolic: status %d (%s)", resp.StatusCode, body)
+	}
+	if out.Cache != "miss" || out.Tuples == 0 || out.Source == "" {
+		t.Fatalf("cold symbolic response: cache %q, tuples %d, source %q", out.Cache, out.Tuples, out.Source)
+	}
+	if out.Volume == nil || math.Abs(*out.Volume-2) > 1e-6 {
+		t.Fatalf("exact volume = %v, want 2", out.Volume)
+	}
+	if _, out, _ = postExpr(t, ts.URL, exprRequest{Database: dbID, Expr: e, Mode: "symbolic"}); out.Cache != "hit" {
+		t.Fatalf("replay cache = %q, want hit", out.Cache)
+	}
+
+	// Division: unprocessable under mode=volume (outside the sampling
+	// fragment, the server's 422 convention), exact [0,2] under
+	// mode=symbolic.
+	div := binOp("div", rel("N"), rel("O"))
+	if resp, _, b := postExpr(t, ts.URL, exprRequest{Database: dbID, Expr: div, Mode: "volume", Options: fastOpts}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("div under mode=volume: status %d, want 422 (%s)", resp.StatusCode, b)
+	}
+	resp, out, body = postExpr(t, ts.URL, exprRequest{Database: dbID, Expr: div, Mode: "symbolic"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("symbolic div: status %d (%s)", resp.StatusCode, body)
+	}
+	if out.Volume == nil || math.Abs(*out.Volume-2) > 1e-6 {
+		t.Fatalf("div exact volume = %v, want 2", out.Volume)
+	}
+	if len(out.Columns) != 1 || out.Columns[0] != "x" {
+		t.Fatalf("div columns = %v, want [x]", out.Columns)
+	}
+
+	// A provably empty difference replays as a negative verdict.
+	empty := binOp("minus", rel("A"), rel("A"))
+	if _, out, _ = postExpr(t, ts.URL, exprRequest{Database: dbID, Expr: empty, Mode: "symbolic"}); !out.Empty || out.Volume == nil || *out.Volume != 0 {
+		t.Fatalf("empty symbolic: empty=%v volume=%v", out.Empty, out.Volume)
+	}
+	if _, out, _ = postExpr(t, ts.URL, exprRequest{Database: dbID, Expr: empty, Mode: "symbolic"}); out.Cache != "negative" {
+		t.Fatalf("empty replay cache = %q, want negative", out.Cache)
+	}
+}

@@ -7,6 +7,7 @@ package cdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -54,6 +55,16 @@ type ExplainReport struct {
 	// Empty reports a provably empty expression (every disjunct LP-
 	// infeasible); NeedsProjection reports a plan requiring Algorithm 2.
 	Empty, NeedsProjection bool
+	// SymbolicOnly reports an expression outside the existential
+	// sampling fragment (Minus of a projection, Div): it has no
+	// sampling plan and only the symbolic terminals apply.
+	SymbolicOnly bool
+	// SymbolicKey is the prepared-symbolic cache key of the
+	// expression's eliminated relation; Symbolic its residency ("hit",
+	// "negative" or "miss") — "hit" means EvalSymbolic/VolumeSymbolic
+	// replay the eliminated DNF without re-running Fourier–Motzkin.
+	SymbolicKey string
+	Symbolic    string
 	// Plan is the human-readable normalized plan (Plan.Describe).
 	Plan string
 	// Disjuncts describes each disjunct of the canonical plan.
@@ -65,7 +76,15 @@ func (r *ExplainReport) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "columns: (%s)\n", strings.Join(r.Columns, ", "))
 	fmt.Fprintf(&sb, "canonical key: %s\n", r.CanonicalKey)
+	if r.SymbolicOnly {
+		fmt.Fprintf(&sb, "symbolic cache: %s\n", r.Symbolic)
+		sb.WriteString("outside the sampling fragment (∀ or negation under ∃): symbolic evaluation only\n")
+		return sb.String()
+	}
 	fmt.Fprintf(&sb, "cache: %s\n", r.Cache)
+	if r.Symbolic != "" {
+		fmt.Fprintf(&sb, "symbolic cache: %s\n", r.Symbolic)
+	}
 	if r.Empty {
 		sb.WriteString("provably empty: every disjunct is LP-infeasible (volume 0)\n")
 		return sb.String()
@@ -99,12 +118,34 @@ func (e *Expr) Explain(ctx context.Context) (*ExplainReport, error) {
 	}
 	cp, err := e.compile()
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, ErrUnsupportedQuery) {
+			return nil, err
+		}
+		// Outside the sampling fragment: no plan exists, but the
+		// symbolic terminals apply — report their cache residency.
+		sq, serr := e.compileSymbolic()
+		if serr != nil {
+			return nil, serr
+		}
+		skey := runtime.SymbolicKey(e.db.entry.ID, sq.Key)
+		scached, snegative := e.db.rt.SymbolicCache().Peek(skey)
+		return &ExplainReport{
+			Columns:      append([]string(nil), sq.OutVars...),
+			CanonicalKey: sq.Key,
+			SymbolicOnly: true,
+			SymbolicKey:  skey,
+			Symbolic:     cacheStateLabel(scached, snegative),
+		}, nil
 	}
 	opts := e.effectiveOptions()
 	optsKey := opts.CacheKey()
 	key := runtime.PlanKey(e.db.entry.ID, cp.Key, optsKey)
 	cached, negative := e.db.rt.Cache().Peek(key)
+	// In-fragment expressions share the canonical plan key between the
+	// sampler and symbolic caches, so the symbolic residency needs no
+	// separate compile.
+	skey := runtime.SymbolicKey(e.db.entry.ID, cp.Key)
+	scached, snegative := e.db.rt.SymbolicCache().Peek(skey)
 	rep := &ExplainReport{
 		Columns:         append([]string(nil), cp.Plan.OutVars...),
 		CanonicalKey:    cp.Key,
@@ -112,6 +153,8 @@ func (e *Expr) Explain(ctx context.Context) (*ExplainReport, error) {
 		Cache:           cacheStateLabel(cached, negative),
 		Empty:           cp.Empty(),
 		NeedsProjection: cp.NeedsProjection(),
+		SymbolicKey:     skey,
+		Symbolic:        cacheStateLabel(scached, snegative),
 		Plan:            cp.Plan.Describe(),
 	}
 	dkeys := cp.DisjunctKeys()

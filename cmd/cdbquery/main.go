@@ -34,6 +34,7 @@ func main() {
 		n       = flag.Int("n", 400, "samples per disjunct for reconstruction")
 		seed    = flag.Uint64("seed", 42, "random seed")
 		explain = flag.Bool("explain", false, "print the normalized (canonical) sampling plan, its cache key and per-disjunct cache status before evaluating; with -mode volume the evaluation runs afterwards and a second report shows the warmed cache")
+		trace   = flag.Bool("trace", false, "trace the evaluation and print the span tree (per-stage durations and counters) to stderr")
 	)
 	flag.Parse()
 	if *file == "" || *qName == "" {
@@ -56,6 +57,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *trace {
+		var root *cdb.Span
+		ctx, root = cdb.StartTrace(ctx, "cdbquery")
+		defer func() {
+			root.End()
+			fmt.Fprint(os.Stderr, root.String())
+		}()
+	}
 	e := db.Engine(ctx, *seed)
 
 	if *explain {

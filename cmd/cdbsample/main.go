@@ -36,6 +36,7 @@ func main() {
 		eps     = flag.Float64("eps", 0.25, "distribution quality ε")
 		gamma   = flag.Float64("gamma", 0.2, "grid resolution γ")
 		delta   = flag.Float64("delta", 0.1, "failure probability δ")
+		trace   = flag.Bool("trace", false, "trace the draw and print the span tree (per-stage durations and counters) to stderr")
 	)
 	flag.Parse()
 	if *file == "" || *relName == "" {
@@ -64,10 +65,18 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var root *cdb.Span
+	if *trace {
+		ctx, root = cdb.StartTrace(ctx, "cdbsample")
+	}
 
 	pts, err := db.SampleNSeeded(ctx, *relName, *n, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if root != nil {
+		root.End()
+		fmt.Fprint(os.Stderr, root.String())
 	}
 	for _, x := range pts {
 		parts := make([]string, len(x))

@@ -41,6 +41,12 @@ func main() {
 		// write/idle deadlines; 0 keeps Go's no-timeout default.
 		writeTimeout = flag.Duration("write-timeout", 0, "max duration for writing a response (0 = unlimited)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout (0 = unlimited)")
+		slowQuery    = flag.Duration("slow-query", 0, "log requests slower than this with their trace id and span summary (0 = disabled)")
+		// The debug listener serves pprof heap/CPU profiles and the raw
+		// cost tables: unauthenticated by design, so it binds separately —
+		// keep it on loopback or an ops-only network, never the public
+		// address.
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/costs on this UNAUTHENTICATED ops-only address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -49,6 +55,7 @@ func main() {
 		CacheSize:      *cache,
 		DefaultWorkers: *workers,
 		MaxSamples:     *maxN,
+		SlowQuery:      *slowQuery,
 	})
 	defer srv.Close()
 
@@ -70,6 +77,21 @@ func main() {
 		}
 	}()
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listener on %s (unauthenticated: pprof, expvar, cost tables)", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
@@ -78,6 +100,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			log.Printf("debug shutdown: %v", err)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"iter"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/runtime"
 	"repro/internal/spacetime"
@@ -137,11 +138,29 @@ func (db *DB) callOpts(copts []CallOption) Options {
 	return opts
 }
 
+// CacheKindStats is the event and residency snapshot of one prepared
+// cache: the sampler (plan), symbolic or alibi cache.
+type CacheKindStats struct {
+	// Hits counts warm positive entries served (including joins of an
+	// in-flight build); NegativeHits counts replayed cached verdicts
+	// (empty targets, projection-needing plans, out-of-support slices).
+	Hits, NegativeHits int64
+	// Misses counts cold builds; Evictions LRU evictions.
+	Misses, Evictions int64
+	// Entries and NegativeEntries are the cache's CURRENT residency:
+	// settled entries in total and how many of them are negative
+	// verdicts.
+	Entries, NegativeEntries int
+}
+
 // CacheStats is a snapshot of the handle's prepared-cache and executor
-// counters; see DB.CacheStats.
+// counters; see DB.CacheStats. The top-level counters aggregate over
+// every cache kind (hits include negative hits), preserving the
+// original five-counter view; Plan, Symbolic and Alibi break the same
+// traffic down per cache.
 type CacheStats struct {
-	// Hits counts prepared-cache hits, including negative entries and
-	// joins of an in-flight build.
+	// Hits counts prepared-cache hits across all kinds, including
+	// negative entries and joins of an in-flight build.
 	Hits int64
 	// Misses counts cold builds.
 	Misses int64
@@ -152,18 +171,53 @@ type CacheStats struct {
 	CoalescedDraws int64
 	// BatchJobs counts worker-pool job executions.
 	BatchJobs int64
+
+	// Plan, Symbolic and Alibi are the per-kind breakdowns: prepared
+	// samplers, eliminated DNF relations and alibi preparations.
+	Plan, Symbolic, Alibi CacheKindStats
 }
 
-// dbHooks adapts the runtime's event hooks onto the handle's counters.
+// kindCounters accumulates one cache kind's event counts.
+type kindCounters struct {
+	hits, negHits, misses, evictions atomic.Int64
+}
+
+// dbHooks is the handle's obs.Sink: per-kind cache event counters plus
+// the executor counters.
 type dbHooks struct {
-	hits, misses, evictions, coalesced, jobs atomic.Int64
+	kinds           [3]kindCounters // indexed by obs.CacheKind
+	coalesced, jobs atomic.Int64
 }
 
-func (h *dbHooks) CacheHit()      { h.hits.Add(1) }
-func (h *dbHooks) CacheMiss()     { h.misses.Add(1) }
-func (h *dbHooks) CacheEviction() { h.evictions.Add(1) }
+func (h *dbHooks) CacheEvent(kind obs.CacheKind, outcome obs.CacheOutcome) {
+	k := &h.kinds[0]
+	if int(kind) < len(h.kinds) {
+		k = &h.kinds[kind]
+	}
+	switch outcome {
+	case obs.Hit:
+		k.hits.Add(1)
+	case obs.NegativeHit:
+		k.negHits.Add(1)
+	case obs.Miss:
+		k.misses.Add(1)
+	case obs.Eviction:
+		k.evictions.Add(1)
+	}
+}
 func (h *dbHooks) CoalescedDraw() { h.coalesced.Add(1) }
 func (h *dbHooks) BatchJob()      { h.jobs.Add(1) }
+
+// kindStats snapshots one kind's counters.
+func (h *dbHooks) kindStats(kind obs.CacheKind) CacheKindStats {
+	k := &h.kinds[kind]
+	return CacheKindStats{
+		Hits:         k.hits.Load(),
+		NegativeHits: k.negHits.Load(),
+		Misses:       k.misses.Load(),
+		Evictions:    k.evictions.Load(),
+	}
+}
 
 // DB is a handle on one parsed constraint database program plus the
 // shared warm-geometry runtime: a registry, a singleflight LRU of
@@ -216,7 +270,7 @@ func openEntry(database *Database, src string, options []Option) (*DB, error) {
 		o(&cfg)
 	}
 	hooks := &dbHooks{}
-	rt := runtime.New(runtime.Config{
+	rt := runtime.NewWithSink(runtime.Config{
 		PoolSize:  cfg.poolSize,
 		CacheSize: cfg.cacheSize,
 	}, hooks)
@@ -261,19 +315,45 @@ func (db *DB) Close() error {
 // Database returns the parsed program behind the handle.
 func (db *DB) Database() *Database { return db.entry.DB }
 
-// CacheStats returns a snapshot of the handle's prepared-sampler cache
-// and batch-executor counters — the observable that lets tests (and
+// CacheStats returns a snapshot of the handle's prepared caches and
+// batch-executor counters — the observable that lets tests (and
 // operators embedding the handle) assert cache sharing: two
 // structurally equal expressions cost one Miss and the replays count as
-// Hits.
+// Hits. The per-kind breakdowns additionally expose negative-hit
+// traffic and each cache's current entry counts (total and negative).
 func (db *DB) CacheStats() CacheStats {
+	plan := db.hooks.kindStats(obs.KindPlan)
+	plan.Entries, plan.NegativeEntries = db.rt.Cache().Counts()
+	symbolic := db.hooks.kindStats(obs.KindSymbolic)
+	symbolic.Entries, symbolic.NegativeEntries = db.rt.SymbolicCache().Counts()
+	alibi := db.hooks.kindStats(obs.KindAlibi)
+	alibi.Entries, alibi.NegativeEntries = db.rt.AlibiCache().Counts()
 	return CacheStats{
-		Hits:           db.hooks.hits.Load(),
-		Misses:         db.hooks.misses.Load(),
-		Evictions:      db.hooks.evictions.Load(),
+		Hits:           plan.Hits + plan.NegativeHits + symbolic.Hits + symbolic.NegativeHits + alibi.Hits + alibi.NegativeHits,
+		Misses:         plan.Misses + symbolic.Misses + alibi.Misses,
+		Evictions:      plan.Evictions + symbolic.Evictions + alibi.Evictions,
 		CoalescedDraws: db.hooks.coalesced.Load(),
 		BatchJobs:      db.hooks.jobs.Load(),
+		Plan:           plan,
+		Symbolic:       symbolic,
+		Alibi:          alibi,
 	}
+}
+
+// ObservedCosts returns the handle's per-key observed cost table,
+// sorted by key: preparation time, draw/bind/queue time, walk effort
+// and symbolic-elimination effort under the same canonical keys the
+// caches use (per-disjunct attribution under "key#i"). Empty until a
+// terminal verb has run.
+func (db *DB) ObservedCosts() []ObservedCost {
+	return db.rt.Costs().Each()
+}
+
+// ObservedCost returns the observed cost recorded under one canonical
+// cache key (as reported by Expr.Explain); ok is false when nothing has
+// been recorded.
+func (db *DB) ObservedCost(key string) (ObservedCost, bool) {
+	return db.rt.Costs().Snapshot(key)
 }
 
 // Options returns the handle's sampling options.

@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"iter"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/runtime"
 )
@@ -52,9 +54,10 @@ type Expr struct {
 	opts *Options // nil: inherit the handle's options
 	err  error    // construction error (cross-handle operands), surfaced at terminals
 
-	compileOnce sync.Once
-	cp          *query.CanonicalPlan
-	cerr        error
+	compileOnce  sync.Once
+	cp           *query.CanonicalPlan
+	cerr         error
+	compileNanos int64 // wall time of the memoized compile pass
 
 	symOnce sync.Once
 	sq      *query.SymbolicQuery
@@ -190,6 +193,8 @@ func (e *Expr) compile() (*query.CanonicalPlan, error) {
 		return nil, e.err
 	}
 	e.compileOnce.Do(func() {
+		start := time.Now()
+		defer func() { e.compileNanos = time.Since(start).Nanoseconds() }()
 		plan, err := e.node.Compile(e.db.entry.DB)
 		if err != nil {
 			e.cerr = err
@@ -247,21 +252,35 @@ func (e *Expr) CanonicalKey() (string, error) {
 }
 
 // prepared resolves the warm sampler for the expression through the
-// shared runtime, keyed by the canonical plan hash.
+// shared runtime, keyed by the canonical plan hash. Under a traced
+// context the compile + prepare stage appears as an "expr.prepare"
+// span carrying the cache key and whether the sampler was warm.
 func (e *Expr) prepared(ctx context.Context) (*PreparedSampler, string, *query.CanonicalPlan, error) {
 	if err := e.db.check(ctx); err != nil {
 		return nil, "", nil, err
 	}
+	_, span := obs.Start(ctx, "expr.prepare")
+	defer span.End()
 	cp, err := e.compile()
 	if err != nil {
 		return nil, "", nil, err
 	}
+	span.Set("compile_nanos", e.compileNanos)
 	opts := e.effectiveOptions()
+	var (
+		ps  *PreparedSampler
+		key string
+		hit bool
+	)
 	if e.db.prepSeedSet {
-		ps, key, _, err := e.db.rt.PreparedPlanWithSeed(e.db.entry, cp, opts, e.db.prepSeed)
-		return ps, key, cp, err
+		ps, key, hit, err = e.db.rt.PreparedPlanWithSeed(e.db.entry, cp, opts, e.db.prepSeed)
+	} else {
+		ps, key, hit, err = e.db.rt.PreparedPlan(e.db.entry, cp, opts)
 	}
-	ps, key, _, err := e.db.rt.PreparedPlan(e.db.entry, cp, opts)
+	span.SetKey(key)
+	if hit {
+		span.Set("cache_hit", 1)
+	}
 	return ps, key, cp, err
 }
 
@@ -289,13 +308,17 @@ func (e *Expr) SampleN(ctx context.Context, n int) ([]Vector, error) {
 // concurrent draws coalesce. Projection-needing expressions run
 // sequentially on a per-call engine.
 func (e *Expr) SampleNSeeded(ctx context.Context, n int, seed uint64) ([]Vector, error) {
+	ctx, span := obs.Start(ctx, "expr.sample")
+	defer span.End()
 	ps, key, cp, err := e.prepared(ctx)
 	if errors.Is(err, ErrNeedsProjection) {
+		span.Set("projection", 1)
 		return e.engineSampleN(ctx, cp, n, seed)
 	}
 	if err != nil {
 		return nil, err
 	}
+	span.SetKey(key)
 	pts, _, err := e.db.rt.Executor().SampleManyCtx(ctx, key, ps, n, e.db.workers, seed)
 	return pts, err
 }
@@ -362,6 +385,8 @@ func (e *Expr) Samples(ctx context.Context) iter.Seq2[Vector, error] {
 // cached verdict, no geometry touched. Projection-needing expressions
 // fall back to a per-call engine under a key-derived seed.
 func (e *Expr) Volume(ctx context.Context) (float64, error) {
+	ctx, span := obs.Start(ctx, "expr.volume")
+	defer span.End()
 	ps, key, cp, err := e.prepared(ctx)
 	switch {
 	case errors.Is(err, ErrEmptyExpr):
@@ -375,6 +400,7 @@ func (e *Expr) Volume(ctx context.Context) (float64, error) {
 	case err != nil:
 		return 0, err
 	}
+	span.SetKey(key)
 	return ps.VolumeCtx(ctx, runtime.PrepSeedFor(key+"\x1fvolume"))
 }
 

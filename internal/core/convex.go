@@ -30,6 +30,10 @@ type Convex struct {
 	burnIn int
 	thin   int
 
+	// volStats accumulates the effort of volume-pass probe walkers,
+	// which are separate from the sampling walker (see phaseRatio).
+	volStats SampleStats
+
 	// cached volume estimate (Volume is deterministic per generator
 	// instance once computed).
 	vol      float64
@@ -361,6 +365,9 @@ func (c *Convex) phaseRatio(rSmall, rBig float64, n int) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: phase walk: %w", err)
 	}
+	// The probe walker's effort belongs to this generator's ledger even
+	// when the phase aborts mid-run.
+	defer func() { c.volStats.mergeWalk(w.Stats()) }()
 	burn, thin := c.burnIn, c.thin
 	w.Run(burn)
 	if err := w.Err(); err != nil {

@@ -1,0 +1,120 @@
+package core
+
+import "repro/internal/walk"
+
+// SampleStats aggregates the measured effort behind a generator: walk
+// steps and proposal acceptances, membership/chord oracle invocations,
+// interrupt polls, and rejection rounds/acceptances of the composite
+// generators (union canonical-index rounds, intersection/difference
+// trials, projection rounds). These are the per-stage observations the
+// observability layer attributes to canonical plan keys and a
+// cost-based planner prices sub-plans with.
+type SampleStats struct {
+	// WalkSteps and WalkAccepted aggregate the random-walk step and
+	// proposal-acceptance counters across every walker the generator
+	// (and its members) drives, including volume-pass probe walkers.
+	WalkSteps    int64
+	WalkAccepted int64
+	// OracleCalls counts membership/chord oracle invocations.
+	OracleCalls int64
+	// InterruptPolls counts interrupt-hook polls inside walk runs.
+	InterruptPolls int64
+	// Rounds and Accepts count composite rejection rounds (Algorithm 1
+	// union rounds, intersection/difference trials, Algorithm 2
+	// projection rounds) and their acceptances.
+	Rounds  int64
+	Accepts int64
+}
+
+// Merge adds o into s.
+func (s *SampleStats) Merge(o SampleStats) {
+	s.WalkSteps += o.WalkSteps
+	s.WalkAccepted += o.WalkAccepted
+	s.OracleCalls += o.OracleCalls
+	s.InterruptPolls += o.InterruptPolls
+	s.Rounds += o.Rounds
+	s.Accepts += o.Accepts
+}
+
+// mergeWalk adds a walker's counters into s.
+func (s *SampleStats) mergeWalk(ws walk.Stats) {
+	s.WalkSteps += int64(ws.Steps)
+	s.WalkAccepted += int64(ws.Accepted)
+	s.OracleCalls += int64(ws.OracleCalls)
+	s.InterruptPolls += int64(ws.InterruptPolls)
+}
+
+// IsZero reports whether nothing was recorded.
+func (s SampleStats) IsZero() bool { return s == SampleStats{} }
+
+// EffortReporter is implemented by generators that expose their
+// accumulated effort. All core observables implement it; callers
+// type-assert because Observable is also satisfied by lightweight
+// adapters (tests, reconstruction shims) with nothing to report.
+type EffortReporter interface {
+	Effort() SampleStats
+}
+
+// EffortOf returns o's effort when it reports one, zero otherwise.
+func EffortOf(o any) SampleStats {
+	if er, ok := o.(EffortReporter); ok {
+		return er.Effort()
+	}
+	return SampleStats{}
+}
+
+// Effort reports the walker's counters plus every volume-pass probe
+// walker this generator ran.
+func (c *Convex) Effort() SampleStats {
+	var s SampleStats
+	s.mergeWalk(c.walker.Stats())
+	s.Merge(c.volStats)
+	return s
+}
+
+// Effort reports the union's own rejection rounds plus the aggregated
+// member efforts.
+func (u *Union) Effort() SampleStats {
+	s := SampleStats{Rounds: int64(u.rounds), Accepts: int64(u.accepts)}
+	for _, m := range u.members {
+		s.Merge(EffortOf(m))
+	}
+	return s
+}
+
+// MemberEffort reports member i's effort alone — the per-disjunct
+// attribution the executor records under "planKey#i".
+func (u *Union) MemberEffort(i int) SampleStats {
+	if i < 0 || i >= len(u.members) {
+		return SampleStats{}
+	}
+	return EffortOf(u.members[i])
+}
+
+// Members returns the number of union members.
+func (u *Union) Members() int { return len(u.members) }
+
+// Effort reports the intersection's trials plus member efforts.
+func (in *Intersection) Effort() SampleStats {
+	s := SampleStats{Rounds: int64(in.trials), Accepts: int64(in.accepts)}
+	for _, m := range in.members {
+		s.Merge(EffortOf(m))
+	}
+	return s
+}
+
+// Effort reports the difference's trials plus both operands' efforts.
+func (df *Difference) Effort() SampleStats {
+	s := SampleStats{Rounds: int64(df.trials), Accepts: int64(df.accepts)}
+	s.Merge(EffortOf(df.s1))
+	s.Merge(EffortOf(df.s2))
+	return s
+}
+
+// Effort reports the projection's Algorithm 2 rounds plus the source
+// generator's walk effort.
+func (pr *Projection) Effort() SampleStats {
+	s := SampleStats{Rounds: int64(pr.rounds), Accepts: int64(pr.accepts)}
+	s.Merge(pr.src.Effort())
+	return s
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a request: plan compilation, sampler
+// preparation, a batched draw, a symbolic elimination. Spans form a
+// tree rooted at the trace created by NewTrace; children are started
+// with StartChild or, more commonly, by passing the span's context to
+// the next stage and calling Start there.
+//
+// Every method is nil-safe: instrumented code calls Add/Set/End
+// unconditionally, and when tracing is off (Start on a context with no
+// trace returns a nil span) the calls cost one branch. Spans are safe
+// for concurrent use — batch draws add counters from several workers.
+type Span struct {
+	name    string
+	traceID string // set on the root span only
+	start   time.Time
+
+	mu       sync.Mutex
+	key      string
+	dur      time.Duration
+	done     bool
+	counts   []Counter
+	children []*Span
+}
+
+// Counter is one named span counter, in insertion order.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// ctxKey is the context key for the active span.
+type ctxKey struct{}
+
+// NewTrace starts a new trace rooted at a span with the given name and
+// returns a derived context carrying it. Use FromContext to recover the
+// root later (e.g. to render it after the request finishes).
+func NewTrace(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, traceID: NewTraceID(), start: time.Now()}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// Start begins a child span under the span carried by ctx. When ctx
+// carries no trace it returns ctx unchanged and a nil span, so the
+// instrumented path pays only the context lookup.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(ctxKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.StartChild(name)
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Enabled reports whether ctx carries an active trace. Stages that
+// would pay real cost just assembling counter values can guard on it.
+func Enabled(ctx context.Context) bool {
+	return FromContext(ctx) != nil
+}
+
+// StartChild starts and returns a child span. On a nil receiver it
+// returns nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End freezes the span's duration. Later Ends are ignored, so deferred
+// and explicit Ends may coexist.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Add increments the named counter by v (creating it at zero first).
+func (s *Span) Add(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.counts {
+		if s.counts[i].Name == name {
+			s.counts[i].Value += v
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.counts = append(s.counts, Counter{Name: name, Value: v})
+	s.mu.Unlock()
+}
+
+// Set sets the named counter to v.
+func (s *Span) Set(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.counts {
+		if s.counts[i].Name == name {
+			s.counts[i].Value = v
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.counts = append(s.counts, Counter{Name: name, Value: v})
+	s.mu.Unlock()
+}
+
+// SetKey attaches the canonical plan (or sampler/symbolic cache) key
+// the span worked on.
+func (s *Span) SetKey(key string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.key = key
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// TraceID returns the trace identifier ("" on non-root and nil spans).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// Key returns the attached canonical key ("" when unset or nil).
+func (s *Span) Key() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.key
+}
+
+// Duration returns the frozen duration, or the running duration for a
+// span not yet ended (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Counters returns a copy of the counters in insertion order.
+func (s *Span) Counters() []Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Counter(nil), s.counts...)
+}
+
+// Children returns a copy of the child slice.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span and its descendants depth-first, calling fn with
+// each span and its depth (0 for the receiver). A nil receiver is a
+// no-op.
+func (s *Span) Walk(fn func(s *Span, depth int)) {
+	if s == nil {
+		return
+	}
+	s.walk(fn, 0)
+}
+
+func (s *Span) walk(fn func(*Span, int), depth int) {
+	fn(s, depth)
+	for _, c := range s.Children() {
+		c.walk(fn, depth+1)
+	}
+}
+
+// String renders the span tree with durations, keys and counters:
+//
+//	query 12.3ms trace=5f1d…
+//	  plan.compile 0.8ms
+//	  sample.batch 11.2ms key=cdb1|plan|…  n=256 walk_steps=81920
+func (s *Span) String() string {
+	if s == nil {
+		return ""
+	}
+	var sb strings.Builder
+	s.Walk(func(sp *Span, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&sb, "%s %s", sp.Name(), fmtDuration(sp.Duration()))
+		if id := sp.TraceID(); id != "" {
+			fmt.Fprintf(&sb, " trace=%s", id)
+		}
+		if k := sp.Key(); k != "" {
+			fmt.Fprintf(&sb, " key=%s", k)
+		}
+		for _, c := range sp.Counters() {
+			fmt.Fprintf(&sb, " %s=%d", c.Name, c.Value)
+		}
+		sb.WriteByte('\n')
+	})
+	return sb.String()
+}
+
+// fmtDuration renders a duration with stable precision for terminals.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// StageNanos flattens the tree into cumulative nanoseconds per span
+// name, sorted by name — the input for per-stage histograms.
+func (s *Span) StageNanos() []Counter {
+	if s == nil {
+		return nil
+	}
+	acc := make(map[string]int64)
+	s.Walk(func(sp *Span, _ int) {
+		acc[sp.Name()] += sp.Duration().Nanoseconds()
+	})
+	out := make([]Counter, 0, len(acc))
+	for name, ns := range acc {
+		out = append(out, Counter{Name: name, Value: ns})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

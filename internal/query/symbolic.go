@@ -103,19 +103,59 @@ func (sq *SymbolicQuery) Eval() (*constraint.Relation, error) {
 // elimination rounds, so a cancelled request abandons the (potentially
 // doubly-exponential) pass instead of pinning a CPU to completion.
 func (sq *SymbolicQuery) EvalCtx(ctx context.Context) (*constraint.Relation, error) {
+	rel, _, err := sq.EvalCtxStats(ctx)
+	return rel, err
+}
+
+// EvalCtxStats is EvalCtx with elimination-effort measurement: how many
+// existential coordinates were eliminated per disjunct, how many
+// Fourier–Motzkin rounds ran, and how the atom count grew — the
+// observed shape of the doubly-exponential cost cliff (experiment E9)
+// a cost-based planner must route around. Full-FO expressions (outside
+// the sampling fragment) run the compile pipeline, which reports only
+// the output side: Rounds stays 0 and AtomsIn counts nothing.
+func (sq *SymbolicQuery) EvalCtxStats(ctx context.Context) (*constraint.Relation, ElimStats, error) {
 	var interrupt func() error
 	if ctx != nil && ctx.Done() != nil {
 		interrupt = ctx.Err
 	}
+	var st ElimStats
 	if sq.cp != nil {
-		return sq.cp.evalSymbolic("derived", interrupt)
+		rel, err := sq.cp.evalSymbolic("derived", interrupt, &st)
+		return rel, st, err
 	}
 	rel, err := constraint.CompileInterruptible(sq.f, sq.schema, sq.OutVars, interrupt)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	rel.Name = "derived"
-	return rel, nil
+	st.Disjuncts = len(rel.Tuples)
+	for _, t := range rel.Tuples {
+		st.AtomsOut += len(t.Atoms)
+	}
+	return rel, st, nil
+}
+
+// ElimStats measures one symbolic evaluation: the per-disjunct
+// eliminated-variable counts, Fourier–Motzkin rounds and atom growth.
+type ElimStats struct {
+	// Disjuncts is the number of disjuncts evaluated.
+	Disjuncts int
+	// ElimVars is the total number of existential coordinates
+	// eliminated; Rounds the total elimination rounds (one per
+	// coordinate per disjunct — each round can square the atom count).
+	ElimVars, Rounds int
+	// AtomsIn and AtomsOut count constraint atoms before and after
+	// elimination (over all disjuncts), the direct observation of the
+	// elimination blow-up.
+	AtomsIn, AtomsOut int
+	// PerDisjunct holds the same measurements per input disjunct.
+	PerDisjunct []DisjunctElim
+}
+
+// DisjunctElim measures the elimination of one disjunct.
+type DisjunctElim struct {
+	ExVars, Rounds, AtomsIn, AtomsOut int
 }
 
 // formulaKey fingerprints an inlined formula and its output columns
@@ -138,16 +178,27 @@ func formulaKey(f constraint.Formula, outVars []string) string {
 // counterpart of the projection generator — and the exact answer the
 // sampling evaluation is measured against.
 func (cp *CanonicalPlan) EvalSymbolic(name string) (*constraint.Relation, error) {
-	return cp.evalSymbolic(name, nil)
+	return cp.evalSymbolic(name, nil, nil)
 }
 
-func (cp *CanonicalPlan) evalSymbolic(name string, interrupt func() error) (*constraint.Relation, error) {
+// EvalSymbolicStats is EvalSymbolic with per-disjunct elimination
+// measurements.
+func (cp *CanonicalPlan) EvalSymbolicStats(name string) (*constraint.Relation, ElimStats, error) {
+	var st ElimStats
+	rel, err := cp.evalSymbolic(name, nil, &st)
+	return rel, st, err
+}
+
+func (cp *CanonicalPlan) evalSymbolic(name string, interrupt func() error, st *ElimStats) (*constraint.Relation, error) {
 	keep := len(cp.Plan.OutVars)
 	out := &constraint.Relation{Name: name, Vars: append([]string(nil), cp.Plan.OutVars...)}
 	for i, d := range cp.Plan.Disjuncts {
 		t := d.Poly.Tuple()
+		de := DisjunctElim{ExVars: d.ExVars, AtomsIn: len(t.Atoms)}
 		if d.ExVars == 0 {
 			out.Tuples = append(out.Tuples, t)
+			de.AtomsOut = de.AtomsIn
+			recordDisjunct(st, de)
 			continue
 		}
 		dim := t.Dim()
@@ -169,8 +220,26 @@ func (cp *CanonicalPlan) evalSymbolic(name string, interrupt func() error) (*con
 				}
 			}
 			proj = constraint.Eliminate(proj, j, constraint.EliminateOptions{})
+			de.Rounds++
+		}
+		for _, pt := range proj.Tuples {
+			de.AtomsOut += len(pt.Atoms)
 		}
 		out.Tuples = append(out.Tuples, proj.Tuples...)
+		recordDisjunct(st, de)
 	}
 	return out.PruneEmpty(), nil
+}
+
+// recordDisjunct folds one disjunct's measurements into st (nil-safe).
+func recordDisjunct(st *ElimStats, de DisjunctElim) {
+	if st == nil {
+		return
+	}
+	st.Disjuncts++
+	st.ElimVars += de.ExVars
+	st.Rounds += de.Rounds
+	st.AtomsIn += de.AtomsIn
+	st.AtomsOut += de.AtomsOut
+	st.PerDisjunct = append(st.PerDisjunct, de)
 }

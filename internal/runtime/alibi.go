@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/constraint"
 	"repro/internal/core"
@@ -43,7 +44,14 @@ func (rt *Runtime) PreparedAlibi(e *DatabaseEntry, aName, bName string, t0, t1 f
 		if err != nil {
 			return nil, fmt.Errorf("b: %w", err)
 		}
-		return PrepareAlibi(relA, relB, t0, t1, PrepSeedFor(key), opts)
+		start := time.Now()
+		pa, err := PrepareAlibi(relA, relB, t0, t1, PrepSeedFor(key), opts)
+		if err == nil {
+			c := rt.costs.For(key)
+			c.Preps.Add(1)
+			c.PrepNanos.Add(time.Since(start).Nanoseconds())
+		}
+		return pa, err
 	})
 	return pa, hit, err
 }

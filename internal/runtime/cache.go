@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"errors"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // errBuildPanic is what waiters of a flight see when the build panicked
@@ -49,7 +51,10 @@ type Cache[V any] struct {
 	ll       *list.List // front = most recently used; values are *cacheSlot[V]
 	slots    map[string]*cacheSlot[V]
 
-	hooks Hooks
+	// kind labels this cache's events (plan / symbolic / alibi) for the
+	// sink; sink receives per-access outcomes and may be nil.
+	kind obs.CacheKind
+	sink obs.Sink
 }
 
 type cacheSlot[V any] struct {
@@ -62,8 +67,15 @@ type cacheSlot[V any] struct {
 }
 
 // NewCache returns a cache holding at most capacity completed entries
-// (minimum 1). hooks may be nil.
+// (minimum 1). hooks may be nil. Events report under obs.KindPlan; use
+// NewKindCache to label a cache's events with another kind.
 func NewCache[V any](capacity int, hooks Hooks) *Cache[V] {
+	return NewKindCache[V](capacity, obs.KindPlan, sinkFor(hooks))
+}
+
+// NewKindCache returns a cache whose events carry the given kind label.
+// sink may be nil.
+func NewKindCache[V any](capacity int, kind obs.CacheKind, sink obs.Sink) *Cache[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -71,7 +83,15 @@ func NewCache[V any](capacity int, hooks Hooks) *Cache[V] {
 		capacity: capacity,
 		ll:       list.New(),
 		slots:    map[string]*cacheSlot[V]{},
-		hooks:    hooks,
+		kind:     kind,
+		sink:     sink,
+	}
+}
+
+// event reports one outcome to the sink, if any.
+func (c *Cache[V]) event(outcome obs.CacheOutcome) {
+	if c.sink != nil {
+		c.sink.CacheEvent(c.kind, outcome)
 	}
 }
 
@@ -100,18 +120,14 @@ func (c *Cache[V]) Get(key string, build func() (V, error)) (val V, hit bool, er
 			if slot.negative {
 				// A cached verdict: the target is deterministically empty
 				// or unusable; O(1) replay of the error.
-				if c.hooks != nil {
-					c.hooks.CacheHit()
-				}
+				c.event(obs.NegativeHit)
 				return zero, true, slot.err
 			}
 			// Joined a flight that failed transiently: no value was
 			// shared, so this is neither a hit nor a countable miss.
 			return zero, false, slot.err
 		}
-		if c.hooks != nil {
-			c.hooks.CacheHit()
-		}
+		c.event(obs.Hit)
 		return slot.val, true, nil
 	}
 	slot := &cacheSlot[V]{key: key, ready: make(chan struct{})}
@@ -121,9 +137,7 @@ func (c *Cache[V]) Get(key string, build func() (V, error)) (val V, hit bool, er
 	// kind is known: an in-flight build must not evict warm geometry
 	// only to turn out to be a cheap negative verdict.
 	c.mu.Unlock()
-	if c.hooks != nil {
-		c.hooks.CacheMiss()
-	}
+	c.event(obs.Miss)
 
 	// The ready channel must close even if build panics (numeric code on
 	// adversarial programs), or every later Get for this key would block
@@ -176,9 +190,7 @@ func (c *Cache[V]) evictLocked(keep *cacheSlot[V]) {
 		}
 		c.ll.Remove(victim.elem)
 		delete(c.slots, victim.key)
-		if c.hooks != nil {
-			c.hooks.CacheEviction()
-		}
+		c.event(obs.Eviction)
 	}
 }
 
@@ -237,6 +249,25 @@ func (c *Cache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.slots)
+}
+
+// Counts reports the completed entries resident in the cache and how
+// many of them are negative verdicts. In-flight builds are excluded;
+// the LRU order and the metrics are untouched (introspection only).
+func (c *Cache[V]) Counts() (entries, negatives int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, slot := range c.slots {
+		select {
+		case <-slot.ready:
+			entries++
+			if slot.negative {
+				negatives++
+			}
+		default:
+		}
+	}
+	return entries, negatives
 }
 
 // SamplerCache is the prepared-sampler cache: a singleflight LRU over

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // Pool is a fixed-size worker pool. Every batched sample draw runs its
@@ -17,10 +20,10 @@ import (
 // reconstruction — run one sequential walk on their caller's goroutine
 // and are bounded by the caller's own concurrency.)
 type Pool struct {
-	jobs  chan func()
-	wg    sync.WaitGroup
-	size  int
-	hooks Hooks
+	jobs chan func()
+	wg   sync.WaitGroup
+	size int
+	sink obs.Sink
 
 	mu        sync.RWMutex
 	closed    bool
@@ -29,17 +32,27 @@ type Pool struct {
 
 // NewPool starts size workers (minimum 1). hooks may be nil.
 func NewPool(size int, hooks Hooks) *Pool {
+	return newPool(size, sinkFor(hooks))
+}
+
+// NewPoolWithSink is NewPool reporting to an obs.Sink (may be nil).
+func NewPoolWithSink(size int, sink obs.Sink) *Pool {
+	return newPool(size, sink)
+}
+
+// newPool is NewPool over an obs.Sink (may be nil).
+func newPool(size int, sink obs.Sink) *Pool {
 	if size < 1 {
 		size = 1
 	}
-	p := &Pool{jobs: make(chan func()), size: size, hooks: hooks}
+	p := &Pool{jobs: make(chan func()), size: size, sink: sink}
 	for i := 0; i < size; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.jobs {
-				if p.hooks != nil {
-					p.hooks.BatchJob()
+				if p.sink != nil {
+					p.sink.BatchJob()
 				}
 				runJob(fn)
 			}
@@ -105,7 +118,13 @@ type Executor struct {
 	mu       sync.Mutex
 	inflight map[string]*draw
 
-	hooks Hooks
+	sink obs.Sink
+	// costs, when non-nil, receives the measured effort of every
+	// executed draw under the draw's sampler key (and "key#i" for each
+	// union member). A coalesced waiter records only its Coalesced
+	// count — the draw's effort ran once, so it is counted once, by the
+	// caller that executed it.
+	costs *obs.Costs
 }
 
 type draw struct {
@@ -116,7 +135,19 @@ type draw struct {
 
 // NewExecutor returns an executor over the given pool. hooks may be nil.
 func NewExecutor(pool *Pool, hooks Hooks) *Executor {
-	return &Executor{pool: pool, inflight: map[string]*draw{}, hooks: hooks}
+	return newExecutor(pool, sinkFor(hooks), nil)
+}
+
+// NewExecutorWithSink is NewExecutor reporting to an obs.Sink (may be
+// nil).
+func NewExecutorWithSink(pool *Pool, sink obs.Sink) *Executor {
+	return newExecutor(pool, sink, nil)
+}
+
+// newExecutor is NewExecutor over an obs.Sink and a cost table (either
+// may be nil).
+func newExecutor(pool *Pool, sink obs.Sink, costs *obs.Costs) *Executor {
+	return &Executor{pool: pool, inflight: map[string]*draw{}, sink: sink, costs: costs}
 }
 
 // SampleMany draws n points from ps with w logical workers and base seed
@@ -138,6 +169,11 @@ func (e *Executor) SampleMany(samplerKey string, ps *Prepared, n, w int, seed ui
 // pool capacity.
 func (e *Executor) SampleManyCtx(ctx context.Context, samplerKey string, ps *Prepared, n, w int, seed uint64) (pts []linalg.Vector, coalesced bool, err error) {
 	key := fmt.Sprintf("%s|n=%d|w=%d|seed=%d", samplerKey, n, w, seed)
+	ctx, span := obs.Start(ctx, "sample.batch")
+	defer span.End()
+	span.SetKey(samplerKey)
+	span.Set("n", int64(n))
+	span.Set("workers", int64(w))
 	for {
 		e.mu.Lock()
 		d, ok := e.inflight[key]
@@ -149,7 +185,7 @@ func (e *Executor) SampleManyCtx(ctx context.Context, samplerKey string, ps *Pre
 			// took over a cancelled draw, it did the work itself:
 			// coalesced=false, and no CoalescedDraw event — the metric
 			// and the response field report only actual work-sharing.
-			pts, err := e.runDraw(ctx, key, d, ps, n, w, seed)
+			pts, err := e.runDraw(ctx, key, samplerKey, d, ps, n, w, seed, span)
 			return pts, false, err
 		}
 		e.mu.Unlock()
@@ -162,9 +198,11 @@ func (e *Executor) SampleManyCtx(ctx context.Context, samplerKey string, ps *Pre
 				// iteration either joins a fresh draw or initiates one.
 				continue
 			}
-			if e.hooks != nil {
-				e.hooks.CoalescedDraw()
+			if e.sink != nil {
+				e.sink.CoalescedDraw()
 			}
+			span.Set("coalesced", 1)
+			e.costs.For(samplerKey).Coalesced.Add(1)
 			return d.pts, true, d.err
 		case <-ctx.Done():
 			// Nothing was shared with this caller either.
@@ -178,7 +216,12 @@ func (e *Executor) SampleManyCtx(ctx context.Context, samplerKey string, ps *Pre
 // that decide to retry never re-join this finished draw. The defer
 // releases waiters even if the draw panics on this goroutine, mirroring
 // Cache.Get — otherwise every coalesced waiter would block forever.
-func (e *Executor) runDraw(ctx context.Context, key string, d *draw, ps *Prepared, n, w int, seed uint64) ([]linalg.Vector, error) {
+//
+// The draw's measured effort — bind and queue-wait time, walk steps,
+// oracle calls, rejection rounds — lands in the cost table under
+// samplerKey, with per-union-member attribution under "samplerKey#i",
+// and on the surrounding span when one is active.
+func (e *Executor) runDraw(ctx context.Context, key, samplerKey string, d *draw, ps *Prepared, n, w int, seed uint64, span *obs.Span) ([]linalg.Vector, error) {
 	finished := false
 	defer func() {
 		if !finished {
@@ -189,9 +232,55 @@ func (e *Executor) runDraw(ctx context.Context, key string, d *draw, ps *Prepare
 		e.mu.Unlock()
 		close(d.ready)
 	}()
-	d.pts, d.err = ps.SampleManyCtx(ctx, e.pool.Submit, n, w, seed)
+	var ds DrawStats
+	start := time.Now()
+	d.pts, d.err = ps.SampleManyObserved(ctx, e.pool.Submit, n, w, seed, &ds)
+	elapsed := time.Since(start).Nanoseconds()
 	finished = true
+	e.recordDraw(samplerKey, len(d.pts), elapsed, &ds, span)
 	return d.pts, d.err
+}
+
+// recordDraw attributes one executed draw's effort to the cost table
+// and the active span.
+func (e *Executor) recordDraw(samplerKey string, samples int, elapsedNanos int64, ds *DrawStats, span *obs.Span) {
+	c := e.costs.For(samplerKey)
+	c.Draws.Add(1)
+	c.Samples.Add(int64(samples))
+	c.SampleNanos.Add(elapsedNanos)
+	c.QueueNanos.Add(ds.QueueNanos)
+	c.Binds.Add(ds.Binds)
+	c.BindNanos.Add(ds.BindNanos)
+	addSampleStats(c, ds.Total)
+	for i, ms := range ds.Members {
+		if ms.IsZero() {
+			continue
+		}
+		mc := e.costs.For(fmt.Sprintf("%s#%d", samplerKey, i))
+		addSampleStats(mc, ms)
+	}
+	if span != nil {
+		span.Add("samples", int64(samples))
+		span.Add("binds", ds.Binds)
+		span.Add("bind_nanos", ds.BindNanos)
+		span.Add("queue_nanos", ds.QueueNanos)
+		span.Add("walk_steps", ds.Total.WalkSteps)
+		span.Add("walk_accepted", ds.Total.WalkAccepted)
+		span.Add("oracle_calls", ds.Total.OracleCalls)
+		span.Add("interrupt_polls", ds.Total.InterruptPolls)
+		span.Add("rounds", ds.Total.Rounds)
+		span.Add("accepts", ds.Total.Accepts)
+	}
+}
+
+// addSampleStats merges a core.SampleStats into a cost cell.
+func addSampleStats(c *obs.Cost, s core.SampleStats) {
+	c.WalkSteps.Add(s.WalkSteps)
+	c.WalkAccepted.Add(s.WalkAccepted)
+	c.OracleCalls.Add(s.OracleCalls)
+	c.InterruptPolls.Add(s.InterruptPolls)
+	c.Rounds.Add(s.Rounds)
+	c.Accepts.Add(s.Accepts)
 }
 
 // isContextErr reports a cancellation/deadline error — the only errors

@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"context"
+	"sync"
+	"time"
 
 	"repro/internal/constraint"
 	"repro/internal/core"
@@ -122,6 +124,71 @@ func (p *Prepared) SampleManyCtx(ctx context.Context, submit core.Submitter, n, 
 	return core.SampleManyCtx(ctx, submit, func(seed uint64) (core.Observable, error) {
 		return p.NewObservableCtx(ctx, seed)
 	}, n, w, baseSeed)
+}
+
+// DrawStats is the measured effort of one batched draw: per-seed bind
+// count and time, cumulative pool queue wait, the aggregated generator
+// effort, and — when the bound generators are unions — the per-member
+// (per-disjunct) effort split the executor attributes to "key#i".
+type DrawStats struct {
+	Binds      int64
+	BindNanos  int64
+	QueueNanos int64
+	Total      core.SampleStats
+	Members    []core.SampleStats
+}
+
+// SampleManyObserved is SampleManyCtx with effort measurement: binds
+// are timed, queue waits measured, and after the draw the bound
+// generators' walk/rejection counters are aggregated into ds. The
+// sample stream is identical to SampleManyCtx's for the same
+// arguments. ds must be non-nil and unshared until the call returns.
+func (p *Prepared) SampleManyObserved(ctx context.Context, submit core.Submitter, n, w int, baseSeed uint64, ds *DrawStats) ([]linalg.Vector, error) {
+	var mu sync.Mutex
+	var bound []core.Observable
+	factory := func(seed uint64) (core.Observable, error) {
+		t0 := time.Now()
+		o, err := p.NewObservableCtx(ctx, seed)
+		dt := time.Since(t0).Nanoseconds()
+		mu.Lock()
+		ds.Binds++
+		ds.BindNanos += dt
+		if err == nil {
+			bound = append(bound, o)
+		}
+		mu.Unlock()
+		return o, err
+	}
+	timedSubmit := func(fn func()) {
+		queued := time.Now()
+		submit(func() {
+			wait := time.Since(queued).Nanoseconds()
+			mu.Lock()
+			ds.QueueNanos += wait
+			mu.Unlock()
+			fn()
+		})
+	}
+	pts, err := core.SampleManyCtx(ctx, timedSubmit, factory, n, w, baseSeed)
+	// SampleManyCtx waits for every worker before returning, so the
+	// bound generators' counters are quiescent here.
+	for _, o := range bound {
+		ds.Total.Merge(core.EffortOf(o))
+		if u, ok := o.(*core.Union); ok {
+			for i := 0; i < u.Members(); i++ {
+				for len(ds.Members) <= i {
+					ds.Members = append(ds.Members, core.SampleStats{})
+				}
+				ds.Members[i].Merge(u.MemberEffort(i))
+			}
+		} else {
+			if len(ds.Members) == 0 {
+				ds.Members = append(ds.Members, core.SampleStats{})
+			}
+			ds.Members[0].Merge(core.EffortOf(o))
+		}
+	}
+	return pts, err
 }
 
 // CacheKey fingerprints the options the prepared geometry was built

@@ -22,11 +22,18 @@ package runtime
 import (
 	"hash/fnv"
 	"runtime"
+
+	"repro/internal/obs"
 )
 
-// Hooks receives runtime events; a serving layer maps them onto its
-// metrics. All methods must be safe for concurrent use. A nil Hooks is
-// valid and drops every event.
+// Hooks is the legacy five-counter event interface. It predates
+// obs.Sink, which additionally attributes cache events to their kind
+// (plan / symbolic / alibi) and distinguishes negative hits; new
+// integrations should implement obs.Sink and use NewWithSink. A Hooks
+// value that also implements obs.Sink receives the richer events
+// directly; otherwise events are folded down (hits and negative hits
+// both land on CacheHit). All methods must be safe for concurrent use.
+// A nil Hooks is valid and drops every event.
 type Hooks interface {
 	// CacheHit records a prepared-sampler cache hit (including negative
 	// entries and joins of an in-flight build).
@@ -41,6 +48,35 @@ type Hooks interface {
 	// BatchJob records one worker-pool job execution.
 	BatchJob()
 }
+
+// sinkFor adapts a legacy Hooks onto obs.Sink: nil stays nil, a Hooks
+// that already implements obs.Sink is used directly, anything else is
+// wrapped so kind information is dropped and negative hits fold onto
+// CacheHit — exactly the aggregation the five counters always had.
+func sinkFor(h Hooks) obs.Sink {
+	if h == nil {
+		return nil
+	}
+	if s, ok := h.(obs.Sink); ok {
+		return s
+	}
+	return legacySink{h}
+}
+
+type legacySink struct{ h Hooks }
+
+func (l legacySink) CacheEvent(_ obs.CacheKind, outcome obs.CacheOutcome) {
+	switch outcome {
+	case obs.Hit, obs.NegativeHit:
+		l.h.CacheHit()
+	case obs.Miss:
+		l.h.CacheMiss()
+	case obs.Eviction:
+		l.h.CacheEviction()
+	}
+}
+func (l legacySink) CoalescedDraw() { l.h.CoalescedDraw() }
+func (l legacySink) BatchJob()      { l.h.BatchJob() }
 
 // Config tunes the runtime. The zero value picks sensible defaults.
 type Config struct {
@@ -88,24 +124,42 @@ type Runtime struct {
 	// not once per caller. Hookless — alias lookups are bookkeeping,
 	// not prepared-cache traffic.
 	planKeys *Cache[string]
+
+	// costs is the observed per-key cost table: preparation time, walk
+	// effort and elimination effort attributed to the same canonical
+	// keys the caches use — the measured input of a cost-based planner.
+	costs *obs.Costs
 }
 
 // maxPlanKeys bounds the name → plan-key alias cache.
 const maxPlanKeys = 4096
 
-// New builds a runtime from cfg. hooks may be nil.
+// maxCostKeys bounds the observed-cost table (plan keys plus their
+// per-disjunct "key#i" sub-entries, symbolic and alibi keys).
+const maxCostKeys = 4096
+
+// New builds a runtime from cfg. hooks may be nil (see Hooks for how
+// legacy hooks fold the per-kind cache events).
 func New(cfg Config, hooks Hooks) *Runtime {
+	return NewWithSink(cfg, sinkFor(hooks))
+}
+
+// NewWithSink builds a runtime whose events report through an obs.Sink
+// with full per-kind cache attribution. sink may be nil.
+func NewWithSink(cfg Config, sink obs.Sink) *Runtime {
 	cfg = cfg.withDefaults()
-	pool := NewPool(cfg.PoolSize, hooks)
+	costs := obs.NewCosts(maxCostKeys)
+	pool := newPool(cfg.PoolSize, sink)
 	return &Runtime{
 		cfg:      cfg,
 		registry: NewRegistry(cfg.MaxDatabases),
-		cache:    NewSamplerCache(cfg.CacheSize, hooks),
-		alibis:   NewCache[*PreparedAlibi](cfg.CacheSize, hooks),
-		symbolic: NewCache[*SymbolicEntry](cfg.CacheSize, hooks),
+		cache:    NewKindCache[*Prepared](cfg.CacheSize, obs.KindPlan, sink),
+		alibis:   NewKindCache[*PreparedAlibi](cfg.CacheSize, obs.KindAlibi, sink),
+		symbolic: NewKindCache[*SymbolicEntry](cfg.CacheSize, obs.KindSymbolic, sink),
 		pool:     pool,
-		exec:     NewExecutor(pool, hooks),
+		exec:     newExecutor(pool, sink, costs),
 		planKeys: NewCache[string](maxPlanKeys, nil),
+		costs:    costs,
 	}
 }
 
@@ -128,6 +182,9 @@ func (rt *Runtime) SymbolicCache() *Cache[*SymbolicEntry] { return rt.symbolic }
 
 // Pool returns the bounded worker pool.
 func (rt *Runtime) Pool() *Pool { return rt.pool }
+
+// Costs returns the observed per-key cost table.
+func (rt *Runtime) Costs() *obs.Costs { return rt.costs }
 
 // Executor returns the batch executor over the pool.
 func (rt *Runtime) Executor() *Executor { return rt.exec }

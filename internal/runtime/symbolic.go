@@ -12,8 +12,10 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/constraint"
+	"repro/internal/obs"
 	"repro/internal/polytope"
 	"repro/internal/query"
 )
@@ -33,6 +35,11 @@ func interruptOf(ctx context.Context) func() error {
 type SymbolicEntry struct {
 	// Rel is the eliminated relation, infeasible tuples pruned.
 	Rel *constraint.Relation
+	// Stats measures the elimination that built Rel: per-disjunct
+	// eliminated-variable counts, Fourier–Motzkin rounds and atom
+	// growth. Frozen at build time — warm replays report the effort the
+	// entry originally cost.
+	Stats query.ElimStats
 
 	volMu   sync.Mutex
 	volDone bool
@@ -78,16 +85,21 @@ func SymbolicKey(dbID, symKey string) string {
 // translate the error to an empty relation over sq.OutVars.
 func (rt *Runtime) Symbolic(ctx context.Context, e *DatabaseEntry, sq *query.SymbolicQuery) (*SymbolicEntry, string, bool, error) {
 	key := SymbolicKey(e.ID, sq.Key)
+	ctx, span := obs.Start(ctx, "symbolic.eliminate")
+	defer span.End()
+	span.SetKey(key)
 	for {
 		se, hit, err := rt.symbolic.Get(key, func() (*SymbolicEntry, error) {
-			rel, err := sq.EvalCtx(ctx)
+			start := time.Now()
+			rel, st, err := sq.EvalCtxStats(ctx)
 			if err != nil {
 				return nil, err
 			}
+			rt.recordElim(key, time.Since(start).Nanoseconds(), st, span)
 			if len(rel.Tuples) == 0 {
 				return nil, Negative(ErrEmptyExpr)
 			}
-			return &SymbolicEntry{Rel: rel}, nil
+			return &SymbolicEntry{Rel: rel, Stats: st}, nil
 		})
 		if err != nil && ctx != nil && ctx.Err() == nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
@@ -96,6 +108,28 @@ func (rt *Runtime) Symbolic(ctx context.Context, e *DatabaseEntry, sq *query.Sym
 			// builder under our own ctx.
 			continue
 		}
+		if hit {
+			span.Set("cache_hit", 1)
+		}
 		return se, key, hit, err
+	}
+}
+
+// recordElim attributes one symbolic evaluation's effort to the cost
+// table and the active span.
+func (rt *Runtime) recordElim(key string, elapsedNanos int64, st query.ElimStats, span *obs.Span) {
+	c := rt.costs.For(key)
+	c.Evals.Add(1)
+	c.ElimNanos.Add(elapsedNanos)
+	c.ElimRounds.Add(int64(st.Rounds))
+	c.ElimVars.Add(int64(st.ElimVars))
+	c.AtomsIn.Add(int64(st.AtomsIn))
+	c.AtomsOut.Add(int64(st.AtomsOut))
+	if span != nil {
+		span.Add("elim_rounds", int64(st.Rounds))
+		span.Add("elim_vars", int64(st.ElimVars))
+		span.Add("atoms_in", int64(st.AtomsIn))
+		span.Add("atoms_out", int64(st.AtomsOut))
+		span.Add("disjuncts", int64(st.Disjuncts))
 	}
 }

@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/constraint"
 	"repro/internal/core"
@@ -175,7 +176,7 @@ func (rt *Runtime) preparedFor(e *DatabaseEntry, relName, queryName string, opts
 			}
 			cp = p
 		}
-		return buildFromPlan(cp, key, prepSeed, opts)
+		return rt.buildFromPlan(cp, key, prepSeed, opts)
 	})
 	return ps, key, hit, err
 }
@@ -206,7 +207,7 @@ func (rt *Runtime) PreparedPlanWithSeed(e *DatabaseEntry, cp *query.CanonicalPla
 func (rt *Runtime) preparedPlan(e *DatabaseEntry, cp *query.CanonicalPlan, opts core.Options, prepSeed *uint64) (*Prepared, string, bool, error) {
 	key := PlanKey(e.ID, cp.Key, opts.CacheKey())
 	ps, hit, err := rt.cache.Get(key, func() (*Prepared, error) {
-		return buildFromPlan(cp, key, prepSeed, opts)
+		return rt.buildFromPlan(cp, key, prepSeed, opts)
 	})
 	return ps, key, hit, err
 }
@@ -215,8 +216,10 @@ func (rt *Runtime) preparedPlan(e *DatabaseEntry, cp *query.CanonicalPlan, opts 
 // projection-needing plans become cached verdicts, everything else
 // materialises as a derived relation and pays the preparation pass.
 // The cached verdicts carry no target name — the entry is shared by
-// every structurally equal target, whatever it was called.
-func buildFromPlan(cp *query.CanonicalPlan, key string, prepSeed *uint64, opts core.Options) (*Prepared, error) {
+// every structurally equal target, whatever it was called. The
+// preparation time (rounding + volume passes) lands in the cost table
+// under the prepared key.
+func (rt *Runtime) buildFromPlan(cp *query.CanonicalPlan, key string, prepSeed *uint64, opts core.Options) (*Prepared, error) {
 	if cp.Empty() {
 		return nil, Negative(ErrEmptyExpr)
 	}
@@ -231,5 +234,12 @@ func buildFromPlan(cp *query.CanonicalPlan, key string, prepSeed *uint64, opts c
 	if prepSeed != nil {
 		seed = *prepSeed
 	}
-	return Prepare(rel, seed, opts)
+	start := time.Now()
+	ps, err := Prepare(rel, seed, opts)
+	if err == nil {
+		c := rt.costs.For(key)
+		c.Preps.Add(1)
+		c.PrepNanos.Add(time.Since(start).Nanoseconds())
+	}
+	return ps, err
 }

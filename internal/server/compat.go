@@ -1,6 +1,7 @@
 package server
 
 import (
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -40,7 +41,7 @@ type SamplerCache = runtime.SamplerCache
 // NewSamplerCache returns a cache holding at most capacity prepared
 // samplers (minimum 1). metrics may be nil.
 func NewSamplerCache(capacity int, metrics *Metrics) *SamplerCache {
-	return runtime.NewSamplerCache(capacity, hooksFor(metrics))
+	return runtime.NewKindCache[*runtime.Prepared](capacity, obs.KindPlan, sinkFor(metrics))
 }
 
 // Pool is the fixed-size sampling worker pool.
@@ -48,7 +49,7 @@ type Pool = runtime.Pool
 
 // NewPool starts size workers (minimum 1). metrics may be nil.
 func NewPool(size int, metrics *Metrics) *Pool {
-	return runtime.NewPool(size, hooksFor(metrics))
+	return runtime.NewPoolWithSink(size, sinkFor(metrics))
 }
 
 // Executor is the batch executor for sample requests: bounded
@@ -59,12 +60,12 @@ type Executor = runtime.Executor
 // NewExecutor returns an executor over the given pool. metrics may be
 // nil.
 func NewExecutor(pool *Pool, metrics *Metrics) *Executor {
-	return runtime.NewExecutor(pool, hooksFor(metrics))
+	return runtime.NewExecutorWithSink(pool, sinkFor(metrics))
 }
 
-// hooksFor adapts the server metrics to the runtime's event hooks,
+// sinkFor adapts the server metrics to the runtime's event sink,
 // avoiding the typed-nil interface trap.
-func hooksFor(m *Metrics) runtime.Hooks {
+func sinkFor(m *Metrics) obs.Sink {
 	if m == nil {
 		return nil
 	}

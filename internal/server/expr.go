@@ -142,6 +142,8 @@ type exprRequest struct {
 	Workers int          `json:"workers,omitempty"` // default Config.DefaultWorkers
 	Seed    uint64       `json:"seed"`
 	Options *OptionsJSON `json:"options,omitempty"`
+	// Trace includes the request's span tree in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type exprDisjunctJSON struct {
@@ -169,9 +171,11 @@ type exprResponse struct {
 	// quantifier-free DNF as a parseable `rel` declaration and its
 	// tuple count; Volume then carries the EXACT inclusion–exclusion
 	// volume (omitted when the relation is too large or unbounded).
-	Source    string  `json:"source,omitempty"`
-	Tuples    int     `json:"tuples,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Source    string    `json:"source,omitempty"`
+	Tuples    int       `json:"tuples,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	TraceID   string    `json:"trace_id,omitempty"`
+	Spans     *spanJSON `json:"spans,omitempty"`
 }
 
 func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
@@ -197,7 +201,7 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Mode == "symbolic" {
-		s.handleExprSymbolic(w, r, entry, node)
+		s.handleExprSymbolic(w, r, entry, node, req.Trace)
 		return
 	}
 	plan, err := node.Compile(entry.DB)
@@ -221,6 +225,7 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 		Columns:      cp.Plan.OutVars,
 		CanonicalKey: cp.Key,
 		Empty:        cp.Empty(),
+		TraceID:      traceID(r.Context()),
 	}
 
 	if mode == "explain" {
@@ -243,6 +248,7 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		resp.Spans = traceSpans(r.Context(), req.Trace)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -330,6 +336,7 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.Spans = traceSpans(r.Context(), req.Trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -339,7 +346,7 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 // inclusion–exclusion pass is feasible, its exact volume. Options are
 // irrelevant — symbolic evaluation is exact, so every configuration
 // shares one cache entry per canonical plan.
-func (s *Server) handleExprSymbolic(w http.ResponseWriter, r *http.Request, entry *runtime.DatabaseEntry, node *query.Node) {
+func (s *Server) handleExprSymbolic(w http.ResponseWriter, r *http.Request, entry *runtime.DatabaseEntry, node *query.Node, trace bool) {
 	start := time.Now()
 	sq, err := node.CompileSymbolic(entry.DB)
 	if err != nil {
@@ -357,6 +364,7 @@ func (s *Server) handleExprSymbolic(w http.ResponseWriter, r *http.Request, entr
 		Columns:      sq.OutVars,
 		CanonicalKey: sq.Key,
 		Cache:        cacheLabel(hit),
+		TraceID:      traceID(r.Context()),
 	}
 	var rel *constraint.Relation
 	switch {
@@ -384,6 +392,7 @@ func (s *Server) handleExprSymbolic(w http.ResponseWriter, r *http.Request, entr
 	resp.Source = rel.Source()
 	resp.Tuples = len(rel.Tuples)
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.Spans = traceSpans(r.Context(), trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 

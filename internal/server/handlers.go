@@ -271,6 +271,9 @@ type sampleRequest struct {
 	// Stream selects NDJSON output: a meta line followed by one point
 	// per line. Equivalent to Accept: application/x-ndjson.
 	Stream bool `json:"stream,omitempty"`
+	// Trace includes the request's span tree (per-stage durations and
+	// counters) in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type sampleResponse struct {
@@ -282,6 +285,8 @@ type sampleResponse struct {
 	Cache     string       `json:"cache"` // "hit" or "miss"
 	Coalesced bool         `json:"coalesced,omitempty"`
 	ElapsedMS float64      `json:"elapsed_ms"`
+	TraceID   string       `json:"trace_id,omitempty"`
+	Spans     *spanJSON    `json:"spans,omitempty"`
 	Points    []cdb.Vector `json:"points,omitempty"`
 }
 
@@ -335,6 +340,8 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		Cache:     cacheLabel(hit),
 		Coalesced: coalesced,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		TraceID:   traceID(r.Context()),
+		Spans:     traceSpans(r.Context(), req.Trace),
 	}
 	if req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
 		streamPoints(w, resp, pts)
@@ -388,15 +395,19 @@ type volumeRequest struct {
 	// default uses the warm prepared estimate.
 	MedianK int          `json:"median_k,omitempty"`
 	Options *OptionsJSON `json:"options,omitempty"`
+	// Trace includes the request's span tree in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type volumeResponse struct {
-	Database  string  `json:"database"`
-	Target    string  `json:"target"`
-	Volume    float64 `json:"volume"`
-	Method    string  `json:"method"` // "prepared" or "median"
-	Cache     string  `json:"cache,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Database  string    `json:"database"`
+	Target    string    `json:"target"`
+	Volume    float64   `json:"volume"`
+	Method    string    `json:"method"` // "prepared" or "median"
+	Cache     string    `json:"cache,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	TraceID   string    `json:"trace_id,omitempty"`
+	Spans     *spanJSON `json:"spans,omitempty"`
 }
 
 func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
@@ -421,7 +432,7 @@ func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	resp := volumeResponse{Database: entry.ID, Target: firstNonEmpty(req.Relation, req.Query)}
+	resp := volumeResponse{Database: entry.ID, Target: firstNonEmpty(req.Relation, req.Query), TraceID: traceID(r.Context())}
 	if req.MedianK > 1 {
 		rel, _, _, err := runtime.ResolveTarget(entry, req.Relation, req.Query, opts)
 		if err != nil {
@@ -441,6 +452,7 @@ func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
 			// and /v1/expr; replays serve the cached verdict.
 			resp.Volume, resp.Method, resp.Cache = 0, "prepared", cacheLabel(hit)
 			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+			resp.Spans = traceSpans(r.Context(), req.Trace)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -456,6 +468,7 @@ func (s *Server) handleVolume(w http.ResponseWriter, r *http.Request) {
 		resp.Volume, resp.Method, resp.Cache = v, "prepared", cacheLabel(hit)
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.Spans = traceSpans(r.Context(), req.Trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -4,10 +4,18 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// formatFloat renders a histogram bucket bound the way Prometheus
+// clients do: shortest decimal round-trip representation.
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
 // Metrics collects the server's operational counters and renders them in
 // the Prometheus text exposition format (no client library dependency —
@@ -15,10 +23,12 @@ import (
 type Metrics struct {
 	start time.Time
 
-	mu        sync.Mutex
-	requests  map[string]*atomic.Int64 // per-endpoint request counts
-	errors    map[string]*atomic.Int64 // per-endpoint error counts
-	latencies map[string]*latencySummary
+	mu          sync.Mutex
+	requests    map[string]*atomic.Int64 // per-endpoint request counts
+	errors      map[string]*atomic.Int64 // per-endpoint error counts
+	latencies   map[string]*latencySummary
+	cacheEvents map[string]*atomic.Int64  // per {kind,outcome} cache events
+	stages      map[string]*stageDuration // per-stage duration histograms
 
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
@@ -26,6 +36,39 @@ type Metrics struct {
 	Coalesced      atomic.Int64 // sample requests served by another request's draw
 	BatchJobs      atomic.Int64 // worker-pool jobs executed
 	SamplesServed  atomic.Int64 // points returned across all sample responses
+}
+
+// stageBuckets are the histogram upper bounds (seconds) of
+// cdbserve_stage_duration_seconds: sub-millisecond warm stages up to
+// multi-second cold preparations and eliminations.
+var stageBuckets = []float64{0.0001, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// numStageBuckets must equal len(stageBuckets); the init check below
+// keeps them in sync.
+const numStageBuckets = 8
+
+func init() {
+	if len(stageBuckets) != numStageBuckets {
+		panic("server: stageBuckets size drifted from numStageBuckets")
+	}
+}
+
+// stageDuration is one Prometheus histogram: cumulative bucket counts,
+// total count and sum of observations.
+type stageDuration struct {
+	buckets [numStageBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNano atomic.Int64 // seconds are accumulated as integer nanoseconds
+}
+
+func (h *stageDuration) observe(seconds float64) {
+	for i, ub := range stageBuckets {
+		if seconds <= ub {
+			h.buckets[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	h.sumNano.Add(int64(seconds * 1e9))
 }
 
 // latencySummary accumulates a Prometheus summary without quantiles:
@@ -39,10 +82,12 @@ type latencySummary struct {
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:     time.Now(),
-		requests:  map[string]*atomic.Int64{},
-		errors:    map[string]*atomic.Int64{},
-		latencies: map[string]*latencySummary{},
+		start:       time.Now(),
+		requests:    map[string]*atomic.Int64{},
+		errors:      map[string]*atomic.Int64{},
+		latencies:   map[string]*latencySummary{},
+		cacheEvents: map[string]*atomic.Int64{},
+		stages:      map[string]*stageDuration{},
 	}
 }
 
@@ -57,18 +102,24 @@ func (m *Metrics) counter(set map[string]*atomic.Int64, key string) *atomic.Int6
 	return c
 }
 
-// The runtime.Hooks implementation: the shared runtime reports cache
-// and pool events through these, keeping the counters (and their
+// The obs.Sink implementation: the shared runtime reports cache and
+// pool events through these, keeping the counters (and their
 // Prometheus rendering) where the HTTP layer owns them.
 
-// CacheHit records a prepared-sampler cache hit.
-func (m *Metrics) CacheHit() { m.CacheHits.Add(1) }
-
-// CacheMiss records a cold prepared-sampler build.
-func (m *Metrics) CacheMiss() { m.CacheMisses.Add(1) }
-
-// CacheEviction records an LRU eviction.
-func (m *Metrics) CacheEviction() { m.CacheEvictions.Add(1) }
+// CacheEvent records one cache lookup outcome, both per {kind,outcome}
+// (cdbserve_cache_events_total) and in the legacy aggregate scalars —
+// negative hits count as hits there, matching DB.CacheStats.
+func (m *Metrics) CacheEvent(kind obs.CacheKind, outcome obs.CacheOutcome) {
+	m.counter(m.cacheEvents, kind.String()+"|"+outcome.String()).Add(1)
+	switch outcome {
+	case obs.Hit, obs.NegativeHit:
+		m.CacheHits.Add(1)
+	case obs.Miss:
+		m.CacheMisses.Add(1)
+	case obs.Eviction:
+		m.CacheEvictions.Add(1)
+	}
+}
 
 // CoalescedDraw records a batched draw served by an identical in-flight
 // draw.
@@ -76,6 +127,33 @@ func (m *Metrics) CoalescedDraw() { m.Coalesced.Add(1) }
 
 // BatchJob records one worker-pool job execution.
 func (m *Metrics) BatchJob() { m.BatchJobs.Add(1) }
+
+var _ obs.Sink = (*Metrics)(nil)
+
+// ObserveStage records one pipeline stage duration (seconds) in the
+// cdbserve_stage_duration_seconds histogram under the stage label.
+func (m *Metrics) ObserveStage(stage string, seconds float64) {
+	m.mu.Lock()
+	h, ok := m.stages[stage]
+	if !ok {
+		h = &stageDuration{}
+		m.stages[stage] = h
+	}
+	m.mu.Unlock()
+	h.observe(seconds)
+}
+
+// stageSnapshot copies the stage histogram pointers under the lock;
+// the histograms themselves are atomic and safe to read after.
+func (m *Metrics) stageSnapshot() map[string]*stageDuration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]*stageDuration, len(m.stages))
+	for k, h := range m.stages {
+		out[k] = h
+	}
+	return out
+}
 
 // IncRequest counts one request to the named endpoint.
 func (m *Metrics) IncRequest(endpoint string) { m.counter(m.requests, endpoint).Add(1) }
@@ -139,6 +217,37 @@ func (m *Metrics) WriteTo(w io.Writer, gauges map[string]float64) {
 	}
 	writeFamily("cdbserve_requests_total", "Requests received per endpoint.", "counter", m.snapshot(m.requests))
 	writeFamily("cdbserve_errors_total", "Failed requests per endpoint.", "counter", m.snapshot(m.errors))
+
+	// Per-kind, per-outcome cache events: the map keys are "kind|outcome".
+	events := m.snapshot(m.cacheEvents)
+	ekeys := make([]string, 0, len(events))
+	for k := range events {
+		ekeys = append(ekeys, k)
+	}
+	sort.Strings(ekeys)
+	fmt.Fprintf(w, "# HELP cdbserve_cache_events_total Cache lookup outcomes per cache kind.\n# TYPE cdbserve_cache_events_total counter\n")
+	for _, k := range ekeys {
+		kind, outcome, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "cdbserve_cache_events_total{kind=%q,outcome=%q} %d\n", kind, outcome, events[k])
+	}
+
+	// Per-stage pipeline durations, a Prometheus histogram per stage.
+	stages := m.stageSnapshot()
+	skeys := make([]string, 0, len(stages))
+	for k := range stages {
+		skeys = append(skeys, k)
+	}
+	sort.Strings(skeys)
+	fmt.Fprintf(w, "# HELP cdbserve_stage_duration_seconds Pipeline stage durations (plan, prepare, sample, eliminate, ...).\n# TYPE cdbserve_stage_duration_seconds histogram\n")
+	for _, k := range skeys {
+		h := stages[k]
+		for i, ub := range stageBuckets {
+			fmt.Fprintf(w, "cdbserve_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n", k, formatFloat(ub), h.buckets[i].Load())
+		}
+		fmt.Fprintf(w, "cdbserve_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", k, h.count.Load())
+		fmt.Fprintf(w, "cdbserve_stage_duration_seconds_count{stage=%q} %d\n", k, h.count.Load())
+		fmt.Fprintf(w, "cdbserve_stage_duration_seconds_sum{stage=%q} %g\n", k, float64(h.sumNano.Load())/1e9)
+	}
 
 	// Per-endpoint latency: a summary (count + sum, so rate(sum)/rate(count)
 	// is the mean latency) plus a max gauge for outlier spotting.

@@ -20,9 +20,14 @@
 package server
 
 import (
+	"encoding/json"
+	"expvar"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -45,9 +50,17 @@ type Config struct {
 	MaxMedianK int
 	// MaxDatabases caps the registry size (default 1024).
 	MaxDatabases int
+	// SlowQuery, when positive, logs any request slower than this
+	// threshold with its trace id and per-stage span summary.
+	SlowQuery time.Duration
+	// Logger receives slow-query lines (default log.Default()).
+	Logger *log.Logger
 }
 
 func (c Config) withDefaults() Config {
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
 	if c.MaxDatabases <= 0 {
 		// The server's historical contract: non-positive means the 1024
 		// default, never the runtime's "negative = unbounded" escape.
@@ -78,7 +91,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
-	rt := runtime.New(runtime.Config{
+	rt := runtime.NewWithSink(runtime.Config{
 		PoolSize:     cfg.PoolSize,
 		CacheSize:    cfg.CacheSize,
 		MaxDatabases: cfg.MaxDatabases,
@@ -120,13 +133,53 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// instrument counts the request and records its wall-clock latency
-// under the endpoint label.
+// instrument counts the request, roots a trace span on its context
+// (so every pipeline stage below attaches to it), records its
+// wall-clock latency and the per-stage durations, and logs slow
+// queries with their trace id and span summary.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.IncRequest(endpoint)
+		ctx, root := obs.NewTrace(r.Context(), endpoint)
+		w.Header().Set("X-Trace-Id", root.TraceID())
 		start := time.Now()
-		h(w, r)
-		s.metrics.ObserveLatency(endpoint, time.Since(start).Seconds())
+		h(w, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		root.End()
+		s.metrics.ObserveLatency(endpoint, elapsed.Seconds())
+		for _, c := range root.StageNanos() {
+			if c.Name == endpoint {
+				continue // the root span itself is the request latency
+			}
+			s.metrics.ObserveStage(c.Name, float64(c.Value)/1e9)
+		}
+		if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+			s.cfg.Logger.Printf("slow query: endpoint=%s elapsed=%v trace=%s\n%s",
+				endpoint, elapsed, root.TraceID(), root.String())
+		}
 	}
+}
+
+// DebugHandler returns the operator-only debug mux: net/http/pprof
+// profiles, expvar counters and a JSON dump of the runtime's observed
+// per-sampler cost table under /debug/costs.
+//
+// The handler is UNAUTHENTICATED and can expose memory contents
+// through heap profiles — serve it on a loopback- or VPN-bound
+// listener (cdbserve -debug-addr), never on the public address.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/costs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.rt.Costs().Each())
+	})
+	return mux
 }

@@ -1,0 +1,61 @@
+package server
+
+// Wire form of the per-request trace: every instrumented request runs
+// under a root span (see instrument), and responses echo its trace id
+// so clients can correlate with the X-Trace-Id header and slow-query
+// log lines. Requests that set "trace": true additionally get the full
+// span tree — per-stage durations and counters — in the response.
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// spanJSON is one trace span on the wire.
+type spanJSON struct {
+	Name       string           `json:"name"`
+	Key        string           `json:"key,omitempty"`
+	DurationUS float64          `json:"duration_us"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Children   []spanJSON       `json:"children,omitempty"`
+}
+
+// spanTree serializes a span and its subtree. Un-ended spans (the root
+// is still open while its handler serializes the response) report
+// their running duration.
+func spanTree(s *obs.Span) *spanJSON {
+	if s == nil {
+		return nil
+	}
+	out := &spanJSON{
+		Name:       s.Name(),
+		Key:        s.Key(),
+		DurationUS: float64(s.Duration().Nanoseconds()) / 1e3,
+	}
+	if cs := s.Counters(); len(cs) > 0 {
+		out.Counters = make(map[string]int64, len(cs))
+		for _, c := range cs {
+			out.Counters[c.Name] = c.Value
+		}
+	}
+	for _, c := range s.Children() {
+		out.Children = append(out.Children, *spanTree(c))
+	}
+	return out
+}
+
+// traceID returns the request's trace id, or "" when untraced (e.g.
+// handlers exercised without the instrument wrapper in tests).
+func traceID(ctx context.Context) string {
+	return obs.FromContext(ctx).TraceID()
+}
+
+// traceSpans returns the serialized span tree when the client asked
+// for it, nil otherwise.
+func traceSpans(ctx context.Context, want bool) *spanJSON {
+	if !want {
+		return nil
+	}
+	return spanTree(obs.FromContext(ctx))
+}

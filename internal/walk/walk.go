@@ -103,6 +103,26 @@ type Walker struct {
 	err       error
 	// Steps executed and proposals accepted, for diagnostics.
 	steps, accepted int
+	// oracle counts membership/chord oracle invocations (a bisection
+	// chord, though it probes Contains ~120 times internally, counts as
+	// one invocation — the unit a planner prices is "oracle query", and
+	// the bisection constant is fixed); polls counts interrupt polls.
+	oracle, polls int
+}
+
+// Stats is a snapshot of a walker's accumulated effort counters.
+type Stats struct {
+	// Steps executed and proposals accepted.
+	Steps, Accepted int
+	// OracleCalls is the number of membership/chord oracle invocations.
+	OracleCalls int
+	// InterruptPolls is the number of interrupt-hook polls during Runs.
+	InterruptPolls int
+}
+
+// Stats returns the walker's effort counters.
+func (w *Walker) Stats() Stats {
+	return Stats{Steps: w.steps, Accepted: w.accepted, OracleCalls: w.oracle, InterruptPolls: w.polls}
 }
 
 // Config carries walk construction parameters.
@@ -190,6 +210,7 @@ func (w *Walker) Step() {
 			sign = -1
 		}
 		cand := w.grid.Neighbor(w.cur, j, sign)
+		w.oracle++
 		if w.body.Contains(cand) {
 			w.cur = cand
 			w.accepted++
@@ -198,12 +219,14 @@ func (w *Walker) Step() {
 		cand := w.cur.Clone()
 		w.r.InBall(w.dirBuf)
 		cand.AddScaled(w.delta, w.dirBuf)
+		w.oracle++
 		if w.body.Contains(cand) {
 			w.cur = cand
 			w.accepted++
 		}
 	case HitAndRun:
 		w.r.OnSphere(w.dirBuf)
+		w.oracle++
 		tmin, tmax, ok := w.chord(w.cur, w.dirBuf)
 		if !ok || tmax <= tmin || math.IsInf(tmin, -1) || math.IsInf(tmax, 1) {
 			return
@@ -212,6 +235,7 @@ func (w *Walker) Step() {
 		next := w.cur.Clone()
 		next.AddScaled(t, w.dirBuf)
 		// Guard against numerically escaping the body at chord endpoints.
+		w.oracle++
 		if w.body.Contains(next) {
 			w.cur = next
 			w.accepted++
@@ -234,6 +258,7 @@ func (w *Walker) Run(n int) linalg.Vector {
 	w.err = nil
 	for i := 0; i < n; i++ {
 		if i%interruptStride == 0 {
+			w.polls++
 			if err := w.interrupt(); err != nil {
 				w.err = err
 				return w.cur

@@ -291,3 +291,45 @@ func TestKindString(t *testing.T) {
 		t.Error("Kind.String misbehaves")
 	}
 }
+
+func TestWalkerStats(t *testing.T) {
+	// Grid walk: every non-lazy step queries the oracle exactly once.
+	r := rng.New(11)
+	g := geom.NewGrid(2, 0.1)
+	w, err := New(square(), linalg.Vector{0.5, 0.5}, r, Config{Kind: GridWalk, Grid: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(500)
+	st := w.Stats()
+	if st.Steps != 500 {
+		t.Fatalf("Steps = %d, want 500", st.Steps)
+	}
+	if st.OracleCalls <= 0 || st.OracleCalls > 500 {
+		t.Fatalf("grid OracleCalls = %d, want in (0, 500]", st.OracleCalls)
+	}
+	if st.Accepted <= 0 || st.Accepted > st.OracleCalls {
+		t.Fatalf("Accepted = %d vs oracle %d", st.Accepted, st.OracleCalls)
+	}
+	if st.InterruptPolls != 0 {
+		t.Fatalf("InterruptPolls = %d without a hook", st.InterruptPolls)
+	}
+
+	// Hit-and-run: chord + endpoint guard per step, two oracle calls.
+	w2, err := New(square(), linalg.Vector{0.5, 0.5}, rng.New(12), Config{
+		Kind:      HitAndRun,
+		Interrupt: func() error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Run(128)
+	st2 := w2.Stats()
+	if st2.Steps != 128 || st2.OracleCalls != 256 {
+		t.Fatalf("hit-and-run stats = %+v, want 128 steps / 256 oracle calls", st2)
+	}
+	// 128 steps poll at i = 0, 32, 64, 96.
+	if st2.InterruptPolls != 4 {
+		t.Fatalf("InterruptPolls = %d, want 4", st2.InterruptPolls)
+	}
+}

@@ -1,0 +1,60 @@
+package cdb_test
+
+// Instrumentation-overhead benchmarks: the tracing/metrics layer added
+// for observability must be free when unused. The warm composed-
+// expression draw (the same workload as BenchmarkExprComposedWarm) runs
+// untraced — the spans reduce to one context lookup returning nil —
+// and traced, where every stage allocates and fills a span. Results
+// and the overhead bound are recorded in BENCH_obs.json.
+
+import (
+	"context"
+	"testing"
+
+	cdb "repro"
+)
+
+// BenchmarkExprComposedWarmUntraced: the PR-5 warm-path workload on an
+// untraced context. Compared against BenchmarkExprComposedWarm's
+// recorded baseline to bound the disabled-instrumentation overhead.
+func BenchmarkExprComposedWarmUntraced(b *testing.B) {
+	db, err := cdb.Open(benchAlgebraProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	expr := db.Rel("A").Union(db.Rel("C")).Intersect(db.Rel("B"))
+	if _, err := expr.SampleN(ctx, benchComposedN); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.SampleNSeeded(ctx, benchComposedN, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExprComposedWarmTraced: the same workload under an active
+// trace — each draw grows an expr.sample → {expr.prepare, sample.batch}
+// span tree with per-stage counters.
+func BenchmarkExprComposedWarmTraced(b *testing.B) {
+	db, err := cdb.Open(benchAlgebraProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	expr := db.Rel("A").Union(db.Rel("C")).Intersect(db.Rel("B"))
+	if _, err := expr.SampleN(context.Background(), benchComposedN); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, root := cdb.StartTrace(context.Background(), "bench")
+		if _, err := expr.SampleNSeeded(ctx, benchComposedN, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/query"
 	"repro/internal/runtime"
@@ -36,6 +37,24 @@ type DisjunctExplain struct {
 	// on its own earlier (or shared with another expression) shows
 	// "hit".
 	Cache string
+	// Observed is the disjunct's measured share of the expression's
+	// draws (walk steps, LP membership calls, rejection rounds),
+	// recorded under "CacheKey#i". Nil until a draw has run.
+	Observed *ObservedCost
+}
+
+// StageTiming is one pipeline stage's aggregate timing in an
+// ExplainReport: how many times the stage ran for this expression and
+// the total wall time it consumed.
+type StageTiming struct {
+	// Stage is "compile", "prepare", "sample", "bind", "queue" or
+	// "eliminate".
+	Stage string
+	// Count is how many times the stage ran (1 for compile — it is
+	// memoized per Expr).
+	Count int64
+	// Nanos is the cumulative wall time.
+	Nanos int64
 }
 
 // ExplainReport is the result of Expr.Explain: the rewritten
@@ -69,6 +88,21 @@ type ExplainReport struct {
 	Plan string
 	// Disjuncts describes each disjunct of the canonical plan.
 	Disjuncts []DisjunctExplain
+
+	// CompileNanos is the wall time of this expression's (memoized)
+	// compile + canonicalization pass.
+	CompileNanos int64
+	// Stages aggregates the per-stage timings observed for this
+	// expression so far: the compile pass plus whatever the cost table
+	// has recorded under its keys (prepare, sample, bind, queue,
+	// eliminate). Stages that never ran are omitted.
+	Stages []StageTiming
+	// Observed is the expression's accumulated measured cost under
+	// CacheKey (nil until a terminal verb has run); SymbolicObserved
+	// the same under SymbolicKey (nil until EvalSymbolic or
+	// VolumeSymbolic has run).
+	Observed         *ObservedCost
+	SymbolicObserved *ObservedCost
 }
 
 // String renders the report for terminals.
@@ -79,6 +113,7 @@ func (r *ExplainReport) String() string {
 	if r.SymbolicOnly {
 		fmt.Fprintf(&sb, "symbolic cache: %s\n", r.Symbolic)
 		sb.WriteString("outside the sampling fragment (∀ or negation under ∃): symbolic evaluation only\n")
+		r.writeStages(&sb)
 		return sb.String()
 	}
 	fmt.Fprintf(&sb, "cache: %s\n", r.Cache)
@@ -92,8 +127,54 @@ func (r *ExplainReport) String() string {
 	sb.WriteString(r.Plan)
 	for i, d := range r.Disjuncts {
 		fmt.Fprintf(&sb, "  disjunct %d: cache %s (%s)\n", i, d.Cache, d.CanonicalKey)
+		if d.Observed != nil {
+			fmt.Fprintf(&sb, "    observed: %s\n", observedLine(d.Observed))
+		}
+	}
+	r.writeStages(&sb)
+	if r.Observed != nil {
+		fmt.Fprintf(&sb, "observed: %s\n", observedLine(r.Observed))
 	}
 	return sb.String()
+}
+
+// writeStages renders the per-stage timing rows, if any.
+func (r *ExplainReport) writeStages(sb *strings.Builder) {
+	if len(r.Stages) == 0 {
+		return
+	}
+	sb.WriteString("stages:\n")
+	for _, s := range r.Stages {
+		fmt.Fprintf(sb, "  %-9s %12v  ×%d\n", s.Stage, time.Duration(s.Nanos), s.Count)
+	}
+}
+
+// observedLine renders the non-zero counters of an observed cost on
+// one line.
+func observedLine(c *ObservedCost) string {
+	var parts []string
+	add := func(name string, v int64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("draws", c.Draws)
+	add("samples", c.Samples)
+	add("coalesced", c.Coalesced)
+	add("walk_steps", c.WalkSteps)
+	add("walk_accepted", c.WalkAccepted)
+	add("oracle_calls", c.OracleCalls)
+	add("rounds", c.Rounds)
+	add("accepts", c.Accepts)
+	add("evals", c.Evals)
+	add("elim_rounds", c.ElimRounds)
+	add("elim_vars", c.ElimVars)
+	add("atoms_in", c.AtomsIn)
+	add("atoms_out", c.AtomsOut)
+	if len(parts) == 0 {
+		return "(nothing recorded)"
+	}
+	return strings.Join(parts, " ")
 }
 
 // cacheStateLabel renders a Peek result.
@@ -129,13 +210,18 @@ func (e *Expr) Explain(ctx context.Context) (*ExplainReport, error) {
 		}
 		skey := runtime.SymbolicKey(e.db.entry.ID, sq.Key)
 		scached, snegative := e.db.rt.SymbolicCache().Peek(skey)
-		return &ExplainReport{
+		rep := &ExplainReport{
 			Columns:      append([]string(nil), sq.OutVars...),
 			CanonicalKey: sq.Key,
 			SymbolicOnly: true,
 			SymbolicKey:  skey,
 			Symbolic:     cacheStateLabel(scached, snegative),
-		}, nil
+		}
+		if snap, ok := e.db.rt.Costs().Snapshot(skey); ok {
+			rep.SymbolicObserved = &snap
+		}
+		rep.Stages = stageTimings(0, nil, rep.SymbolicObserved)
+		return rep, nil
 	}
 	opts := e.effectiveOptions()
 	optsKey := opts.CacheKey()
@@ -165,14 +251,53 @@ func (e *Expr) Explain(ctx context.Context) (*ExplainReport, error) {
 		}
 		dkey := runtime.PlanKey(e.db.entry.ID, dkeys[i], optsKey)
 		dcached, dnegative := e.db.rt.Cache().Peek(dkey)
-		rep.Disjuncts = append(rep.Disjuncts, DisjunctExplain{
+		de := DisjunctExplain{
 			Kind:         kind,
 			Dim:          d.Poly.Dim(),
 			Constraints:  d.Poly.Rows(),
 			ExVars:       d.ExVars,
 			CanonicalKey: dkeys[i],
 			Cache:        cacheStateLabel(dcached, dnegative),
-		})
+		}
+		// The executor attributes each draw's walk effort per union
+		// member under "key#i" — the observed per-disjunct cost.
+		if snap, ok := e.db.rt.Costs().Snapshot(fmt.Sprintf("%s#%d", key, i)); ok {
+			de.Observed = &snap
+		}
+		rep.Disjuncts = append(rep.Disjuncts, de)
 	}
+	rep.CompileNanos = e.compileNanos
+	if snap, ok := e.db.rt.Costs().Snapshot(key); ok {
+		rep.Observed = &snap
+	}
+	if snap, ok := e.db.rt.Costs().Snapshot(skey); ok {
+		rep.SymbolicObserved = &snap
+	}
+	rep.Stages = stageTimings(e.compileNanos, rep.Observed, rep.SymbolicObserved)
 	return rep, nil
+}
+
+// stageTimings folds the compile pass and the observed cost snapshots
+// into the per-stage timing rows of an ExplainReport.
+func stageTimings(compileNanos int64, observed, symbolic *ObservedCost) []StageTiming {
+	var st []StageTiming
+	if compileNanos > 0 {
+		st = append(st, StageTiming{Stage: "compile", Count: 1, Nanos: compileNanos})
+	}
+	if observed != nil {
+		for _, row := range []StageTiming{
+			{Stage: "prepare", Count: observed.Preps, Nanos: observed.PrepNanos},
+			{Stage: "sample", Count: observed.Draws, Nanos: observed.SampleNanos},
+			{Stage: "bind", Count: observed.Binds, Nanos: observed.BindNanos},
+			{Stage: "queue", Count: observed.Draws, Nanos: observed.QueueNanos},
+		} {
+			if row.Count > 0 || row.Nanos > 0 {
+				st = append(st, row)
+			}
+		}
+	}
+	if symbolic != nil && symbolic.Evals > 0 {
+		st = append(st, StageTiming{Stage: "eliminate", Count: symbolic.Evals, Nanos: symbolic.ElimNanos})
+	}
+	return st
 }

@@ -1,0 +1,49 @@
+package cdb
+
+// Request tracing for the facade: StartTrace turns any context into a
+// traced one; every pipeline stage that runs under it — expression
+// compilation, sampler preparation, batched draws, symbolic
+// elimination — appends a timed child span with its observed counters
+// (walk steps, LP membership calls, bind and queue-wait time,
+// elimination rounds, atom growth). When no trace is active the
+// instrumentation costs one context lookup per stage and nothing per
+// sample, so handles pay (almost) nothing by default.
+//
+//	ctx, span := cdb.StartTrace(ctx, "report")
+//	pts, err := db.Rel("parcels").SampleN(ctx, 1000)
+//	span.End()
+//	fmt.Print(span) // the span tree with per-stage timings
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Span is one timed stage of a traced request: a name, a duration, the
+// stage's cache key when it has one, observed counters and child
+// stages. Every method is safe on a nil *Span, and String renders the
+// whole subtree (cmd/cdbquery -trace prints it). Spans are created by
+// StartTrace and grown by the pipeline; End is idempotent.
+type Span = obs.Span
+
+// ObservedCost is the accumulated measured cost of one cache key:
+// preparation time, draw/bind/queue time, walk effort (steps, LP
+// membership calls), rejection rounds and symbolic-elimination effort.
+// Surfaced by Expr.Explain (whole expression and per disjunct) and by
+// the cdbserve debug endpoint.
+type ObservedCost = obs.CostSnapshot
+
+// StartTrace derives a traced context: stages executed under it attach
+// child spans to the returned root. End the root when the request is
+// done; its String method renders the tree. Tracing is per-request
+// opt-in — contexts without a trace skip all span work.
+func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.NewTrace(ctx, name)
+}
+
+// SpanFromContext returns the span active in ctx, or nil when the
+// context is untraced (nil is safe to use: every Span method no-ops).
+func SpanFromContext(ctx context.Context) *Span {
+	return obs.FromContext(ctx)
+}

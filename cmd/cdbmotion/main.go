@@ -16,6 +16,9 @@
 //	cdbmotion -mode alibi -file fleet.cdb -a obj0 -b obj1 [-t0 0] [-t1 40] [-seed 42] [-k 1]
 //	    Answer "could a and b have met during [t0, t1]?" by sampling and
 //	    by Fourier–Motzkin elimination, cross-checked.
+//
+// Every mode accepts -trace, which prints the request's span tree
+// (per-stage durations and counters) to stderr, like cdbquery -trace.
 package main
 
 import (
@@ -60,11 +63,21 @@ func main() {
 		aName   = flag.String("a", "", "alibi: first object")
 		bName   = flag.String("b", "", "alibi: second object")
 		medianK = flag.Int("k", 1, "alibi: median-of-k volume amplification")
+
+		trace = flag.Bool("trace", false, "trace the evaluation and print the span tree (per-stage durations and counters) to stderr")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *trace {
+		var root *cdb.Span
+		ctx, root = cdb.StartTrace(ctx, "cdbmotion")
+		defer func() {
+			root.End()
+			fmt.Fprint(os.Stderr, root.String())
+		}()
+	}
 
 	switch *mode {
 	case "fleet":
@@ -87,18 +100,28 @@ func main() {
 		}
 		db := openDB(*file)
 		defer db.Close()
+		// Stage spans are attached by hand: the spacetime prepare path
+		// does not thread a context, so the tree is built around the
+		// calls (a nil parent span makes every StartChild/End a no-op).
+		sp := cdb.SpanFromContext(ctx).StartChild("slice.prepare")
 		ps, err := db.TimeSlice(ctx, *relName, *t0)
+		sp.End()
 		if err != nil {
 			log.Fatal(err)
 		}
 		if *volume {
+			sp := cdb.SpanFromContext(ctx).StartChild("slice.volume")
 			v, err := ps.VolumeCtx(ctx, *seed)
+			sp.End()
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("area(%s @ t=%g) ≈ %.6g\n", *relName, *t0, v)
 			return
 		}
+		sp = cdb.SpanFromContext(ctx).StartChild("slice.sample")
+		sp.Set("n", int64(*count))
+		defer sp.End()
 		gen, err := ps.NewObservableCtx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
@@ -145,7 +168,9 @@ func main() {
 				}
 			}
 		}
+		sp := cdb.SpanFromContext(ctx).StartChild("alibi.report")
 		rep, err := db.AlibiSeeded(ctx, *aName, *bName, lo, hi, *seed, *medianK)
+		sp.End()
 		if err != nil {
 			log.Fatal(err)
 		}

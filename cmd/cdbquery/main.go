@@ -10,10 +10,12 @@
 //	cdbquery -file db.cdb -query Q -mode volume
 //	cdbquery -file db.cdb -query Q -mode reconstruct -n 500
 //	cdbquery -file db.cdb -query Q -explain
+//	cdbquery -file db.cdb -query Q -audit
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +37,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "random seed")
 		explain = flag.Bool("explain", false, "print the normalized (canonical) sampling plan, its cache key and per-disjunct cache status before evaluating; with -mode volume the evaluation runs afterwards and a second report shows the warmed cache")
 		trace   = flag.Bool("trace", false, "trace the evaluation and print the span tree (per-stage durations and counters) to stderr")
+		audit   = flag.Bool("audit", false, "warm the query's sampler, run one quality-audit round (empirical cell masses and disjunct shares vs exact symbolic volumes) and print the verdicts and quality report")
 	)
 	flag.Parse()
 	if *file == "" || *qName == "" {
@@ -66,6 +69,39 @@ func main() {
 		}()
 	}
 	e := db.Engine(ctx, *seed)
+
+	if *audit {
+		// Warm the sampler (registering it with the auditor), run one
+		// on-demand audit sweep, and print the verdicts plus the
+		// accumulated quality report.
+		expr := db.Rel(*qName)
+		if _, err := expr.SampleNSeeded(ctx, 512, *seed); err != nil {
+			log.Fatal(err)
+		}
+		events, err := db.AuditOnce(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(events) == 0 {
+			fmt.Println("no auditable entries (target outside the exact-oracle fragment?)")
+		}
+		for _, ev := range events {
+			fmt.Printf("audit %-4s check=%-6s stat=%.3f threshold=%.3f samples=%d %s\n",
+				ev.Outcome, ev.Check, ev.Stat, ev.Threshold, ev.Samples, ev.Detail)
+		}
+		rep, err := expr.Explain(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if q, ok := db.QualityReport(rep.CacheKey); ok {
+			out, err := json.MarshalIndent(q, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(string(out))
+		}
+		return
+	}
 
 	if *explain {
 		rep, err := db.Rel(*qName).Explain(ctx)

@@ -39,14 +39,15 @@ func main() {
 		maxN    = flag.Int("max-samples", 0, "per-request sample cap (0 = 1e6)")
 		// Large NDJSON streams and long-polling dashboards need tunable
 		// write/idle deadlines; 0 keeps Go's no-timeout default.
-		writeTimeout = flag.Duration("write-timeout", 0, "max duration for writing a response (0 = unlimited)")
-		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout (0 = unlimited)")
-		slowQuery    = flag.Duration("slow-query", 0, "log requests slower than this with their trace id and span summary (0 = disabled)")
+		writeTimeout  = flag.Duration("write-timeout", 0, "max duration for writing a response (0 = unlimited)")
+		idleTimeout   = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout (0 = unlimited)")
+		slowQuery     = flag.Duration("slow-query", 0, "log requests slower than this with their trace id and span summary (0 = disabled)")
+		auditInterval = flag.Duration("audit-interval", 0, "background quality-audit sweep interval: warm samplers are re-drawn and cross-checked against exact symbolic volumes (0 = disabled; POST /v1/audit still audits on demand)")
 		// The debug listener serves pprof heap/CPU profiles and the raw
 		// cost tables: unauthenticated by design, so it binds separately —
 		// keep it on loopback or an ops-only network, never the public
 		// address.
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/costs on this UNAUTHENTICATED ops-only address (e.g. localhost:6060; empty = disabled)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars, /debug/costs and /debug/quality on this UNAUTHENTICATED ops-only address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		DefaultWorkers: *workers,
 		MaxSamples:     *maxN,
 		SlowQuery:      *slowQuery,
+		AuditInterval:  *auditInterval,
 	})
 	defer srv.Close()
 

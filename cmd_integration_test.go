@@ -19,6 +19,7 @@ func TestCommandLineTools(t *testing.T) {
 	prog := `
 rel S(x, y) := { x >= 0, y >= 0, x + y <= 1 } | { 2 <= x <= 3, 0 <= y <= 1 };
 query Q(x)  := exists y. S(x, y);
+query W(x, y) := S(x, y);
 `
 	if err := os.WriteFile(dbPath, []byte(prog), 0o644); err != nil {
 		t.Fatal(err)
@@ -126,6 +127,34 @@ query Q(x)  := exists y. S(x, y);
 		out = run("./cmd/cdbmotion", "-mode", "alibi", "-file", fleetPath, "-a", "obj0", "-b", "obj1", "-seed", "3")
 		if !strings.Contains(out, "cross-check: consistent=true") {
 			t.Errorf("alibi verdicts disagree:\n%s", out)
+		}
+
+		// -trace prints the span tree to stderr (CombinedOutput folds it
+		// in): the root span plus the hand-attached stage spans.
+		out = run("./cmd/cdbmotion", "-mode", "alibi", "-file", fleetPath,
+			"-a", "obj0", "-b", "obj1", "-seed", "3", "-trace")
+		for _, want := range []string{"cdbmotion", "trace=", "alibi.report"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("traced alibi output missing %q:\n%s", want, out)
+			}
+		}
+		out = run("./cmd/cdbmotion", "-mode", "slice", "-file", fleetPath, "-rel", "obj0",
+			"-t0", "12.5", "-samples", "2", "-seed", "1", "-trace")
+		for _, want := range []string{"slice.prepare", "slice.sample"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("traced slice output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("cdbquery audit", func(t *testing.T) {
+		// W is quantifier-free, so it has a cacheable prepared sampler
+		// inside the exact-oracle fragment (2-D, 2 disjuncts).
+		out := run("./cmd/cdbquery", "-file", dbPath, "-query", "W", "-audit")
+		for _, want := range []string{"audit pass", "check=cells", "check=shares", `"audit_outcome": "pass"`} {
+			if !strings.Contains(out, want) {
+				t.Errorf("audit output missing %q:\n%s", want, out)
+			}
 		}
 	})
 }

@@ -52,6 +52,8 @@ type dbConfig struct {
 	workers     int
 	prepSeed    uint64
 	prepSeedSet bool
+	audit       AuditConfig
+	auditSet    bool
 }
 
 // Option configures a DB handle at Open time.
@@ -103,6 +105,19 @@ func WithWorkers(n int) Option {
 // handles regardless of this option.
 func WithPrepSeed(seed uint64) Option {
 	return func(c *dbConfig) { c.prepSeed = seed; c.prepSeedSet = true }
+}
+
+// WithAudit starts the handle's background self-audit: a small worker
+// pool that periodically re-draws batches from warm cache entries and
+// cross-checks their empirical cell masses and disjunct shares against
+// exact symbolic volumes (where the target is inside the
+// symbolic-capable fragment). Failing entries are flagged in CacheStats
+// and Explain — never silently evicted. The zero AuditConfig picks
+// defaults but leaves the loop stopped; set Interval > 0 to run it.
+// Audits also run on demand through DB.AuditOnce regardless of the
+// interval.
+func WithAudit(cfg AuditConfig) Option {
+	return func(c *dbConfig) { c.audit = cfg; c.auditSet = true }
 }
 
 // CallOption overrides the handle's sampling options for a single call
@@ -175,6 +190,11 @@ type CacheStats struct {
 	// Plan, Symbolic and Alibi are the per-kind breakdowns: prepared
 	// samplers, eliminated DNF relations and alibi preparations.
 	Plan, Symbolic, Alibi CacheKindStats
+
+	// Audit is the background self-audit's counters, including the keys
+	// currently flagged by a failed audit (flagged entries stay cached —
+	// quarantine is a visible verdict, not a silent eviction).
+	Audit AuditStats
 }
 
 // kindCounters accumulates one cache kind's event counts.
@@ -279,6 +299,10 @@ func openEntry(database *Database, src string, options []Option) (*DB, error) {
 		rt.Close()
 		return nil, err
 	}
+	if cfg.auditSet {
+		rt.Auditor().Configure(cfg.audit)
+		rt.Auditor().Start()
+	}
 	workers := cfg.workers
 	if workers <= 0 {
 		workers = min(4, rt.Pool().Size())
@@ -337,6 +361,7 @@ func (db *DB) CacheStats() CacheStats {
 		Plan:           plan,
 		Symbolic:       symbolic,
 		Alibi:          alibi,
+		Audit:          db.rt.Auditor().Stats(),
 	}
 }
 
@@ -543,7 +568,11 @@ func (db *DB) Volume(ctx context.Context, name string, copts ...CallOption) (flo
 	if err != nil {
 		return 0, err
 	}
-	return ps.VolumeCtx(ctx, runtime.PrepSeedFor(key+"\x1fvolume"))
+	v, acc, accOK, err := ps.VolumeWithAccuracy(ctx, runtime.PrepSeedFor(key+"\x1fvolume"))
+	if err == nil && accOK {
+		db.rt.RecordVolumeAccuracy(key, acc)
+	}
+	return v, err
 }
 
 // Query returns a generator/estimator for a named query via its

@@ -401,7 +401,11 @@ func (e *Expr) Volume(ctx context.Context) (float64, error) {
 		return 0, err
 	}
 	span.SetKey(key)
-	return ps.VolumeCtx(ctx, runtime.PrepSeedFor(key+"\x1fvolume"))
+	v, acc, accOK, err := ps.VolumeWithAccuracy(ctx, runtime.PrepSeedFor(key+"\x1fvolume"))
+	if err == nil && accOK {
+		e.db.rt.RecordVolumeAccuracy(key, acc)
+	}
+	return v, err
 }
 
 // EvalSymbolic evaluates the expression symbolically — the paper's

@@ -1,0 +1,78 @@
+package core
+
+import "math"
+
+// VolumeAccuracy is the (ε, δ) budget record of one volume estimation:
+// what the caller requested (Params.Eps / Params.Delta) versus what the
+// Chernoff sample counts actually delivered after the practicality caps
+// (Options.MaxPhaseSamples). When a per-phase sample count is capped,
+// the confidence δ is held fixed and the achieved half-width widens —
+// AchievedEps is the honest ε the estimate satisfies at the requested
+// δ. This is the silent accuracy loss the observability ledger exists
+// to surface: the theoretical schedule is O(d¹⁹) and nobody runs it,
+// so the gap between requested and achieved is a property of every
+// real deployment, not an edge case.
+type VolumeAccuracy struct {
+	RequestedEps   float64
+	RequestedDelta float64
+	AchievedEps    float64
+	AchievedDelta  float64
+	// Capped reports that at least one sampling pass hit its cap, so
+	// AchievedEps > RequestedEps.
+	Capped bool
+	// Probes is the total number of sampling probes spent.
+	Probes int64
+}
+
+// merge folds another stage's accuracy into v: ε degradations compose
+// approximately additively ((1+ε₁)(1+ε₂) ≈ 1+ε₁+ε₂ for small ε), caps
+// and probes accumulate.
+func (v *VolumeAccuracy) merge(o VolumeAccuracy) {
+	v.AchievedEps += o.AchievedEps
+	v.Capped = v.Capped || o.Capped
+	v.Probes += o.Probes
+}
+
+// achievedHalfWidth inverts the Chernoff/Hoeffding sample-count bound
+// n = ln(2/δ)/(2a²) for the additive half-width a that n samples
+// actually deliver at confidence 1−δ.
+func achievedHalfWidth(n int, delta float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(n)))
+}
+
+// VolumeAccuracyReporter is implemented by estimators that track their
+// (ε, δ) ledger. Callers type-assert (mirrors EffortReporter).
+type VolumeAccuracyReporter interface {
+	// VolumeAccuracy returns the ledger of the last Volume computation;
+	// ok is false when no volume pass has run yet.
+	VolumeAccuracy() (VolumeAccuracy, bool)
+}
+
+// VolumeAccuracyOf returns o's volume-accuracy ledger when it reports
+// one.
+func VolumeAccuracyOf(o any) (VolumeAccuracy, bool) {
+	if vr, ok := o.(VolumeAccuracyReporter); ok {
+		return vr.VolumeAccuracy()
+	}
+	return VolumeAccuracy{}, false
+}
+
+// VolumeAccuracy reports the ledger of the prepared volume pass.
+func (c *Convex) VolumeAccuracy() (VolumeAccuracy, bool) {
+	return c.volAcc, c.volKnown
+}
+
+// VolumeAccuracy reports the ledger of the preparation-time volume
+// pass.
+func (p *PreparedConvex) VolumeAccuracy() (VolumeAccuracy, bool) {
+	return p.volAcc, p.volKnown
+}
+
+// VolumeAccuracy reports the union estimator's ledger: the union
+// acceptance pass folded with the worst member pass.
+func (u *Union) VolumeAccuracy() (VolumeAccuracy, bool) {
+	return u.volAcc, u.volKnown
+}

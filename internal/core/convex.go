@@ -35,9 +35,10 @@ type Convex struct {
 	volStats SampleStats
 
 	// cached volume estimate (Volume is deterministic per generator
-	// instance once computed).
+	// instance once computed) and its (ε, δ) ledger.
 	vol      float64
 	volKnown bool
+	volAcc   VolumeAccuracy
 }
 
 var _ Observable = (*Convex)(nil)
@@ -62,6 +63,7 @@ type PreparedConvex struct {
 
 	vol      float64
 	volKnown bool
+	volAcc   VolumeAccuracy
 }
 
 // prepareConvex runs the seedable-but-reusable part of NewConvex: the
@@ -117,6 +119,7 @@ func (p *PreparedConvex) BindInterrupt(r *rng.RNG, interrupt func() error) (*Con
 		thin:     p.thin,
 		vol:      p.vol,
 		volKnown: p.volKnown,
+		volAcc:   p.volAcc,
 	}
 	c.opts.Interrupt = interrupt
 	if err := c.initWalker(); err != nil {
@@ -159,6 +162,7 @@ func PrepareConvexPolytope(poly *polytope.Polytope, r *rng.RNG, opts Options) (*
 	}
 	pc.vol = v
 	pc.volKnown = true
+	pc.volAcc = probe.volAcc
 	return pc, nil
 }
 
@@ -320,14 +324,31 @@ func (c *Convex) estimateRoundedVolume() (float64, error) {
 	}
 	q := len(radii) - 1
 	if q == 0 {
-		// The body is the inner ball (up to rounding): closed form.
+		// The body is the inner ball (up to rounding): closed form, no
+		// sampling error at all.
+		c.volAcc = VolumeAccuracy{
+			RequestedEps: p.Eps, RequestedDelta: p.Delta, AchievedDelta: p.Delta,
+		}
 		return volBallClamped(d, inner), nil
 	}
 	// Per-phase sample count from Hoeffding at additive error
 	// a = ε/(2e·q), capped for practicality (see Options.MaxPhaseSamples).
 	n := geom.ChernoffSampleCount(p.Eps/(2*math.E*float64(q)), p.Delta/float64(q))
+	capped := false
 	if cap := c.opts.maxPhaseSamples(); n > cap {
 		n = cap
+		capped = true
+	}
+	// Ledger: n samples per phase deliver additive half-width a_ach at
+	// per-phase confidence 1−δ/q; the telescoping product turns q such
+	// phases into relative error ≈ 2e·q·a_ach at total confidence 1−δ.
+	c.volAcc = VolumeAccuracy{
+		RequestedEps:   p.Eps,
+		RequestedDelta: p.Delta,
+		AchievedEps:    2 * math.E * float64(q) * achievedHalfWidth(n, p.Delta/float64(q)),
+		AchievedDelta:  p.Delta,
+		Capped:         capped,
+		Probes:         int64(q) * int64(n),
 	}
 	logVol := math.Log(volBallClamped(d, inner))
 	for i := 1; i <= q; i++ {

@@ -24,6 +24,25 @@ type SampleStats struct {
 	// projection rounds) and their acceptances.
 	Rounds  int64
 	Accepts int64
+	// RoundsHist is the rejection-round distribution: bucket i counts
+	// accepted samples that needed 2^i … 2^(i+1)−1 rounds (last bucket
+	// open). A fixed-size array keeps SampleStats comparable.
+	RoundsHist [RoundsHistBuckets]int64
+}
+
+// RoundsHistBuckets is the number of buckets in the rejection-round
+// histogram.
+const RoundsHistBuckets = 8
+
+// RoundsBucket returns the histogram bucket for a rounds-per-sample
+// count.
+func RoundsBucket(rounds int64) int {
+	b := 0
+	for rounds > 1 && b < RoundsHistBuckets-1 {
+		rounds >>= 1
+		b++
+	}
+	return b
 }
 
 // Merge adds o into s.
@@ -34,6 +53,9 @@ func (s *SampleStats) Merge(o SampleStats) {
 	s.InterruptPolls += o.InterruptPolls
 	s.Rounds += o.Rounds
 	s.Accepts += o.Accepts
+	for i, v := range o.RoundsHist {
+		s.RoundsHist[i] += v
+	}
 }
 
 // mergeWalk adds a walker's counters into s.
@@ -75,11 +97,21 @@ func (c *Convex) Effort() SampleStats {
 // Effort reports the union's own rejection rounds plus the aggregated
 // member efforts.
 func (u *Union) Effort() SampleStats {
-	s := SampleStats{Rounds: int64(u.rounds), Accepts: int64(u.accepts)}
+	s := SampleStats{Rounds: int64(u.rounds), Accepts: int64(u.accepts), RoundsHist: u.roundsHist}
 	for _, m := range u.members {
 		s.Merge(EffortOf(m))
 	}
 	return s
+}
+
+// MemberDraws reports the accepted canonical draws per member: sample
+// i landed on its canonical member j(x). For an unbiased generator the
+// shares converge to the canonical-cover volumes vol(S_i \ ∪_{j<i}S_j)
+// over vol(∪S_i) — the reference the quality auditor checks against.
+func (u *Union) MemberDraws() []int64 {
+	out := make([]int64, len(u.memberDraws))
+	copy(out, u.memberDraws)
+	return out
 }
 
 // MemberEffort reports member i's effort alone — the per-disjunct

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/constraint"
+	"repro/internal/linalg"
 	"repro/internal/polytope"
 	"repro/internal/rng"
 )
@@ -24,6 +25,12 @@ type PreparedRelation struct {
 	total   float64
 	dim     int
 	opts    Options
+
+	// Bounding box of the (pruned) relation, captured at preparation
+	// time: the deterministic seed of the quality layer's cell
+	// partition.
+	bboxLo, bboxHi linalg.Vector
+	bboxOK         bool
 }
 
 // PrepareRelation runs the full setup for a well-bounded generalized
@@ -45,6 +52,7 @@ func PrepareRelation(rel *constraint.Relation, r *rng.RNG, opts Options) (*Prepa
 		return nil, fmt.Errorf("core: relation %q is empty", rel.Name)
 	}
 	p := &PreparedRelation{name: rel.Name, opts: opts, dim: pruned.Tuples[0].Dim()}
+	p.bboxLo, p.bboxHi, p.bboxOK = pruned.BoundingBox()
 	for i, t := range pruned.Tuples {
 		pc, err := PrepareConvexPolytope(polytope.FromTuple(t), r.Split(), opts)
 		if err != nil {
@@ -75,6 +83,57 @@ func (p *PreparedRelation) MemberVolumes() []float64 {
 	out := make([]float64, len(p.weights))
 	copy(out, p.weights)
 	return out
+}
+
+// BoundingBox returns the axis-aligned bounding box of the prepared
+// (pruned) relation, captured at preparation time; ok is false for an
+// unbounded description.
+func (p *PreparedRelation) BoundingBox() (lo, hi linalg.Vector, ok bool) {
+	return p.bboxLo, p.bboxHi, p.bboxOK
+}
+
+// VolumeAccuracy reports the (ε, δ) ledger of the preparation-time
+// volume passes: the worst member's achieved ε, with caps and probes
+// accumulated. A multi-tuple relation's bound Union adds its own
+// acceptance pass on top (see Union.VolumeAccuracy).
+func (p *PreparedRelation) VolumeAccuracy() (VolumeAccuracy, bool) {
+	var out VolumeAccuracy
+	any := false
+	for _, pc := range p.members {
+		a, ok := pc.VolumeAccuracy()
+		if !ok {
+			continue
+		}
+		if !any {
+			out = a
+			any = true
+			continue
+		}
+		if a.AchievedEps > out.AchievedEps {
+			out.AchievedEps = a.AchievedEps
+		}
+		out.Capped = out.Capped || a.Capped
+		out.Probes += a.Probes
+	}
+	return out, any
+}
+
+// ScaleMemberWeight multiplies member i's cached volume estimate by
+// factor, skewing the mixture weights every later Bind hands to the
+// union generator. This is a fault-injection hook for the quality
+// auditor's tests — a deliberately biased sampler whose draws are
+// still inside the relation but no longer uniform — and must never be
+// called on a production path.
+func (p *PreparedRelation) ScaleMemberWeight(i int, factor float64) {
+	if i < 0 || i >= len(p.members) || factor <= 0 {
+		return
+	}
+	p.members[i].vol *= factor
+	p.weights[i] = p.members[i].vol
+	p.total = 0
+	for _, w := range p.weights {
+		p.total += w
+	}
 }
 
 // PreparedVolume returns the preparation-time volume estimate when it

@@ -23,9 +23,14 @@ type Union struct {
 	r       *rng.RNG
 
 	rounds, accepts int // acceptance diagnostics
+	// roundsHist buckets rounds-per-accepted-sample (see RoundsBucket);
+	// memberDraws counts accepted draws per canonical member.
+	roundsHist  [RoundsHistBuckets]int64
+	memberDraws []int64
 
 	vol      float64
 	volKnown bool
+	volAcc   VolumeAccuracy
 }
 
 var _ Observable = (*Union)(nil)
@@ -48,6 +53,7 @@ func NewUnion(members []Observable, r *rng.RNG, opts Options) (*Union, error) {
 	}
 	u := &Union{members: members, opts: opts, r: r}
 	u.weights = make([]float64, len(members))
+	u.memberDraws = make([]int64, len(members))
 	for i, m := range members {
 		v, err := m.Volume()
 		if err != nil {
@@ -112,6 +118,8 @@ func (u *Union) Sample() (linalg.Vector, error) {
 		}
 		if u.canonicalIndex(x) == j {
 			u.accepts++
+			u.roundsHist[RoundsBucket(int64(k+1))]++
+			u.memberDraws[j]++
 			return x, nil
 		}
 	}
@@ -152,8 +160,10 @@ func (u *Union) Volume() (float64, error) {
 	// Acceptance is at least 1/m; estimate it within relative ε/2.
 	m := float64(len(u.members))
 	n := geom.ChernoffSampleCount(p.Eps/(2*m), p.Delta)
+	capped := false
 	if cap := u.opts.maxPhaseSamples() * 4; n > cap {
 		n = cap
+		capped = true
 	}
 	accept := 0
 	for i := 0; i < n; i++ {
@@ -174,6 +184,29 @@ func (u *Union) Volume() (float64, error) {
 	}
 	u.vol = u.total * float64(accept) / float64(n)
 	u.volKnown = true
+	// Ledger: the union acceptance pass delivers additive half-width
+	// a at confidence 1−δ with n samples; relative ε contribution is
+	// 2m·a (acceptance ≥ 1/m). Fold in the worst member pass — the
+	// member weights are themselves estimates.
+	u.volAcc = VolumeAccuracy{
+		RequestedEps:   p.Eps,
+		RequestedDelta: p.Delta,
+		AchievedEps:    2 * m * achievedHalfWidth(n, p.Delta),
+		AchievedDelta:  p.Delta,
+		Capped:         capped,
+		Probes:         int64(n),
+	}
+	worst := VolumeAccuracy{}
+	for _, mem := range u.members {
+		if a, ok := VolumeAccuracyOf(mem); ok {
+			if a.AchievedEps > worst.AchievedEps {
+				worst.AchievedEps = a.AchievedEps
+			}
+			worst.Capped = worst.Capped || a.Capped
+			worst.Probes += a.Probes
+		}
+	}
+	u.volAcc.merge(worst)
 	return u.vol, nil
 }
 

@@ -45,6 +45,20 @@ type Cost struct {
 	ElimVars   atomic.Int64
 	AtomsIn    atomic.Int64
 	AtomsOut   atomic.Int64
+
+	// (ε, δ) budget ledger for volume estimation: per estimate, the
+	// requested and achieved half-width ε and confidence δ are summed in
+	// micro-units (1e-6), so requested/achieved averages are
+	// sum/VolEstimates/1e6. Achieved can be worse than requested when
+	// the per-phase Chernoff sample count hits its cap (VolCapped counts
+	// those estimates) — exactly the silent accuracy loss this ledger
+	// exists to make visible.
+	VolEstimates       atomic.Int64
+	VolEpsRequestedMu  atomic.Int64
+	VolEpsAchievedMu   atomic.Int64
+	VolDeltaRequestMu  atomic.Int64
+	VolDeltaAchievedMu atomic.Int64
+	VolCapped          atomic.Int64
 }
 
 // CostSnapshot is a plain copy of a Cost, suitable for reports and
@@ -77,6 +91,13 @@ type CostSnapshot struct {
 	ElimVars   int64 `json:"elim_vars,omitempty"`
 	AtomsIn    int64 `json:"atoms_in,omitempty"`
 	AtomsOut   int64 `json:"atoms_out,omitempty"`
+
+	VolEstimates       int64 `json:"vol_estimates,omitempty"`
+	VolEpsRequestedMu  int64 `json:"vol_eps_requested_micro,omitempty"`
+	VolEpsAchievedMu   int64 `json:"vol_eps_achieved_micro,omitempty"`
+	VolDeltaRequestMu  int64 `json:"vol_delta_requested_micro,omitempty"`
+	VolDeltaAchievedMu int64 `json:"vol_delta_achieved_micro,omitempty"`
+	VolCapped          int64 `json:"vol_capped,omitempty"`
 }
 
 // IsZero reports whether nothing has been observed.
@@ -113,6 +134,38 @@ func (c *Cost) Snapshot() CostSnapshot {
 		ElimVars:       c.ElimVars.Load(),
 		AtomsIn:        c.AtomsIn.Load(),
 		AtomsOut:       c.AtomsOut.Load(),
+
+		VolEstimates:       c.VolEstimates.Load(),
+		VolEpsRequestedMu:  c.VolEpsRequestedMu.Load(),
+		VolEpsAchievedMu:   c.VolEpsAchievedMu.Load(),
+		VolDeltaRequestMu:  c.VolDeltaRequestMu.Load(),
+		VolDeltaAchievedMu: c.VolDeltaAchievedMu.Load(),
+		VolCapped:          c.VolCapped.Load(),
+	}
+}
+
+// Micro converts a unitless quantity (an ε or δ) to the ledger's
+// micro-unit fixed point, saturating rather than overflowing.
+func Micro(v float64) int64 {
+	switch {
+	case v != v || v > 9e12: // NaN or absurd
+		return 9e18
+	case v < 0:
+		return 0
+	default:
+		return int64(v*1e6 + 0.5)
+	}
+}
+
+// RecordVolume adds one volume estimate to the cell's (ε, δ) ledger.
+func (c *Cost) RecordVolume(epsReq, epsAch, deltaReq, deltaAch float64, capped bool) {
+	c.VolEstimates.Add(1)
+	c.VolEpsRequestedMu.Add(Micro(epsReq))
+	c.VolEpsAchievedMu.Add(Micro(epsAch))
+	c.VolDeltaRequestMu.Add(Micro(deltaReq))
+	c.VolDeltaAchievedMu.Add(Micro(deltaAch))
+	if capped {
+		c.VolCapped.Add(1)
 	}
 }
 

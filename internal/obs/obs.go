@@ -28,6 +28,7 @@
 package obs
 
 import (
+	"fmt"
 	"hash/fnv"
 	"os"
 	"strconv"
@@ -109,6 +110,86 @@ type Sink interface {
 	CoalescedDraw()
 	// BatchJob records one worker-pool job execution.
 	BatchJob()
+}
+
+// AuditOutcome is the verdict of one statistical audit check.
+type AuditOutcome uint8
+
+const (
+	// AuditPass means the empirical statistic stayed inside the warn
+	// threshold.
+	AuditPass AuditOutcome = iota
+	// AuditWarn means the statistic exceeded the warn threshold but not
+	// the fail threshold — worth watching, not yet quarantined.
+	AuditWarn
+	// AuditFail means the statistic exceeded the fail threshold: the
+	// cached sampler's output is inconsistent with the exact geometry.
+	AuditFail
+)
+
+// String returns the metric label of the outcome.
+func (o AuditOutcome) String() string {
+	switch o {
+	case AuditWarn:
+		return "warn"
+	case AuditFail:
+		return "fail"
+	default:
+		return "pass"
+	}
+}
+
+// MarshalJSON renders the label ("pass"/"warn"/"fail"), not the raw
+// enum value — audit events are a JSON API surface (/v1/audit).
+func (o AuditOutcome) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + o.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the labels MarshalJSON produces.
+func (o *AuditOutcome) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"pass"`:
+		*o = AuditPass
+	case `"warn"`:
+		*o = AuditWarn
+	case `"fail"`:
+		*o = AuditFail
+	default:
+		return fmt.Errorf("obs: unknown audit outcome %s", b)
+	}
+	return nil
+}
+
+// AuditEvent is one statistical check of a warm cached sampler against
+// its exact (symbolic) geometry: the background auditor re-draws a
+// small batch and compares empirical cell masses and per-disjunct draw
+// shares against exact volumes. Stat is the check's normalized test
+// statistic (worst per-cell z-score for "cells"/"shares"), Threshold
+// the fail bound it is compared to.
+type AuditEvent struct {
+	// Key is the prepared-sampler cache key that was audited.
+	Key string `json:"key"`
+	// Check names the statistical test: "cells" (chi-square cell masses
+	// vs exact volumes), "shares" (per-disjunct canonical draw shares vs
+	// exact inclusion–exclusion volumes) or "mixing" (walk diagnostics).
+	Check string `json:"check"`
+	// Outcome is the verdict.
+	Outcome AuditOutcome `json:"outcome"`
+	// Stat is the observed test statistic, Threshold the fail bound.
+	Stat      float64 `json:"stat"`
+	Threshold float64 `json:"threshold"`
+	// Samples is the number of audit draws behind the statistic.
+	Samples int `json:"samples"`
+	// Detail localizes the worst deviation (cell index, member index).
+	Detail string `json:"detail,omitempty"`
+}
+
+// AuditSink receives audit events. Sink implementors may additionally
+// implement AuditSink to observe the background auditor; the runtime
+// type-asserts, so existing Sink implementations keep working
+// unchanged. AuditEvent must be safe for concurrent use.
+type AuditSink interface {
+	AuditEvent(ev AuditEvent)
 }
 
 // NopSink is the no-op Sink: embed it to implement only the events a

@@ -1,0 +1,116 @@
+package quality
+
+import "math"
+
+// essWindow is the ring-buffer length of the autocorrelation
+// accumulator; essMaxLag the largest lag estimated. The scalar tracked
+// is a fixed 1-D projection of each draw (the sum of coordinates),
+// which is where a slowly mixing walk shows its correlation first.
+const (
+	essWindow = 1024
+	essMaxLag = 32
+)
+
+// ESSAccumulator estimates lag-k autocorrelation and effective sample
+// size of a scalar stream over a sliding window. Not safe for
+// concurrent use; callers serialize (the Tracker does).
+type ESSAccumulator struct {
+	ring [essWindow]float64
+	n    int64 // total observed
+	fill int   // valid entries in ring
+	next int   // ring write index
+}
+
+// Observe appends one scalar.
+func (a *ESSAccumulator) Observe(v float64) {
+	a.ring[a.next] = v
+	a.next = (a.next + 1) % essWindow
+	if a.fill < essWindow {
+		a.fill++
+	}
+	a.n++
+}
+
+// Count returns the total number of observed scalars.
+func (a *ESSAccumulator) Count() int64 { return a.n }
+
+// Autocorrelation returns the lag-k sample autocorrelation over the
+// window (0 when the window is too short or the stream is constant).
+func (a *ESSAccumulator) Autocorrelation(k int) float64 {
+	rho := a.autocovs(k)
+	if rho == nil {
+		return 0
+	}
+	return rho[k]
+}
+
+// autocovs returns normalized autocorrelations rho[0..maxLag] (rho[0]
+// = 1), or nil when undefined.
+func (a *ESSAccumulator) autocovs(maxLag int) []float64 {
+	n := a.fill
+	if maxLag < 0 || maxLag >= n || n < 4 {
+		return nil
+	}
+	// Chronological copy of the window.
+	xs := make([]float64, n)
+	start := a.next - n
+	if start < 0 {
+		start += essWindow
+	}
+	for i := 0; i < n; i++ {
+		xs[i] = a.ring[(start+i)%essWindow]
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	var c0 float64
+	for _, v := range xs {
+		d := v - mean
+		c0 += d * d
+	}
+	if c0 <= 0 {
+		return nil
+	}
+	rho := make([]float64, maxLag+1)
+	rho[0] = 1
+	for k := 1; k <= maxLag; k++ {
+		var ck float64
+		for i := 0; i+k < n; i++ {
+			ck += (xs[i] - mean) * (xs[i+k] - mean)
+		}
+		rho[k] = ck / c0
+	}
+	return rho
+}
+
+// ESS returns the effective sample size of the window:
+// N / (1 + 2 Σ_k rho_k), summing positive-prefix autocorrelations
+// (Geyer's initial positive sequence cut at the first non-positive
+// pair keeps the estimate stable under noise). An i.i.d. stream
+// returns ≈ N; a sticky walk far less.
+func (a *ESSAccumulator) ESS() float64 {
+	n := a.fill
+	rho := a.autocovs(min(essMaxLag, n-1))
+	if rho == nil {
+		return float64(n)
+	}
+	var sum float64
+	for k := 1; k+1 < len(rho); k += 2 {
+		pair := rho[k] + rho[k+1]
+		if pair <= 0 {
+			break
+		}
+		sum += pair
+	}
+	ess := float64(n) / (1 + 2*sum)
+	return math.Max(1, math.Min(ess, float64(n)))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

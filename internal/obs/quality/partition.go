@@ -1,0 +1,130 @@
+// Package quality is the statistical-quality layer of the observability
+// stack: streaming uniformity diagnostics (chi-square over a
+// deterministic cell partition of the bounding box, per-disjunct
+// canonical draw shares), walk-mixing diagnostics (acceptance rate,
+// rejection-round distribution, lag-k autocorrelation and effective
+// sample size), and the verdict machinery the background auditor uses
+// to compare a warm cached sampler's empirical output against exact
+// symbolic volumes.
+//
+// The paper's contract is quantitative — every sample is promised
+// ε-close to uniform with confidence 1−δ — and this package is how the
+// running system checks the contract instead of assuming it. All tests
+// bake the ε tolerance in: a correct generator that is merely ε-close
+// (not exactly uniform) must pass.
+package quality
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Partition is a deterministic axis-aligned grid over a bounding box.
+// Cells are the Cartesian product of per-dimension splits; the split
+// counts depend only on (box, maxCells), so every auditor and every
+// restart partitions the same geometry identically.
+type Partition struct {
+	lo, hi linalg.Vector
+	splits []int // cells per dimension
+	width  []float64
+	cells  int
+}
+
+// NewPartition builds a partition of [lo, hi] with at most maxCells
+// cells (minimum 1). Dimensions with zero (or negative) extent get a
+// single degenerate cell. Splits are assigned greedily to the widest
+// remaining dimension, so elongated boxes are cut along their long
+// axes first — the shape a drifting mixture distorts most visibly.
+func NewPartition(lo, hi linalg.Vector, maxCells int) *Partition {
+	d := len(lo)
+	if maxCells < 1 {
+		maxCells = 1
+	}
+	p := &Partition{
+		lo:     lo.Clone(),
+		hi:     hi.Clone(),
+		splits: make([]int, d),
+		width:  make([]float64, d),
+		cells:  1,
+	}
+	type dim struct {
+		i      int
+		extent float64
+	}
+	dims := make([]dim, 0, d)
+	for i := 0; i < d; i++ {
+		p.splits[i] = 1
+		ext := hi[i] - lo[i]
+		if ext > 0 && !math.IsInf(ext, 0) {
+			dims = append(dims, dim{i, ext})
+		}
+	}
+	// Double the split count of the dimension with the widest current
+	// cell until the budget is spent. Deterministic: ties break on the
+	// lowest index.
+	for {
+		best, bestW := -1, 0.0
+		for _, dm := range dims {
+			w := dm.extent / float64(p.splits[dm.i])
+			if w > bestW {
+				best, bestW = dm.i, w
+			}
+		}
+		if best < 0 || p.cells*2 > maxCells {
+			break
+		}
+		p.cells /= p.splits[best]
+		p.splits[best] *= 2
+		p.cells *= p.splits[best]
+	}
+	for i := 0; i < d; i++ {
+		p.width[i] = (hi[i] - lo[i]) / float64(p.splits[i])
+	}
+	return p
+}
+
+// Cells returns the number of cells.
+func (p *Partition) Cells() int { return p.cells }
+
+// Dim returns the dimension of the partitioned box.
+func (p *Partition) Dim() int { return len(p.lo) }
+
+// CellOf returns the cell index of x (points outside the box clamp to
+// the boundary cells, so every point lands somewhere).
+func (p *Partition) CellOf(x linalg.Vector) int {
+	idx := 0
+	for i := len(p.splits) - 1; i >= 0; i-- {
+		c := 0
+		if p.width[i] > 0 {
+			c = int((x[i] - p.lo[i]) / p.width[i])
+			if c < 0 {
+				c = 0
+			}
+			if c >= p.splits[i] {
+				c = p.splits[i] - 1
+			}
+		}
+		idx = idx*p.splits[i] + c
+	}
+	return idx
+}
+
+// CellBounds returns the axis-aligned bounds of cell i in the same
+// mixed-radix order CellOf uses.
+func (p *Partition) CellBounds(i int) (lo, hi linalg.Vector) {
+	lo = p.lo.Clone()
+	hi = p.hi.Clone()
+	for d := 0; d < len(p.splits); d++ {
+		c := i % p.splits[d]
+		i /= p.splits[d]
+		if p.width[d] > 0 {
+			lo[d] = p.lo[d] + float64(c)*p.width[d]
+			hi[d] = lo[d] + p.width[d]
+		}
+	}
+	return lo, hi
+}
+
+// Bounds returns the partitioned box.
+func (p *Partition) Bounds() (lo, hi linalg.Vector) { return p.lo, p.hi }

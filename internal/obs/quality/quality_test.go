@@ -1,0 +1,227 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestPartitionDeterministicAndCovering(t *testing.T) {
+	lo := linalg.Vector{0, -1}
+	hi := linalg.Vector{2, 1}
+	a := NewPartition(lo, hi, 16)
+	b := NewPartition(lo, hi, 16)
+	if a.Cells() != b.Cells() || a.Cells() > 16 || a.Cells() < 2 {
+		t.Fatalf("partition not deterministic or out of bounds: %d vs %d", a.Cells(), b.Cells())
+	}
+	for i := 0; i < a.Cells(); i++ {
+		alo, ahi := a.CellBounds(i)
+		blo, bhi := b.CellBounds(i)
+		for d := range alo {
+			if alo[d] != blo[d] || ahi[d] != bhi[d] {
+				t.Fatalf("cell %d bounds differ between identical partitions", i)
+			}
+		}
+	}
+	// Every point of the box maps to a valid cell whose bounds contain it.
+	r := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		x := linalg.Vector{r.Uniform(0, 2), r.Uniform(-1, 1)}
+		c := a.CellOf(x)
+		if c < 0 || c >= a.Cells() {
+			t.Fatalf("CellOf out of range: %d", c)
+		}
+		clo, chi := a.CellBounds(c)
+		for d := range x {
+			if x[d] < clo[d]-1e-12 || x[d] > chi[d]+1e-12 {
+				t.Fatalf("point %v assigned to cell %d outside its bounds [%v, %v]", x, c, clo, chi)
+			}
+		}
+	}
+	// Points outside the box clamp to edge cells rather than panicking.
+	if c := a.CellOf(linalg.Vector{-5, 10}); c < 0 || c >= a.Cells() {
+		t.Fatalf("clamped CellOf out of range: %d", c)
+	}
+}
+
+// drawCounts buckets n synthetic 2-D points into a partition of
+// [0,1]^2 — the SpiderWeb-style fixture harness: gen maps two uniforms
+// onto a point.
+func drawCounts(part *Partition, n int, seed uint64, gen func(u, v float64) (float64, float64)) []int64 {
+	r := rng.New(seed)
+	counts := make([]int64, part.Cells())
+	for i := 0; i < n; i++ {
+		x, y := gen(r.Float64(), r.Float64())
+		counts[part.CellOf(linalg.Vector{x, y})]++
+	}
+	return counts
+}
+
+func uniformProbs(cells int) []float64 {
+	p := make([]float64, cells)
+	for i := range p {
+		p[i] = 1 / float64(cells)
+	}
+	return p
+}
+
+func TestChiSquareUniformPasses(t *testing.T) {
+	part := NewPartition(linalg.Vector{0, 0}, linalg.Vector{1, 1}, 16)
+	counts := drawCounts(part, 20000, 1, func(u, v float64) (float64, float64) { return u, v })
+	stat, dof := ChiSquare(counts, uniformProbs(part.Cells()))
+	p := ChiSquarePValue(stat, dof)
+	if p < 0.001 {
+		t.Fatalf("uniform sampler rejected: chi2=%.2f dof=%d p=%g", stat, dof, p)
+	}
+	if v := CellTest(counts, uniformProbs(part.Cells()), 0.25); v.Worst > 3 {
+		t.Fatalf("uniform sampler fails the eps-tolerance cell test: worst z=%.2f", v.Worst)
+	}
+}
+
+func TestChiSquareDiagonalFails(t *testing.T) {
+	part := NewPartition(linalg.Vector{0, 0}, linalg.Vector{1, 1}, 16)
+	// Degenerate "diagonal" sampler: mass concentrates on x == y.
+	counts := drawCounts(part, 20000, 2, func(u, v float64) (float64, float64) { return u, u })
+	stat, dof := ChiSquare(counts, uniformProbs(part.Cells()))
+	p := ChiSquarePValue(stat, dof)
+	if p > 1e-6 {
+		t.Fatalf("diagonal sampler not rejected: chi2=%.2f dof=%d p=%g", stat, dof, p)
+	}
+	if v := CellTest(counts, uniformProbs(part.Cells()), 0.25); v.Worst <= 4 {
+		t.Fatalf("diagonal sampler passes the eps-tolerance cell test: worst z=%.2f", v.Worst)
+	}
+}
+
+func TestChiSquareLowBitFails(t *testing.T) {
+	part := NewPartition(linalg.Vector{0, 0}, linalg.Vector{1, 1}, 16)
+	// "Bad bit" sampler: the x coordinate never enters [0, 1/2).
+	counts := drawCounts(part, 20000, 3, func(u, v float64) (float64, float64) { return 0.5 + u/2, v })
+	stat, dof := ChiSquare(counts, uniformProbs(part.Cells()))
+	if p := ChiSquarePValue(stat, dof); p > 1e-6 {
+		t.Fatalf("half-support sampler not rejected: chi2=%.2f dof=%d p=%g", stat, dof, p)
+	}
+}
+
+func TestCellTestEpsTolerance(t *testing.T) {
+	// A sampler that is exactly eps-close on one cell must pass: the
+	// paper's Definition 2.2 allows relative deviation eps per region.
+	probs := []float64{0.5, 0.5}
+	n := int64(100000)
+	eps := 0.25
+	skew := int64(float64(n) * 0.5 * (1 + eps*0.9)) // inside the allowance
+	counts := []int64{skew, n - skew}
+	if v := CellTest(counts, probs, eps); v.Worst > 3 {
+		t.Fatalf("eps-close sampler rejected: worst z=%.2f", v.Worst)
+	}
+	// The same deviation with no tolerance is a blow-out rejection.
+	if v := CellTest(counts, probs, 0); v.Worst < 10 {
+		t.Fatalf("tolerance-free test too lenient: worst z=%.2f", v.Worst)
+	}
+}
+
+func TestChiSquareTwoSampleAgreement(t *testing.T) {
+	part := NewPartition(linalg.Vector{0, 0}, linalg.Vector{1, 1}, 16)
+	a := drawCounts(part, 10000, 4, func(u, v float64) (float64, float64) { return u, v })
+	b := drawCounts(part, 10000, 5, func(u, v float64) (float64, float64) { return u, v })
+	stat, dof := ChiSquareTwoSample(a, b)
+	if p := ChiSquarePValue(stat, dof); p < 0.001 {
+		t.Fatalf("two uniform windows drift apart: chi2=%.2f p=%g", stat, p)
+	}
+	c := drawCounts(part, 10000, 6, func(u, v float64) (float64, float64) { return u, u })
+	stat, dof = ChiSquareTwoSample(a, c)
+	if p := ChiSquarePValue(stat, dof); p > 1e-6 {
+		t.Fatalf("uniform vs diagonal windows not detected: chi2=%.2f p=%g", stat, p)
+	}
+}
+
+func TestESSIIDNearWindow(t *testing.T) {
+	var acc ESSAccumulator
+	r := rng.New(11)
+	for i := 0; i < essWindow; i++ {
+		acc.Observe(r.Normal())
+	}
+	ess := acc.ESS()
+	if ess < 0.5*essWindow || ess > float64(essWindow) {
+		t.Fatalf("iid ESS should be near the window size %d, got %.1f", essWindow, ess)
+	}
+}
+
+func TestESSAR1MuchSmaller(t *testing.T) {
+	var acc ESSAccumulator
+	r := rng.New(12)
+	const rho = 0.95
+	x := 0.0
+	for i := 0; i < essWindow; i++ {
+		x = rho*x + math.Sqrt(1-rho*rho)*r.Normal()
+		acc.Observe(x)
+	}
+	ess := acc.ESS()
+	// Theoretical ESS factor for AR(1) is (1-rho)/(1+rho) ≈ 0.026.
+	if ess > 0.2*essWindow {
+		t.Fatalf("AR(1) rho=%.2f ESS should collapse, got %.1f of %d", rho, ess, essWindow)
+	}
+	if a1 := acc.Autocorrelation(1); a1 < 0.8 {
+		t.Fatalf("AR(1) lag-1 autocorrelation should be near rho, got %.3f", a1)
+	}
+	if ess < 1 {
+		t.Fatalf("ESS clamps at 1, got %.3f", ess)
+	}
+}
+
+func TestRoundsBucket(t *testing.T) {
+	cases := map[int64]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1 << 20: RoundsHistBuckets - 1}
+	for rounds, want := range cases {
+		if got := RoundsBucket(rounds); got != want {
+			t.Errorf("RoundsBucket(%d) = %d, want %d", rounds, got, want)
+		}
+	}
+}
+
+func TestTrackerReportFlow(t *testing.T) {
+	tr := NewTracker(8)
+	lo, hi := linalg.Vector{0, 0}, linalg.Vector{1, 1}
+	tr.Bind("k", lo, hi, []float64{0.5, 0.5})
+	r := rng.New(13)
+	pts := make([]linalg.Vector, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		pts = append(pts, linalg.Vector{r.Float64(), r.Float64()})
+	}
+	tr.ObserveDraw("k", pts, Effort{
+		WalkSteps: 1000, WalkAccepted: 600, Rounds: 4096, Accepts: 4096,
+		MemberDraws: []int64{2000, 2096},
+	})
+	rep, ok := tr.Report("k")
+	if !ok {
+		t.Fatal("report missing after ObserveDraw")
+	}
+	if rep.Samples != 4096 {
+		t.Fatalf("samples = %d, want 4096", rep.Samples)
+	}
+	if rep.AcceptanceRate < 0.59 || rep.AcceptanceRate > 0.61 {
+		t.Fatalf("acceptance = %g, want 0.6", rep.AcceptanceRate)
+	}
+	if rep.DriftPValue == 0 {
+		t.Fatal("drift test should be armed after the reference freeze")
+	}
+	if len(rep.MemberShares) != 2 || math.Abs(rep.MemberShares[0]-2000.0/4096) > 1e-9 {
+		t.Fatalf("member shares = %v", rep.MemberShares)
+	}
+	// Exact references arm the one-sample chi-square.
+	tr.SetExact("k", uniformProbs(rep.Cells), []float64{0.5, 0.5}, 1)
+	rep, _ = tr.Report("k")
+	if rep.ChiSquareDOF == 0 || rep.PValue < 0.001 {
+		t.Fatalf("uniform draws should pass against exact probs: chi2=%.2f p=%g", rep.ChiSquare, rep.PValue)
+	}
+	if !tr.HasExact("k") {
+		t.Fatal("HasExact after SetExact")
+	}
+	// A nil tracker drops everything without panicking.
+	var nilT *Tracker
+	nilT.Bind("x", lo, hi, nil)
+	nilT.ObserveDraw("x", pts, Effort{})
+	if _, ok := nilT.Report("x"); ok {
+		t.Fatal("nil tracker produced a report")
+	}
+}

@@ -1,0 +1,148 @@
+package quality
+
+import "math"
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// expected probabilities: Σ (n_i − N·p_i)² / (N·p_i) over cells with
+// p_i > 0, together with the degrees of freedom (cells with p_i > 0,
+// minus one). Counts falling in zero-probability cells contribute their
+// full squared mass against a floor expectation, so impossible draws
+// are loudly wrong rather than silently dropped.
+func ChiSquare(counts []int64, probs []float64) (stat float64, dof int) {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	nf := float64(n)
+	const floor = 0.5 // expectation floor for p_i = 0 cells
+	live := 0
+	for i, c := range counts {
+		p := 0.0
+		if i < len(probs) {
+			p = probs[i]
+		}
+		if p > 0 {
+			live++
+			e := nf * p
+			d := float64(c) - e
+			stat += d * d / e
+		} else if c > 0 {
+			d := float64(c)
+			stat += d * d / floor
+		}
+	}
+	if live > 1 {
+		dof = live - 1
+	}
+	return stat, dof
+}
+
+// ChiSquareTwoSample compares two count vectors over the same cells —
+// the reference-window drift test. Returns the statistic and degrees of
+// freedom (cells live in either sample, minus one).
+func ChiSquareTwoSample(a, b []int64) (stat float64, dof int) {
+	var na, nb int64
+	for _, c := range a {
+		na += c
+	}
+	for _, c := range b {
+		nb += c
+	}
+	if na == 0 || nb == 0 {
+		return 0, 0
+	}
+	ka := math.Sqrt(float64(nb) / float64(na))
+	kb := 1 / ka
+	live := 0
+	for i := range a {
+		var bi int64
+		if i < len(b) {
+			bi = b[i]
+		}
+		if a[i]+bi == 0 {
+			continue
+		}
+		live++
+		d := ka*float64(a[i]) - kb*float64(bi)
+		stat += d * d / float64(a[i]+bi)
+	}
+	if live > 1 {
+		dof = live - 1
+	}
+	return stat, dof
+}
+
+// ChiSquarePValue approximates P(X² ≥ stat) for a chi-square variable
+// with dof degrees of freedom via the Wilson–Hilferty cube-root normal
+// approximation — accurate to a few 1e-3 for dof ≥ 3, plenty for
+// pass/warn/fail thresholds.
+func ChiSquarePValue(stat float64, dof int) float64 {
+	if dof <= 0 {
+		return 1
+	}
+	k := float64(dof)
+	z := (math.Cbrt(stat/k) - (1 - 2/(9*k))) / math.Sqrt(2/(9*k))
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// CellVerdict is the per-cell outcome of an ε-tolerance binomial test.
+type CellVerdict struct {
+	// Worst is the largest tolerance-normalized z-score over cells: the
+	// observed deviation beyond the ε allowance, in units of the
+	// binomial standard error. ≤ WarnZ passes, ≤ FailZ warns, above
+	// fails.
+	Worst float64
+	// Cell is the index of the worst cell.
+	Cell int
+	// Samples is the total count.
+	Samples int64
+}
+
+// CellTest runs the ε-tolerance binomial test per cell: a cell fails
+// only when |n_i/N − p_i| exceeds ε·p_i (the paper's ε-closeness
+// allowance — a correct generator is promised no better) by more than
+// z·sqrt(p_i(1−p_i)/N) (sampling noise at z standard errors). The
+// returned verdict carries the worst z over cells:
+//
+//	z_i = (|n_i/N − p_i| − ε·p_i) / sqrt(p_i(1−p_i)/N)
+//
+// clamped below at 0. Cells with p_i = 0 use a pseudo-probability of
+// 1/(2N) so impossible mass registers.
+func CellTest(counts []int64, probs []float64, eps float64) CellVerdict {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	v := CellVerdict{Samples: n, Cell: -1}
+	if n == 0 {
+		return v
+	}
+	nf := float64(n)
+	for i, c := range counts {
+		p := 0.0
+		if i < len(probs) {
+			p = probs[i]
+		}
+		if p <= 0 {
+			if c == 0 {
+				continue
+			}
+			p = 0.5 / nf
+		}
+		dev := math.Abs(float64(c)/nf-p) - eps*p
+		if dev <= 0 {
+			continue
+		}
+		se := math.Sqrt(p * (1 - p) / nf)
+		if se <= 0 {
+			se = 1 / nf
+		}
+		if z := dev / se; z > v.Worst {
+			v.Worst, v.Cell = z, i
+		}
+	}
+	return v
+}

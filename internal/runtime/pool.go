@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/obs/quality"
 )
 
 // Pool is a fixed-size worker pool. Every batched sample draw runs its
@@ -125,6 +126,9 @@ type Executor struct {
 	// count — the draw's effort ran once, so it is counted once, by the
 	// caller that executed it.
 	costs *obs.Costs
+	// quality, when non-nil, accumulates the draw's points and member
+	// shares into the per-sampler statistical diagnostics.
+	quality *quality.Tracker
 }
 
 type draw struct {
@@ -238,7 +242,35 @@ func (e *Executor) runDraw(ctx context.Context, key, samplerKey string, d *draw,
 	elapsed := time.Since(start).Nanoseconds()
 	finished = true
 	e.recordDraw(samplerKey, len(d.pts), elapsed, &ds, span)
+	e.recordQuality(samplerKey, ps, d.pts, &ds)
 	return d.pts, d.err
+}
+
+// recordQuality folds one executed draw into the statistical
+// diagnostics: the first draw of a sampler registers its bounding-box
+// partition, every draw adds cell counts, member shares and mixing
+// effort. Hot-path cost when quality is nil (or the box unbounded):
+// one nil check.
+func (e *Executor) recordQuality(samplerKey string, ps *Prepared, pts []linalg.Vector, ds *DrawStats) {
+	if e.quality == nil {
+		return
+	}
+	lo, hi, ok := ps.BoundingBox()
+	if !ok {
+		return
+	}
+	e.quality.Bind(samplerKey, lo, hi, ps.MemberVolumes())
+	eff := quality.Effort{
+		WalkSteps:      ds.Total.WalkSteps,
+		WalkAccepted:   ds.Total.WalkAccepted,
+		OracleCalls:    ds.Total.OracleCalls,
+		InterruptPolls: ds.Total.InterruptPolls,
+		Rounds:         ds.Total.Rounds,
+		Accepts:        ds.Total.Accepts,
+		RoundsHist:     ds.Total.RoundsHist,
+		MemberDraws:    ds.MemberDraws,
+	}
+	e.quality.ObserveDraw(samplerKey, pts, eff)
 }
 
 // recordDraw attributes one executed draw's effort to the cost table

@@ -60,6 +60,30 @@ func (p *Prepared) Dim() int { return p.prep.Dim() }
 // Tuples returns the number of non-empty tuples under the union.
 func (p *Prepared) Tuples() int { return p.prep.Tuples() }
 
+// BoundingBox returns the prepared relation's axis-aligned bounding
+// box (ok = false for an unbounded description) — the deterministic
+// seed of the quality layer's cell partition.
+func (p *Prepared) BoundingBox() (lo, hi linalg.Vector, ok bool) {
+	return p.prep.BoundingBox()
+}
+
+// MemberVolumes returns the per-tuple preparation-time volume
+// estimates μ̂_i.
+func (p *Prepared) MemberVolumes() []float64 { return p.prep.MemberVolumes() }
+
+// VolumeAccuracy reports the (ε, δ) ledger of the preparation-time
+// volume passes.
+func (p *Prepared) VolumeAccuracy() (core.VolumeAccuracy, bool) {
+	return p.prep.VolumeAccuracy()
+}
+
+// ScaleMemberWeight skews the prepared mixture weights — a
+// fault-injection hook for quality-audit tests only (see
+// core.PreparedRelation.ScaleMemberWeight).
+func (p *Prepared) ScaleMemberWeight(i int, factor float64) {
+	p.prep.ScaleMemberWeight(i, factor)
+}
+
 // NewMemberObservable binds a seed to the i-th non-empty tuple alone —
 // the per-convex-piece generator reconstruction builds hulls from.
 func (p *Prepared) NewMemberObservable(i int, seed uint64) (core.Observable, error) {
@@ -86,6 +110,27 @@ func (p *Prepared) VolumeCtx(ctx context.Context, seed uint64) (float64, error) 
 		return 0, err
 	}
 	return obs.Volume()
+}
+
+// VolumeWithAccuracy is VolumeCtx returning the estimate's (ε, δ)
+// ledger alongside it: for single-tuple relations the preparation-time
+// ledger, for unions the bound estimator's acceptance pass folded with
+// the worst member pass. accOK is false when no ledger is available.
+func (p *Prepared) VolumeWithAccuracy(ctx context.Context, seed uint64) (v float64, acc core.VolumeAccuracy, accOK bool, err error) {
+	if v, ok := p.prep.PreparedVolume(); ok {
+		acc, accOK = p.prep.VolumeAccuracy()
+		return v, acc, accOK, nil
+	}
+	o, err := p.prep.BindCtx(ctx, rng.New(seed))
+	if err != nil {
+		return 0, core.VolumeAccuracy{}, false, err
+	}
+	v, err = o.Volume()
+	if err != nil {
+		return 0, core.VolumeAccuracy{}, false, err
+	}
+	acc, accOK = core.VolumeAccuracyOf(o)
+	return v, acc, accOK, nil
 }
 
 // MedianVolumeCtx amplifies the volume confidence over the warm
@@ -136,6 +181,10 @@ type DrawStats struct {
 	QueueNanos int64
 	Total      core.SampleStats
 	Members    []core.SampleStats
+	// MemberDraws counts accepted draws per canonical union member,
+	// aggregated across the bound generators — the observed mixture the
+	// quality tracker compares against exact volume shares.
+	MemberDraws []int64
 }
 
 // SampleManyObserved is SampleManyCtx with effort measurement: binds
@@ -175,6 +224,12 @@ func (p *Prepared) SampleManyObserved(ctx context.Context, submit core.Submitter
 	for _, o := range bound {
 		ds.Total.Merge(core.EffortOf(o))
 		if u, ok := o.(*core.Union); ok {
+			for i, md := range u.MemberDraws() {
+				for len(ds.MemberDraws) <= i {
+					ds.MemberDraws = append(ds.MemberDraws, 0)
+				}
+				ds.MemberDraws[i] += md
+			}
 			for i := 0; i < u.Members(); i++ {
 				for len(ds.Members) <= i {
 					ds.Members = append(ds.Members, core.SampleStats{})

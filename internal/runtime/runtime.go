@@ -23,7 +23,9 @@ import (
 	"hash/fnv"
 	"runtime"
 
+	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/quality"
 )
 
 // Hooks is the legacy five-counter event interface. It predates
@@ -129,6 +131,13 @@ type Runtime struct {
 	// effort and elimination effort attributed to the same canonical
 	// keys the caches use — the measured input of a cost-based planner.
 	costs *obs.Costs
+
+	// quality accumulates per-sampler statistical diagnostics (cell
+	// counts, member shares, mixing) under the same keys; auditor is
+	// the background self-audit cross-checking warm entries against
+	// exact symbolic volumes.
+	quality *quality.Tracker
+	auditor *Auditor
 }
 
 // maxPlanKeys bounds the name → plan-key alias cache.
@@ -149,8 +158,9 @@ func New(cfg Config, hooks Hooks) *Runtime {
 func NewWithSink(cfg Config, sink obs.Sink) *Runtime {
 	cfg = cfg.withDefaults()
 	costs := obs.NewCosts(maxCostKeys)
+	qt := quality.NewTracker(0)
 	pool := newPool(cfg.PoolSize, sink)
-	return &Runtime{
+	rt := &Runtime{
 		cfg:      cfg,
 		registry: NewRegistry(cfg.MaxDatabases),
 		cache:    NewKindCache[*Prepared](cfg.CacheSize, obs.KindPlan, sink),
@@ -160,11 +170,19 @@ func NewWithSink(cfg Config, sink obs.Sink) *Runtime {
 		exec:     newExecutor(pool, sink, costs),
 		planKeys: NewCache[string](maxPlanKeys, nil),
 		costs:    costs,
+		quality:  qt,
 	}
+	rt.exec.quality = qt
+	rt.auditor = newAuditor(rt, sink)
+	return rt
 }
 
-// Close stops the worker pool after draining queued jobs.
-func (rt *Runtime) Close() { rt.pool.Close() }
+// Close stops the background auditor, then the worker pool after
+// draining queued jobs.
+func (rt *Runtime) Close() {
+	rt.auditor.Close()
+	rt.pool.Close()
+}
 
 // Registry returns the database registry.
 func (rt *Runtime) Registry() *Registry { return rt.registry }
@@ -185,6 +203,20 @@ func (rt *Runtime) Pool() *Pool { return rt.pool }
 
 // Costs returns the observed per-key cost table.
 func (rt *Runtime) Costs() *obs.Costs { return rt.costs }
+
+// Quality returns the statistical-quality tracker.
+func (rt *Runtime) Quality() *quality.Tracker { return rt.quality }
+
+// Auditor returns the background self-auditor. It exists from
+// construction; its background loop runs only after Start.
+func (rt *Runtime) Auditor() *Auditor { return rt.auditor }
+
+// RecordVolumeAccuracy adds one volume estimate's (ε, δ) ledger under
+// key — requested vs achieved half-width and confidence.
+func (rt *Runtime) RecordVolumeAccuracy(key string, acc core.VolumeAccuracy) {
+	rt.costs.For(key).RecordVolume(
+		acc.RequestedEps, acc.AchievedEps, acc.RequestedDelta, acc.AchievedDelta, acc.Capped)
+}
 
 // Executor returns the batch executor over the pool.
 func (rt *Runtime) Executor() *Executor { return rt.exec }

@@ -240,6 +240,11 @@ func (rt *Runtime) buildFromPlan(cp *query.CanonicalPlan, key string, prepSeed *
 		c := rt.costs.For(key)
 		c.Preps.Add(1)
 		c.PrepNanos.Add(time.Since(start).Nanoseconds())
+		// Every successfully prepared plan is a candidate for the
+		// background self-audit: the derived relation is already
+		// quantifier-free DNF, i.e. inside the symbolic-capable
+		// fragment (the auditor itself filters by description size).
+		rt.auditor.register(key, rel, ps)
 	}
 	return ps, err
 }

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// warmAuditable samples relation B (a two-disjoint-box union inside the
+// exact-oracle fragment) so its prepared sampler is cached and
+// registered with the auditor.
+func warmAuditable(t *testing.T, baseURL, id string) {
+	t.Helper()
+	resp, body := postJSON(t, baseURL+"/v1/sample", sampleRequest{
+		Database: id, Relation: "B", N: 64, Seed: 11, Options: fastOpts,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm sample: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestAuditEndpoints: POST /v1/audit runs one sweep and returns its
+// verdicts, GET /v1/audit reports the accumulated status and quality
+// reports, and both feed the Prometheus audit metrics.
+func TestAuditEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, "audit", testProgram)
+	warmAuditable(t, ts.URL, id)
+
+	resp, err := http.Post(ts.URL+"/v1/audit", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/audit: status %d, body %s", resp.StatusCode, body)
+	}
+	var run auditRunResponse
+	mustDecode(t, body, &run)
+	if len(run.Events) == 0 {
+		t.Fatalf("audit sweep produced no events: %s", body)
+	}
+	checks := map[string]bool{}
+	for _, ev := range run.Events {
+		checks[ev.Check] = true
+		if ev.Outcome == obs.AuditFail {
+			t.Errorf("healthy sampler failed audit: %+v", ev)
+		}
+		if ev.Samples == 0 || ev.Key == "" {
+			t.Errorf("event missing provenance: %+v", ev)
+		}
+	}
+	if !checks["cells"] || !checks["shares"] {
+		t.Fatalf("sweep should cover cells and shares, got %v", checks)
+	}
+	if run.Audit.Rounds == 0 || run.Audit.Passes == 0 {
+		t.Fatalf("sweep not accounted in stats: %+v", run.Audit)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/audit: status %d, body %s", resp.StatusCode, body)
+	}
+	var status auditStatusResponse
+	mustDecode(t, body, &status)
+	if status.Audit.Entries == 0 {
+		t.Fatalf("no registered auditable entries: %+v", status.Audit)
+	}
+	if len(status.Audit.Flagged) != 0 {
+		t.Fatalf("healthy sampler quarantined: %v", status.Audit.Flagged)
+	}
+	if len(status.Reports) == 0 {
+		t.Fatal("no quality reports after an audited sweep")
+	}
+	rep := status.Reports[0]
+	if !rep.Audited || rep.AuditOutcome != "pass" || rep.ExactVolume < 1.99 || rep.ExactVolume > 2.01 {
+		t.Fatalf("report not audited against the exact oracle: %+v", rep)
+	}
+
+	// The metrics sink saw every verdict.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`cdbserve_audit_total{check="cells",outcome="pass"}`,
+		`cdbserve_audit_total{check="shares",outcome="pass"}`,
+		"cdbserve_audit_flagged 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	_ = s
+}
+
+// TestAuditBackgroundLoopViaConfig: Config.AuditInterval starts the
+// loop; Close stops it (the runtime waits for the sweep goroutines).
+func TestAuditBackgroundLoopViaConfig(t *testing.T) {
+	s, ts := newTestServer(t, Config{AuditInterval: time.Millisecond})
+	id := register(t, ts.URL, "audit-bg", testProgram)
+	warmAuditable(t, ts.URL, id)
+	if !s.rt.Auditor().Stats().Enabled {
+		t.Fatal("AuditInterval did not start the background auditor")
+	}
+	s.Close()
+	if s.rt.Auditor().Stats().Enabled {
+		t.Fatal("auditor still enabled after server Close")
+	}
+}
+
+// TestDebugQualityEndpoint: the operator mux serves the audit status
+// plus the per-key quality reports as indented JSON.
+func TestDebugQualityEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, "quality", testProgram)
+	warmAuditable(t, ts.URL, id)
+	resp, err := http.Post(ts.URL+"/v1/audit", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	debug := httptest.NewServer(s.DebugHandler())
+	defer debug.Close()
+	get := func() string {
+		t.Helper()
+		resp, err := http.Get(debug.URL + "/debug/quality")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /debug/quality: status %d", resp.StatusCode)
+		}
+		return string(body)
+	}
+	text := get()
+	for _, want := range []string{`"audit"`, `"reports"`, `"audit_outcome": "pass"`, `"exact_shares"`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/debug/quality missing %q:\n%s", want, text)
+		}
+	}
+	// Deterministic for a fixed workload: two reads agree byte for byte.
+	if again := get(); again != text {
+		t.Fatalf("/debug/quality not deterministic:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}
+
+// TestDebugCostsDeterministic: the cost dump is sorted by key and
+// byte-stable across reads of an unchanged runtime — operators can diff
+// two snapshots.
+func TestDebugCostsDeterministic(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	id := register(t, ts.URL, "costs", testProgram)
+	// Touch several relations so the table has multiple keys.
+	for _, rel := range []string{"S", "B", "S"} {
+		resp, body := postJSON(t, ts.URL+"/v1/sample", sampleRequest{
+			Database: id, Relation: rel, N: 8, Seed: 3, Options: fastOpts,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sample %s: status %d, body %s", rel, resp.StatusCode, body)
+		}
+	}
+
+	debug := httptest.NewServer(s.DebugHandler())
+	defer debug.Close()
+	get := func() string {
+		t.Helper()
+		resp, err := http.Get(debug.URL + "/debug/costs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(body)
+	}
+	first := get()
+	if again := get(); again != first {
+		t.Fatalf("/debug/costs not deterministic:\n--- first\n%s\n--- second\n%s", first, again)
+	}
+	// Keys appear in sorted order.
+	var keys []string
+	for _, line := range strings.Split(first, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, `"key":`) {
+			keys = append(keys, line)
+		}
+	}
+	if len(keys) < 2 {
+		t.Fatalf("expected multiple cost entries, got %d:\n%s", len(keys), first)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("cost dump not sorted: %q before %q", keys[i-1], keys[i])
+		}
+	}
+}

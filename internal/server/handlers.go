@@ -12,6 +12,8 @@ import (
 	cdb "repro"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/obs/quality"
 	"repro/internal/runtime"
 	"repro/internal/walk"
 )
@@ -710,6 +712,46 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// --- GET/POST /v1/audit --------------------------------------------------
+
+// auditStatusResponse is the GET /v1/audit body: the auditor's lifetime
+// counters (including currently flagged keys) plus the per-sampler
+// quality reports.
+type auditStatusResponse struct {
+	Audit   runtime.AuditStats `json:"audit"`
+	Reports []quality.Report   `json:"reports"`
+}
+
+func (s *Server) handleAuditStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, auditStatusResponse{
+		Audit:   s.rt.Auditor().Stats(),
+		Reports: s.rt.Quality().Reports(),
+	})
+}
+
+// auditRunResponse is the POST /v1/audit body: the verdicts of one
+// on-demand audit sweep over every registered warm entry, sorted by
+// key, plus the updated counters.
+type auditRunResponse struct {
+	Events []obs.AuditEvent   `json:"events"`
+	Audit  runtime.AuditStats `json:"audit"`
+}
+
+func (s *Server) handleAuditRun(w http.ResponseWriter, r *http.Request) {
+	events, err := s.rt.Auditor().RunOnce(r.Context())
+	if err != nil {
+		s.writeError(w, "audit", http.StatusInternalServerError, err)
+		return
+	}
+	if events == nil {
+		events = []obs.AuditEvent{}
+	}
+	writeJSON(w, http.StatusOK, auditRunResponse{
+		Events: events,
+		Audit:  s.rt.Auditor().Stats(),
+	})
+}
+
 // --- GET /metrics, /healthz ---------------------------------------------
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -718,6 +760,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"cdbserve_databases":          float64(s.rt.Registry().Len()),
 		"cdbserve_sampler_cache_size": float64(s.rt.Cache().Len()),
 		"cdbserve_pool_workers":       float64(s.rt.Pool().Size()),
+		"cdbserve_audit_flagged":      float64(len(s.rt.Quality().Flagged())),
 	})
 }
 

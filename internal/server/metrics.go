@@ -28,6 +28,7 @@ type Metrics struct {
 	errors      map[string]*atomic.Int64 // per-endpoint error counts
 	latencies   map[string]*latencySummary
 	cacheEvents map[string]*atomic.Int64  // per {kind,outcome} cache events
+	auditEvents map[string]*atomic.Int64  // per {check,outcome} audit verdicts
 	stages      map[string]*stageDuration // per-stage duration histograms
 
 	CacheHits      atomic.Int64
@@ -87,6 +88,7 @@ func NewMetrics() *Metrics {
 		errors:      map[string]*atomic.Int64{},
 		latencies:   map[string]*latencySummary{},
 		cacheEvents: map[string]*atomic.Int64{},
+		auditEvents: map[string]*atomic.Int64{},
 		stages:      map[string]*stageDuration{},
 	}
 }
@@ -128,7 +130,17 @@ func (m *Metrics) CoalescedDraw() { m.Coalesced.Add(1) }
 // BatchJob records one worker-pool job execution.
 func (m *Metrics) BatchJob() { m.BatchJobs.Add(1) }
 
-var _ obs.Sink = (*Metrics)(nil)
+// AuditEvent records one background self-audit verdict per
+// {check, outcome} (cdbserve_audit_total) — the Prometheus face of the
+// quality auditor.
+func (m *Metrics) AuditEvent(ev obs.AuditEvent) {
+	m.counter(m.auditEvents, ev.Check+"|"+ev.Outcome.String()).Add(1)
+}
+
+var (
+	_ obs.Sink      = (*Metrics)(nil)
+	_ obs.AuditSink = (*Metrics)(nil)
+)
 
 // ObserveStage records one pipeline stage duration (seconds) in the
 // cdbserve_stage_duration_seconds histogram under the stage label.
@@ -229,6 +241,20 @@ func (m *Metrics) WriteTo(w io.Writer, gauges map[string]float64) {
 	for _, k := range ekeys {
 		kind, outcome, _ := strings.Cut(k, "|")
 		fmt.Fprintf(w, "cdbserve_cache_events_total{kind=%q,outcome=%q} %d\n", kind, outcome, events[k])
+	}
+
+	// Per-check, per-outcome audit verdicts: the map keys are
+	// "check|outcome".
+	audits := m.snapshot(m.auditEvents)
+	akeys := make([]string, 0, len(audits))
+	for k := range audits {
+		akeys = append(akeys, k)
+	}
+	sort.Strings(akeys)
+	fmt.Fprintf(w, "# HELP cdbserve_audit_total Background self-audit verdicts per check.\n# TYPE cdbserve_audit_total counter\n")
+	for _, k := range akeys {
+		check, outcome, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "cdbserve_audit_total{check=%q,outcome=%q} %d\n", check, outcome, audits[k])
 	}
 
 	// Per-stage pipeline durations, a Prometheus histogram per stage.

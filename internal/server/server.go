@@ -53,6 +53,13 @@ type Config struct {
 	// SlowQuery, when positive, logs any request slower than this
 	// threshold with its trace id and per-stage span summary.
 	SlowQuery time.Duration
+	// AuditInterval, when positive, starts the background quality
+	// auditor at that sweep interval: warm cache entries are
+	// periodically re-drawn and cross-checked against exact symbolic
+	// volumes, with verdicts on /metrics (cdbserve_audit_total), the
+	// /v1/audit endpoint and /debug/quality. Zero leaves the background
+	// loop off; POST /v1/audit still audits on demand.
+	AuditInterval time.Duration
 	// Logger receives slow-query lines (default log.Default()).
 	Logger *log.Logger
 }
@@ -99,6 +106,10 @@ func New(cfg Config) *Server {
 	if cfg.DefaultWorkers <= 0 {
 		cfg.DefaultWorkers = min(4, rt.Pool().Size())
 	}
+	if cfg.AuditInterval > 0 {
+		rt.Auditor().Configure(runtime.AuditConfig{Interval: cfg.AuditInterval})
+		rt.Auditor().Start()
+	}
 	return &Server{cfg: cfg, rt: rt, metrics: m}
 }
 
@@ -128,6 +139,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/spacetime/slice", s.instrument("spacetime_slice", s.handleSpacetimeSlice))
 	mux.HandleFunc("POST /v1/spacetime/sample", s.instrument("spacetime_sample", s.handleSpacetimeSample))
 	mux.HandleFunc("POST /v1/spacetime/alibi", s.instrument("spacetime_alibi", s.handleSpacetimeAlibi))
+	mux.HandleFunc("GET /v1/audit", s.instrument("audit", s.handleAuditStatus))
+	mux.HandleFunc("POST /v1/audit", s.instrument("audit", s.handleAuditRun))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	return mux
@@ -180,6 +193,17 @@ func (s *Server) DebugHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.rt.Costs().Each())
+	})
+	mux.HandleFunc("/debug/quality", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Reports() is sorted by key, so the dump is deterministic for a
+		// fixed workload, like /debug/costs.
+		_ = enc.Encode(map[string]any{
+			"audit":   s.rt.Auditor().Stats(),
+			"reports": s.rt.Quality().Reports(),
+		})
 	})
 	return mux
 }

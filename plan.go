@@ -103,6 +103,15 @@ type ExplainReport struct {
 	// VolumeSymbolic has run).
 	Observed         *ObservedCost
 	SymbolicObserved *ObservedCost
+
+	// Quality is the statistical-quality diagnostics accumulated under
+	// CacheKey — cell uniformity, member shares, mixing and the latest
+	// self-audit verdict (nil until a draw has been observed).
+	// AuditFlagged reports the entry quarantined by a failing audit; the
+	// entry stays cached and keeps serving, but the flag (here and in
+	// CacheStats) makes the quarantine visible.
+	Quality      *QualityReport
+	AuditFlagged bool
 }
 
 // String renders the report for terminals.
@@ -135,7 +144,35 @@ func (r *ExplainReport) String() string {
 	if r.Observed != nil {
 		fmt.Fprintf(&sb, "observed: %s\n", observedLine(r.Observed))
 	}
+	if r.Quality != nil {
+		fmt.Fprintf(&sb, "quality: %s\n", qualityLine(r.Quality))
+	}
 	return sb.String()
+}
+
+// qualityLine renders the headline quality diagnostics on one line.
+func qualityLine(q *QualityReport) string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("samples=%d", q.Samples))
+	if q.ChiSquareDOF > 0 {
+		parts = append(parts, fmt.Sprintf("chi2=%.2f (dof=%d p=%.3f)", q.ChiSquare, q.ChiSquareDOF, q.PValue))
+	}
+	if q.AcceptanceRate > 0 {
+		parts = append(parts, fmt.Sprintf("accept=%.3f", q.AcceptanceRate))
+	}
+	if q.RoundsPerSample > 0 {
+		parts = append(parts, fmt.Sprintf("rounds/sample=%.2f", q.RoundsPerSample))
+	}
+	if q.ESSWindow > 0 {
+		parts = append(parts, fmt.Sprintf("ess=%.0f/%d", q.ESS, q.ESSWindow))
+	}
+	if q.Audited {
+		parts = append(parts, fmt.Sprintf("audit=%s (rounds=%d)", q.AuditOutcome, q.AuditRounds))
+	}
+	if q.Flagged {
+		parts = append(parts, "FLAGGED")
+	}
+	return strings.Join(parts, " ")
 }
 
 // writeStages renders the per-stage timing rows, if any.
@@ -272,6 +309,10 @@ func (e *Expr) Explain(ctx context.Context) (*ExplainReport, error) {
 	}
 	if snap, ok := e.db.rt.Costs().Snapshot(skey); ok {
 		rep.SymbolicObserved = &snap
+	}
+	if q, ok := e.db.rt.Quality().Report(key); ok {
+		rep.Quality = &q
+		rep.AuditFlagged = q.Flagged
 	}
 	rep.Stages = stageTimings(e.compileNanos, rep.Observed, rep.SymbolicObserved)
 	return rep, nil

@@ -1,0 +1,79 @@
+package cdb
+
+// Statistical quality auditing for the facade: every batched draw
+// already streams into per-sampler diagnostics (cell-count chi-square
+// over a deterministic partition of the bounding box, member-share
+// tracking, acceptance and mixing statistics); WithAudit additionally
+// runs a background self-audit that re-draws small batches from warm
+// cache entries and cross-checks them against exact symbolic volumes.
+// QualityReport exposes the accumulated diagnostics per cache key,
+// AuditOnce runs one audit sweep on demand, and CacheStats.Audit (plus
+// Expr.Explain) surfaces the verdicts — failing entries are flagged,
+// never silently evicted.
+
+import (
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/obs/quality"
+	"repro/internal/runtime"
+)
+
+// QualityReport is the accumulated statistical diagnostics of one
+// prepared sampler: observed cell counts vs exact cell masses
+// (chi-square with a Wilson–Hilferty p-value), within-run drift,
+// member draw shares vs exact canonical shares, acceptance rate,
+// rejection-round histogram, lag-1 autocorrelation and effective
+// sample size, and the latest audit verdict.
+type QualityReport = quality.Report
+
+// AuditConfig tunes the background self-audit started by WithAudit;
+// the zero value picks defaults with the background loop disabled.
+type AuditConfig = runtime.AuditConfig
+
+// AuditStats summarizes the auditor's lifetime counters and the
+// currently flagged cache keys; surfaced by CacheStats.Audit.
+type AuditStats = runtime.AuditStats
+
+// AuditEvent is one typed audit verdict: the audited cache key, the
+// check ("cells", "shares" or "mixing"), the pass/warn/fail outcome,
+// and the test statistic against its threshold.
+type AuditEvent = obs.AuditEvent
+
+// AuditOutcome grades an audit check; its String form is
+// "pass"/"warn"/"fail".
+type AuditOutcome = obs.AuditOutcome
+
+// The audit outcomes, ordered by severity.
+const (
+	AuditPass AuditOutcome = obs.AuditPass
+	AuditWarn AuditOutcome = obs.AuditWarn
+	AuditFail AuditOutcome = obs.AuditFail
+)
+
+// QualityReport returns the statistical diagnostics accumulated for
+// one canonical cache key (as reported by Expr.Explain and
+// ObservedCosts); ok is false until a draw has been observed under the
+// key. Exact references (cell masses, canonical shares) appear after
+// the first audit of the key.
+func (db *DB) QualityReport(key string) (QualityReport, bool) {
+	return db.rt.Quality().Report(key)
+}
+
+// QualityReports returns the diagnostics of every tracked sampler,
+// sorted by key.
+func (db *DB) QualityReports() []QualityReport {
+	return db.rt.Quality().Reports()
+}
+
+// AuditOnce runs one synchronous audit sweep over every registered
+// warm entry — the on-demand form of the background loop WithAudit
+// starts — and returns the emitted verdicts sorted by key. Entries
+// outside the symbolic-capable fragment (too many dimensions or
+// disjuncts for the exact oracle) are skipped.
+func (db *DB) AuditOnce(ctx context.Context) ([]AuditEvent, error) {
+	if err := db.check(ctx); err != nil {
+		return nil, err
+	}
+	return db.rt.Auditor().RunOnce(ctx)
+}

@@ -1,0 +1,86 @@
+package cdb_test
+
+// Quality-auditing overhead benchmarks: the audit layer must be nearly
+// free on the warm draw path. With auditing off, the only extra work per
+// draw batch is the quality tracker's cell/effort accounting; with the
+// background auditor on, sweeps run concurrently off the serving path.
+// Results and the overhead bound (<= 3%) are recorded in
+// BENCH_quality.json.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	cdb "repro"
+)
+
+const benchAuditProgram = `
+rel U(x, y) := { 0 <= x <= 1, 0 <= y <= 1 } | { 2 <= x <= 3, 0 <= y <= 1 };
+`
+
+// BenchmarkWarmDrawAuditOff: warm union draws with no background
+// auditor — the baseline the audit-on variant is compared against.
+func BenchmarkWarmDrawAuditOff(b *testing.B) {
+	db, err := cdb.Open(benchAuditProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	if _, err := db.SampleN(ctx, "U", 64); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.SampleNSeeded(ctx, "U", 64, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmDrawAuditOn: the same warm draws while the background
+// auditor sweeps every 250ms — a production-style cadence. One audit
+// round costs ~2ms (BenchmarkAuditorRound), so the steady-state duty
+// cycle stolen from the serving path is under 1%.
+func BenchmarkWarmDrawAuditOn(b *testing.B) {
+	db, err := cdb.Open(benchAuditProgram,
+		cdb.WithAudit(cdb.AuditConfig{Interval: 250 * time.Millisecond}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	if _, err := db.SampleN(ctx, "U", 64); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.SampleNSeeded(ctx, "U", 64, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAuditorRound: throughput of one full on-demand audit round
+// (batch draw, exact-oracle cross-check, verdicts) over one warm entry.
+func BenchmarkAuditorRound(b *testing.B) {
+	db, err := cdb.Open(benchAuditProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	if _, err := db.SampleN(ctx, "U", 64); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.AuditOnce(ctx); err != nil { // compute the oracle once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.AuditOnce(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

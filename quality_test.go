@@ -1,0 +1,257 @@
+package cdb_test
+
+import (
+	"context"
+	"runtime"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	cdb "repro"
+)
+
+// auditProgram: a union of two disjoint unit boxes, 2-D and 2 tuples —
+// comfortably inside the exact-oracle fragment, with known canonical
+// member shares (1/2, 1/2) and exact volume 2.
+const auditProgram = `
+rel U(x, y) := { 0 <= x <= 1, 0 <= y <= 1 } | { 2 <= x <= 3, 0 <= y <= 1 };
+`
+
+// warmU draws a deterministic batch so the sampler is prepared, cached,
+// registered with the auditor and feeding the quality tracker.
+func warmU(t *testing.T, db *cdb.DB) {
+	t.Helper()
+	pts, err := db.SampleNSeeded(context.Background(), "U", 512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 512 {
+		t.Fatalf("warm draw returned %d points", len(pts))
+	}
+}
+
+// TestAuditUnbiasedPasses is the control: a correct sampler must come
+// out of the audit green — no fail events, nothing flagged.
+func TestAuditUnbiasedPasses(t *testing.T) {
+	db, err := cdb.Open(auditProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	warmU(t, db)
+
+	events, err := db.AuditOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no audit events for a registered warm sampler")
+	}
+	checks := map[string]bool{}
+	for _, ev := range events {
+		checks[ev.Check] = true
+		if ev.Outcome == cdb.AuditFail {
+			t.Errorf("control sampler failed audit: %+v", ev)
+		}
+	}
+	if !checks["cells"] || !checks["shares"] {
+		t.Fatalf("audit should run both the cells and shares checks, got %v", checks)
+	}
+	stats := db.CacheStats().Audit
+	if stats.Entries == 0 || stats.Rounds == 0 {
+		t.Fatalf("audit stats not accounted: %+v", stats)
+	}
+	if len(stats.Flagged) != 0 {
+		t.Fatalf("control sampler flagged: %v", stats.Flagged)
+	}
+	rep, err := db.Rel("U").Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AuditFlagged {
+		t.Fatal("control sampler flagged in Explain")
+	}
+	if rep.Quality == nil || rep.Quality.AuditOutcome != "pass" {
+		t.Fatalf("Explain quality row missing or not passing: %+v", rep.Quality)
+	}
+	// Exact references installed by the audit: total volume 2, shares
+	// 1/2 each.
+	q, ok := db.QualityReport(rep.CacheKey)
+	if !ok {
+		t.Fatal("no quality report under the explain cache key")
+	}
+	if q.ExactVolume < 1.99 || q.ExactVolume > 2.01 {
+		t.Fatalf("exact volume = %g, want 2", q.ExactVolume)
+	}
+	if len(q.ExactShares) != 2 || q.ExactShares[0] < 0.49 || q.ExactShares[0] > 0.51 {
+		t.Fatalf("exact shares = %v, want [0.5 0.5]", q.ExactShares)
+	}
+}
+
+// TestAuditCatchesBiasedSampler is the tentpole's acceptance test: skew
+// the warm sampler's union mixture weights (the fault-injection hook)
+// and the auditor must emit a fail event within a few rounds, flag the
+// entry in CacheStats and Explain — and keep serving it (quarantine,
+// never eviction).
+func TestAuditCatchesBiasedSampler(t *testing.T) {
+	db, err := cdb.Open(auditProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	warmU(t, db)
+
+	ps, err := db.Sampler(context.Background(), "U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5x weight on member 0: the Karp–Luby member pick now lands on the
+	// first box ~5/6 of the time, and — the boxes being disjoint — every
+	// pick is canonical and accepted, so the output density is skewed.
+	ps.ScaleMemberWeight(0, 5)
+
+	var failed bool
+	for round := 0; round < 5 && !failed; round++ {
+		events, err := db.AuditOnce(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			if ev.Outcome == cdb.AuditFail {
+				failed = true
+				if ev.Stat <= ev.Threshold {
+					t.Errorf("fail event with stat %.2f <= threshold %.2f", ev.Stat, ev.Threshold)
+				}
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("auditor never emitted a fail event for the skewed sampler")
+	}
+
+	stats := db.CacheStats().Audit
+	if stats.Fails == 0 {
+		t.Fatalf("audit fail not counted: %+v", stats)
+	}
+	if len(stats.Flagged) == 0 {
+		t.Fatal("biased entry not flagged in CacheStats")
+	}
+	rep, err := db.Rel("U").Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AuditFlagged {
+		t.Fatal("biased entry not flagged in Explain")
+	}
+	if !slices.Contains(stats.Flagged, rep.CacheKey) {
+		t.Fatalf("flagged keys %v do not include the explain cache key %q", stats.Flagged, rep.CacheKey)
+	}
+	if !strings.Contains(rep.String(), "FLAGGED") {
+		t.Fatal("Explain rendering does not surface the flag")
+	}
+	// Quarantine, not eviction: the entry still serves draws.
+	if rep.Cache != "hit" {
+		t.Fatalf("flagged entry should stay cached, got %q", rep.Cache)
+	}
+	if _, err := db.SampleNSeeded(context.Background(), "U", 16, 9); err != nil {
+		t.Fatalf("flagged entry stopped serving: %v", err)
+	}
+}
+
+// TestVolumeAccuracyLedger: Volume calls must land their (ε, δ)
+// requested-vs-achieved ledger in the observed-cost table.
+func TestVolumeAccuracyLedger(t *testing.T) {
+	db, err := cdb.Open(auditProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Volume(context.Background(), "U"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.Rel("U").Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, ok := db.ObservedCost(rep.CacheKey)
+	if !ok {
+		t.Fatal("no observed cost after Volume")
+	}
+	if cost.VolEstimates == 0 {
+		t.Fatalf("volume ledger not recorded: %+v", cost)
+	}
+	if cost.VolEpsRequestedMu <= 0 || cost.VolEpsAchievedMu <= 0 {
+		t.Fatalf("ledger eps fields empty: req=%d ach=%d", cost.VolEpsRequestedMu, cost.VolEpsAchievedMu)
+	}
+	if cost.VolDeltaRequestMu <= 0 {
+		t.Fatalf("ledger delta missing: %d", cost.VolDeltaRequestMu)
+	}
+	// Expr.Volume uses the same key and must accumulate onto it.
+	if _, err := db.Rel("U").Volume(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cost2, _ := db.ObservedCost(rep.CacheKey)
+	if cost2.VolEstimates <= cost.VolEstimates {
+		t.Fatalf("Expr.Volume did not extend the ledger: %d -> %d", cost.VolEstimates, cost2.VolEstimates)
+	}
+}
+
+// TestAuditorStopsWithClose: the background loop (and its sweep
+// goroutines) must terminate when the handle closes — run under -race
+// in CI, this also shakes out auditor/executor data races.
+func TestAuditorStopsWithClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	db, err := cdb.Open(auditProgram, cdb.WithAudit(cdb.AuditConfig{Interval: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmU(t, db)
+	if !db.CacheStats().Audit.Enabled {
+		t.Fatal("auditor not running after WithAudit")
+	}
+	// Let a few background sweeps fire.
+	deadline := time.Now().Add(2 * time.Second)
+	for db.CacheStats().Audit.Rounds == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if db.CacheStats().Audit.Rounds == 0 {
+		t.Fatal("background auditor never completed a round")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.CacheStats().Audit.Enabled {
+		t.Fatal("auditor still enabled after Close")
+	}
+	// Goroutines must drain back to (roughly) the pre-open level.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestWithAuditZeroIntervalStaysOff: the option with no interval must
+// not spin up a goroutine, while AuditOnce still works on demand.
+func TestWithAuditZeroIntervalStaysOff(t *testing.T) {
+	db, err := cdb.Open(auditProgram, cdb.WithAudit(cdb.AuditConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.CacheStats().Audit.Enabled {
+		t.Fatal("zero-interval audit config started the background loop")
+	}
+	warmU(t, db)
+	events, err := db.AuditOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("on-demand audit produced no events")
+	}
+}

@@ -29,12 +29,17 @@
 //     motion.go).
 //
 // The package-level functions (NewSampler, EstimateVolume, SampleMany,
-// MedianVolume, ...) predate the handle; they still work but pay the
-// full sampler setup on every call and are deprecated in favour of the
-// DB methods — see the migration table in README.md.
+// MedianVolume, ...) predate the handle and are deprecated in favour
+// of the DB methods — see the migration table in README.md. They now
+// route through a lazily created package-default runtime sharing one
+// warm prepared-sampler cache (see compat.go), so repeat calls on
+// structurally equal relations no longer pay the full setup; their
+// signatures and error behaviour are unchanged.
 package cdb
 
 import (
+	"context"
+
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -147,11 +152,19 @@ func FaithfulOptions() Options {
 // volume estimator — for a well-bounded generalized relation (a DFK
 // generator per tuple under the union combinator).
 //
-// Deprecated: NewSampler pays the full rounding/volume setup on every
-// call and is not cancellable. Open a DB handle and use
+// Deprecated: NewSampler is not cancellable. Open a DB handle and use
 // DB.Sampler(ctx, name) (cached, coalesced) or DB.Samples for a
-// streaming iterator. Kept for compatibility; behaviour is unchanged.
+// streaming iterator. Kept for compatibility; calls now bind seed
+// against the package's shared warm cache (see compat.go), so repeat
+// calls on structurally equal relations skip the rounding/volume
+// setup. Preparation problems fall back to the original cold path,
+// preserving the historical error behaviour.
 func NewSampler(rel *Relation, seed uint64, opts Options) (Observable, error) {
+	if _, ps, _, ok := preparedRelation(rel, opts); ok {
+		if obs, err := ps.NewObservable(seed); err == nil {
+			return obs, nil
+		}
+	}
 	return core.NewRelationObservable(rel, rng.New(seed), opts)
 }
 
@@ -178,11 +191,16 @@ func PrepareSampler(rel *Relation, prepSeed uint64, opts Options) (*PreparedSamp
 
 // EstimateVolume is a convenience for NewSampler(...).Volume().
 //
-// Deprecated: use DB.Volume(ctx, name), which reuses the warm prepared
-// geometry (single-tuple relations return the preparation-time estimate
-// with no walker bound at all) and honours ctx. Kept for compatibility.
+// Deprecated: use DB.Volume(ctx, name), which honours ctx. Kept for
+// compatibility; calls now share the package's warm cache and follow
+// the DB.Volume contract — single-tuple relations return the
+// preparation-time estimate with no walker bound at all, unions bind
+// seed for the Karp–Luby acceptance pass.
 func EstimateVolume(rel *Relation, seed uint64, opts Options) (float64, error) {
-	obs, err := NewSampler(rel, seed, opts)
+	if _, ps, _, ok := preparedRelation(rel, opts); ok {
+		return ps.Volume(seed)
+	}
+	obs, err := core.NewRelationObservable(rel, rng.New(seed), opts)
 	if err != nil {
 		return 0, err
 	}
@@ -194,26 +212,35 @@ func EstimateVolume(rel *Relation, seed uint64, opts Options) (float64, error) {
 // — the classical powering that realises Definition 2.2's ln(1/δ)
 // complexity dependence.
 //
-// Deprecated: each of the k runs pays a cold sampler setup. Prefer
-// DB.Volume over a handle (warm geometry), or
-// PreparedSampler.MedianVolumeCtx for warm median amplification. Kept
-// for compatibility.
+// Deprecated: prefer DB.Volume over a handle, or
+// PreparedSampler.MedianVolumeCtx for warm median amplification with a
+// context. Kept for compatibility; the k estimators now bind
+// independent seeds against one shared warm preparation instead of
+// each paying a cold sampler setup.
 func MedianVolume(rel *Relation, k int, baseSeed uint64, opts Options) (float64, error) {
+	if _, ps, _, ok := preparedRelation(rel, opts); ok {
+		return ps.MedianVolumeCtx(context.Background(), k, baseSeed)
+	}
 	return core.MedianVolume(func(seed uint64) (Observable, error) {
-		return NewSampler(rel, seed, opts)
+		return core.NewRelationObservable(rel, rng.New(seed), opts)
 	}, k, baseSeed)
 }
 
 // SampleMany draws n almost-uniform samples using w parallel workers,
 // each with an independent generator.
 //
-// Deprecated: every call spawns unbounded goroutines and repeats the
-// sampler setup per worker. Use DB.SampleN(ctx, name, n), which runs on
-// the handle's bounded pool over cached geometry, coalesces identical
-// concurrent draws and honours ctx. Kept for compatibility.
+// Deprecated: use DB.SampleN(ctx, name, n), which honours ctx. Kept
+// for compatibility; calls now run on the package's shared bounded
+// worker pool over cached geometry, and byte-identical concurrent
+// draws coalesce into a single execution — the same batched executor
+// behind DB.SampleN.
 func SampleMany(rel *Relation, n, w int, baseSeed uint64, opts Options) ([]Vector, error) {
+	if rt, ps, key, ok := preparedRelation(rel, opts); ok {
+		pts, _, err := rt.Executor().SampleMany(key, ps, n, w, baseSeed)
+		return pts, err
+	}
 	return core.SampleMany(func(seed uint64) (Observable, error) {
-		return NewSampler(rel, seed, opts)
+		return core.NewRelationObservable(rel, rng.New(seed), opts)
 	}, n, w, baseSeed)
 }
 

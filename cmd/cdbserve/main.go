@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -47,9 +48,30 @@ func main() {
 		// cost tables: unauthenticated by design, so it binds separately —
 		// keep it on loopback or an ops-only network, never the public
 		// address.
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars, /debug/costs and /debug/quality on this UNAUTHENTICATED ops-only address (e.g. localhost:6060; empty = disabled)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars, /debug/costs, /debug/quality and /debug/cluster on this UNAUTHENTICATED ops-only address (e.g. localhost:6060; empty = disabled)")
+		// Cluster mode: static membership over which a consistent-hash
+		// ring routes every prepared-cache key to exactly one owner node;
+		// non-owners transparently forward. Flags override the config
+		// file's corresponding fields.
+		clusterSelf    = flag.String("cluster-self", "", "this node's advertised base URL in cluster mode (e.g. http://10.0.0.1:8080)")
+		clusterPeers   = flag.String("cluster-peers", "", "comma-separated peer base URLs; empty = single-node mode")
+		clusterConfig  = flag.String("cluster-config", "", "JSON membership file {\"self\":..., \"peers\":[...], \"vnodes\":..., \"max_hops\":...}; flags override its fields")
+		clusterVNodes  = flag.Int("cluster-vnodes", 0, "virtual nodes per member on the hash ring (0 = 64)")
+		forwardTimeout = flag.Duration("forward-timeout", 0, "per-request timeout when forwarding to a peer (0 = 30s)")
+		probeInterval  = flag.Duration("probe-interval", 5*time.Second, "background peer health-probe interval (0 = breakers driven by forwarding outcomes only)")
+		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight (local and forwarded) requests on SIGTERM")
+		// Admission control: shed excess load with 429 + Retry-After
+		// instead of queueing unboundedly.
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing data-plane requests (0 = unlimited)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant sustained request rate in req/s, keyed by the X-CDB-Tenant header (0 = no quotas)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant burst capacity (0 = ceil(tenant-rate))")
 	)
 	flag.Parse()
+
+	clusterCfg, err := buildClusterConfig(*clusterConfig, *clusterSelf, *clusterPeers, *clusterVNodes, *forwardTimeout, *probeInterval)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	srv := server.New(server.Config{
 		PoolSize:       *pool,
@@ -58,8 +80,17 @@ func main() {
 		MaxSamples:     *maxN,
 		SlowQuery:      *slowQuery,
 		AuditInterval:  *auditInterval,
+		Cluster:        clusterCfg,
+		Admission: cluster.AdmissionConfig{
+			MaxInFlight: *maxInFlight,
+			TenantRate:  *tenantRate,
+			TenantBurst: *tenantBurst,
+		},
 	})
 	defer srv.Close()
+	if clusterCfg.Enabled() {
+		log.Printf("cluster mode: self=%s peers=%s", clusterCfg.Self, strings.Join(clusterCfg.Peers, ","))
+	}
 
 	for _, path := range flag.Args() {
 		preload(srv, path)
@@ -97,8 +128,14 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful drain: flip readiness first (load balancers and peers see
+	// not-ready and stop sending), then let http.Server.Shutdown wait for
+	// in-flight requests — local computations and forwarded exchanges
+	// alike, since the forwarding client propagates request contexts —
+	// up to -drain-timeout.
+	log.Printf("draining (timeout %v)", *drainTimeout)
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
@@ -108,6 +145,37 @@ func main() {
 			log.Printf("debug shutdown: %v", err)
 		}
 	}
+}
+
+// buildClusterConfig merges the -cluster-config file (if any) with the
+// cluster flags (flags win), applies the tunables and validates the
+// result.
+func buildClusterConfig(path, self, peers string, vnodes int, forwardTimeout, probeInterval time.Duration) (cluster.Config, error) {
+	var cfg cluster.Config
+	if path != "" {
+		var err error
+		cfg, err = cluster.LoadConfig(path)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+	}
+	if self != "" {
+		cfg.Self = self
+	}
+	if p := cluster.ParsePeers(peers); len(p) > 0 {
+		cfg.Peers = p
+	}
+	if vnodes > 0 {
+		cfg.VNodes = vnodes
+	}
+	cfg.ForwardTimeout = forwardTimeout
+	if cfg.Enabled() {
+		cfg.ProbeInterval = probeInterval
+	}
+	if err := cfg.Validate(); err != nil {
+		return cluster.Config{}, err
+	}
+	return cfg, nil
 }
 
 // preload registers a program file under its base name.

@@ -1,0 +1,117 @@
+package cdb
+
+// White-box tests of the deprecated-wrapper rerouting: the package
+// facade must share one warm prepared-sampler cache across calls (and
+// across structurally equal relation values), while preparation
+// problems and per-call Interrupt hooks fall back to the legacy cold
+// path.
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/runtime"
+)
+
+// warmKeyFor computes the cache key the facade must use for rel: the
+// canonical plan hash under the default runtime's registry entry —
+// the identical key a DB handle computes for the same geometry.
+func warmKeyFor(t *testing.T, rel *Relation, opts Options) (*runtime.Runtime, string) {
+	t.Helper()
+	rt, entry, ok := defaultRuntime()
+	if !ok {
+		t.Fatal("default runtime unavailable")
+	}
+	cp := query.Canonicalize(runtime.PlanOfRelation(rel))
+	return rt, runtime.PlanKey(entry.ID, cp.Key, opts.CacheKey())
+}
+
+func hasKey(keys []string, key string) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDeprecatedWrappersShareWarmCache(t *testing.T) {
+	// A shape unique to this test so cache assertions are immune to
+	// other tests warming the process-global default runtime.
+	rel := MustRelation("WarmShare", []string{"x", "y"},
+		Box(Vector{0, 0}, Vector{0.75, 0.375}),
+		Box(Vector{2, 2}, Vector{2.5, 2.25}))
+	opts := DefaultOptions()
+	rt, key := warmKeyFor(t, rel, opts)
+
+	if hasKey(rt.Cache().Keys(), key) {
+		t.Fatal("cache already warm before first facade call")
+	}
+	if _, err := NewSampler(rel, 1, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !hasKey(rt.Cache().Keys(), key) {
+		t.Fatal("NewSampler did not warm the shared cache")
+	}
+	entries := len(rt.Cache().Keys())
+
+	// Every other wrapper — and a structurally equal but distinct
+	// relation value — must reuse the same entry: no growth.
+	rel2 := MustRelation("WarmShare", []string{"x", "y"},
+		Box(Vector{0, 0}, Vector{0.75, 0.375}),
+		Box(Vector{2, 2}, Vector{2.5, 2.25}))
+	if _, err := NewSampler(rel2, 2, opts); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := EstimateVolume(rel, 3, opts); err != nil || v <= 0 {
+		t.Fatalf("EstimateVolume = %g, %v", v, err)
+	}
+	if v, err := MedianVolume(rel, 3, 4, opts); err != nil || v <= 0 {
+		t.Fatalf("MedianVolume = %g, %v", v, err)
+	}
+	pts, err := SampleMany(rel, 32, 4, 5, opts)
+	if err != nil || len(pts) != 32 {
+		t.Fatalf("SampleMany = %d pts, %v", len(pts), err)
+	}
+	for _, p := range pts {
+		if !rel.Contains(p) {
+			t.Fatalf("sample %v outside the relation", p)
+		}
+	}
+	if got := len(rt.Cache().Keys()); got != entries {
+		t.Fatalf("cache grew from %d to %d entries: wrappers are not sharing the warm preparation", entries, got)
+	}
+}
+
+func TestDeprecatedWrappersInterruptFallsBackCold(t *testing.T) {
+	rel := MustRelation("WarmInterrupt", []string{"x"}, Cube(1, 0, 0.625))
+	opts := DefaultOptions()
+	opts.Interrupt = func() error { return nil }
+
+	rt, key := warmKeyFor(t, rel, Options{Params: opts.Params, Walk: opts.Walk})
+	gen, err := NewSampler(rel, 7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err := gen.Sample(); err != nil || !rel.Contains(p) {
+		t.Fatalf("cold-path sample %v, %v", p, err)
+	}
+	// Cancellation hooks must never be baked into shared geometry.
+	if hasKey(rt.Cache().Keys(), key) {
+		t.Fatal("Interrupt-carrying call leaked into the shared warm cache")
+	}
+}
+
+func TestDeprecatedWrappersErrorBehaviourUnchanged(t *testing.T) {
+	empty := &Relation{Name: "Empty", Vars: []string{"x"}}
+	if _, err := NewSampler(empty, 1, DefaultOptions()); err == nil {
+		t.Fatal("NewSampler on an empty relation must keep erroring")
+	}
+	if _, err := EstimateVolume(empty, 1, DefaultOptions()); err == nil {
+		t.Fatal("EstimateVolume on an empty relation must keep erroring")
+	}
+	rel := MustRelation("WarmBadK", []string{"x"}, Cube(1, 0, 1))
+	if _, err := MedianVolume(rel, 0, 1, DefaultOptions()); err == nil {
+		t.Fatal("MedianVolume must keep rejecting k <= 0")
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrOverCapacity reports that the node's bounded in-flight budget is
+// exhausted — the server-wide overload backstop.
+var ErrOverCapacity = errors.New("cluster: node over in-flight capacity")
+
+// ErrQuotaExceeded reports that one tenant's token bucket is empty —
+// the per-tenant fairness control.
+var ErrQuotaExceeded = errors.New("cluster: tenant quota exceeded")
+
+// AdmissionConfig tunes admission control. The zero value admits
+// everything (no budget, no quotas) — single-node deployments keep
+// their existing behaviour unless the operator opts in.
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrently executing data-plane requests on
+	// this node (0 = unlimited). Requests over the cap are shed with
+	// 429 + Retry-After instead of queueing unboundedly.
+	MaxInFlight int
+	// TenantRate is each tenant's sustained request rate in requests
+	// per second (0 = no per-tenant quotas). Tenants are identified by
+	// the X-CDB-Tenant header; requests without one share the ""
+	// tenant's bucket.
+	TenantRate float64
+	// TenantBurst is each tenant's bucket capacity (default
+	// max(1, ceil(TenantRate))).
+	TenantBurst int
+	// MaxTenants bounds the tenant-bucket table (default 1024); beyond
+	// it, new tenants evict the stalest bucket (a full bucket refills
+	// instantly, so eviction never penalizes an idle tenant).
+	MaxTenants int
+}
+
+// Enabled reports whether any admission mechanism is configured.
+func (c AdmissionConfig) Enabled() bool { return c.MaxInFlight > 0 || c.TenantRate > 0 }
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.TenantRate > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = int(math.Max(1, math.Ceil(c.TenantRate)))
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 1024
+	}
+	return c
+}
+
+// tenantBucket is one tenant's token bucket (lazy refill).
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Admission is the node's admission controller: a bounded in-flight
+// budget plus per-tenant token buckets. Safe for concurrent use.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	inFlight int
+	buckets  map[string]*tenantBucket
+}
+
+// NewAdmission builds a controller from cfg.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	return &Admission{cfg: cfg.withDefaults(), buckets: map[string]*tenantBucket{}}
+}
+
+// Admit asks to run one data-plane request for tenant. On success the
+// returned release MUST be called when the request finishes (it returns
+// the in-flight slot). On refusal release is nil, err is
+// ErrOverCapacity or ErrQuotaExceeded, and retryAfter is the client's
+// Retry-After hint.
+//
+// forwarded marks a request that arrived from a peer (X-CDB-Forwarded):
+// it still counts against the in-flight budget — the budget protects
+// this node's resources whatever the origin — but skips the tenant
+// charge, which the ingress node already took; otherwise every
+// forwarded hop would double-bill the tenant.
+func (a *Admission) Admit(tenant string, forwarded bool) (release func(), retryAfter time.Duration, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.MaxInFlight > 0 && a.inFlight >= a.cfg.MaxInFlight {
+		return nil, time.Second, ErrOverCapacity
+	}
+	if a.cfg.TenantRate > 0 && !forwarded {
+		b := a.bucketLocked(tenant)
+		now := time.Now()
+		b.tokens = math.Min(float64(a.cfg.TenantBurst), b.tokens+now.Sub(b.last).Seconds()*a.cfg.TenantRate)
+		b.last = now
+		if b.tokens < 1 {
+			wait := time.Duration((1 - b.tokens) / a.cfg.TenantRate * float64(time.Second))
+			return nil, wait, ErrQuotaExceeded
+		}
+		b.tokens--
+	}
+	a.inFlight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inFlight--
+			a.mu.Unlock()
+		})
+	}, 0, nil
+}
+
+// bucketLocked returns tenant's bucket, creating a full one on first
+// sight and evicting the stalest bucket beyond MaxTenants.
+func (a *Admission) bucketLocked(tenant string) *tenantBucket {
+	if b, ok := a.buckets[tenant]; ok {
+		return b
+	}
+	if len(a.buckets) >= a.cfg.MaxTenants {
+		var stalest string
+		var oldest time.Time
+		first := true
+		for t, b := range a.buckets {
+			if first || b.last.Before(oldest) {
+				stalest, oldest, first = t, b.last, false
+			}
+		}
+		delete(a.buckets, stalest)
+	}
+	b := &tenantBucket{tokens: float64(a.cfg.TenantBurst), last: time.Now()}
+	a.buckets[tenant] = b
+	return b
+}
+
+// InFlight returns the currently admitted request count.
+func (a *Admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight
+}
+
+// QuotaState is one tenant's bucket snapshot for /debug/cluster.
+type QuotaState struct {
+	Tenant string  `json:"tenant"`
+	Tokens float64 `json:"tokens"`
+}
+
+// Quotas snapshots every known tenant's remaining tokens (refreshed to
+// now), sorted by tenant, for ops introspection.
+func (a *Admission) Quotas() []QuotaState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]QuotaState, 0, len(a.buckets))
+	now := time.Now()
+	for t, b := range a.buckets {
+		tokens := math.Min(float64(a.cfg.TenantBurst), b.tokens+now.Sub(b.last).Seconds()*a.cfg.TenantRate)
+		out = append(out, QuotaState{Tenant: t, Tokens: tokens})
+	}
+	sortQuotas(out)
+	return out
+}
+
+func sortQuotas(qs []QuotaState) {
+	for i := 1; i < len(qs); i++ {
+		for j := i; j > 0 && qs[j].Tenant < qs[j-1].Tenant; j-- {
+			qs[j], qs[j-1] = qs[j-1], qs[j]
+		}
+	}
+}
+
+// Config returns the controller's effective configuration.
+func (a *Admission) Config() AdmissionConfig { return a.cfg }

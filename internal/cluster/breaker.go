@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's current disposition.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: the peer is healthy; requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer tripped; requests fall back to local compute
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request
+	// is allowed through to test the peer.
+	BreakerHalfOpen
+)
+
+// String returns the metric/ops label of the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a circuit breaker. The zero value picks defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// (default 3).
+	Threshold int
+	// Cooldown is how long a tripped breaker stays open before allowing
+	// a half-open probe (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker is one peer's circuit breaker: closed while the peer answers,
+// open after Threshold consecutive failures, half-open (one probe at a
+// time) after the cooldown. Forwarding layers call Allow before a hop,
+// then Success or Fail with the outcome; a denied hop falls back to
+// local computation — degraded, never unavailable.
+//
+// A Breaker is safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may be sent to the peer now. In the
+// half-open state only one caller at a time is admitted (the probe);
+// everyone else falls back to local compute until the probe settles.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful exchange with the peer and closes the
+// breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Fail records a failed exchange. A failure while half-open re-opens
+// immediately; while closed, Threshold consecutive failures trip the
+// breaker.
+func (b *Breaker) Fail() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		return
+	}
+	b.fails++
+	if b.fails >= b.cfg.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// State returns the breaker's current state (open breakers past their
+// cooldown still report open until an Allow promotes them to
+// half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Health is the per-peer breaker set plus an optional background
+// prober. It is the forwarding layer's single view of "which peers can
+// I talk to right now".
+type Health struct {
+	breakers map[string]*Breaker // fixed key set; values handle their own locking
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewHealth builds one breaker per peer.
+func NewHealth(peers []string, cfg BreakerConfig) *Health {
+	h := &Health{breakers: make(map[string]*Breaker, len(peers))}
+	for _, p := range peers {
+		h.breakers[p] = NewBreaker(cfg)
+	}
+	return h
+}
+
+// Breaker returns the peer's breaker (an always-closed fresh breaker
+// for unknown peers, so lookups on a stale ring never panic).
+func (h *Health) Breaker(peer string) *Breaker {
+	if b, ok := h.breakers[peer]; ok {
+		return b
+	}
+	return NewBreaker(BreakerConfig{})
+}
+
+// States snapshots every peer's breaker state, keyed by peer URL.
+func (h *Health) States() map[string]string {
+	out := make(map[string]string, len(h.breakers))
+	for p, b := range h.breakers {
+		out[p] = b.State().String()
+	}
+	return out
+}
+
+// OpenCount returns how many breakers are currently open.
+func (h *Health) OpenCount() int {
+	n := 0
+	for _, b := range h.breakers {
+		if b.State() == BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// AllOpen reports whether every peer's breaker is open — the "this node
+// is partitioned from the whole cluster" readiness signal. False when
+// there are no peers.
+func (h *Health) AllOpen() bool {
+	if len(h.breakers) == 0 {
+		return false
+	}
+	return h.OpenCount() == len(h.breakers)
+}
+
+// StartProber launches a background loop probing each peer's path
+// (typically /healthz) every interval and feeding the outcomes into the
+// breakers. ANY HTTP response counts as success — a peer answering 503
+// (e.g. draining, or degraded readiness) is still alive and can serve
+// forwarded requests for the keys it owns; only transport-level
+// failures (refused, timeout) count against the breaker. Stop with
+// StopProber; a second Start is a no-op.
+func (h *Health) StartProber(client *http.Client, path string, interval time.Duration) {
+	if h.stop != nil || interval <= 0 {
+		return
+	}
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go func() {
+		defer close(h.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-ticker.C:
+			}
+			for peer, b := range h.breakers {
+				resp, err := client.Get(peer + path)
+				if err != nil {
+					b.Fail()
+					continue
+				}
+				resp.Body.Close()
+				b.Success()
+			}
+		}
+	}()
+}
+
+// StopProber stops the background prober and waits for it to exit.
+func (h *Health) StopProber() {
+	h.stopOnce.Do(func() {
+		if h.stop != nil {
+			close(h.stop)
+			<-h.done
+		}
+	})
+}

@@ -1,0 +1,155 @@
+// Package cluster is the horizontal scale-out layer of cdbserve: a
+// consistent-hash ring over a static set of nodes that assigns every
+// prepared-cache key — canonical plan keys, symbolic keys, time-slice
+// and alibi keys — to exactly one owner node, so each expensive
+// preparation (rounding, well-boundedness witnesses, volume passes,
+// Fourier–Motzkin eliminations) is warm in one place cluster-wide
+// instead of duplicated per node.
+//
+// The warm cache is the whole performance story of the serving layer
+// (~636x over naive per-request setup); this package is what lets that
+// story span machines. It provides four small mechanisms, each usable
+// on its own:
+//
+//   - Ring / Router: consistent hashing with virtual nodes. The Local
+//     router is the degenerate single-node case — everything routes to
+//     the local runtime, keeping single-node deployments byte-identical
+//     to the pre-cluster behaviour.
+//   - Breaker / Health: per-peer circuit breakers (trip after
+//     consecutive failures, half-open probes after a cooldown) plus an
+//     optional background prober, so a dead peer degrades requests to
+//     local computation instead of making them fail.
+//   - Gate: a keyed singleflight latch for the forwarding side — a cold
+//     key reaching a non-owner causes ONE upstream preparation, with
+//     concurrent identical requests waiting for the leader instead of
+//     stampeding the owner.
+//   - Admission: a bounded in-flight request budget plus per-tenant
+//     token-bucket quotas, so overload sheds requests with 429 +
+//     Retry-After instead of collapsing the node.
+//
+// Membership is static (a -cluster-peers flag or a JSON config file);
+// the serving layer in internal/server wires these pieces into the
+// /v1/* request path. The package depends only on the standard library.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultVNodes is the default virtual-node count per member. 64 keeps
+// the key-space imbalance across a handful of nodes under a few percent
+// while the ring stays tiny (hundreds of points).
+const DefaultVNodes = 64
+
+// Config describes one node's static cluster membership.
+type Config struct {
+	// Self is this node's advertised base URL (e.g. "http://10.0.0.1:8080"),
+	// the identity its ring slots hash under. Required when Peers is
+	// non-empty.
+	Self string `json:"self"`
+	// Peers are the other members' advertised base URLs. An empty list
+	// means single-node operation (the Local router).
+	Peers []string `json:"peers"`
+	// VNodes is the virtual-node count per member (default DefaultVNodes).
+	VNodes int `json:"vnodes,omitempty"`
+	// MaxHops caps forwarding chains; a request that already crossed
+	// MaxHops nodes is served locally instead of forwarded again
+	// (default 2 — with a consistent ring one hop suffices; the second
+	// absorbs a briefly disagreeing peer during a config rollout).
+	MaxHops int `json:"max_hops,omitempty"`
+	// ForwardTimeout bounds one forwarded request (default 30s).
+	ForwardTimeout time.Duration `json:"-"`
+	// Breaker tunes the per-peer circuit breakers.
+	Breaker BreakerConfig `json:"-"`
+	// ProbeInterval is the background health-probe cadence; 0 disables
+	// the prober (breakers are then driven by forwarding outcomes only).
+	ProbeInterval time.Duration `json:"-"`
+}
+
+// Enabled reports whether the config names any peers.
+func (c Config) Enabled() bool { return len(c.Peers) > 0 }
+
+// WithDefaults returns the config with unset tunables filled in
+// (VNodes, MaxHops, ForwardTimeout); the serving layer applies it once
+// at construction so flag omissions and the zero value behave alike.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 2
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Validate checks the membership for the mistakes that would silently
+// split the ring: a missing self, unparsable URLs, duplicate members.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.Self == "" {
+		return errors.New("cluster: peers given but self address missing")
+	}
+	seen := map[string]bool{}
+	for _, n := range append([]string{c.Self}, c.Peers...) {
+		u, err := url.Parse(n)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("cluster: member %q is not an absolute URL", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("cluster: duplicate member %q", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// ParsePeers splits a comma-separated -cluster-peers flag value into
+// trimmed, non-empty peer URLs.
+func ParsePeers(flag string) []string {
+	var peers []string
+	for _, p := range strings.Split(flag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// LoadConfig reads a JSON membership file:
+//
+//	{"self": "http://a:8080", "peers": ["http://b:8080", "http://c:8080"], "vnodes": 64}
+//
+// Flag-provided values take precedence; the file fills what the flags
+// left empty (see cmd/cdbserve).
+func LoadConfig(path string) (Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var c Config
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return Config{}, fmt.Errorf("cluster: parse %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Members returns the full sorted membership (self + peers).
+func (c Config) Members() []string {
+	all := append([]string{c.Self}, c.Peers...)
+	sort.Strings(all)
+	return all
+}

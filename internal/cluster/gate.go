@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// Gate is a keyed singleflight latch for the forwarding side: the first
+// request for a key enters as the leader and performs the upstream hop
+// (paying the owner's cold preparation); concurrent requests for the
+// same key wait until the leader finishes, then proceed — by which time
+// the owner's cache is warm, so the stampede costs one preparation, not
+// one per caller.
+//
+// Unlike a response-sharing singleflight, waiters re-issue their own
+// requests after the leader completes: identical keys do not imply
+// identical requests (different n, seed, streaming mode), and the
+// owner's warm cache makes the follow-up hops cheap anyway. This also
+// keeps NDJSON streaming responses out of shared buffers.
+type Gate struct {
+	mu      sync.Mutex
+	flights map[string]chan struct{}
+}
+
+// NewGate returns an empty gate.
+func NewGate() *Gate {
+	return &Gate{flights: map[string]chan struct{}{}}
+}
+
+// Enter joins the flight for key. The first caller becomes the leader
+// (leader=true) and MUST call Leave(key) when its upstream exchange
+// settles; later callers block until then (or until ctx fires) and
+// return leader=false. A waiter whose ctx fires returns ctx.Err() —
+// the dead client's hop is never issued.
+func (g *Gate) Enter(ctx context.Context, key string) (leader bool, err error) {
+	g.mu.Lock()
+	ch, ok := g.flights[key]
+	if !ok {
+		g.flights[key] = make(chan struct{})
+		g.mu.Unlock()
+		return true, nil
+	}
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		return false, nil
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+}
+
+// Leave releases the flight for key, waking every waiter. Only the
+// leader calls it; a Leave without a flight is a no-op.
+func (g *Gate) Leave(key string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ch, ok := g.flights[key]; ok {
+		delete(g.flights, key)
+		close(ch)
+	}
+}

@@ -1,0 +1,46 @@
+package cluster
+
+import "sync"
+
+// KeySet is a bounded approximate set of "keys known to be warm on
+// their owner": the forwarding layer gates the first hop per key
+// through the Gate (one upstream preparation) and skips the gate for
+// keys already seen, so warm traffic forwards with full concurrency.
+// Bounded FIFO eviction — forgetting a key only costs one unnecessary
+// gate pass, never correctness. Safe for concurrent use.
+type KeySet struct {
+	mu    sync.Mutex
+	cap   int
+	seen  map[string]bool
+	order []string // insertion order; head is the eviction candidate
+}
+
+// NewKeySet returns a set holding at most capacity keys (minimum 1).
+func NewKeySet(capacity int) *KeySet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &KeySet{cap: capacity, seen: map[string]bool{}}
+}
+
+// Has reports whether key was added (and not yet evicted).
+func (s *KeySet) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen[key]
+}
+
+// Add inserts key, evicting the oldest entry beyond capacity.
+func (s *KeySet) Add(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[key] {
+		return
+	}
+	if len(s.order) >= s.cap {
+		delete(s.seen, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.seen[key] = true
+	s.order = append(s.order, key)
+}

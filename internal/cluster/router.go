@@ -1,0 +1,67 @@
+package cluster
+
+// Router decides which member owns a prepared-cache key. The serving
+// layer consults it before touching the local runtime: local keys are
+// prepared and cached here, remote keys are forwarded to their owner so
+// every cache entry is warm on exactly one node cluster-wide.
+//
+// Local is the degenerate single-node router; NewRouter builds the
+// consistent-hash router from a Config.
+type Router interface {
+	// Route returns the owner of key and whether this node is it. The
+	// empty owner ("") means "no routing information — serve locally".
+	Route(key string) (owner string, local bool)
+	// Self returns this node's advertised identity ("" for Local).
+	Self() string
+	// Nodes returns the sorted membership (empty for Local).
+	Nodes() []string
+}
+
+// Local routes everything to the local runtime — the single-node case.
+// It is the zero-cost default: the serving layer skips body inspection
+// entirely when the router is Local.
+type Local struct{}
+
+// Route reports the local node as the owner of every key.
+func (Local) Route(string) (string, bool) { return "", true }
+
+// Self returns "".
+func (Local) Self() string { return "" }
+
+// Nodes returns nil.
+func (Local) Nodes() []string { return nil }
+
+// ringRouter is the consistent-hash Router over a static membership.
+type ringRouter struct {
+	self string
+	ring *Ring
+}
+
+// NewRouter builds the router for cfg: Local when no peers are
+// configured, otherwise a consistent-hash router over self + peers.
+func NewRouter(cfg Config) Router {
+	if !cfg.Enabled() {
+		return Local{}
+	}
+	cfg = cfg.withDefaults()
+	return &ringRouter{self: cfg.Self, ring: NewRing(append([]string{cfg.Self}, cfg.Peers...), cfg.VNodes)}
+}
+
+func (r *ringRouter) Route(key string) (string, bool) {
+	owner := r.ring.Owner(key)
+	return owner, owner == "" || owner == r.self
+}
+
+func (r *ringRouter) Self() string { return r.self }
+
+func (r *ringRouter) Nodes() []string { return r.ring.Nodes() }
+
+// RingOf exposes the underlying ring of a NewRouter-built router for
+// ops introspection (/debug/cluster); ok is false for Local.
+func RingOf(r Router) (*Ring, bool) {
+	rr, ok := r.(*ringRouter)
+	if !ok {
+		return nil, false
+	}
+	return rr.ring, true
+}

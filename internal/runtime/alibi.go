@@ -31,10 +31,16 @@ func alibiCacheName(a, b string, t0, t1 float64) string {
 	return a + "\x1e" + b + "@" + strconv.FormatFloat(t0, 'g', -1, 64) + ":" + strconv.FormatFloat(t1, 'g', -1, 64)
 }
 
+// AlibiKey is the cache key PreparedAlibi stores under — exported for
+// the cluster routing layer. optsKey is Options.CacheKey().
+func AlibiKey(dbID, a, b string, t0, t1 float64, optsKey string) string {
+	return SamplerKey(dbID, "alibi", alibiCacheName(a, b, t0, t1), optsKey)
+}
+
 // PreparedAlibi returns the cached alibi preparation for (a, b, [t0, t1]),
 // building it on first use.
 func (rt *Runtime) PreparedAlibi(e *DatabaseEntry, aName, bName string, t0, t1 float64, opts core.Options) (*PreparedAlibi, bool, error) {
-	key := SamplerKey(e.ID, "alibi", alibiCacheName(aName, bName, t0, t1), opts.CacheKey())
+	key := AlibiKey(e.ID, aName, bName, t0, t1, opts.CacheKey())
 	pa, hit, err := rt.alibis.Get(key, func() (*PreparedAlibi, error) {
 		relA, err := spacetimeRelation(e, aName)
 		if err != nil {

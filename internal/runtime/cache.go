@@ -244,6 +244,24 @@ func (c *Cache[V]) Peek(key string) (cached, negative bool) {
 	}
 }
 
+// Keys snapshots the keys of all completed entries (in-flight builds
+// are excluded), in no particular order. The LRU order and metrics are
+// untouched. Cluster tests use it to assert that each key is warm on
+// exactly one node.
+func (c *Cache[V]) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.slots))
+	for key, slot := range c.slots {
+		select {
+		case <-slot.ready:
+			out = append(out, key)
+		default:
+		}
+	}
+	return out
+}
+
 // Len returns the number of cached (or in-flight) entries.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()

@@ -41,6 +41,18 @@ func windowCacheName(rel string, t0, t1 float64) string {
 	return rel + "@" + strconv.FormatFloat(t0, 'g', -1, 64) + ":" + strconv.FormatFloat(t1, 'g', -1, 64)
 }
 
+// SliceKey is the cache key PreparedSlice stores under — exported so
+// routing layers can compute a request's owner without resolving the
+// target locally. optsKey is Options.CacheKey().
+func SliceKey(dbID, rel string, t0 float64, optsKey string) string {
+	return SamplerKey(dbID, "slice", sliceCacheName(rel, t0), optsKey)
+}
+
+// WindowKey is the cache key PreparedWindow stores under.
+func WindowKey(dbID, rel string, t0, t1 float64, optsKey string) string {
+	return SamplerKey(dbID, "window", windowCacheName(rel, t0, t1), optsKey)
+}
+
 // spacetimeRelation resolves a plain relation (spacetime targets are
 // always declared relations, not queries).
 func spacetimeRelation(e *DatabaseEntry, name string) (*constraint.Relation, error) {
@@ -59,7 +71,7 @@ func spacetimeRelation(e *DatabaseEntry, name string) (*constraint.Relation, err
 // feeds the batch executor's coalescing. Empty slices are cached as
 // negative entries (hit=true on replay, err wrapping ErrEmptySlice).
 func (rt *Runtime) PreparedSlice(e *DatabaseEntry, relName string, t0 float64, opts core.Options) (*Prepared, string, bool, error) {
-	key := SamplerKey(e.ID, "slice", sliceCacheName(relName, t0), opts.CacheKey())
+	key := SliceKey(e.ID, relName, t0, opts.CacheKey())
 	ps, hit, err := rt.cache.Get(key, func() (*Prepared, error) {
 		rel, err := spacetimeRelation(e, relName)
 		if err != nil {
@@ -96,7 +108,7 @@ func (rt *Runtime) PreparedSlice(e *DatabaseEntry, relName string, t0 float64, o
 // thin tuples are shed before the well-boundedness setup. Empty windows
 // are cached negatively, like empty slices.
 func (rt *Runtime) PreparedWindow(e *DatabaseEntry, relName string, t0, t1 float64, opts core.Options) (*Prepared, string, bool, error) {
-	key := SamplerKey(e.ID, "window", windowCacheName(relName, t0, t1), opts.CacheKey())
+	key := WindowKey(e.ID, relName, t0, t1, opts.CacheKey())
 	ps, hit, err := rt.cache.Get(key, func() (*Prepared, error) {
 		rel, err := spacetimeRelation(e, relName)
 		if err != nil {

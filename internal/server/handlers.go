@@ -189,6 +189,16 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if created {
 		status = http.StatusCreated
 	}
+	if created {
+		// Cluster mode: replicate the registration to every peer so each
+		// node can resolve ids and compile plans for routing, whichever
+		// node the client registered against. Content-hash idempotent, so
+		// races and replays converge; no-op for single-node servers and
+		// for registrations that arrived from a peer.
+		if body, err := json.Marshal(req); err == nil {
+			s.replicateRegistration(r, body)
+		}
+	}
 	writeJSON(w, status, describeDatabase(entry, created))
 }
 
@@ -762,8 +772,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"cdbserve_pool_workers":       float64(s.rt.Pool().Size()),
 		"cdbserve_audit_flagged":      float64(len(s.rt.Quality().Flagged())),
 	})
+	s.writeClusterMetrics(w)
 }
 
+// healthzResponse keeps "status" as its first field: legacy clients
+// decode the body into map[string]string and stop at the first
+// non-string value, so the one field they understand must come first.
+type healthzResponse struct {
+	Status  string         `json:"status"` // "ok", "draining" or "degraded"
+	Ready   bool           `json:"ready"`
+	Cluster *clusterStatus `json:"cluster,omitempty"`
+}
+
+// handleHealthz is both liveness and readiness: 200 while the node
+// accepts work; 503 with ready=false while draining (SIGTERM received)
+// or degraded (every peer breaker open — the node is partitioned from
+// the whole cluster and serves everything from local compute). The
+// ring membership is static, so "membership settled" holds from the
+// moment the process is up.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthzResponse{Status: "ok", Ready: true}
+	if s.cfg.Cluster.Enabled() {
+		cs := s.clusterStatusNow()
+		resp.Cluster = &cs
+	}
+	switch {
+	case s.draining.Load():
+		resp.Status, resp.Ready = "draining", false
+	case s.cfg.Cluster.Enabled() && s.health.AllOpen():
+		resp.Status, resp.Ready = "degraded", false
+	}
+	if !resp.Ready {
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

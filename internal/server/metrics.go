@@ -30,6 +30,8 @@ type Metrics struct {
 	cacheEvents map[string]*atomic.Int64  // per {kind,outcome} cache events
 	auditEvents map[string]*atomic.Int64  // per {check,outcome} audit verdicts
 	stages      map[string]*stageDuration // per-stage duration histograms
+	routeEvents map[string]*atomic.Int64  // per {endpoint,decision} routing verdicts
+	shedEvents  map[string]*atomic.Int64  // per {endpoint,reason} admission sheds
 
 	CacheHits      atomic.Int64
 	CacheMisses    atomic.Int64
@@ -90,6 +92,8 @@ func NewMetrics() *Metrics {
 		cacheEvents: map[string]*atomic.Int64{},
 		auditEvents: map[string]*atomic.Int64{},
 		stages:      map[string]*stageDuration{},
+		routeEvents: map[string]*atomic.Int64{},
+		shedEvents:  map[string]*atomic.Int64{},
 	}
 }
 
@@ -165,6 +169,21 @@ func (m *Metrics) stageSnapshot() map[string]*stageDuration {
 		out[k] = h
 	}
 	return out
+}
+
+// IncRoute counts one cluster routing verdict per {endpoint, decision}:
+// "local" (this node owns the key or no key was extractable), "forward"
+// (proxied to the owner), "fallback_breaker" / "fallback_error" (owner
+// unreachable, computed locally) or "hop_limit" (forwarding chain cut).
+func (m *Metrics) IncRoute(endpoint, decision string) {
+	m.counter(m.routeEvents, endpoint+"|"+decision).Add(1)
+}
+
+// IncShed counts one request shed by admission control per
+// {endpoint, reason}: "capacity" (in-flight budget) or "quota"
+// (tenant token bucket).
+func (m *Metrics) IncShed(endpoint, reason string) {
+	m.counter(m.shedEvents, endpoint+"|"+reason).Add(1)
 }
 
 // IncRequest counts one request to the named endpoint.
@@ -255,6 +274,34 @@ func (m *Metrics) WriteTo(w io.Writer, gauges map[string]float64) {
 	for _, k := range akeys {
 		check, outcome, _ := strings.Cut(k, "|")
 		fmt.Fprintf(w, "cdbserve_audit_total{check=%q,outcome=%q} %d\n", check, outcome, audits[k])
+	}
+
+	// Cluster routing verdicts and admission sheds; the families appear
+	// once cluster mode (or admission control) produced an event, so
+	// single-node exposition is unchanged.
+	if routes := m.snapshot(m.routeEvents); len(routes) > 0 {
+		rkeys := make([]string, 0, len(routes))
+		for k := range routes {
+			rkeys = append(rkeys, k)
+		}
+		sort.Strings(rkeys)
+		fmt.Fprintf(w, "# HELP cdbserve_cluster_route_total Routing verdicts per endpoint (local, forward, fallback_*, hop_limit).\n# TYPE cdbserve_cluster_route_total counter\n")
+		for _, k := range rkeys {
+			endpoint, decision, _ := strings.Cut(k, "|")
+			fmt.Fprintf(w, "cdbserve_cluster_route_total{endpoint=%q,decision=%q} %d\n", endpoint, decision, routes[k])
+		}
+	}
+	if sheds := m.snapshot(m.shedEvents); len(sheds) > 0 {
+		skeys := make([]string, 0, len(sheds))
+		for k := range sheds {
+			skeys = append(skeys, k)
+		}
+		sort.Strings(skeys)
+		fmt.Fprintf(w, "# HELP cdbserve_cluster_shed_total Requests shed by admission control per endpoint (capacity, quota).\n# TYPE cdbserve_cluster_shed_total counter\n")
+		for _, k := range skeys {
+			endpoint, reason, _ := strings.Cut(k, "|")
+			fmt.Fprintf(w, "cdbserve_cluster_shed_total{endpoint=%q,reason=%q} %d\n", endpoint, reason, sheds[k])
+		}
 	}
 
 	// Per-stage pipeline durations, a Prometheus histogram per stage.

@@ -25,8 +25,10 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/runtime"
 )
@@ -62,6 +64,15 @@ type Config struct {
 	AuditInterval time.Duration
 	// Logger receives slow-query lines (default log.Default()).
 	Logger *log.Logger
+	// Cluster configures multi-node mode: consistent-hash routing of
+	// prepared-cache keys across Cluster.Peers with transparent
+	// forwarding. The zero value (no peers) is single-node operation
+	// with zero routing overhead. The config must pass
+	// Cluster.Validate(); cmd/cdbserve validates before construction.
+	Cluster cluster.Config
+	// Admission configures admission control (bounded in-flight budget,
+	// per-tenant token buckets). The zero value admits everything.
+	Admission cluster.AdmissionConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -92,11 +103,22 @@ type Server struct {
 	cfg     Config
 	rt      *runtime.Runtime
 	metrics *Metrics
+
+	// Cluster mode (all set even when disabled; the Local router and a
+	// peerless Health make the single-node path branch-free).
+	router    cluster.Router
+	health    *cluster.Health
+	gate      *cluster.Gate
+	warm      *cluster.KeySet
+	admission *cluster.Admission // nil when admission is not configured
+	fwd       *http.Client       // peer forwarding + health probes
+	draining  atomic.Bool
 }
 
 // New builds a server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cfg.Cluster = cfg.Cluster.WithDefaults()
 	m := NewMetrics()
 	rt := runtime.NewWithSink(runtime.Config{
 		PoolSize:     cfg.PoolSize,
@@ -110,11 +132,43 @@ func New(cfg Config) *Server {
 		rt.Auditor().Configure(runtime.AuditConfig{Interval: cfg.AuditInterval})
 		rt.Auditor().Start()
 	}
-	return &Server{cfg: cfg, rt: rt, metrics: m}
+	s := &Server{
+		cfg:     cfg,
+		rt:      rt,
+		metrics: m,
+		router:  cluster.NewRouter(cfg.Cluster),
+		health:  cluster.NewHealth(cfg.Cluster.Peers, cfg.Cluster.Breaker),
+		gate:    cluster.NewGate(),
+		warm:    cluster.NewKeySet(4096),
+		fwd:     &http.Client{Timeout: cfg.Cluster.ForwardTimeout},
+	}
+	if cfg.Admission.Enabled() {
+		s.admission = cluster.NewAdmission(cfg.Admission)
+	}
+	if cfg.Cluster.Enabled() && cfg.Cluster.ProbeInterval > 0 {
+		s.health.StartProber(s.fwd, "/healthz", cfg.Cluster.ProbeInterval)
+	}
+	return s
 }
 
-// Close stops the worker pool.
-func (s *Server) Close() { s.rt.Close() }
+// Close stops the worker pool and the peer health prober.
+func (s *Server) Close() {
+	s.health.StopProber()
+	s.rt.Close()
+}
+
+// BeginDrain flips the server into draining: /healthz turns not-ready
+// (so load balancers stop sending new work) and the background prober
+// stops. In-flight local and forwarded requests keep their contexts and
+// finish normally — the actual connection drain is http.Server.Shutdown
+// in cmd/cdbserve, bounded by -drain-timeout.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.health.StopProber()
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Registry exposes the database registry (used by cmd/cdbserve to
 // preload programs at boot).
@@ -127,18 +181,26 @@ func (s *Server) Runtime() *runtime.Runtime { return s.rt }
 // instrument, which owns the per-endpoint request count and latency
 // metrics — handlers themselves only report errors.
 func (s *Server) Handler() http.Handler {
+	// Data-plane endpoints stack instrument → admission → routing →
+	// handler: a shed request is counted but never read past its
+	// headers; a forwarded request never touches the local runtime.
+	// With no cluster peers and no admission config both middle layers
+	// collapse to the bare handler.
+	routed := func(endpoint string, keyOf routeKeyFunc, h http.HandlerFunc) http.HandlerFunc {
+		return s.instrument(endpoint, s.admitted(endpoint, s.routed(endpoint, keyOf, h)))
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/databases", s.instrument("databases", s.handleRegister))
+	mux.HandleFunc("POST /v1/databases", s.instrument("databases", s.admitted("databases", s.handleRegister)))
 	mux.HandleFunc("GET /v1/databases", s.instrument("databases", s.handleListDatabases))
 	mux.HandleFunc("GET /v1/databases/{id}", s.instrument("databases", s.handleGetDatabase))
-	mux.HandleFunc("POST /v1/sample", s.instrument("sample", s.handleSample))
-	mux.HandleFunc("POST /v1/volume", s.instrument("volume", s.handleVolume))
-	mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
-	mux.HandleFunc("POST /v1/expr", s.instrument("expr", s.handleExpr))
-	mux.HandleFunc("POST /v1/reconstruct", s.instrument("reconstruct", s.handleReconstruct))
-	mux.HandleFunc("POST /v1/spacetime/slice", s.instrument("spacetime_slice", s.handleSpacetimeSlice))
-	mux.HandleFunc("POST /v1/spacetime/sample", s.instrument("spacetime_sample", s.handleSpacetimeSample))
-	mux.HandleFunc("POST /v1/spacetime/alibi", s.instrument("spacetime_alibi", s.handleSpacetimeAlibi))
+	mux.HandleFunc("POST /v1/sample", routed("sample", routeKeySample, s.handleSample))
+	mux.HandleFunc("POST /v1/volume", routed("volume", routeKeyVolume, s.handleVolume))
+	mux.HandleFunc("POST /v1/query", routed("query", routeKeyQuery, s.handleQuery))
+	mux.HandleFunc("POST /v1/expr", routed("expr", routeKeyExpr, s.handleExpr))
+	mux.HandleFunc("POST /v1/reconstruct", routed("reconstruct", routeKeyReconstruct, s.handleReconstruct))
+	mux.HandleFunc("POST /v1/spacetime/slice", routed("spacetime_slice", routeKeySpacetimeSlice, s.handleSpacetimeSlice))
+	mux.HandleFunc("POST /v1/spacetime/sample", routed("spacetime_sample", routeKeySpacetimeSample, s.handleSpacetimeSample))
+	mux.HandleFunc("POST /v1/spacetime/alibi", routed("spacetime_alibi", routeKeySpacetimeAlibi, s.handleSpacetimeAlibi))
 	mux.HandleFunc("GET /v1/audit", s.instrument("audit", s.handleAuditStatus))
 	mux.HandleFunc("POST /v1/audit", s.instrument("audit", s.handleAuditRun))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -193,6 +255,12 @@ func (s *Server) DebugHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s.rt.Costs().Each())
+	})
+	mux.HandleFunc("/debug/cluster", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.clusterStatusNow())
 	})
 	mux.HandleFunc("/debug/quality", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

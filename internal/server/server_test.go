@@ -40,7 +40,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
 	t.Helper()
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -58,7 +58,7 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	return resp, out
 }
 
-func register(t *testing.T, baseURL, name, source string) string {
+func register(t testing.TB, baseURL, name, source string) string {
 	t.Helper()
 	resp, body := postJSON(t, baseURL+"/v1/databases", registerRequest{Name: name, Source: source})
 	if resp.StatusCode != http.StatusCreated {

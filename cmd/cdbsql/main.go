@@ -1,0 +1,133 @@
+// Command cdbsql runs CDB-SQL statements against a constraint database
+// program through the cdb.DB handle — the same parse → algebra →
+// canonical-plan pipeline the library, /v1/sql and /v1/expr share, so a
+// statement warmed here is warm for every surface of one handle. The
+// execution mode is inferred per statement: SAMPLE draws points (one
+// line each), VOLUME(*) estimates measure, EXPLAIN [SYMBOLIC] prints
+// the plan report, and a bare SELECT evaluates symbolically and prints
+// the derived relation. Ctrl-C cancels an in-flight evaluation.
+//
+// Usage:
+//
+//	cdbsql -file db.cdb -e "SELECT * FROM S WHERE x + y <= 1 SAMPLE 5 SEED 1"
+//	echo "SELECT VOLUME(*) FROM S; EXPLAIN SELECT * FROM S" | cdbsql -file db.cdb
+//	cdbsql -file db.cdb -explain -e "SELECT * FROM S"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	cdb "repro"
+	sqldialect "repro/internal/sql"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cdbsql: ")
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		file    = flag.String("file", "", "constraint database program (required)")
+		stmts   = flag.String("e", "", "semicolon-separated CDB-SQL statement(s); reads stdin when omitted")
+		explain = flag.Bool("explain", false, "prefix EXPLAIN to every statement: print the canonical plan, cache keys and per-disjunct residency instead of evaluating")
+		trace   = flag.Bool("trace", false, "trace each statement and print its span tree (per-stage durations and counters) to stderr")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		return 2
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	db, err := cdb.Open(string(src))
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer db.Close()
+
+	input := *stmts
+	if input == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		input = string(data)
+	}
+	statements := sqldialect.SplitStatements(input)
+	if len(statements) == 0 {
+		log.Print("no statements (pass -e or pipe SQL on stdin)")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	code := 0
+	for i, stmt := range statements {
+		if *explain && !hasExplainPrefix(stmt) {
+			stmt = "EXPLAIN " + stmt
+		}
+		if err := runStatement(ctx, db, stmt, *trace); err != nil {
+			log.Printf("statement %d: %v", i+1, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+func hasExplainPrefix(stmt string) bool {
+	f := strings.Fields(stmt)
+	return len(f) > 0 && strings.EqualFold(f[0], "EXPLAIN")
+}
+
+func runStatement(ctx context.Context, db *cdb.DB, stmt string, trace bool) error {
+	if trace {
+		var root *cdb.Span
+		ctx, root = cdb.StartTrace(ctx, "cdbsql")
+		defer func() {
+			root.End()
+			fmt.Fprint(os.Stderr, root.String())
+		}()
+	}
+	res, err := db.ExecSQL(ctx, stmt)
+	if err != nil {
+		return err
+	}
+	switch res.Mode {
+	case "sample":
+		for _, p := range res.Points {
+			for j, v := range p {
+				if j > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Printf("%.6g", v)
+			}
+			fmt.Println()
+		}
+	case "volume":
+		fmt.Printf("volume ≈ %.6g\n", res.Volume)
+	case "explain":
+		fmt.Print(res.Explain)
+	case "relation":
+		rel := res.Relation
+		fmt.Println(rel.String())
+		fmt.Println(rel.Source())
+		fmt.Printf("-- %d tuple(s), description size %d\n", len(rel.Tuples), rel.Size())
+	}
+	return nil
+}

@@ -147,6 +147,46 @@ query W(x, y) := S(x, y);
 		}
 	})
 
+	t.Run("cdbsql", func(t *testing.T) {
+		out := run("./cmd/cdbsql", "-file", dbPath, "-e", "SELECT * FROM S WHERE x + y <= 1 SAMPLE 5 SEED 1")
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 5 {
+			t.Fatalf("want 5 sample lines, got %d:\n%s", len(lines), out)
+		}
+		for _, l := range lines {
+			if len(strings.Fields(l)) != 2 {
+				t.Errorf("sample line %q is not 2-D", l)
+			}
+		}
+
+		out = run("./cmd/cdbsql", "-file", dbPath, "-e", "SELECT VOLUME(*) FROM S")
+		if !strings.Contains(out, "volume ≈") {
+			t.Errorf("volume output %q", out)
+		}
+
+		out = run("./cmd/cdbsql", "-file", dbPath, "-explain", "-e", "SELECT * FROM S")
+		for _, want := range []string{"canonical key: cplan:", "disjunct 0"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("explain output missing %q:\n%s", want, out)
+			}
+		}
+
+		// Stdin script: two ';'-separated statements, one symbolic
+		// relation and one explain.
+		cmd := exec.Command("go", "run", "./cmd/cdbsql", "-file", dbPath)
+		cmd.Dir = "."
+		cmd.Stdin = strings.NewReader("SELECT x AS u FROM S WHERE y <= 0.5; EXPLAIN SELECT * FROM S")
+		piped, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("cdbsql stdin script: %v\n%s", err, piped)
+		}
+		for _, want := range []string{"u", "rel", "canonical key: cplan:"} {
+			if !strings.Contains(string(piped), want) {
+				t.Errorf("stdin script output missing %q:\n%s", want, piped)
+			}
+		}
+	})
+
 	t.Run("cdbquery audit", func(t *testing.T) {
 		// W is quantifier-free, so it has a cacheable prepared sampler
 		// inside the exact-oracle fragment (2-D, 2 disjuncts).

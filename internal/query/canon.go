@@ -85,9 +85,10 @@ func keyFor(arity int, renders []string) string {
 }
 
 // canonicalDisjunct normalizes one disjunct: rows scaled to unit ∞-norm,
-// trivial rows resolved, duplicates dropped, rows sorted; ok is false
-// when the disjunct is provably empty (a trivially false row, or LP
-// infeasibility of the normalized system).
+// trivial rows resolved, duplicates dropped, existential coordinates
+// relabeled to a canonical order, rows sorted; ok is false when the
+// disjunct is provably empty (a trivially false row, or LP infeasibility
+// of the normalized system).
 func canonicalDisjunct(d PlanDisjunct) (PlanDisjunct, string, bool) {
 	type row struct {
 		render string
@@ -110,6 +111,26 @@ func canonicalDisjunct(d PlanDisjunct) (PlanDisjunct, string, bool) {
 		}
 		seen[r] = true
 		rows = append(rows, row{render: r, coef: a.Coef, b: a.B})
+	}
+	// Existential coordinates are interchangeable up to renaming: the
+	// plan pipeline lays them out in alpha-renamed name order, so two
+	// expressions differing only in binder numbering would otherwise
+	// reach different renders (and miss each other's cache entries).
+	// Relabel them to the canonical (render-minimizing) order before
+	// rendering, so the key is invariant under binder numbering.
+	if d.ExVars > 1 && len(rows) > 0 {
+		nOut := d.Poly.Dim() - d.ExVars
+		coefs := make([]linalg.Vector, len(rows))
+		bs := make([]float64, len(rows))
+		for i, r := range rows {
+			coefs[i], bs[i] = r.coef, r.b
+		}
+		if perm := canonicalExOrder(coefs, bs, nOut, d.ExVars); perm != nil {
+			for i := range rows {
+				rows[i].coef = permuteEx(rows[i].coef, nOut, perm)
+				rows[i].render = renderRow(rows[i].coef, rows[i].b)
+			}
+		}
 	}
 	if len(rows) == 0 {
 		// No constraints left: the whole space — unbounded, and never
@@ -142,6 +163,115 @@ func canonicalDisjunct(d PlanDisjunct) (PlanDisjunct, string, bool) {
 	}
 	render := fmt.Sprintf("ex=%d|%s", d.ExVars, strings.Join(renders, ";"))
 	return PlanDisjunct{Poly: poly, ExVars: d.ExVars}, render, true
+}
+
+// maxExactExPerm bounds the exact (minimum-render) search over
+// existential-column orders: up to 6 columns is 720 candidate
+// labelings, cheap next to the LP pruning pass that follows. Beyond it
+// the signature sort below is used alone — deterministic and invariant
+// under binder numbering in all but fully symmetric cases.
+const maxExactExPerm = 6
+
+// canonicalExOrder returns the canonical relabeling of the ex trailing
+// existential columns: perm[k] is the index (0-based within the ex
+// block) of the column to place at position k. The order is a pure
+// function of the disjunct's geometry — never of the binder names or
+// numbering the plan pipeline happened to assign — computed by exact
+// minimization of the sorted row renders for small blocks and by a
+// column-signature sort for large ones. A nil return means the
+// identity order is already canonical.
+func canonicalExOrder(coefs []linalg.Vector, bs []float64, nOut, ex int) []int {
+	// Deterministic starting point: sort columns by signature (the
+	// sorted multiset of the column's entries paired with each row's
+	// out-block render, so symmetric columns collide only when the
+	// geometry itself is symmetric in them).
+	sigs := make([]string, ex)
+	for j := 0; j < ex; j++ {
+		rowsSig := make([]string, len(coefs))
+		for i, c := range coefs {
+			rowsSig[i] = renderFloat(c[nOut+j]) + "@" + renderRow(c[:nOut], bs[i])
+		}
+		sort.Strings(rowsSig)
+		sigs[j] = strings.Join(rowsSig, "|")
+	}
+	perm := make([]int, ex)
+	for j := range perm {
+		perm[j] = j
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return sigs[perm[a]] < sigs[perm[b]] })
+	if ex > maxExactExPerm {
+		if isIdentity(perm) {
+			return nil
+		}
+		return perm
+	}
+	// Exact search: among all labelings, keep the one whose sorted row
+	// renders are lexicographically least. Ties (symmetric columns)
+	// all produce the same render, so any winner is canonical.
+	best := append([]int(nil), perm...)
+	bestRender := exRender(coefs, bs, nOut, best)
+	permutations(ex, func(cand []int) {
+		if r := exRender(coefs, bs, nOut, cand); r < bestRender {
+			bestRender = r
+			copy(best, cand)
+		}
+	})
+	if isIdentity(best) {
+		return nil
+	}
+	return best
+}
+
+// exRender renders the rows under one ex-column labeling: sorted row
+// renders, joined — the same form keyFor hashes.
+func exRender(coefs []linalg.Vector, bs []float64, nOut int, perm []int) string {
+	renders := make([]string, len(coefs))
+	for i, c := range coefs {
+		renders[i] = renderRow(permuteEx(c, nOut, perm), bs[i])
+	}
+	sort.Strings(renders)
+	return strings.Join(renders, ";")
+}
+
+// permuteEx returns the row with its existential block reordered:
+// position nOut+k receives the column nOut+perm[k].
+func permuteEx(coef linalg.Vector, nOut int, perm []int) linalg.Vector {
+	out := append(coef[:nOut:nOut], make(linalg.Vector, len(perm))...)
+	for k, j := range perm {
+		out[nOut+k] = coef[nOut+j]
+	}
+	return out
+}
+
+// permutations calls f with every permutation of 0..n-1 (the slice is
+// reused across calls).
+func permutations(n int, f func([]int)) {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			f(p)
+			return
+		}
+		for i := k; i < n; i++ {
+			p[k], p[i] = p[i], p[k]
+			rec(k + 1)
+			p[k], p[i] = p[i], p[k]
+		}
+	}
+	rec(0)
+}
+
+func isIdentity(perm []int) bool {
+	for i, v := range perm {
+		if i != v {
+			return false
+		}
+	}
+	return true
 }
 
 // renderRow renders one normalized constraint row deterministically

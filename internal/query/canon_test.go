@@ -276,3 +276,78 @@ func TestRelationFromCanonicalPlan(t *testing.T) {
 		t.Fatal("single-disjunct plan should equal its disjunct's standalone key")
 	}
 }
+
+// TestCanonicalExistentialBinderOrder: the canonical key is invariant
+// under existential-binder numbering. Both pairs below denote the same
+// set but assign alpha-rename counters to the binders in opposite
+// orders, so before the graph-canonical labeling of existential
+// coordinates their trailing-column layouts — and therefore their
+// keys — differed.
+func TestCanonicalExistentialBinderOrder(t *testing.T) {
+	db := mustParseCanon(t, `
+rel P(x, u) := { 0 <= x <= 1, 0 <= u <= 1, u - x <= 0.5 };
+rel Q(x, v) := { 0 <= x <= 1, 2 <= v <= 5, x + v <= 5.5 };
+query C1(x) := (exists y. P(x, y)) & (exists y. Q(x, y));
+query C2(x) := (exists y. Q(x, y)) & (exists y. P(x, y));
+`)
+	// Named queries with swapped conjunct order: the alpha renamer
+	// numbers the first conjunct's binder y!1 and the second's y!2, so
+	// C1 carries P's constraints on the first existential coordinate
+	// while C2 carries Q's.
+	k1, k2 := canonKey(t, db, NewRel("C1")), canonKey(t, db, NewRel("C2"))
+	if k1 != k2 {
+		t.Fatalf("binder numbering changed the key:\n%s\n%s", k1, k2)
+	}
+
+	// The same through the algebra surface: intersecting two projections
+	// numbers the binders in operand order.
+	pp := NewRel("P").Project("x")
+	pq := NewRel("Q").Project("x")
+	e1, e2 := canonKey(t, db, pp.Intersect(pq)), canonKey(t, db, pq.Intersect(pp))
+	if e1 != e2 {
+		t.Fatalf("projection intersect order changed the key:\n%s\n%s", e1, e2)
+	}
+	if e1 != k1 {
+		t.Fatalf("algebra and formula forms of the same set diverged:\n%s\n%s", e1, k1)
+	}
+}
+
+// TestCanonicalExOrderPreservesSet: relabeling existential columns must
+// not change the denoted set — the permuted disjunct still projects to
+// the same output geometry.
+func TestCanonicalExOrderPreservesSet(t *testing.T) {
+	db := mustParseCanon(t, `
+rel P(x, u) := { 0 <= x <= 1, 0 <= u <= 1, u - x <= 0.5 };
+rel Q(x, v) := { 0 <= x <= 1, 2 <= v <= 5, x + v <= 5.5 };
+query C1(x) := (exists y. P(x, y)) & (exists y. Q(x, y));
+`)
+	plan, err := NewRel("C1").Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := Canonicalize(plan)
+	if len(cp.Plan.Disjuncts) != 1 {
+		t.Fatalf("want 1 disjunct, got %d", len(cp.Plan.Disjuncts))
+	}
+	d := cp.Plan.Disjuncts[0]
+	if d.ExVars != 2 {
+		t.Fatalf("want 2 existential coordinates, got %d", d.ExVars)
+	}
+	// Eliminate the existential coordinates symbolically: the projected
+	// relation must be x ∈ [0, 1] regardless of the column labeling
+	// (P's u admits any x in [0,1]; Q's v likewise since x+2 <= 5.5).
+	rel, err := cp.EvalSymbolic("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.01, 0.5, 0.99} {
+		if !rel.Contains([]float64{x}) {
+			t.Fatalf("projected set lost x=%g after relabeling", x)
+		}
+	}
+	for _, x := range []float64{-0.1, 1.1} {
+		if rel.Contains([]float64{x}) {
+			t.Fatalf("projected set gained x=%g after relabeling", x)
+		}
+	}
+}

@@ -51,11 +51,13 @@ const (
 // endpoint's own MaxBytesReader downstream.
 const maxRouteBody = 1 << 18
 
-// routeKeyFunc extracts the routing key from a decoded request body.
-// Returning "" means "no routing verdict — serve locally" (unknown
-// database, malformed body, …); the local handler then produces the
-// same error a single-node server would.
-type routeKeyFunc func(s *Server, body []byte) string
+// routeKeyFunc extracts the routing key from a request: usually from
+// the decoded body, but /v1/sql also reads the request's query
+// parameters (its body is the bare statement text). Returning "" means
+// "no routing verdict — serve locally" (unknown database, malformed
+// body, …); the local handler then produces the same error a
+// single-node server would.
+type routeKeyFunc func(s *Server, r *http.Request, body []byte) string
 
 // routeOptsKey resolves the wire options to their cache fingerprint;
 // routing must hash exactly the key the owner's runtime will store
@@ -77,7 +79,7 @@ func (s *Server) routeEntryID(database string) (string, bool) {
 	return e.ID, true
 }
 
-func routeKeySample(s *Server, body []byte) string {
+func routeKeySample(s *Server, r *http.Request, body []byte) string {
 	var req sampleRequest
 	if json.Unmarshal(body, &req) != nil {
 		return ""
@@ -85,7 +87,7 @@ func routeKeySample(s *Server, body []byte) string {
 	return s.targetKey(req.Database, req.Relation, req.Query, req.Options)
 }
 
-func routeKeyVolume(s *Server, body []byte) string {
+func routeKeyVolume(s *Server, r *http.Request, body []byte) string {
 	var req volumeRequest
 	if json.Unmarshal(body, &req) != nil {
 		return ""
@@ -93,7 +95,7 @@ func routeKeyVolume(s *Server, body []byte) string {
 	return s.targetKey(req.Database, req.Relation, req.Query, req.Options)
 }
 
-func routeKeyReconstruct(s *Server, body []byte) string {
+func routeKeyReconstruct(s *Server, r *http.Request, body []byte) string {
 	var req reconstructRequest
 	if json.Unmarshal(body, &req) != nil {
 		return ""
@@ -124,7 +126,7 @@ func (s *Server) targetKey(database, relation, query string, o *OptionsJSON) str
 // routeKeyQuery routes named-query evaluation (all modes run through a
 // per-request engine, but repeated evaluations of one query still gain
 // from landing on one node's engine-independent caches).
-func routeKeyQuery(s *Server, body []byte) string {
+func routeKeyQuery(s *Server, r *http.Request, body []byte) string {
 	var req queryRequest
 	if json.Unmarshal(body, &req) != nil {
 		return ""
@@ -145,7 +147,7 @@ func routeKeyQuery(s *Server, body []byte) string {
 // structurally equal expressions reach one owner whatever surface or
 // operand order produced them. Symbolic mode routes on the symbolic
 // key (options are irrelevant there, matching the symbolic cache).
-func routeKeyExpr(s *Server, body []byte) string {
+func routeKeyExpr(s *Server, r *http.Request, body []byte) string {
 	var req exprRequest
 	if json.Unmarshal(body, &req) != nil {
 		return ""
@@ -155,7 +157,7 @@ func routeKeyExpr(s *Server, body []byte) string {
 		return ""
 	}
 	budget := maxExprNodes
-	node, err := req.Expr.toNode(&budget)
+	node, err := req.Expr.toNode(&budget, "expr")
 	if err != nil {
 		return ""
 	}
@@ -177,7 +179,7 @@ func routeKeyExpr(s *Server, body []byte) string {
 	return runtime.PlanKey(e.ID, query.Canonicalize(plan).Key, optsKey)
 }
 
-func routeKeySpacetimeSlice(s *Server, body []byte) string {
+func routeKeySpacetimeSlice(s *Server, r *http.Request, body []byte) string {
 	var req spacetimeSliceRequest
 	if json.Unmarshal(body, &req) != nil {
 		return ""
@@ -193,7 +195,7 @@ func routeKeySpacetimeSlice(s *Server, body []byte) string {
 	return runtime.SliceKey(id, req.Relation, req.T0, optsKey)
 }
 
-func routeKeySpacetimeSample(s *Server, body []byte) string {
+func routeKeySpacetimeSample(s *Server, r *http.Request, body []byte) string {
 	var req spacetimeSampleRequest
 	if json.Unmarshal(body, &req) != nil {
 		return ""
@@ -213,7 +215,7 @@ func routeKeySpacetimeSample(s *Server, body []byte) string {
 	return runtime.SamplerKey(id, "rel", req.Relation, optsKey)
 }
 
-func routeKeySpacetimeAlibi(s *Server, body []byte) string {
+func routeKeySpacetimeAlibi(s *Server, r *http.Request, body []byte) string {
 	var req alibiRequest
 	if json.Unmarshal(body, &req) != nil {
 		return ""
@@ -277,7 +279,7 @@ func (s *Server) routed(endpoint string, keyOf routeKeyFunc, h http.HandlerFunc)
 		}
 		r.Body = io.NopCloser(bytes.NewReader(body))
 
-		key := keyOf(s, body)
+		key := keyOf(s, r, body)
 		if key == "" {
 			s.metrics.IncRoute(endpoint, "local")
 			h(w, r)

@@ -49,36 +49,51 @@ type exprAtomJSON struct {
 	Strict bool      `json:"strict,omitempty"`
 }
 
+// opPathError locates an expression error at one operator of the wire
+// tree. The path is dotted from the root: "expr", "expr.args[1]",
+// "expr.args[0].args[1]". writeError renders it as {error, op_path}.
+type opPathError struct {
+	path string
+	err  error
+}
+
+func (e *opPathError) Error() string { return fmt.Sprintf("%s (at %s)", e.err, e.path) }
+func (e *opPathError) Unwrap() error { return e.err }
+
 // toNode lowers the wire tree onto the algebra IR, charging each
-// operator against the node budget.
-func (n *exprNodeJSON) toNode(budget *int) (*query.Node, error) {
+// operator against the node budget. Errors are opPathError values
+// positioned at the operator that produced them.
+func (n *exprNodeJSON) toNode(budget *int, path string) (*query.Node, error) {
+	fail := func(format string, args ...any) error {
+		return &opPathError{path: path, err: fmt.Errorf(format, args...)}
+	}
 	if n == nil {
-		return nil, errors.New("missing expr node")
+		return nil, fail("missing expr node")
 	}
 	*budget--
 	if *budget < 0 {
-		return nil, fmt.Errorf("expression exceeds %d operators", maxExprNodes)
+		return nil, fail("expression exceeds %d operators", maxExprNodes)
 	}
 	one := func() (*query.Node, error) {
 		if len(n.Args) != 1 {
-			return nil, fmt.Errorf("op %q wants 1 operand, got %d", n.Op, len(n.Args))
+			return nil, fail("op %q wants 1 operand, got %d", n.Op, len(n.Args))
 		}
-		return n.Args[0].toNode(budget)
+		return n.Args[0].toNode(budget, path+".args[0]")
 	}
 	two := func() (l, r *query.Node, err error) {
 		if len(n.Args) != 2 {
-			return nil, nil, fmt.Errorf("op %q wants 2 operands, got %d", n.Op, len(n.Args))
+			return nil, nil, fail("op %q wants 2 operands, got %d", n.Op, len(n.Args))
 		}
-		if l, err = n.Args[0].toNode(budget); err != nil {
+		if l, err = n.Args[0].toNode(budget, path+".args[0]"); err != nil {
 			return nil, nil, err
 		}
-		r, err = n.Args[1].toNode(budget)
+		r, err = n.Args[1].toNode(budget, path+".args[1]")
 		return l, r, err
 	}
 	switch n.Op {
 	case "rel":
 		if n.Name == "" {
-			return nil, errors.New(`op "rel" wants a name`)
+			return nil, fail(`op "rel" wants a name`)
 		}
 		return query.NewRel(n.Name), nil
 	case "where":
@@ -89,7 +104,7 @@ func (n *exprNodeJSON) toNode(budget *int) (*query.Node, error) {
 		atoms := make([]constraint.Atom, len(n.Atoms))
 		for i, a := range n.Atoms {
 			if len(a.Coef) == 0 {
-				return nil, fmt.Errorf("where atom %d has no coefficients", i)
+				return nil, fail("where atom %d has no coefficients", i)
 			}
 			atoms[i] = constraint.NewAtom(a.Coef, a.B, a.Strict)
 		}
@@ -115,7 +130,7 @@ func (n *exprNodeJSON) toNode(budget *int) (*query.Node, error) {
 			return nil, err
 		}
 		if len(n.Vars) == 0 {
-			return nil, errors.New(`op "project" wants vars`)
+			return nil, fail(`op "project" wants vars`)
 		}
 		return child.Project(n.Vars...), nil
 	case "timeslice":
@@ -125,8 +140,49 @@ func (n *exprNodeJSON) toNode(budget *int) (*query.Node, error) {
 		}
 		return child.TimeSlice(n.T), nil
 	default:
-		return nil, fmt.Errorf("unknown op %q (want rel, where, intersect, union, minus, div, project or timeslice)", n.Op)
+		return nil, fail("unknown op %q (want rel, where, intersect, union, minus, div, project or timeslice)", n.Op)
 	}
+}
+
+// failingPath locates the deepest subtree that fails structural
+// compilation on its own, so post-decode errors (unknown relation,
+// column-arity mismatch at a set operation) still come back with an
+// op_path. Children are probed first: when every child checks out the
+// failure belongs to the combining operator itself. Returns "" when no
+// subtree fails in isolation — e.g. a mode restriction like sampling a
+// full first-order tree, which is not located at any one operator.
+func (n *exprNodeJSON) failingPath(db *constraint.Database, path string) string {
+	if n == nil {
+		return ""
+	}
+	for i, a := range n.Args {
+		if p := a.failingPath(db, fmt.Sprintf("%s.args[%d]", path, i)); p != "" {
+			return p
+		}
+	}
+	budget := maxExprNodes
+	node, err := n.toNode(&budget, path)
+	if err != nil {
+		return path
+	}
+	if _, err := node.Columns(db); err != nil {
+		return path
+	}
+	return ""
+}
+
+// exprCompileError reports a compile failure, decorated with the
+// op_path of the deepest independently-failing subtree when there is
+// one.
+func (s *Server) exprCompileError(w http.ResponseWriter, endpoint string, root *exprNodeJSON, db *constraint.Database, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, query.ErrUnknownTarget) {
+		status = http.StatusNotFound
+	}
+	if p := root.failingPath(db, "expr"); p != "" {
+		err = &opPathError{path: p, err: err}
+	}
+	s.writeError(w, endpoint, status, err)
 }
 
 // --- POST /v1/expr --------------------------------------------------------
@@ -195,40 +251,64 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	budget := maxExprNodes
-	node, err := req.Expr.toNode(&budget)
+	node, err := req.Expr.toNode(&budget, "expr")
 	if err != nil {
 		s.writeError(w, "expr", http.StatusBadRequest, err)
 		return
 	}
-	if req.Mode == "symbolic" {
-		s.handleExprSymbolic(w, r, entry, node, req.Trace)
-		return
-	}
-	plan, err := node.Compile(entry.DB)
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, query.ErrUnknownTarget) {
-			status = http.StatusNotFound
-		}
-		s.writeError(w, "expr", status, err)
-		return
-	}
-	cp := query.Canonicalize(plan)
 	mode := req.Mode
 	if mode == "" {
 		mode = "volume"
 	}
 	start := time.Now()
-	resp := exprResponse{
-		Database:     entry.ID,
-		Mode:         mode,
-		Columns:      cp.Plan.OutVars,
-		CanonicalKey: cp.Key,
-		Empty:        cp.Empty(),
-		TraceID:      traceID(r.Context()),
-	}
+	resp := exprResponse{Database: entry.ID, Mode: mode, TraceID: traceID(r.Context())}
 
-	if mode == "explain" {
+	if mode == "symbolic" {
+		sq, err := node.CompileSymbolic(entry.DB)
+		if err != nil {
+			s.exprCompileError(w, "expr", req.Expr, entry.DB, err)
+			return
+		}
+		if !s.execSymbolic(w, r, "expr", entry, sq, &resp) {
+			return
+		}
+	} else {
+		plan, err := node.Compile(entry.DB)
+		if err != nil {
+			s.exprCompileError(w, "expr", req.Expr, entry.DB, err)
+			return
+		}
+		cp := query.Canonicalize(plan)
+		resp.Columns = cp.Plan.OutVars
+		resp.CanonicalKey = cp.Key
+		resp.Empty = cp.Empty()
+		x := planExec{mode: mode, n: req.N, workers: req.Workers, seed: req.Seed}
+		if !s.execPlanMode(w, r, "expr", entry, cp, opts, x, &resp) {
+			return
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.Spans = traceSpans(r.Context(), req.Trace)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// planExec carries the execution parameters of one volume/sample/explain
+// evaluation — the surfaces (/v1/expr JSON body, /v1/sql statement)
+// derive them differently but execute identically.
+type planExec struct {
+	mode    string
+	n       int
+	workers int
+	seed    uint64
+}
+
+// execPlanMode evaluates a canonical plan in mode volume, sample or
+// explain and fills resp — the shared execution core of /v1/expr and
+// /v1/sql, so both surfaces hit the same prepared-plan cache entries
+// and report the same cache labels. Returns false after writing an
+// error response.
+func (s *Server) execPlanMode(w http.ResponseWriter, r *http.Request, endpoint string, entry *DatabaseEntry, cp *query.CanonicalPlan, opts cdb.Options, x planExec, resp *exprResponse) bool {
+	if x.mode == "explain" {
 		key := runtime.PlanKey(entry.ID, cp.Key, opts.CacheKey())
 		resp.Cache = peekLabel(s.rt, key)
 		resp.Plan = cp.Plan.Describe()
@@ -247,10 +327,7 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 				Cache:        peekLabel(s.rt, runtime.PlanKey(entry.ID, dkeys[i], opts.CacheKey())),
 			})
 		}
-		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-		resp.Spans = traceSpans(r.Context(), req.Trace)
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return true
 	}
 
 	ps, key, hit, err := s.rt.PreparedPlan(entry, cp, opts)
@@ -260,7 +337,7 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 		// distinguish it from warm prepared geometry.
 		resp.Cache = "negative"
 	}
-	switch mode {
+	switch x.mode {
 	case "volume":
 		switch {
 		case errors.Is(err, runtime.ErrEmptyExpr):
@@ -268,104 +345,88 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 			zero := 0.0
 			resp.Volume = &zero
 		case errors.Is(err, runtime.ErrNeedsProjection):
-			eng := cdb.NewEngine(entry.DB.Schema, ctxOptions(r.Context(), opts), req.Seed)
+			eng := cdb.NewEngine(entry.DB.Schema, ctxOptions(r.Context(), opts), x.seed)
 			v, verr := eng.EstimateVolumeFromPlan(cp.Plan)
 			if verr != nil {
-				s.writeError(w, "expr", http.StatusInternalServerError, verr)
-				return
+				s.writeError(w, endpoint, http.StatusInternalServerError, verr)
+				return false
 			}
 			resp.Volume = &v
 		case err != nil:
-			s.writeError(w, "expr", http.StatusUnprocessableEntity, err)
-			return
+			s.writeError(w, endpoint, http.StatusUnprocessableEntity, err)
+			return false
 		default:
 			v, verr := ps.VolumeCtx(r.Context(), runtime.PrepSeedFor(key+"\x1fvolume"))
 			if verr != nil {
-				s.writeError(w, "expr", http.StatusInternalServerError, verr)
-				return
+				s.writeError(w, endpoint, http.StatusInternalServerError, verr)
+				return false
 			}
 			resp.Volume = &v
 		}
 	case "sample":
-		n := req.N
+		n := x.n
 		if n <= 0 {
 			n = 1
 		}
 		if n > s.cfg.MaxSamples {
-			s.writeError(w, "expr", http.StatusBadRequest,
+			s.writeError(w, endpoint, http.StatusBadRequest,
 				fmt.Errorf("n=%d exceeds the per-request cap %d", n, s.cfg.MaxSamples))
-			return
+			return false
 		}
 		switch {
 		case errors.Is(err, runtime.ErrNeedsProjection):
-			eng := cdb.NewEngine(entry.DB.Schema, ctxOptions(r.Context(), opts), req.Seed)
+			eng := cdb.NewEngine(entry.DB.Schema, ctxOptions(r.Context(), opts), x.seed)
 			obs, oerr := eng.ObservableFromPlan(cp.Plan)
 			if oerr != nil {
-				s.writeError(w, "expr", http.StatusInternalServerError, oerr)
-				return
+				s.writeError(w, endpoint, http.StatusInternalServerError, oerr)
+				return false
 			}
 			pts := make([]cdb.Vector, 0, n)
 			for i := 0; i < n; i++ {
-				x, serr := obs.Sample()
+				pt, serr := obs.Sample()
 				if serr != nil {
-					s.writeError(w, "expr", http.StatusInternalServerError, serr)
-					return
+					s.writeError(w, endpoint, http.StatusInternalServerError, serr)
+					return false
 				}
-				pts = append(pts, x)
+				pts = append(pts, pt)
 			}
 			resp.Points = pts
 		case err != nil:
-			s.writeError(w, "expr", http.StatusUnprocessableEntity, err)
-			return
+			s.writeError(w, endpoint, http.StatusUnprocessableEntity, err)
+			return false
 		default:
-			workers := req.Workers
+			workers := x.workers
 			if workers <= 0 {
 				workers = s.cfg.DefaultWorkers
 			}
-			pts, coalesced, serr := s.rt.Executor().SampleManyCtx(r.Context(), key, ps, n, workers, req.Seed)
+			pts, coalesced, serr := s.rt.Executor().SampleManyCtx(r.Context(), key, ps, n, workers, x.seed)
 			if serr != nil {
-				s.writeError(w, "expr", http.StatusInternalServerError, serr)
-				return
+				s.writeError(w, endpoint, http.StatusInternalServerError, serr)
+				return false
 			}
 			resp.Points, resp.Coalesced = pts, coalesced
 		}
 		s.metrics.SamplesServed.Add(int64(len(resp.Points)))
 	default:
-		s.writeError(w, "expr", http.StatusBadRequest,
-			fmt.Errorf("unknown mode %q (want volume, sample, explain or symbolic)", mode))
-		return
+		s.writeError(w, endpoint, http.StatusBadRequest,
+			fmt.Errorf("unknown mode %q (want volume, sample, explain or symbolic)", x.mode))
+		return false
 	}
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	resp.Spans = traceSpans(r.Context(), req.Trace)
-	writeJSON(w, http.StatusOK, resp)
+	return true
 }
 
-// handleExprSymbolic serves mode=symbolic: full first-order quantifier
-// elimination through the prepared-symbolic cache. The eliminated DNF
-// is returned as a parseable Source() declaration plus, when the
-// inclusion–exclusion pass is feasible, its exact volume. Options are
+// execSymbolic evaluates a compiled symbolic query through the
+// prepared-symbolic cache and fills resp: the eliminated DNF as a
+// parseable Source() declaration, its tuple count and, when the
+// inclusion–exclusion pass is feasible, the exact volume. Options are
 // irrelevant — symbolic evaluation is exact, so every configuration
-// shares one cache entry per canonical plan.
-func (s *Server) handleExprSymbolic(w http.ResponseWriter, r *http.Request, entry *runtime.DatabaseEntry, node *query.Node, trace bool) {
-	start := time.Now()
-	sq, err := node.CompileSymbolic(entry.DB)
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, query.ErrUnknownTarget) {
-			status = http.StatusNotFound
-		}
-		s.writeError(w, "expr", status, err)
-		return
-	}
+// shares one cache entry per canonical plan. Returns false after
+// writing an error response.
+func (s *Server) execSymbolic(w http.ResponseWriter, r *http.Request, endpoint string, entry *DatabaseEntry, sq *query.SymbolicQuery, resp *exprResponse) bool {
 	se, _, hit, err := s.rt.Symbolic(r.Context(), entry, sq)
-	resp := exprResponse{
-		Database:     entry.ID,
-		Mode:         "symbolic",
-		Columns:      sq.OutVars,
-		CanonicalKey: sq.Key,
-		Cache:        cacheLabel(hit),
-		TraceID:      traceID(r.Context()),
-	}
+	resp.Columns = sq.OutVars
+	resp.CanonicalKey = sq.Key
+	resp.Cache = cacheLabel(hit)
 	var rel *constraint.Relation
 	switch {
 	case errors.Is(err, runtime.ErrEmptyExpr):
@@ -377,8 +438,8 @@ func (s *Server) handleExprSymbolic(w http.ResponseWriter, r *http.Request, entr
 		resp.Volume = &zero
 		rel = &constraint.Relation{Name: "derived", Vars: sq.OutVars}
 	case err != nil:
-		s.writeError(w, "expr", http.StatusUnprocessableEntity, err)
-		return
+		s.writeError(w, endpoint, http.StatusUnprocessableEntity, err)
+		return false
 	default:
 		rel = se.Rel
 		// The exact inclusion–exclusion pass is exponential in tuple
@@ -391,15 +452,17 @@ func (s *Server) handleExprSymbolic(w http.ResponseWriter, r *http.Request, entr
 	}
 	resp.Source = rel.Source()
 	resp.Tuples = len(rel.Tuples)
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	resp.Spans = traceSpans(r.Context(), trace)
-	writeJSON(w, http.StatusOK, resp)
+	return true
 }
 
-// peekLabel reports cache residency without touching LRU order or
-// metrics.
+// peekLabel reports prepared-plan cache residency without touching LRU
+// order or metrics.
 func peekLabel(rt *runtime.Runtime, key string) string {
-	cached, negative := rt.Cache().Peek(key)
+	return residencyLabel(rt.Cache().Peek(key))
+}
+
+// residencyLabel renders a cache Peek result as the wire label.
+func residencyLabel(cached, negative bool) string {
 	switch {
 	case !cached:
 		return "miss"

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/quality"
 	"repro/internal/runtime"
+	sqldialect "repro/internal/sql"
 	"repro/internal/walk"
 )
 
@@ -66,6 +67,30 @@ func (o *OptionsJSON) toOptions() (cdb.Options, error) {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// OpPath locates the failing operator inside a /v1/expr tree, as a
+	// path from the root: "expr", "expr.args[1]", "expr.args[0].args[1]".
+	OpPath string `json:"op_path,omitempty"`
+	// Line/Col are the 1-based position of a CDB-SQL parse or compile
+	// error inside the statement text (POST /v1/sql).
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
+}
+
+// errorBody renders err as the structured wire form: op-path errors
+// (malformed /v1/expr trees) carry the failing operator's path, CDB-SQL
+// errors carry the statement position.
+func errorBody(err error) errorResponse {
+	body := errorResponse{Error: err.Error()}
+	var pe *opPathError
+	var se *sqldialect.Error
+	switch {
+	case errors.As(err, &pe):
+		body.Error = pe.err.Error()
+		body.OpPath = pe.path
+	case errors.As(err, &se):
+		body.Line, body.Col = se.Line, se.Col
+	}
+	return body
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -87,7 +112,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, statusClientClosedRequest, errorResponse{Error: err.Error()})
+		writeJSON(w, statusClientClosedRequest, errorBody(err))
 		return
 	case errors.Is(err, errTargetNotFound):
 		status = http.StatusNotFound
@@ -98,7 +123,7 @@ func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, 
 		status = http.StatusServiceUnavailable
 	}
 	s.metrics.IncError(endpoint)
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorBody(err))
 }
 
 // statusClientClosedRequest is nginx's non-standard 499: the client

@@ -197,6 +197,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/volume", routed("volume", routeKeyVolume, s.handleVolume))
 	mux.HandleFunc("POST /v1/query", routed("query", routeKeyQuery, s.handleQuery))
 	mux.HandleFunc("POST /v1/expr", routed("expr", routeKeyExpr, s.handleExpr))
+	mux.HandleFunc("POST /v1/sql", routed("sql", routeKeySQL, s.handleSQL))
 	mux.HandleFunc("POST /v1/reconstruct", routed("reconstruct", routeKeyReconstruct, s.handleReconstruct))
 	mux.HandleFunc("POST /v1/spacetime/slice", routed("spacetime_slice", routeKeySpacetimeSlice, s.handleSpacetimeSlice))
 	mux.HandleFunc("POST /v1/spacetime/sample", routed("spacetime_sample", routeKeySpacetimeSample, s.handleSpacetimeSample))

@@ -1,0 +1,264 @@
+package server
+
+// Tests of POST /v1/sql: the plain-text SQL endpoint shares canonical
+// keys and prepared-sampler cache entries with /v1/expr (and with the
+// cdb facade), infers its execution mode from the statement, and
+// reports parse/compile errors as structured {error, line, col} bodies.
+// /v1/expr's structured {error, op_path} errors are covered here too.
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	cdb "repro"
+)
+
+const sqlProgram = `
+rel R(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+rel S(x, y) := { 0.5 <= x <= 2, 0 <= y <= 1 };
+rel D(y) := { 0 <= y <= 0.25 };
+`
+
+func postSQL(t testing.TB, baseURL, dbID, stmt string) (*http.Response, sqlResponse, []byte) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/sql?database="+url.QueryEscape(dbID), "text/plain", strings.NewReader(stmt))
+	if err != nil {
+		t.Fatalf("POST /v1/sql: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /v1/sql response: %v", err)
+	}
+	var out sqlResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("decode sql response: %v (%s)", err, body)
+		}
+	}
+	return resp, out, body
+}
+
+// TestSQLEndpointSharesCacheWithExpr is the HTTP half of the acceptance
+// test: a statement and the structurally equal /v1/expr tree report one
+// canonical key (matching the cdb facade's), and whichever surface goes
+// second gets a cache hit — including EXPLAIN's per-disjunct residency.
+func TestSQLEndpointSharesCacheWithExpr(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	dbID := register(t, ts.URL, "sqldb", sqlProgram)
+
+	// Cold: the JSON tree prepares the sampler. No options — /v1/sql
+	// statements always run under DefaultOptions, and the cache key
+	// includes the options fingerprint.
+	tree := &exprNodeJSON{Op: "where", Args: []*exprNodeJSON{rel("R")},
+		Atoms: []exprAtomJSON{{Coef: []float64{1, 1}, B: 1}}}
+	resp, out1, body := postExpr(t, ts.URL, exprRequest{Database: dbID, Expr: tree, Mode: "sample", N: 4, Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("expr sample: status %d (%s)", resp.StatusCode, body)
+	}
+	if out1.Cache != "miss" {
+		t.Fatalf("cold expr cache = %q, want miss", out1.Cache)
+	}
+
+	// Warm: the same query as SQL text hits the entry the tree built.
+	resp, out2, body := postSQL(t, ts.URL, dbID, "SELECT * FROM R WHERE x + y <= 1 SAMPLE 4 SEED 1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sql sample: status %d (%s)", resp.StatusCode, body)
+	}
+	if out2.CanonicalKey != out1.CanonicalKey {
+		t.Fatalf("canonical keys differ:\nexpr: %s\n sql: %s", out1.CanonicalKey, out2.CanonicalKey)
+	}
+	if out2.Cache != "hit" {
+		t.Fatalf("sql after expr: cache = %q, want hit", out2.Cache)
+	}
+	if len(out2.Points) != 4 {
+		t.Fatalf("sql sample returned %d points, want 4", len(out2.Points))
+	}
+
+	// The facade computes the identical fingerprint for its combinators.
+	db, err := cdb.Open(sqlProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	facadeKey, err := db.Rel("R").Where(cdb.NewAtom(cdb.Vector{1, 1}, 1, false)).CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if facadeKey != out2.CanonicalKey {
+		t.Fatalf("facade key %s != endpoint key %s", facadeKey, out2.CanonicalKey)
+	}
+
+	// EXPLAIN sees the warm entry, with per-disjunct residency.
+	resp, out3, body := postSQL(t, ts.URL, dbID, "EXPLAIN SELECT * FROM R WHERE x + y <= 1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sql explain: status %d (%s)", resp.StatusCode, body)
+	}
+	if out3.Mode != "explain" || out3.Cache != "hit" || out3.CanonicalKey != out1.CanonicalKey {
+		t.Fatalf("explain = {mode %q, cache %q, key %s}, want warm explain of %s",
+			out3.Mode, out3.Cache, out3.CanonicalKey, out1.CanonicalKey)
+	}
+	if len(out3.Disjuncts) == 0 {
+		t.Fatal("explain has no per-disjunct entries")
+	}
+	for _, d := range out3.Disjuncts {
+		if d.CanonicalKey == "" || d.Cache == "" {
+			t.Fatalf("disjunct missing residency: %+v", d)
+		}
+	}
+}
+
+// TestSQLEndpointModes: every inferred mode end to end over HTTP.
+func TestSQLEndpointModes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	dbID := register(t, ts.URL, "sqlmodes", sqlProgram)
+
+	t.Run("volume", func(t *testing.T) {
+		resp, out, body := postSQL(t, ts.URL, dbID, "SELECT VOLUME(*) FROM R")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d (%s)", resp.StatusCode, body)
+		}
+		if out.Mode != "volume" || out.Volume == nil {
+			t.Fatalf("mode %q, volume %v", out.Mode, out.Volume)
+		}
+		if math.Abs(*out.Volume-1) > 0.15 {
+			t.Fatalf("unit-square volume = %g, want ≈ 1", *out.Volume)
+		}
+	})
+
+	t.Run("relation", func(t *testing.T) {
+		resp, out, body := postSQL(t, ts.URL, dbID, "SELECT x AS u FROM R WHERE y <= 0.5")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d (%s)", resp.StatusCode, body)
+		}
+		if out.Mode != "relation" || out.Source == "" {
+			t.Fatalf("mode %q, source %q", out.Mode, out.Source)
+		}
+		if len(out.Columns) != 1 || out.Columns[0] != "u" {
+			t.Fatalf("columns = %v, want the SQL alias [u]", out.Columns)
+		}
+		if out.Statement != "SELECT x AS u FROM R WHERE y <= 0.5" {
+			t.Fatalf("statement echo = %q", out.Statement)
+		}
+	})
+
+	t.Run("explain symbolic", func(t *testing.T) {
+		resp, out, body := postSQL(t, ts.URL, dbID, "EXPLAIN SYMBOLIC SELECT * FROM R")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d (%s)", resp.StatusCode, body)
+		}
+		if out.Mode != "explain" || out.SymbolicKey == "" || out.CanonicalKey == "" {
+			t.Fatalf("explain symbolic = {mode %q, symbolic_key %q, key %q}", out.Mode, out.SymbolicKey, out.CanonicalKey)
+		}
+		if out.Cache == "" {
+			t.Fatal("explain symbolic reports no cache label")
+		}
+	})
+
+	t.Run("full-FO volume", func(t *testing.T) {
+		// ∀y∈D (x,y)∈R keeps every x in [0,1]: exact symbolic volume 1.
+		resp, out, body := postSQL(t, ts.URL, dbID, "SELECT VOLUME(*) FROM (SELECT * FROM R FOR ALL SELECT * FROM D)")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d (%s)", resp.StatusCode, body)
+		}
+		if out.Volume == nil || math.Abs(*out.Volume-1) > 1e-9 {
+			t.Fatalf("division volume = %v, want exactly 1", out.Volume)
+		}
+	})
+}
+
+// TestSQLEndpointErrors: parse errors are positioned, unknown targets
+// are 404s, and statements outside the sampling fragment with no
+// symbolic fallback are 422s.
+func TestSQLEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	dbID := register(t, ts.URL, "sqlerrs", sqlProgram)
+
+	for _, tc := range []struct {
+		stmt   string
+		status int
+	}{
+		{"SELEC * FROM R", http.StatusBadRequest},
+		{"SELECT * FROM R WHERE x <", http.StatusBadRequest},
+		{"SELECT * FROM Nope", http.StatusNotFound},
+		{"SELECT * FROM R FOR ALL SELECT * FROM D SAMPLE 4", http.StatusUnprocessableEntity},
+	} {
+		resp, _, body := postSQL(t, ts.URL, dbID, tc.stmt)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%q: status %d, want %d (%s)", tc.stmt, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%q: unstructured error body %s", tc.stmt, body)
+			continue
+		}
+		if tc.status != http.StatusUnprocessableEntity && (er.Line < 1 || er.Col < 1) {
+			t.Errorf("%q: unpositioned sql error %+v", tc.stmt, er)
+		}
+	}
+
+	resp, _, body := postSQL(t, ts.URL, "no-such-db", "SELECT * FROM R")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown database: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestExprOpPathErrors: /v1/expr failures name the failing operator —
+// structural mistakes during decoding, and compile-time mistakes via
+// the deepest-failing-subtree probe.
+func TestExprOpPathErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	dbID := register(t, ts.URL, "oppath", sqlProgram)
+
+	for _, tc := range []struct {
+		name   string
+		expr   *exprNodeJSON
+		status int
+		opPath string
+	}{
+		{
+			name:   "unknown op at root",
+			expr:   &exprNodeJSON{Op: "frob"},
+			status: http.StatusBadRequest,
+			opPath: "expr",
+		},
+		{
+			name:   "nameless rel leaf",
+			expr:   binOp("intersect", rel("R"), &exprNodeJSON{Op: "rel"}),
+			status: http.StatusBadRequest,
+			opPath: "expr.args[1]",
+		},
+		{
+			name:   "unknown relation",
+			expr:   binOp("union", rel("R"), rel("Nope")),
+			status: http.StatusNotFound,
+			opPath: "expr.args[1]",
+		},
+		{
+			name:   "arity mismatch at nested set op",
+			expr:   binOp("union", rel("R"), binOp("intersect", rel("R"), rel("D"))),
+			status: http.StatusBadRequest,
+			opPath: "expr.args[1]",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, _, body := postExpr(t, ts.URL, exprRequest{Database: dbID, Expr: tc.expr, Mode: "volume"})
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("decode error body: %v (%s)", err, body)
+			}
+			if er.OpPath != tc.opPath {
+				t.Fatalf("op_path = %q, want %q (error %q)", er.OpPath, tc.opPath, er.Error)
+			}
+		})
+	}
+}

@@ -1,0 +1,395 @@
+package sql
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Statement is one parsed CDB-SQL statement.
+type Statement struct {
+	Explain         bool
+	ExplainSymbolic bool
+	Body            SetExpr
+	Sample          *SampleClause
+}
+
+// SampleClause is the trailing `SAMPLE n [SEED k]`.
+type SampleClause struct {
+	N       int
+	Seed    uint64
+	SeedSet bool
+}
+
+// SetExpr is a set-level expression: SELECT, a set operator, an EXISTS
+// projection, or a parenthesized subquery (represented structurally).
+type SetExpr interface {
+	// source appends the canonical rendering. unitCtx requests a form
+	// valid in `unit` position (set operators get parenthesized).
+	source(sb *strings.Builder, unitCtx bool)
+	pos() Pos
+}
+
+// Select is `SELECT <list> FROM <source> [WHERE <cond>]`.
+type Select struct {
+	Pos    Pos
+	Star   bool     // SELECT *
+	Volume bool     // SELECT VOLUME(*)
+	Cols   []SelCol // explicit column list (neither Star nor Volume)
+	From   SetExpr  // *RelRef or a subquery
+	Where  Cond     // nil when absent
+}
+
+// SelCol is one selected column with an optional alias.
+type SelCol struct {
+	Pos   Pos
+	Name  string
+	Alias string // "" when not aliased
+}
+
+// RelRef names a declared relation or query in FROM position.
+type RelRef struct {
+	P    Pos
+	Name string
+}
+
+// SetOpKind discriminates the binary set operators.
+type SetOpKind int
+
+const (
+	OpUnion SetOpKind = iota
+	OpIntersect
+	OpExcept
+	OpForAll // relational division: left FOR ALL right
+)
+
+func (k SetOpKind) String() string {
+	switch k {
+	case OpUnion:
+		return "UNION"
+	case OpIntersect:
+		return "INTERSECT"
+	case OpExcept:
+		return "EXCEPT"
+	case OpForAll:
+		return "FOR ALL"
+	}
+	return "?"
+}
+
+// SetOp is `left <op> right`, left-associative.
+type SetOp struct {
+	P           Pos
+	Op          SetOpKind
+	Left, Right SetExpr
+}
+
+// ExistsExpr is `EXISTS (c1, ..., ck) body`: project the named columns
+// away, keeping the rest in order.
+type ExistsExpr struct {
+	P    Pos
+	Cols []ColRef
+	Body SetExpr
+}
+
+// ColRef is a positioned column name.
+type ColRef struct {
+	P    Pos
+	Name string
+}
+
+func (s *Select) pos() Pos     { return s.Pos }
+func (r *RelRef) pos() Pos     { return r.P }
+func (o *SetOp) pos() Pos      { return o.P }
+func (e *ExistsExpr) pos() Pos { return e.P }
+
+// Cond is a boolean condition over the FROM source's columns.
+type Cond interface {
+	condSource(sb *strings.Builder, prec int)
+	condPos() Pos
+}
+
+// Precedence levels for condition rendering: OR < AND < NOT/atom.
+const (
+	precOr = iota
+	precAnd
+	precNot
+)
+
+// CondOr is a disjunction.
+type CondOr struct{ Fs []Cond }
+
+// CondAnd is a conjunction.
+type CondAnd struct{ Fs []Cond }
+
+// CondNot is a negation.
+type CondNot struct {
+	P Pos
+	F Cond
+}
+
+// CmpOp is a comparison operator in a chain.
+type CmpOp int
+
+const (
+	CmpLE CmpOp = iota
+	CmpLT
+	CmpGE
+	CmpGT
+	CmpEQ
+	CmpNE
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case CmpLE:
+		return "<="
+	case CmpLT:
+		return "<"
+	case CmpGE:
+		return ">="
+	case CmpGT:
+		return ">"
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "!="
+	}
+	return "?"
+}
+
+// CondCmp is a comparison chain e0 op0 e1 op1 e2 ... (as in
+// `0 <= x <= 1`). A CmpNE chain has exactly one operator.
+type CondCmp struct {
+	P     Pos
+	Exprs []*LinExpr
+	Ops   []CmpOp
+}
+
+func (c *CondOr) condPos() Pos  { return c.Fs[0].condPos() }
+func (c *CondAnd) condPos() Pos { return c.Fs[0].condPos() }
+func (c *CondNot) condPos() Pos { return c.P }
+func (c *CondCmp) condPos() Pos { return c.P }
+
+// LinExpr is a linear expression in canonical form: variables sorted by
+// name with nonzero coefficients, plus a constant.
+type LinExpr struct {
+	Vars  []string
+	Coefs []float64
+	Const float64
+}
+
+// newLinExpr canonicalizes a coefficient map: zero coefficients drop
+// out, variables sort by name.
+func newLinExpr(coef map[string]float64, konst float64) *LinExpr {
+	e := &LinExpr{Const: konst}
+	for v, c := range coef {
+		if c != 0 {
+			e.Vars = append(e.Vars, v)
+		}
+	}
+	sort.Strings(e.Vars)
+	e.Coefs = make([]float64, len(e.Vars))
+	for i, v := range e.Vars {
+		e.Coefs[i] = coef[v]
+	}
+	return e
+}
+
+// sub returns e - o.
+func (e *LinExpr) sub(o *LinExpr) *LinExpr {
+	coef := map[string]float64{}
+	for i, v := range e.Vars {
+		coef[v] += e.Coefs[i]
+	}
+	for i, v := range o.Vars {
+		coef[v] -= o.Coefs[i]
+	}
+	return newLinExpr(coef, e.Const-o.Const)
+}
+
+func formatNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// String renders the expression canonically: `2*x + y - 0.5`, constants
+// folded last, `0` when empty. The rendering re-parses to an equal
+// LinExpr, which is what makes Statement.Source a fixpoint.
+func (e *LinExpr) String() string {
+	var sb strings.Builder
+	for i, v := range e.Vars {
+		c := e.Coefs[i]
+		neg := c < 0
+		if i == 0 {
+			if neg {
+				sb.WriteString("-")
+			}
+		} else if neg {
+			sb.WriteString(" - ")
+		} else {
+			sb.WriteString(" + ")
+		}
+		if a := abs(c); a != 1 {
+			sb.WriteString(formatNum(a))
+			sb.WriteString("*")
+		}
+		sb.WriteString(v)
+	}
+	if len(e.Vars) == 0 {
+		sb.WriteString(formatNum(e.Const))
+	} else if e.Const != 0 {
+		if e.Const < 0 {
+			sb.WriteString(" - ")
+			sb.WriteString(formatNum(-e.Const))
+		} else {
+			sb.WriteString(" + ")
+			sb.WriteString(formatNum(e.Const))
+		}
+	}
+	return sb.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Source renders the statement in canonical CDB-SQL: upper-case
+// keywords, single spaces, explicit parentheses only where the grammar
+// needs them. Parsing the result yields an equal AST (and therefore an
+// identical Source), which the fuzzer checks as a fixpoint.
+func (s *Statement) Source() string {
+	var sb strings.Builder
+	if s.Explain {
+		sb.WriteString("EXPLAIN ")
+		if s.ExplainSymbolic {
+			sb.WriteString("SYMBOLIC ")
+		}
+	}
+	s.Body.source(&sb, false)
+	if s.Sample != nil {
+		sb.WriteString(" SAMPLE ")
+		sb.WriteString(strconv.Itoa(s.Sample.N))
+		if s.Sample.SeedSet {
+			sb.WriteString(" SEED ")
+			sb.WriteString(strconv.FormatUint(s.Sample.Seed, 10))
+		}
+	}
+	return sb.String()
+}
+
+func (s *Select) source(sb *strings.Builder, _ bool) {
+	sb.WriteString("SELECT ")
+	switch {
+	case s.Volume:
+		sb.WriteString("VOLUME(*)")
+	case s.Star:
+		sb.WriteString("*")
+	default:
+		for i, c := range s.Cols {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.Name)
+			if c.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(c.Alias)
+			}
+		}
+	}
+	sb.WriteString(" FROM ")
+	if r, ok := s.From.(*RelRef); ok {
+		sb.WriteString(r.Name)
+	} else {
+		sb.WriteString("(")
+		s.From.source(sb, false)
+		sb.WriteString(")")
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		s.Where.condSource(sb, precOr)
+	}
+}
+
+func (r *RelRef) source(sb *strings.Builder, _ bool) {
+	// A bare relation is only valid in FROM position; as a unit it must
+	// be written SELECT * FROM name. The parser never produces a RelRef
+	// in unit position, so render the SELECT form defensively.
+	sb.WriteString("SELECT * FROM ")
+	sb.WriteString(r.Name)
+}
+
+func (o *SetOp) source(sb *strings.Builder, unitCtx bool) {
+	if unitCtx {
+		sb.WriteString("(")
+	}
+	// Left-associative chains render flat (a SetOp left operand needs
+	// no parentheses); a right operand that is itself a set op was
+	// parenthesized in the input and renders parenthesized again.
+	o.Left.source(sb, false)
+	sb.WriteString(" ")
+	sb.WriteString(o.Op.String())
+	sb.WriteString(" ")
+	o.Right.source(sb, true)
+	if unitCtx {
+		sb.WriteString(")")
+	}
+}
+
+func (e *ExistsExpr) source(sb *strings.Builder, unitCtx bool) {
+	sb.WriteString("EXISTS (")
+	for i, c := range e.Cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+	}
+	sb.WriteString(") ")
+	e.Body.source(sb, true)
+}
+
+func (c *CondOr) condSource(sb *strings.Builder, prec int) {
+	if prec > precOr {
+		sb.WriteString("(")
+	}
+	for i, f := range c.Fs {
+		if i > 0 {
+			sb.WriteString(" OR ")
+		}
+		f.condSource(sb, precAnd)
+	}
+	if prec > precOr {
+		sb.WriteString(")")
+	}
+}
+
+func (c *CondAnd) condSource(sb *strings.Builder, prec int) {
+	if prec > precAnd {
+		sb.WriteString("(")
+	}
+	for i, f := range c.Fs {
+		if i > 0 {
+			sb.WriteString(" AND ")
+		}
+		f.condSource(sb, precNot)
+	}
+	if prec > precAnd {
+		sb.WriteString(")")
+	}
+}
+
+func (c *CondNot) condSource(sb *strings.Builder, _ int) {
+	sb.WriteString("NOT (")
+	c.F.condSource(sb, precOr)
+	sb.WriteString(")")
+}
+
+func (c *CondCmp) condSource(sb *strings.Builder, _ int) {
+	sb.WriteString(c.Exprs[0].String())
+	for i, op := range c.Ops {
+		sb.WriteString(" ")
+		sb.WriteString(op.String())
+		sb.WriteString(" ")
+		sb.WriteString(c.Exprs[i+1].String())
+	}
+}

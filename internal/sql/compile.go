@@ -1,0 +1,460 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+	"repro/internal/query"
+)
+
+// Mode is the execution mode a statement compiles to, inferred from its
+// syntax: a bare SELECT denotes the relation itself (evaluated
+// symbolically), SAMPLE draws points, VOLUME(*) measures, EXPLAIN
+// reports the plan.
+type Mode string
+
+const (
+	ModeRelation Mode = "relation"
+	ModeSample   Mode = "sample"
+	ModeVolume   Mode = "volume"
+	ModeExplain  Mode = "explain"
+)
+
+// Compiled is a statement lowered onto the algebra IR. Node flows
+// through the exact same Compile → Canonicalize pipeline as hand-built
+// expressions, so the statement shares their cache entries.
+type Compiled struct {
+	Node    *query.Node
+	Columns []string // SQL-visible output columns (aliases applied)
+	Mode    Mode
+	// Sampling parameters (ModeSample).
+	N       int
+	Seed    uint64
+	SeedSet bool
+	// EXPLAIN SYMBOLIC requested the symbolic evaluation path.
+	ExplainSymbolic bool
+	// Source is the canonical rendering of the statement.
+	Source string
+}
+
+// maxWhereDisjuncts bounds the DNF blowup of a WHERE condition; beyond
+// this the statement is rejected rather than silently exploding the
+// plan.
+const maxWhereDisjuncts = 64
+
+// Compile parses and compiles a statement against the database in one
+// step.
+func Compile(db *constraint.Database, stmt string) (*Compiled, error) {
+	ast, err := Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return CompileStatement(db, ast)
+}
+
+// CompileStatement lowers a parsed statement to the algebra IR,
+// resolving relation and column names against the database schema.
+func CompileStatement(db *constraint.Database, stmt *Statement) (*Compiled, error) {
+	c := &compiler{db: db}
+	out := &Compiled{Source: stmt.Source()}
+
+	// VOLUME(*) is an aggregate over the whole result: it only makes
+	// sense on the outermost SELECT, and not under SAMPLE.
+	if sel, ok := stmt.Body.(*Select); ok && sel.Volume {
+		if stmt.Sample != nil {
+			return nil, errAt(sel.Pos, "VOLUME(*) cannot be combined with SAMPLE")
+		}
+		node, cols, err := c.selectBody(sel)
+		if err != nil {
+			return nil, err
+		}
+		out.Node, out.Columns, out.Mode = node, cols, ModeVolume
+	} else {
+		node, cols, err := c.setExpr(stmt.Body)
+		if err != nil {
+			return nil, err
+		}
+		out.Node, out.Columns = node, cols
+		out.Mode = ModeRelation
+		if stmt.Sample != nil {
+			out.Mode = ModeSample
+			out.N = stmt.Sample.N
+			out.Seed, out.SeedSet = stmt.Sample.Seed, stmt.Sample.SeedSet
+		}
+	}
+	if stmt.Explain {
+		out.Mode = ModeExplain
+		out.ExplainSymbolic = stmt.ExplainSymbolic
+	}
+	return out, nil
+}
+
+type compiler struct {
+	db *constraint.Database
+}
+
+// setExpr compiles a set-level expression to (node, visible columns).
+// Column names returned here are the SQL-visible ones (after aliasing);
+// the node's own columns keep the underlying names, which is irrelevant
+// for canonical keys (they are positional) but matters when relabeling
+// results for the user.
+func (c *compiler) setExpr(e SetExpr) (*query.Node, []string, error) {
+	switch x := e.(type) {
+	case *Select:
+		if x.Volume {
+			return nil, nil, errAt(x.Pos, "VOLUME(*) is only allowed on the outermost SELECT")
+		}
+		return c.selectNode(x)
+	case *RelRef:
+		node, cols, err := c.rel(x)
+		return node, cols, err
+	case *ExistsExpr:
+		node, cols, err := c.setExpr(x.Body)
+		if err != nil {
+			return nil, nil, err
+		}
+		have := map[string]int{}
+		for i, v := range cols {
+			have[v] = i
+		}
+		drop := map[string]bool{}
+		for _, cr := range x.Cols {
+			if _, ok := have[cr.Name]; !ok {
+				return nil, nil, errAt(cr.P, "EXISTS column %q not among %v", cr.Name, cols)
+			}
+			if drop[cr.Name] {
+				return nil, nil, errAt(cr.P, "EXISTS column %q repeated", cr.Name)
+			}
+			drop[cr.Name] = true
+		}
+		var keep []string
+		for _, v := range cols {
+			if !drop[v] {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == 0 {
+			return nil, nil, errAt(x.P, "EXISTS would project every column away")
+		}
+		// EXISTS binds SQL-visible names; project the node by the
+		// underlying columns at the same positions.
+		return c.projectPositional(node, cols, keep, x.P)
+	case *SetOp:
+		l, lcols, err := c.setExpr(x.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rcols, err := c.setExpr(x.Right)
+		if err != nil {
+			return nil, nil, err
+		}
+		if x.Op == OpForAll {
+			if len(rcols) == 0 || len(rcols) >= len(lcols) {
+				return nil, nil, errAt(x.P, "FOR ALL divisor arity %d must be positive and below the dividend's %d", len(rcols), len(lcols))
+			}
+			return l.Div(r), append([]string(nil), lcols[:len(lcols)-len(rcols)]...), nil
+		}
+		if len(lcols) != len(rcols) {
+			return nil, nil, errAt(x.P, "%s arity mismatch: %d vs %d columns", x.Op, len(lcols), len(rcols))
+		}
+		switch x.Op {
+		case OpUnion:
+			return l.Union(r), lcols, nil
+		case OpIntersect:
+			return l.Intersect(r), lcols, nil
+		default:
+			return l.Minus(r), lcols, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("sql: unknown set expression %T", e)
+}
+
+// rel resolves a relation or named query leaf.
+func (c *compiler) rel(r *RelRef) (*query.Node, []string, error) {
+	if rel, ok := c.db.Relation(r.Name); ok {
+		return query.NewRel(r.Name), append([]string(nil), rel.Vars...), nil
+	}
+	if q, ok := c.db.Query(r.Name); ok {
+		return query.NewRel(r.Name), append([]string(nil), q.Vars...), nil
+	}
+	return nil, nil, &Error{Line: r.P.Line, Col: r.P.Col,
+		Msg: fmt.Sprintf("unknown relation or query %q", r.Name), Err: query.ErrUnknownTarget}
+}
+
+// selectNode compiles a SELECT in relation position: FROM + WHERE, then
+// the projection implied by the column list.
+func (c *compiler) selectNode(s *Select) (*query.Node, []string, error) {
+	node, cols, err := c.selectBody(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Star || s.Volume {
+		return node, cols, nil
+	}
+	names := make([]string, len(s.Cols))
+	visible := make([]string, len(s.Cols))
+	seen := map[string]bool{}
+	for i, col := range s.Cols {
+		if seen[col.Name] {
+			return nil, nil, errAt(col.Pos, "column %q selected twice", col.Name)
+		}
+		seen[col.Name] = true
+		found := false
+		for _, v := range cols {
+			if v == col.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, errAt(col.Pos, "unknown column %q (have %v)", col.Name, cols)
+		}
+		names[i] = col.Name
+		visible[i] = col.Name
+		if col.Alias != "" {
+			visible[i] = col.Alias
+		}
+	}
+	seenVis := map[string]bool{}
+	for i, v := range visible {
+		if seenVis[v] {
+			return nil, nil, errAt(s.Cols[i].Pos, "output column %q repeated (aliases must be distinct)", v)
+		}
+		seenVis[v] = true
+	}
+	// Selecting every column in source order is the identity — skip the
+	// Project node so `SELECT * FROM R` and `SELECT x, y FROM R` land
+	// on the same canonical key as the bare relation.
+	if len(names) == len(cols) {
+		same := true
+		for i := range names {
+			if names[i] != cols[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return node, visible, nil
+		}
+	}
+	proj, _, err := c.projectPositional(node, cols, names, s.Pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	return proj, visible, nil
+}
+
+// selectBody compiles FROM + WHERE of a SELECT (no projection yet).
+func (c *compiler) selectBody(s *Select) (*query.Node, []string, error) {
+	node, cols, err := c.setExpr(s.From)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Where == nil {
+		return node, cols, nil
+	}
+	dnf, err := condDNF(s.Where, false, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(dnf) == 0 {
+		// An unsatisfiable condition (e.g. `NOT (x = x)` simplified to
+		// nothing) — keep a trivially-false atom so the plan is empty.
+		dim := len(cols)
+		falseAtom := constraint.NewAtom(make(linalg.Vector, dim), -1, false)
+		return node.Where(falseAtom), cols, nil
+	}
+	var out *query.Node
+	for _, conj := range dnf {
+		branch := node
+		if len(conj) > 0 {
+			branch = node.Where(conj...)
+		}
+		if out == nil {
+			out = branch
+		} else {
+			out = out.Union(branch)
+		}
+	}
+	return out, cols, nil
+}
+
+// projectPositional maps SQL-visible kept names back to positions and
+// projects the node by its own column names at those positions. The
+// node's columns may differ from the visible ones (aliases introduced
+// by inner selects), so projection must go through positions, and the
+// underlying names at those positions must be distinct for the algebra
+// Project to be well-formed.
+func (c *compiler) projectPositional(node *query.Node, visible, keep []string, at Pos) (*query.Node, []string, error) {
+	under, err := node.Columns(c.db)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(under) != len(visible) {
+		return nil, nil, errAt(at, "internal: column arity drift (%d vs %d)", len(under), len(visible))
+	}
+	idx := map[string]int{}
+	for i, v := range visible {
+		idx[v] = i
+	}
+	names := make([]string, len(keep))
+	seenUnder := map[string]bool{}
+	for i, v := range keep {
+		j := idx[v]
+		u := under[j]
+		if seenUnder[u] {
+			return nil, nil, errAt(at, "projection keeps two columns that share the underlying name %q; alias them apart first", u)
+		}
+		seenUnder[u] = true
+		names[i] = u
+	}
+	return node.Project(names...), keep, nil
+}
+
+// condDNF lowers a condition to disjunctive normal form over full-width
+// atoms (coefficient vectors aligned to cols). neg requests the negated
+// condition (NNF is driven down through the recursion).
+func condDNF(cond Cond, neg bool, cols []string) ([][]constraint.Atom, error) {
+	switch x := cond.(type) {
+	case *CondNot:
+		return condDNF(x.F, !neg, cols)
+	case *CondAnd:
+		if neg {
+			return orDNF(x.Fs, true, cols, x.condPos())
+		}
+		return andDNF(x.Fs, false, cols, x.condPos())
+	case *CondOr:
+		if neg {
+			return andDNF(x.Fs, true, cols, x.condPos())
+		}
+		return orDNF(x.Fs, false, cols, x.condPos())
+	case *CondCmp:
+		return cmpDNF(x, neg, cols)
+	}
+	return nil, fmt.Errorf("sql: unknown condition %T", cond)
+}
+
+// andDNF conjoins the members' DNFs (cross product, bounded).
+func andDNF(fs []Cond, neg bool, cols []string, at Pos) ([][]constraint.Atom, error) {
+	acc := [][]constraint.Atom{nil} // one empty conjunct: identity
+	for _, f := range fs {
+		d, err := condDNF(f, neg, cols)
+		if err != nil {
+			return nil, err
+		}
+		var next [][]constraint.Atom
+		for _, a := range acc {
+			for _, b := range d {
+				conj := make([]constraint.Atom, 0, len(a)+len(b))
+				conj = append(conj, a...)
+				conj = append(conj, b...)
+				next = append(next, conj)
+			}
+		}
+		if len(next) > maxWhereDisjuncts {
+			return nil, errAt(at, "WHERE condition expands to more than %d disjuncts", maxWhereDisjuncts)
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// orDNF concatenates the members' DNFs (bounded).
+func orDNF(fs []Cond, neg bool, cols []string, at Pos) ([][]constraint.Atom, error) {
+	var acc [][]constraint.Atom
+	for _, f := range fs {
+		d, err := condDNF(f, neg, cols)
+		if err != nil {
+			return nil, err
+		}
+		acc = append(acc, d...)
+		if len(acc) > maxWhereDisjuncts {
+			return nil, errAt(at, "WHERE condition expands to more than %d disjuncts", maxWhereDisjuncts)
+		}
+	}
+	return acc, nil
+}
+
+// cmpDNF lowers one comparison chain. Unnegated: a chain is a single
+// conjunct of atoms (with `=` contributing both sides and `!=` two
+// strict disjuncts). Negated: De Morgan over the chain's atoms.
+func cmpDNF(c *CondCmp, neg bool, cols []string) ([][]constraint.Atom, error) {
+	if len(c.Ops) == 1 && c.Ops[0] == CmpNE {
+		lt, err := chainAtom(c, c.Exprs[0], c.Exprs[1], true, cols) // l - r < 0
+		if err != nil {
+			return nil, err
+		}
+		gt, err := chainAtom(c, c.Exprs[1], c.Exprs[0], true, cols) // r - l < 0
+		if err != nil {
+			return nil, err
+		}
+		if neg { // equality
+			return [][]constraint.Atom{{lt.Negate(), gt.Negate()}}, nil
+		}
+		return [][]constraint.Atom{{lt}, {gt}}, nil
+	}
+	var atoms []constraint.Atom
+	for i, op := range c.Ops {
+		l, r := c.Exprs[i], c.Exprs[i+1]
+		switch op {
+		case CmpLE, CmpLT:
+			a, err := chainAtom(c, l, r, op == CmpLT, cols)
+			if err != nil {
+				return nil, err
+			}
+			atoms = append(atoms, a)
+		case CmpGE, CmpGT:
+			a, err := chainAtom(c, r, l, op == CmpGT, cols)
+			if err != nil {
+				return nil, err
+			}
+			atoms = append(atoms, a)
+		case CmpEQ:
+			a1, err := chainAtom(c, l, r, false, cols)
+			if err != nil {
+				return nil, err
+			}
+			a2, err := chainAtom(c, r, l, false, cols)
+			if err != nil {
+				return nil, err
+			}
+			atoms = append(atoms, a1, a2)
+		default:
+			return nil, errAt(c.P, "'!=' cannot appear in a comparison chain")
+		}
+	}
+	if !neg {
+		return [][]constraint.Atom{atoms}, nil
+	}
+	// ¬(a1 ∧ ... ∧ ak) = ¬a1 ∨ ... ∨ ¬ak.
+	out := make([][]constraint.Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = []constraint.Atom{a.Negate()}
+	}
+	return out, nil
+}
+
+// chainAtom builds the full-width atom l - r <= 0 (or < 0 when strict)
+// over cols.
+func chainAtom(c *CondCmp, l, r *LinExpr, strict bool, cols []string) (constraint.Atom, error) {
+	d := l.sub(r)
+	coef := make(linalg.Vector, len(cols))
+	idx := map[string]int{}
+	for i, v := range cols {
+		idx[v] = i
+	}
+	for i, v := range d.Vars {
+		j, ok := idx[v]
+		if !ok {
+			return constraint.Atom{}, errAt(c.P, "unknown column %q in WHERE (have %v)", v, cols)
+		}
+		coef[j] = d.Coefs[i]
+	}
+	b := -d.Const
+	if math.IsInf(b, 0) || math.IsNaN(b) {
+		return constraint.Atom{}, errAt(c.P, "non-finite bound in comparison")
+	}
+	return constraint.NewAtom(coef, b, strict), nil
+}

@@ -1,0 +1,239 @@
+package sql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/linalg"
+	"repro/internal/query"
+)
+
+const testProgram = `
+rel R(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+rel S(x, y) := { 0.5 <= x <= 2, 0 <= y <= 1 };
+rel T(x, y) := { 3 <= x <= 4, 0 <= y <= 1 };
+rel D(y) := { 0 <= y <= 0.25 };
+`
+
+func testDB(t *testing.T) *constraint.Database {
+	t.Helper()
+	db, err := constraint.Parse(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func compileKey(t *testing.T, db *constraint.Database, stmt string) string {
+	t.Helper()
+	c, err := Compile(db, stmt)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", stmt, err)
+	}
+	plan, err := c.Node.Compile(db)
+	if err != nil {
+		t.Fatalf("plan Compile(%q): %v", stmt, err)
+	}
+	return query.Canonicalize(plan).Key
+}
+
+func nodeKey(t *testing.T, db *constraint.Database, n *query.Node) string {
+	t.Helper()
+	plan, err := n.Compile(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.Canonicalize(plan).Key
+}
+
+// TestDifferentialKeys asserts SQL statements and hand-built algebra
+// trees produce byte-identical canonical keys — the property that makes
+// SQL traffic share the prepared-sampler cache with Expr traffic.
+func TestDifferentialKeys(t *testing.T) {
+	db := testDB(t)
+	atom := func(coef []float64, b float64, strict bool) constraint.Atom {
+		return constraint.NewAtom(linalg.Vector(coef), b, strict)
+	}
+	cases := []struct {
+		name string
+		stmt string
+		node *query.Node
+	}{
+		{"bare relation", "SELECT * FROM R", query.NewRel("R")},
+		{"identity column list", "SELECT x, y FROM R", query.NewRel("R")},
+		{"aliases do not affect the key", "SELECT x AS a, y AS b FROM R", query.NewRel("R")},
+		{"where atom", "SELECT * FROM R WHERE x + y <= 1",
+			query.NewRel("R").Where(atom([]float64{1, 1}, 1, false))},
+		{"where chain", "SELECT * FROM R WHERE 0.25 <= x <= 0.75",
+			query.NewRel("R").Where(
+				atom([]float64{-1, 0}, -0.25, false),
+				atom([]float64{1, 0}, 0.75, false))},
+		{"where or is a union", "SELECT * FROM R WHERE x <= 0.25 OR y <= 0.25",
+			query.NewRel("R").Where(atom([]float64{1, 0}, 0.25, false)).
+				Union(query.NewRel("R").Where(atom([]float64{0, 1}, 0.25, false)))},
+		{"union", "SELECT * FROM R UNION SELECT * FROM S",
+			query.NewRel("R").Union(query.NewRel("S"))},
+		{"intersect", "SELECT * FROM R INTERSECT SELECT * FROM S",
+			query.NewRel("R").Intersect(query.NewRel("S"))},
+		{"except", "SELECT * FROM R EXCEPT SELECT * FROM S",
+			query.NewRel("R").Minus(query.NewRel("S"))},
+		{"projection", "SELECT x FROM R", query.NewRel("R").Project("x")},
+		{"exists", "EXISTS (y) SELECT * FROM R", query.NewRel("R").Project("x")},
+		{"subquery", "SELECT x FROM (SELECT * FROM R WHERE y <= 0.5)",
+			query.NewRel("R").Where(atom([]float64{0, 1}, 0.5, false)).Project("x")},
+		{"left-assoc set ops", "SELECT * FROM R UNION SELECT * FROM S EXCEPT SELECT * FROM T",
+			query.NewRel("R").Union(query.NewRel("S")).Minus(query.NewRel("T"))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sqlKey := compileKey(t, db, tc.stmt)
+			exprKey := nodeKey(t, db, tc.node)
+			if sqlKey != exprKey {
+				t.Fatalf("keys differ:\n  sql:  %s\n  expr: %s", sqlKey, exprKey)
+			}
+		})
+	}
+}
+
+// TestCompileModes checks mode inference and sampling parameters.
+func TestCompileModes(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		stmt string
+		mode Mode
+	}{
+		{"SELECT * FROM R", ModeRelation},
+		{"SELECT * FROM R SAMPLE 10", ModeSample},
+		{"SELECT VOLUME(*) FROM R", ModeVolume},
+		{"EXPLAIN SELECT * FROM R", ModeExplain},
+		{"EXPLAIN SYMBOLIC SELECT * FROM R", ModeExplain},
+	}
+	for _, tc := range cases {
+		c, err := Compile(db, tc.stmt)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", tc.stmt, err)
+		}
+		if c.Mode != tc.mode {
+			t.Errorf("Compile(%q).Mode = %q, want %q", tc.stmt, c.Mode, tc.mode)
+		}
+	}
+	c, err := Compile(db, "SELECT * FROM R SAMPLE 32 SEED 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 32 || !c.SeedSet || c.Seed != 9 {
+		t.Fatalf("sample params = (%d, %v, %d), want (32, true, 9)", c.N, c.SeedSet, c.Seed)
+	}
+	c, err = Compile(db, "EXPLAIN SYMBOLIC SELECT * FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.ExplainSymbolic {
+		t.Fatal("ExplainSymbolic not set")
+	}
+}
+
+// TestCompileColumns checks visible-column tracking through aliases,
+// projections and set operators.
+func TestCompileColumns(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		stmt string
+		cols []string
+	}{
+		{"SELECT * FROM R", []string{"x", "y"}},
+		{"SELECT y, x FROM R", []string{"y", "x"}},
+		{"SELECT x AS a, y FROM R", []string{"a", "y"}},
+		{"EXISTS (x) SELECT * FROM R", []string{"y"}},
+		{"SELECT * FROM R UNION SELECT * FROM S", []string{"x", "y"}},
+		{"SELECT * FROM R FOR ALL SELECT * FROM D", []string{"x"}},
+		{"SELECT a FROM (SELECT y AS a, x FROM R)", []string{"a"}},
+	}
+	for _, tc := range cases {
+		c, err := Compile(db, tc.stmt)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", tc.stmt, err)
+		}
+		if len(c.Columns) != len(tc.cols) {
+			t.Fatalf("Compile(%q).Columns = %v, want %v", tc.stmt, c.Columns, tc.cols)
+		}
+		for i := range tc.cols {
+			if c.Columns[i] != tc.cols[i] {
+				t.Fatalf("Compile(%q).Columns = %v, want %v", tc.stmt, c.Columns, tc.cols)
+			}
+		}
+	}
+}
+
+// TestCompileErrors checks schema-level errors carry positions and the
+// unknown-target sentinel where applicable.
+func TestCompileErrors(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		stmt    string
+		wantMsg string
+	}{
+		{"SELECT * FROM Nope", "unknown relation or query"},
+		{"SELECT z FROM R", "unknown column"},
+		{"SELECT * FROM R WHERE z <= 1", "unknown column"},
+		{"SELECT x, x FROM R", "selected twice"},
+		{"SELECT x AS a, y AS a FROM R", "repeated"},
+		{"EXISTS (z) SELECT * FROM R", "not among"},
+		{"EXISTS (x, y) SELECT * FROM R", "project every column away"},
+		{"SELECT * FROM R UNION SELECT y FROM S", "arity mismatch"},
+		{"SELECT * FROM R FOR ALL SELECT * FROM S", "divisor arity"},
+		{"SELECT x FROM (SELECT VOLUME(*) FROM R)", "outermost SELECT"},
+		{"SELECT VOLUME(*) FROM R SAMPLE 5", "cannot be combined with SAMPLE"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(db, tc.stmt)
+		if err == nil {
+			t.Errorf("Compile(%q): want error %q, got nil", tc.stmt, tc.wantMsg)
+			continue
+		}
+		var serr *Error
+		if !errors.As(err, &serr) {
+			t.Errorf("Compile(%q): error %T is not *Error (%v)", tc.stmt, err, err)
+			continue
+		}
+		if !strings.Contains(serr.Error(), tc.wantMsg) {
+			t.Errorf("Compile(%q) = %q, want substring %q", tc.stmt, serr.Error(), tc.wantMsg)
+		}
+	}
+	_, err := Compile(db, "SELECT * FROM Nope")
+	if !errors.Is(err, query.ErrUnknownTarget) {
+		t.Fatalf("unknown relation error does not wrap ErrUnknownTarget: %v", err)
+	}
+}
+
+// TestWhereNegationSemantics checks NOT compiles through NNF→DNF to the
+// complementary region, via the symbolic evaluator.
+func TestWhereNegationSemantics(t *testing.T) {
+	db := testDB(t)
+	c, err := Compile(db, "SELECT * FROM R WHERE NOT (x <= 0.5 AND y <= 0.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := c.Node.CompileSymbolic(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := sq.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := [][]float64{{0.75, 0.25}, {0.25, 0.75}, {0.9, 0.9}}
+	out := [][]float64{{0.25, 0.25}, {0.4, 0.4}}
+	for _, p := range in {
+		if !rel.Contains(p) {
+			t.Errorf("point %v should satisfy NOT(x<=0.5 AND y<=0.5)", p)
+		}
+	}
+	for _, p := range out {
+		if rel.Contains(p) {
+			t.Errorf("point %v should not satisfy NOT(x<=0.5 AND y<=0.5)", p)
+		}
+	}
+}

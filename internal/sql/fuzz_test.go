@@ -1,0 +1,47 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzSQLParse checks the parser never panics and that for every
+// accepted statement the canonical rendering is a fixpoint:
+// Source(Parse(Source(Parse(s)))) == Source(Parse(s)).
+func FuzzSQLParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM R",
+		"SELECT x, y FROM R WHERE 0 <= x <= 1 AND y > 2",
+		"SELECT x AS a FROM R WHERE x != y OR NOT (x >= 1/2)",
+		"SELECT * FROM R UNION SELECT * FROM S INTERSECT SELECT * FROM T",
+		"SELECT * FROM R EXCEPT (SELECT * FROM S UNION SELECT * FROM T)",
+		"EXISTS (y) SELECT * FROM R WHERE 2*x + 3*y <= 6",
+		"SELECT * FROM R FOR ALL SELECT * FROM D",
+		"SELECT VOLUME(*) FROM R WHERE x <= 1",
+		"EXPLAIN SYMBOLIC SELECT * FROM R SAMPLE 16 SEED 7",
+		"SELECT * FROM R WHERE x - 1e-3 < y | ! (x = y)",
+		"select x from (select * from R where y <= 1) sample 100",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			var serr *Error
+			if !errors.As(err, &serr) {
+				t.Fatalf("Parse(%q): error %T is not *Error: %v", src, err, err)
+			}
+			return
+		}
+		first := stmt.Source()
+		again, err := Parse(first)
+		if err != nil {
+			t.Fatalf("rendering of accepted statement does not reparse:\n input: %q\nrender: %q\n  err: %v", src, first, err)
+		}
+		second := again.Source()
+		if second != first {
+			t.Fatalf("Source not a fixpoint:\n input: %q\n first: %q\nsecond: %q", src, first, second)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+// Package sql implements CDB-SQL: a small SQL dialect over the
+// constraint-database algebra. Statements parse to an AST (Parse),
+// render back to a canonical form (Statement.Source), and compile to
+// the shared internal/query.Node IR (Compile), so every SQL query flows
+// through the same canonicalization, LP pruning, plan-hash cache keys,
+// symbolic evaluation and tracing as hand-built Expr trees — and lands
+// on the same cache entries.
+//
+// Grammar (keywords case-insensitive, identifiers case-sensitive):
+//
+//	statement := [EXPLAIN [SYMBOLIC]] query [';']
+//	query     := setexpr [SAMPLE INT [SEED INT]]
+//	setexpr   := unit ((UNION | INTERSECT | EXCEPT | FOR ALL) unit)*
+//	unit      := select
+//	           | EXISTS '(' ident {',' ident} ')' unit
+//	           | '(' setexpr ')'
+//	select    := SELECT sellist FROM source [WHERE cond]
+//	sellist   := '*' | VOLUME '(' '*' ')' | col [AS alias] {',' col [AS alias]}
+//	source    := ident | '(' setexpr ')'
+//	cond      := conjunction {(OR | '|') conjunction}
+//	conjunction := negation {(AND | '&') negation}
+//	negation  := (NOT | '!') negation | '(' cond ')' | comparison
+//	comparison := linexpr (cmpop linexpr)+        -- chains: 0 <= x <= 1
+//	cmpop     := '<=' | '<' | '>=' | '>' | '=' | '!=' | '<>'
+//	linexpr   := ['+'|'-'] term {('+'|'-') term}
+//	term      := NUMBER ['/' NUMBER] ['*'] [ident] | ident
+//
+// Set operators associate left. UNION, INTERSECT and EXCEPT map to the
+// algebra's Union/Intersect/Minus; FOR ALL maps to relational division
+// (Div, the ∀ of the paper's FO fragment); EXISTS (cols) projects the
+// named columns away (Project keeps the rest). VOLUME(*) computes the
+// measure of the row set and is only allowed on the outermost SELECT.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a positioned CDB-SQL error: parse errors and compile errors
+// both carry the 1-based line/column of the offending token, so serving
+// layers can return structured {error, line, col} bodies.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+	Err  error // optional wrapped cause (e.g. query.ErrUnknownTarget)
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("sql: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "sql: " + e.Msg
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Pos locates a token in the statement text (1-based).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func errAt(p Pos, format string, args ...interface{}) *Error {
+	return &Error{Line: p.Line, Col: p.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokSemi
+	tokStar
+	tokPlus
+	tokMinus
+	tokSlash
+	tokLE
+	tokLT
+	tokGE
+	tokGT
+	tokEQ
+	tokNE
+	tokAmp
+	tokPipe
+	tokBang
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// lex tokenizes a statement. Comments run from "--" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	emit := func(kind tokKind, text string, p Pos) {
+		toks = append(toks, token{kind: kind, text: text, pos: p})
+	}
+	for i < len(src) {
+		c := src[i]
+		p := Pos{Line: line, Col: col}
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+			continue
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			emit(tokIdent, src[i:j], p)
+			col += j - i
+			i = j
+			continue
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			// Exponent suffix: 1e-7, 2.5E+3.
+			if j < len(src) && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < len(src) && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < len(src) && src[k] >= '0' && src[k] <= '9' {
+					for k < len(src) && src[k] >= '0' && src[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			emit(tokNumber, src[i:j], p)
+			col += j - i
+			i = j
+			continue
+		}
+		two := ""
+		if i+1 < len(src) {
+			two = src[i : i+2]
+		}
+		switch {
+		case two == "<=":
+			emit(tokLE, two, p)
+			i, col = i+2, col+2
+		case two == ">=":
+			emit(tokGE, two, p)
+			i, col = i+2, col+2
+		case two == "!=" || two == "<>":
+			emit(tokNE, "!=", p)
+			i, col = i+2, col+2
+		case two == "==":
+			emit(tokEQ, "=", p)
+			i, col = i+2, col+2
+		case c == '<':
+			emit(tokLT, "<", p)
+			i, col = i+1, col+1
+		case c == '>':
+			emit(tokGT, ">", p)
+			i, col = i+1, col+1
+		case c == '=':
+			emit(tokEQ, "=", p)
+			i, col = i+1, col+1
+		case c == '(':
+			emit(tokLParen, "(", p)
+			i, col = i+1, col+1
+		case c == ')':
+			emit(tokRParen, ")", p)
+			i, col = i+1, col+1
+		case c == ',':
+			emit(tokComma, ",", p)
+			i, col = i+1, col+1
+		case c == ';':
+			emit(tokSemi, ";", p)
+			i, col = i+1, col+1
+		case c == '*':
+			emit(tokStar, "*", p)
+			i, col = i+1, col+1
+		case c == '+':
+			emit(tokPlus, "+", p)
+			i, col = i+1, col+1
+		case c == '-':
+			emit(tokMinus, "-", p)
+			i, col = i+1, col+1
+		case c == '/':
+			emit(tokSlash, "/", p)
+			i, col = i+1, col+1
+		case c == '&':
+			emit(tokAmp, "&", p)
+			i, col = i+1, col+1
+		case c == '|':
+			emit(tokPipe, "|", p)
+			i, col = i+1, col+1
+		case c == '!':
+			emit(tokBang, "!", p)
+			i, col = i+1, col+1
+		default:
+			return nil, errAt(p, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "<eof>", pos: Pos{Line: line, Col: col}})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// Statement keywords. Matched case-insensitively against identifier
+// tokens; identifiers themselves stay case-sensitive.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AS": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true,
+	"EXISTS": true, "FOR": true, "ALL": true,
+	"VOLUME": true, "SAMPLE": true, "SEED": true,
+	"EXPLAIN": true, "SYMBOLIC": true,
+	"AND": true, "OR": true, "NOT": true,
+}
+
+// isKeyword reports whether an identifier token is a reserved word.
+func isKeyword(text string) bool { return keywords[strings.ToUpper(text)] }
+
+// kw reports whether tok is the given keyword (upper-case name).
+func (t token) kw(name string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, name)
+}

@@ -1,0 +1,488 @@
+package sql
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one CDB-SQL statement (an optional trailing ';' is
+// accepted). Errors are *Error values carrying the 1-based line/column
+// of the offending token.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSemi {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errAt(p.peek().pos, "unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// SplitStatements splits a script on top-level semicolons (the dialect
+// has no string literals, so every ';' terminates a statement). Empty
+// fragments are dropped.
+func SplitStatements(script string) []string {
+	var out []string
+	for _, part := range strings.Split(script, ";") {
+		if strings.TrimSpace(part) != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, errAt(t.pos, "expected %s, got %q", what, t.text)
+	}
+	return p.next(), nil
+}
+
+// expectKw consumes the given keyword or errors.
+func (p *parser) expectKw(name string) (token, error) {
+	t := p.peek()
+	if !t.kw(name) {
+		return t, errAt(t.pos, "expected %s, got %q", name, t.text)
+	}
+	return p.next(), nil
+}
+
+// ident consumes a non-keyword identifier.
+func (p *parser) ident(what string) (token, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return t, errAt(t.pos, "expected %s, got %q", what, t.text)
+	}
+	if isKeyword(t.text) {
+		return t, errAt(t.pos, "expected %s, got keyword %q", what, t.text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseStatement() (*Statement, error) {
+	stmt := &Statement{}
+	if p.peek().kw("EXPLAIN") {
+		p.next()
+		stmt.Explain = true
+		if p.peek().kw("SYMBOLIC") {
+			p.next()
+			stmt.ExplainSymbolic = true
+		}
+	}
+	body, err := p.parseSetExpr()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Body = body
+	if p.peek().kw("SAMPLE") {
+		p.next()
+		nt, err := p.expect(tokNumber, "sample size")
+		if err != nil {
+			return nil, err
+		}
+		n, err2 := strconv.Atoi(nt.text)
+		if err2 != nil || n <= 0 {
+			return nil, errAt(nt.pos, "SAMPLE size must be a positive integer, got %q", nt.text)
+		}
+		sc := &SampleClause{N: n}
+		if p.peek().kw("SEED") {
+			p.next()
+			st, err := p.expect(tokNumber, "seed")
+			if err != nil {
+				return nil, err
+			}
+			seed, err2 := strconv.ParseUint(st.text, 10, 64)
+			if err2 != nil {
+				return nil, errAt(st.pos, "SEED must be an unsigned integer, got %q", st.text)
+			}
+			sc.Seed, sc.SeedSet = seed, true
+		}
+		stmt.Sample = sc
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSetExpr() (SetExpr, error) {
+	left, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var op SetOpKind
+		switch {
+		case t.kw("UNION"):
+			op = OpUnion
+		case t.kw("INTERSECT"):
+			op = OpIntersect
+		case t.kw("EXCEPT"):
+			op = OpExcept
+		case t.kw("FOR"):
+			p.next()
+			if _, err := p.expectKw("ALL"); err != nil {
+				return nil, err
+			}
+			right, err := p.parseUnit()
+			if err != nil {
+				return nil, err
+			}
+			left = &SetOp{P: t.pos, Op: OpForAll, Left: left, Right: right}
+			continue
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOp{P: t.pos, Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnit() (SetExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kw("SELECT"):
+		return p.parseSelect()
+	case t.kw("EXISTS"):
+		p.next()
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		var cols []ColRef
+		for {
+			id, err := p.ident("column name")
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, ColRef{P: id.pos, Name: id.text})
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{P: t.pos, Cols: cols, Body: body}, nil
+	case t.kind == tokLParen:
+		p.next()
+		inner, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, errAt(t.pos, "expected SELECT, EXISTS or '(', got %q", t.text)
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	kw, err := p.expectKw("SELECT")
+	if err != nil {
+		return nil, err
+	}
+	sel := &Select{Pos: kw.pos}
+	switch {
+	case p.peek().kind == tokStar:
+		p.next()
+		sel.Star = true
+	case p.peek().kw("VOLUME"):
+		p.next()
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokStar, "'*'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		sel.Volume = true
+	default:
+		for {
+			id, err := p.ident("column name")
+			if err != nil {
+				return nil, err
+			}
+			col := SelCol{Pos: id.pos, Name: id.text}
+			if p.peek().kw("AS") {
+				p.next()
+				al, err := p.ident("alias")
+				if err != nil {
+					return nil, err
+				}
+				col.Alias = al.text
+			}
+			sel.Cols = append(sel.Cols, col)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && !isKeyword(t.text):
+		p.next()
+		sel.From = &RelRef{P: t.pos, Name: t.text}
+	case t.kind == tokLParen:
+		p.next()
+		inner, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		sel.From = inner
+	default:
+		return nil, errAt(t.pos, "expected relation name or subquery after FROM, got %q", t.text)
+	}
+	if p.peek().kw("WHERE") {
+		p.next()
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = cond
+	}
+	return sel, nil
+}
+
+// parseCond parses a disjunction (OR / '|').
+func (p *parser) parseCond() (Cond, error) {
+	first, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Cond{first}
+	for p.peek().kw("OR") || p.peek().kind == tokPipe {
+		p.next()
+		f, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) == 1 {
+		return first, nil
+	}
+	return &CondOr{Fs: fs}, nil
+}
+
+// parseConj parses a conjunction (AND / '&').
+func (p *parser) parseConj() (Cond, error) {
+	first, err := p.parseNeg()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Cond{first}
+	for p.peek().kw("AND") || p.peek().kind == tokAmp {
+		p.next()
+		f, err := p.parseNeg()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) == 1 {
+		return first, nil
+	}
+	return &CondAnd{Fs: fs}, nil
+}
+
+// parseNeg parses NOT/'!' prefixes, parenthesized conditions, and
+// comparisons. A '(' is ambiguous — it may open a grouped condition or
+// a parenthesized arithmetic expression; conditions contain comparison
+// operators at depth 0 of their first comparison, so we resolve by
+// lookahead: '(' followed by a condition is only produced via NOT or
+// grouping, and the dialect's linexpr grammar has no parentheses, so
+// '(' always opens a grouped condition here.
+func (p *parser) parseNeg() (Cond, error) {
+	t := p.peek()
+	if t.kw("NOT") || t.kind == tokBang {
+		p.next()
+		f, err := p.parseNeg()
+		if err != nil {
+			return nil, err
+		}
+		return &CondNot{P: t.pos, F: f}, nil
+	}
+	if t.kind == tokLParen {
+		p.next()
+		inner, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison parses a chained comparison like the constraint
+// language's: `0 <= x + y <= 1` conjoins adjacent pairs; `=` is the
+// two-sided non-strict pair; `!=` cannot chain.
+func (p *parser) parseComparison() (Cond, error) {
+	start := p.peek().pos
+	left, err := p.parseLinExpr()
+	if err != nil {
+		return nil, err
+	}
+	cmp := &CondCmp{P: start, Exprs: []*LinExpr{left}}
+	for {
+		var op CmpOp
+		switch p.peek().kind {
+		case tokLE:
+			op = CmpLE
+		case tokLT:
+			op = CmpLT
+		case tokGE:
+			op = CmpGE
+		case tokGT:
+			op = CmpGT
+		case tokEQ:
+			op = CmpEQ
+		case tokNE:
+			op = CmpNE
+		default:
+			if len(cmp.Ops) == 0 {
+				return nil, errAt(p.peek().pos, "expected comparison operator, got %q", p.peek().text)
+			}
+			return cmp, nil
+		}
+		opPos := p.next().pos
+		if op == CmpNE && len(cmp.Ops) > 0 || len(cmp.Ops) > 0 && cmp.Ops[len(cmp.Ops)-1] == CmpNE {
+			return nil, errAt(opPos, "'!=' cannot appear in a comparison chain")
+		}
+		right, err := p.parseLinExpr()
+		if err != nil {
+			return nil, err
+		}
+		cmp.Ops = append(cmp.Ops, op)
+		cmp.Exprs = append(cmp.Exprs, right)
+	}
+}
+
+func (p *parser) parseLinExpr() (*LinExpr, error) {
+	coef := map[string]float64{}
+	konst := 0.0
+	sign := 1.0
+	for p.peek().kind == tokMinus || p.peek().kind == tokPlus {
+		if p.next().kind == tokMinus {
+			sign = -sign
+		}
+	}
+	for {
+		if err := p.parseTermInto(coef, &konst, sign); err != nil {
+			return nil, err
+		}
+		switch p.peek().kind {
+		case tokPlus:
+			p.next()
+			sign = 1
+		case tokMinus:
+			p.next()
+			sign = -1
+		default:
+			e := newLinExpr(coef, konst)
+			// Coefficient accumulation must stay finite: a ±Inf or NaN
+			// would render unparseably and poison the atom bounds.
+			for _, c := range e.Coefs {
+				if math.IsInf(c, 0) || math.IsNaN(c) {
+					return nil, errAt(p.peek().pos, "non-finite coefficient in expression")
+				}
+			}
+			if math.IsInf(e.Const, 0) || math.IsNaN(e.Const) {
+				return nil, errAt(p.peek().pos, "non-finite constant in expression")
+			}
+			return e, nil
+		}
+	}
+}
+
+// parseTermInto parses NUMBER ['/' NUMBER] ['*'] [IDENT] | IDENT,
+// mirroring the constraint-language term grammar.
+func (p *parser) parseTermInto(coef map[string]float64, konst *float64, sign float64) error {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return errAt(t.pos, "bad number %q", t.text)
+		}
+		if p.peek().kind == tokSlash {
+			p.next()
+			dt := p.peek()
+			if dt.kind != tokNumber {
+				return errAt(dt.pos, "expected denominator after '/', got %q", dt.text)
+			}
+			p.next()
+			den, err := strconv.ParseFloat(dt.text, 64)
+			if err != nil || den == 0 {
+				return errAt(dt.pos, "bad denominator %q", dt.text)
+			}
+			v /= den
+		}
+		if p.peek().kind == tokStar {
+			p.next()
+			id, err := p.ident("variable after '*'")
+			if err != nil {
+				return err
+			}
+			coef[id.text] += sign * v
+			return nil
+		}
+		if nt := p.peek(); nt.kind == tokIdent && !isKeyword(nt.text) {
+			p.next()
+			coef[nt.text] += sign * v
+			return nil
+		}
+		*konst += sign * v
+		return nil
+	case tokIdent:
+		if isKeyword(t.text) {
+			return errAt(t.pos, "unexpected keyword %q in expression", t.text)
+		}
+		p.next()
+		coef[t.text] += sign
+		return nil
+	default:
+		return errAt(t.pos, "expected term, got %q", t.text)
+	}
+}

@@ -1,0 +1,144 @@
+package sql
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestParserGolden parses every statement in testdata/statements.sql,
+// checks the canonical rendering against testdata/statements.golden,
+// and checks the parse → Source → parse round trip is a fixpoint.
+func TestParserGolden(t *testing.T) {
+	inputs := readStatements(t, filepath.Join("testdata", "statements.sql"))
+	var renders []string
+	for _, in := range inputs {
+		stmt, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		src := stmt.Source()
+		renders = append(renders, src)
+
+		again, err := Parse(src)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", src, in, err)
+		}
+		if got := again.Source(); got != src {
+			t.Errorf("Source not a fixpoint:\n input: %s\n first: %s\nsecond: %s", in, src, got)
+		}
+	}
+	goldenPath := filepath.Join("testdata", "statements.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(strings.Join(renders, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	want := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(want) != len(renders) {
+		t.Fatalf("golden has %d lines, parsed %d statements (run with -update)", len(want), len(renders))
+	}
+	for i, in := range inputs {
+		if renders[i] != want[i] {
+			t.Errorf("statement %d: %q\n  got:  %s\n  want: %s", i, in, renders[i], want[i])
+		}
+	}
+}
+
+func readStatements(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestParseErrors checks malformed statements produce positioned
+// *Error values.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantMsg string
+	}{
+		{"", "expected SELECT"},
+		{"SELECT", "expected column name"},
+		{"SELECT * FROM", "expected relation name or subquery"},
+		{"SELECT * FROM R WHERE", "expected term"},
+		{"SELECT * FROM R WHERE x", "expected comparison operator"},
+		{"SELECT * FROM R WHERE x <= 1 <= 2 != 3", "'!=' cannot appear in a comparison chain"},
+		{"SELECT * FROM R WHERE x != 1 != 2", "'!=' cannot appear in a comparison chain"},
+		{"SELECT * FROM R SAMPLE 0", "SAMPLE size must be a positive integer"},
+		{"SELECT * FROM R SAMPLE -3", "expected sample size"},
+		{"SELECT * FROM R extra", "unexpected \"extra\" after statement"},
+		{"SELECT * FROM R WHERE select <= 1", "unexpected keyword"},
+		{"SELECT x, x FROM R extra", "unexpected"},
+		{"SELECT * FROM R; SELECT * FROM S", "unexpected"},
+		{"SELECT VOLUME(x) FROM R", "expected '*'"},
+		{"SELECT * FROM R WHERE x @ 1", "unexpected character"},
+		{"EXISTS () SELECT * FROM R", "expected column name"},
+		{"SELECT * FROM R FOR EACH SELECT * FROM S", "expected ALL"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q): want error containing %q, got nil", tc.in, tc.wantMsg)
+			continue
+		}
+		var serr *Error
+		if !errors.As(err, &serr) {
+			t.Errorf("Parse(%q): error %T is not *Error", tc.in, err)
+			continue
+		}
+		if !strings.Contains(serr.Error(), tc.wantMsg) {
+			t.Errorf("Parse(%q) = %q, want substring %q", tc.in, serr.Error(), tc.wantMsg)
+		}
+		if serr.Line < 1 || serr.Col < 1 {
+			t.Errorf("Parse(%q): error position %d:%d not 1-based", tc.in, serr.Line, serr.Col)
+		}
+	}
+}
+
+// TestErrorPositions spot-checks line/column accuracy on a multi-line
+// statement.
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT *\nFROM R\nWHERE bogus @")
+	var serr *Error
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if serr.Line != 3 || serr.Col != 13 {
+		t.Fatalf("error at %d:%d, want 3:13 (%s)", serr.Line, serr.Col, serr.Msg)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	got := SplitStatements("SELECT * FROM R;\n\nSELECT * FROM S;;")
+	if len(got) != 2 {
+		t.Fatalf("SplitStatements: got %d fragments, want 2 (%q)", len(got), got)
+	}
+}

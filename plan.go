@@ -241,24 +241,7 @@ func (e *Expr) Explain(ctx context.Context) (*ExplainReport, error) {
 		}
 		// Outside the sampling fragment: no plan exists, but the
 		// symbolic terminals apply — report their cache residency.
-		sq, serr := e.compileSymbolic()
-		if serr != nil {
-			return nil, serr
-		}
-		skey := runtime.SymbolicKey(e.db.entry.ID, sq.Key)
-		scached, snegative := e.db.rt.SymbolicCache().Peek(skey)
-		rep := &ExplainReport{
-			Columns:      append([]string(nil), sq.OutVars...),
-			CanonicalKey: sq.Key,
-			SymbolicOnly: true,
-			SymbolicKey:  skey,
-			Symbolic:     cacheStateLabel(scached, snegative),
-		}
-		if snap, ok := e.db.rt.Costs().Snapshot(skey); ok {
-			rep.SymbolicObserved = &snap
-		}
-		rep.Stages = stageTimings(0, nil, rep.SymbolicObserved)
-		return rep, nil
+		return e.explainSymbolicOnly()
 	}
 	opts := e.effectiveOptions()
 	optsKey := opts.CacheKey()
@@ -315,6 +298,32 @@ func (e *Expr) Explain(ctx context.Context) (*ExplainReport, error) {
 		rep.AuditFlagged = q.Flagged
 	}
 	rep.Stages = stageTimings(e.compileNanos, rep.Observed, rep.SymbolicObserved)
+	return rep, nil
+}
+
+// explainSymbolicOnly reports the expression through the symbolic
+// pipeline's eyes: the symbolic cache key and residency, with no
+// sampling plan. It serves full-FO expressions (which have no sampling
+// plan at all) and `EXPLAIN SYMBOLIC` SQL statements (which request
+// this view explicitly).
+func (e *Expr) explainSymbolicOnly() (*ExplainReport, error) {
+	sq, serr := e.compileSymbolic()
+	if serr != nil {
+		return nil, serr
+	}
+	skey := runtime.SymbolicKey(e.db.entry.ID, sq.Key)
+	scached, snegative := e.db.rt.SymbolicCache().Peek(skey)
+	rep := &ExplainReport{
+		Columns:      append([]string(nil), sq.OutVars...),
+		CanonicalKey: sq.Key,
+		SymbolicOnly: true,
+		SymbolicKey:  skey,
+		Symbolic:     cacheStateLabel(scached, snegative),
+	}
+	if snap, ok := e.db.rt.Costs().Snapshot(skey); ok {
+		rep.SymbolicObserved = &snap
+	}
+	rep.Stages = stageTimings(0, nil, rep.SymbolicObserved)
 	return rep, nil
 }
 

@@ -1,0 +1,159 @@
+package cdb
+
+// CDB-SQL: the SQL front end over the Expr algebra. Statements compile
+// onto the same internal/query.Node IR as the combinator surface, so a
+// SQL query and its hand-built Expr equivalent share one canonical key
+// — and therefore one prepared-sampler (or symbolic) cache entry — on
+// every surface: this facade, the /v1/sql and /v1/expr endpoints, and
+// the cdbsql CLI.
+//
+//	res, err := db.ExecSQL(ctx, "SELECT * FROM parcels WHERE x <= 10 SAMPLE 100")
+//	e, err := db.SQL(ctx, "SELECT x FROM parcels")   // as an *Expr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	sqldialect "repro/internal/sql"
+)
+
+// SQLError is the positioned error type of the CDB-SQL front end: parse
+// and compile errors carry the 1-based Line/Col of the offending token.
+// Serving layers render it as a structured {error, line, col} body.
+type SQLError = sqldialect.Error
+
+// SQLResult is the typed result of DB.ExecSQL. Mode says which payload
+// fields are populated.
+type SQLResult struct {
+	// Mode is the statement's inferred execution mode: "relation"
+	// (bare SELECT — symbolic evaluation), "sample" (SAMPLE clause),
+	// "volume" (VOLUME(*) aggregate) or "explain".
+	Mode string
+	// Source is the canonical rendering of the statement.
+	Source string
+	// Columns are the SQL-visible output columns (aliases applied).
+	Columns []string
+	// CanonicalKey is the plan fingerprint the statement shares with
+	// structurally equal Expr trees (the symbolic-query key for full-FO
+	// statements, exactly as Expr reports it).
+	CanonicalKey string
+	// Points holds the draws (Mode "sample").
+	Points []Vector
+	// Volume is the measure (Mode "volume").
+	Volume float64
+	// Explain is the plan report (Mode "explain").
+	Explain *ExplainReport
+	// Relation is the derived quantifier-free relation (Mode
+	// "relation"), with columns renamed to the SQL-visible names; its
+	// Source() renders a parseable `rel` declaration.
+	Relation *Relation
+}
+
+// SQL compiles a CDB-SQL statement to an *Expr on the handle. The
+// expression is the statement's body — SAMPLE/EXPLAIN decorations are
+// ignored here (use ExecSQL to honour them); every Expr terminal
+// applies. Errors are *SQLError values positioned in the statement
+// text.
+func (db *DB) SQL(ctx context.Context, stmt string) (*Expr, error) {
+	if err := db.check(ctx); err != nil {
+		return nil, err
+	}
+	c, err := sqldialect.Compile(db.entry.DB, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{db: db, node: c.Node}, nil
+}
+
+// ExecSQL parses, compiles and executes one CDB-SQL statement,
+// dispatching on its inferred mode:
+//
+//   - `... SAMPLE n [SEED k]` draws n almost-uniform points (seeded
+//     deterministically when SEED is given);
+//   - `SELECT VOLUME(*) FROM ...` estimates the measure (exact symbolic
+//     evaluation for statements outside the sampling fragment);
+//   - `EXPLAIN [SYMBOLIC] ...` reports the canonical plan, cache keys
+//     and per-disjunct cache residency without executing;
+//   - a bare SELECT evaluates symbolically and returns the derived
+//     relation.
+//
+// Statements flow through the identical canonicalization and cache-key
+// pipeline as Expr trees: a warm Expr draw makes the equivalent SQL
+// statement warm too, and vice versa.
+func (db *DB) ExecSQL(ctx context.Context, stmt string) (*SQLResult, error) {
+	if err := db.check(ctx); err != nil {
+		return nil, err
+	}
+	c, err := sqldialect.Compile(db.entry.DB, stmt)
+	if err != nil {
+		return nil, err
+	}
+	e := &Expr{db: db, node: c.Node}
+	res := &SQLResult{
+		Mode:    string(c.Mode),
+		Source:  c.Source,
+		Columns: append([]string(nil), c.Columns...),
+	}
+	key, err := e.CanonicalKey()
+	switch {
+	case err == nil:
+		res.CanonicalKey = key
+	case errors.Is(err, ErrUnsupportedQuery):
+		// Full first-order: the symbolic-query key is the fingerprint,
+		// matching Expr.Explain's report for the same statement.
+		sq, serr := e.compileSymbolic()
+		if serr != nil {
+			return nil, serr
+		}
+		res.CanonicalKey = sq.Key
+	default:
+		return nil, err
+	}
+
+	switch c.Mode {
+	case sqldialect.ModeSample:
+		var pts []Vector
+		if c.SeedSet {
+			pts, err = e.SampleNSeeded(ctx, c.N, c.Seed)
+		} else {
+			pts, err = e.SampleN(ctx, c.N)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Points = pts
+	case sqldialect.ModeVolume:
+		v, err := e.Volume(ctx)
+		if errors.Is(err, ErrUnsupportedQuery) {
+			v, err = e.VolumeSymbolic(ctx)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Volume = v
+	case sqldialect.ModeExplain:
+		var rep *ExplainReport
+		if c.ExplainSymbolic {
+			rep, err = e.explainSymbolicOnly()
+		} else {
+			rep, err = e.Explain(ctx)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Explain = rep
+	case sqldialect.ModeRelation:
+		rel, err := e.EvalSymbolic(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(rel.Vars) == len(res.Columns) {
+			rel.Vars = append([]string(nil), res.Columns...)
+		}
+		res.Relation = rel
+	default:
+		return nil, fmt.Errorf("cdb: unknown SQL mode %q", c.Mode)
+	}
+	return res, nil
+}

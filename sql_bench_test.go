@@ -1,0 +1,87 @@
+package cdb_test
+
+import (
+	"context"
+	"testing"
+
+	cdb "repro"
+)
+
+// BenchmarkSQLCompile measures the parse + compile + canonicalize cost
+// of a SQL statement vs constructing the equivalent Expr tree directly
+// — the front end's overhead before the shared cache takes over.
+func BenchmarkSQLCompile(b *testing.B) {
+	ctx := context.Background()
+	db, err := cdb.Open(sqlTestProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const stmt = "SELECT * FROM R WHERE x + y <= 1"
+
+	b.Run("sql", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e, err := db.SQL(ctx, stmt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.CanonicalKey(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("expr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := db.Rel("R").Where(cdb.NewAtom(cdb.Vector{1, 1}, 1, false))
+			if _, err := e.CanonicalKey(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSQLWarmDraw measures a warm 16-point draw issued through
+// ExecSQL vs the same draw through a pre-built Expr: both hit the same
+// prepared sampler; the difference is the per-statement parse+compile.
+func BenchmarkSQLWarmDraw(b *testing.B) {
+	ctx := context.Background()
+	db, err := cdb.Open(sqlTestProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const stmt = "SELECT * FROM R WHERE x + y <= 1 SAMPLE 16 SEED 1"
+	expr := db.Rel("R").Where(cdb.NewAtom(cdb.Vector{1, 1}, 1, false))
+
+	// Warm the shared entry once.
+	if _, err := db.ExecSQL(ctx, stmt); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("sql", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := db.ExecSQL(ctx, stmt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Points) != 16 {
+				b.Fatal("short draw")
+			}
+		}
+	})
+	b.Run("expr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pts, err := expr.SampleNSeeded(ctx, 16, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(pts) != 16 {
+				b.Fatal("short draw")
+			}
+		}
+	})
+}

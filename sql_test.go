@@ -1,0 +1,297 @@
+package cdb_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	cdb "repro"
+)
+
+const sqlTestProgram = `
+rel R(x, y) := { 0 <= x <= 1, 0 <= y <= 1 };
+rel S(x, y) := { 0.5 <= x <= 2, 0 <= y <= 1 };
+rel D(y) := { 0 <= y <= 0.25 };
+query Q(x, y) := R(x, y) & x + y <= 1;
+`
+
+func openSQLDB(t *testing.T) *cdb.DB {
+	t.Helper()
+	db, err := cdb.Open(sqlTestProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestSQLSharesCacheAcrossSurfaces is the acceptance test for the SQL
+// front end: the same logical query issued via ExecSQL, DB.SQL, the
+// db.Rel combinators and the named-query surface yields one canonical
+// key and — after the first preparation — three cache hits on the
+// shared prepared-sampler cache.
+func TestSQLSharesCacheAcrossSurfaces(t *testing.T) {
+	ctx := context.Background()
+	db := openSQLDB(t)
+
+	const stmt = "SELECT * FROM R WHERE x + y <= 1"
+
+	// Surface 1: ExecSQL (cold — this prepares the sampler).
+	base := db.CacheStats().Plan
+	res, err := db.ExecSQL(ctx, stmt+" SAMPLE 8 SEED 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 {
+		t.Fatalf("got %d points, want 8", len(res.Points))
+	}
+	after := db.CacheStats().Plan
+	if after.Misses != base.Misses+1 {
+		t.Fatalf("first ExecSQL: misses %d -> %d, want one cold build", base.Misses, after.Misses)
+	}
+
+	// Surface 2: DB.SQL returning an *Expr.
+	e, err := db.SQL(ctx, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlKey, err := e.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CanonicalKey != sqlKey {
+		t.Fatalf("ExecSQL key %s != DB.SQL key %s", res.CanonicalKey, sqlKey)
+	}
+	if _, err := e.SampleNSeeded(ctx, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Surface 3: hand-built combinators.
+	expr := db.Rel("R").Where(cdb.NewAtom(cdb.Vector{1, 1}, 1, false))
+	exprKey, err := expr.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exprKey != sqlKey {
+		t.Fatalf("combinator key %s != SQL key %s", exprKey, sqlKey)
+	}
+	if _, err := expr.SampleNSeeded(ctx, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Surface 4: the named query Q compiles to the same canonical plan.
+	if _, err := db.SampleN(ctx, "Q", 8); err != nil {
+		t.Fatal(err)
+	}
+
+	final := db.CacheStats().Plan
+	if final.Misses != after.Misses {
+		t.Fatalf("later surfaces rebuilt: misses %d -> %d", after.Misses, final.Misses)
+	}
+	if got := final.Hits - after.Hits; got != 3 {
+		t.Fatalf("got %d cache hits after the first preparation, want 3", got)
+	}
+}
+
+// TestExecSQLModes exercises every statement mode end to end.
+func TestExecSQLModes(t *testing.T) {
+	ctx := context.Background()
+	db := openSQLDB(t)
+
+	t.Run("volume", func(t *testing.T) {
+		res, err := db.ExecSQL(ctx, "SELECT VOLUME(*) FROM R")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mode != "volume" {
+			t.Fatalf("mode = %q", res.Mode)
+		}
+		if res.Volume < 0.9 || res.Volume > 1.1 {
+			t.Fatalf("volume of the unit square = %g, want ~1", res.Volume)
+		}
+	})
+
+	t.Run("relation", func(t *testing.T) {
+		res, err := db.ExecSQL(ctx, "SELECT x AS u FROM R WHERE y <= 0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mode != "relation" || res.Relation == nil {
+			t.Fatalf("mode = %q, relation = %v", res.Mode, res.Relation)
+		}
+		if len(res.Relation.Vars) != 1 || res.Relation.Vars[0] != "u" {
+			t.Fatalf("relation columns = %v, want [u]", res.Relation.Vars)
+		}
+		if src := res.Relation.Source(); !strings.Contains(src, "rel") {
+			t.Fatalf("relation source not parseable-looking: %q", src)
+		}
+	})
+
+	t.Run("explain", func(t *testing.T) {
+		// Warm the sampler first so the report shows residency.
+		if _, err := db.ExecSQL(ctx, "SELECT * FROM R SAMPLE 4"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.ExecSQL(ctx, "EXPLAIN SELECT * FROM R")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := res.Explain
+		if res.Mode != "explain" || rep == nil {
+			t.Fatalf("mode = %q, explain = %v", res.Mode, rep)
+		}
+		if rep.CanonicalKey == "" || rep.CanonicalKey != res.CanonicalKey {
+			t.Fatalf("explain canonical key %q vs result %q", rep.CanonicalKey, res.CanonicalKey)
+		}
+		if rep.Cache != "hit" {
+			t.Fatalf("warm expression reports cache %q, want hit", rep.Cache)
+		}
+		if len(rep.Disjuncts) == 0 {
+			t.Fatal("explain report has no per-disjunct entries")
+		}
+		for _, d := range rep.Disjuncts {
+			if d.Cache == "" || d.CanonicalKey == "" {
+				t.Fatalf("disjunct missing cache residency: %+v", d)
+			}
+		}
+	})
+
+	t.Run("explain symbolic", func(t *testing.T) {
+		res, err := db.ExecSQL(ctx, "EXPLAIN SYMBOLIC SELECT * FROM R WHERE x <= 0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Explain == nil || !res.Explain.SymbolicOnly {
+			t.Fatalf("EXPLAIN SYMBOLIC report = %+v, want SymbolicOnly", res.Explain)
+		}
+		if res.Explain.SymbolicKey == "" {
+			t.Fatal("EXPLAIN SYMBOLIC report has no symbolic key")
+		}
+	})
+
+	t.Run("full-FO division", func(t *testing.T) {
+		res, err := db.ExecSQL(ctx, "SELECT * FROM R FOR ALL SELECT * FROM D")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mode != "relation" || res.Relation == nil {
+			t.Fatalf("mode = %q", res.Mode)
+		}
+		if len(res.Columns) != 1 || res.Columns[0] != "x" {
+			t.Fatalf("division columns = %v, want [x]", res.Columns)
+		}
+		if res.CanonicalKey == "" {
+			t.Fatal("full-FO statement has no canonical (symbolic) key")
+		}
+		// ∀y∈[0,0.25] (x,y)∈[0,1]² — every x in [0,1] qualifies.
+		if res.Relation.IsEmpty() {
+			t.Fatal("division result should not be empty")
+		}
+	})
+
+	t.Run("full-FO volume", func(t *testing.T) {
+		res, err := db.ExecSQL(ctx, "SELECT VOLUME(*) FROM (SELECT * FROM R FOR ALL SELECT * FROM D)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Volume < 0.9 || res.Volume > 1.1 {
+			t.Fatalf("division volume = %g, want ~1", res.Volume)
+		}
+	})
+
+	t.Run("sample unseeded", func(t *testing.T) {
+		res, err := db.ExecSQL(ctx, "SELECT * FROM R SAMPLE 5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != 5 {
+			t.Fatalf("got %d points", len(res.Points))
+		}
+		for _, p := range res.Points {
+			if len(p) != 2 || p[0] < 0 || p[0] > 1 || p[1] < 0 || p[1] > 1 {
+				t.Fatalf("point %v outside the unit square", p)
+			}
+		}
+	})
+}
+
+// TestSQLSeededDeterminism: SEED pins the draw.
+func TestSQLSeededDeterminism(t *testing.T) {
+	ctx := context.Background()
+	db := openSQLDB(t)
+	a, err := db.ExecSQL(ctx, "SELECT * FROM R SAMPLE 16 SEED 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.ExecSQL(ctx, "SELECT * FROM R SAMPLE 16 SEED 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatal("draw lengths differ")
+	}
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatalf("seeded draws differ at %d", i)
+			}
+		}
+	}
+}
+
+// TestSQLErrorsSurface: parse and compile errors come back as
+// positioned *SQLError values.
+func TestSQLErrorsSurface(t *testing.T) {
+	ctx := context.Background()
+	db := openSQLDB(t)
+	for _, stmt := range []string{
+		"SELEC * FROM R",
+		"SELECT * FROM Nope",
+		"SELECT z FROM R",
+		"SELECT * FROM R WHERE x <",
+	} {
+		_, err := db.ExecSQL(ctx, stmt)
+		var serr *cdb.SQLError
+		if !errors.As(err, &serr) {
+			t.Errorf("ExecSQL(%q): error %T (%v) is not *SQLError", stmt, err, err)
+			continue
+		}
+		if serr.Line < 1 || serr.Col < 1 {
+			t.Errorf("ExecSQL(%q): unpositioned error %+v", stmt, serr)
+		}
+	}
+	if _, err := db.SQL(ctx, "SELECT * FROM R WHERE"); err == nil {
+		t.Fatal("DB.SQL accepted a malformed statement")
+	}
+}
+
+// TestSQLBinderOrderSharesCache: two SQL statements that differ only in
+// the order of two existential conjuncts land on one cache entry (the
+// satellite cache-key tightening, observed from the SQL surface).
+func TestSQLBinderOrderSharesCache(t *testing.T) {
+	ctx := context.Background()
+	db := openSQLDB(t)
+
+	q1 := "(EXISTS (y) SELECT * FROM R) INTERSECT (EXISTS (y) SELECT * FROM S)"
+	q2 := "(EXISTS (y) SELECT * FROM S) INTERSECT (EXISTS (y) SELECT * FROM R)"
+	e1, err := db.SQL(ctx, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := db.SQL(ctx, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := e1.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := e2.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("binder order split the cache key:\n%s\n%s", k1, k2)
+	}
+}

@@ -1,0 +1,94 @@
+// Command cdbcheck runs the repository's invariant analyzers (see
+// internal/analysis) over Go packages. It speaks two protocols:
+//
+//	cdbcheck ./...            standalone: load the module, check every
+//	                          package, print findings, exit 2 if any
+//	go vet -vettool=$(which cdbcheck) ./...
+//	                          vettool: the go command invokes cdbcheck
+//	                          once per package with a vet config file;
+//	                          cdbcheck type-checks from the supplied
+//	                          export data and reports findings
+//
+// Both modes honor //cdbcheck:ignore suppression directives and skip
+// _test.go files (the invariants are production-code contracts).
+//
+// Exit codes follow go vet's unitchecker: 0 clean, 1 tool error,
+// 2 diagnostics reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// The go command probes its vettool before use: -V=full must print
+	// a version line and -flags the tool's analyzer flags (we have
+	// none). Both protocols are documented in cmd/go/internal/vet.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone loads the module around the working directory and runs
+// the suite over the requested packages ("./..." by default).
+func standalone(patterns []string) int {
+	loader, err := load.New(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdbcheck:", err)
+		return 1
+	}
+	var pkgs []*load.Package
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "all" {
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cdbcheck:", err)
+				return 1
+			}
+			pkgs = append(pkgs, all...)
+			continue
+		}
+		pkg, err := loader.LoadPackage(pat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdbcheck:", err)
+			return 1
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, suite.All)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbcheck: %s: %v\n", pkg.Path, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}

@@ -1,0 +1,262 @@
+// Package analysis is the repository's static-analysis framework: a
+// deliberately small, dependency-free reimplementation of the
+// golang.org/x/tools go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) that the cdbcheck suite builds on.
+//
+// The analyzers machine-enforce invariants that earlier PRs introduced
+// by convention and review only:
+//
+//   - interruptpoll: sampling hot loops poll Interrupt/ctx (PR 3),
+//   - cachekey: cache entries are keyed by the canonical key
+//     constructors and every Options field reaches the fingerprint
+//     (PR 1/4/9),
+//   - spanend: every obs.Span started is ended on all paths (PR 6),
+//   - seededrand: all randomness flows through seeded internal/rng
+//     streams (PR 7),
+//   - structerr: server handlers emit structured {error,...} JSON,
+//     never bare http.Error (PR 9).
+//
+// False positives are suppressed with a line directive:
+//
+//	//cdbcheck:ignore <analyzer>[,<analyzer>...] -- reason
+//
+// placed on the flagged line or on the line directly above it. The
+// reason is mandatory in spirit: reviewers treat a bare directive the
+// way they treat a bare nolint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //cdbcheck:ignore directives.
+	Name string
+	// Doc describes the invariant, why it exists and which PR
+	// introduced it.
+	Doc string
+	// Run reports the analyzer's findings on one package through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// SourceFiles returns the package's non-test files. The invariants the
+// suite enforces are production-code contracts; tests legitimately use
+// raw cache keys, ad-hoc seeds and unfinished spans.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.FileStart).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// PathEndsIn reports whether the slash-separated import path ends with
+// one of the given suffixes (each a slash-separated path fragment).
+// Analyzers scope themselves by suffix so analysistest fixtures — which
+// live under fake import paths like "internal/core" — exercise the
+// same code paths as the real packages.
+func PathEndsIn(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over one loaded package and returns their
+// findings, sorted by position, with //cdbcheck:ignore directives
+// already applied.
+func Run(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores := collectIgnores(pkg)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report: func(d Diagnostic) {
+				if !ignores.covers(pkg.Fset, d) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreIndex records, per analyzer name, the set of (file, line)
+// positions covered by a //cdbcheck:ignore directive. A directive
+// covers its own line and the line below it, so both trailing and
+// preceding placement work.
+type ignoreIndex map[string]map[string]map[int]bool
+
+func (ix ignoreIndex) add(analyzer, file string, line int) {
+	byFile, ok := ix[analyzer]
+	if !ok {
+		byFile = map[string]map[int]bool{}
+		ix[analyzer] = byFile
+	}
+	lines, ok := byFile[file]
+	if !ok {
+		lines = map[int]bool{}
+		byFile[file] = lines
+	}
+	lines[line] = true
+	lines[line+1] = true
+}
+
+func (ix ignoreIndex) covers(fset *token.FileSet, d Diagnostic) bool {
+	byFile, ok := ix[d.Analyzer]
+	if !ok {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	return byFile[pos.Filename][pos.Line]
+}
+
+const ignorePrefix = "//cdbcheck:ignore"
+
+// collectIgnores scans every comment of the package for ignore
+// directives.
+func collectIgnores(pkg *load.Package) ignoreIndex {
+	ix := ignoreIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				// Everything after "--" is the human rationale.
+				names, _, _ := strings.Cut(strings.TrimSpace(rest), "--")
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name != "" {
+						ix.add(name, pos.Filename, pos.Line)
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// --- shared type helpers used by several analyzers ---
+
+// NamedIn reports whether t (after pointer indirection) is a named
+// type with the given name whose defining package's path ends in
+// pkgSuffix. Generic instantiations match through their origin.
+func NamedIn(t types.Type, name, pkgSuffix string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return PathEndsIn(obj.Pkg().Path(), pkgSuffix)
+}
+
+// CalleeName returns the bare name of a call's callee: the method name
+// for selector calls, the function name for identifier calls, "" for
+// anything else (indirect calls, conversions through parens, ...).
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// StaticCallee resolves a call to the *types.Func it invokes, or nil
+// for indirect calls and conversions.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsFuncNamed reports whether f is the named function of the package
+// whose import path ends in pkgSuffix (e.g. "net/http", "Error").
+func IsFuncNamed(f *types.Func, pkgSuffix, name string) bool {
+	return f != nil && f.Name() == name && f.Pkg() != nil && PathEndsIn(f.Pkg().Path(), pkgSuffix)
+}

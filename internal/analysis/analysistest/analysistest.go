@@ -1,0 +1,134 @@
+// Package analysistest runs cdbcheck analyzers over fixture packages
+// and checks their diagnostics against // want comments, mirroring the
+// golang.org/x/tools analysistest contract on the standard library
+// alone.
+//
+// Fixtures live under the analyzer package's testdata/src/<importpath>
+// directory and are loaded with that (fake) import path, so analyzers
+// that scope themselves by path suffix — internal/core,
+// internal/server, ... — exercise exactly the code paths they take on
+// the real tree. A fixture line that should be flagged carries a
+// comment of the form
+//
+//	// want `regexp` [`regexp` ...]
+//
+// where each regexp must match the message of a distinct diagnostic
+// reported on that line. Diagnostics without a matching want, and
+// wants without a matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Run checks one analyzer against the fixture packages named by their
+// import paths under testdata/src. It must be called from the analyzer
+// package's own test (the working directory anchors testdata).
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader, err := load.New(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, path := range pkgPaths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			runOne(t, loader, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, loader *load.Loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+	pkg, err := loader.LoadDir(dir, path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", dir, pkg.TypeErrors)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+
+	wants := parseWants(t, pkg.Fset, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := match(wants, pos, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation extracted from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// match finds the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func match(wants []*want, pos token.Position, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+const wantPrefix = "// want "
+
+// parseWants extracts every // want expectation from the fixture's
+// comments. Each quoted token (double- or back-quoted, per Go string
+// syntax) is an independent expectation for the comment's line.
+func parseWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, wantPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment near %q", pos.Filename, pos.Line, rest)
+					}
+					rest = rest[len(q):]
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,268 @@
+// Package cachekey enforces the canonical-key invariant behind every
+// warm-path speedup since PR 1: entries of the runtime caches are
+// keyed only by the canonical key constructors (SamplerKey, PlanKey,
+// SymbolicKey, SliceKey, WindowKey, AlibiKey), never by raw strings —
+// two surfaces that hash the same work must share one cache entry, and
+// an ad-hoc key silently forks the cache (PR 4/9).
+//
+// It additionally checks the fingerprint side of the invariant inside
+// internal/core: every field of core.Options must be reachable from
+// Options.CacheKey (directly or through same-package helpers), except
+// the documented per-call exclusions (Interrupt). The reflection test
+// in internal/runtime checks the same property at the value level;
+// this check anchors it to the field declaration at compile time.
+package cachekey
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the cachekey invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "cachekey",
+	Doc:  "runtime cache entries must use canonical key constructors and a complete Options fingerprint (PR 1/4/9 cache invariants)",
+	Run:  run,
+}
+
+// canonical are the key constructors of internal/runtime. PrepSeedFor
+// is included because a key derived from a canonical key stays
+// canonical.
+var canonical = map[string]bool{
+	"SamplerKey":  true,
+	"PlanKey":     true,
+	"SymbolicKey": true,
+	"SliceKey":    true,
+	"WindowKey":   true,
+	"AlibiKey":    true,
+}
+
+// fingerprintExempt are core.Options fields deliberately excluded from
+// CacheKey. Interrupt is per-call state: baking a request's context
+// into shared prepared geometry would poison the cache (see the
+// Options doc in internal/core). Mirror any change here in the
+// TestOptionsFingerprintComplete exclusion list in internal/runtime.
+var fingerprintExempt = map[string]bool{
+	"Interrupt": true,
+}
+
+func run(pass *analysis.Pass) error {
+	checkGetKeys(pass)
+	if analysis.PathEndsIn(pass.Pkg.Path(), "internal/core") {
+		checkFingerprint(pass)
+	}
+	return nil
+}
+
+// checkGetKeys flags Cache.Get/Peek calls whose key argument is built
+// ad hoc (string literal, concatenation, fmt formatting) instead of
+// flowing from a canonical key constructor.
+func checkGetKeys(pass *analysis.Pass) {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			assigns := localAssignments(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isCacheKeyedCall(pass, call) || len(call.Args) == 0 {
+					return true
+				}
+				if reason := suspicious(pass, call.Args[0], assigns, 0); reason != "" {
+					pass.Reportf(call.Args[0].Pos(), "cache key is %s: build it with a canonical key constructor (SamplerKey/PlanKey/SymbolicKey/SliceKey/WindowKey/AlibiKey)", reason)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isCacheKeyedCall reports whether call is Get or Peek on a
+// runtime.Cache value.
+func isCacheKeyedCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if name := sel.Sel.Name; name != "Get" && name != "Peek" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.NamedIn(tv.Type, "Cache", "internal/runtime")
+}
+
+// localAssignments maps each local variable object to the expressions
+// assigned to it anywhere in the function body. Multi-value
+// assignments from a single call are skipped: a call producer is
+// trusted (its own body is checked where it builds the key).
+func localAssignments(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object][]ast.Expr {
+	assigns := map[types.Object][]ast.Expr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				assigns[obj] = append(assigns[obj], as.Rhs[i])
+			}
+		}
+		return true
+	})
+	return assigns
+}
+
+// suspicious classifies a key expression; it returns a non-empty
+// human-readable reason when the expression is an ad-hoc key. Local
+// variables are traced one level through their assignments; anything
+// that is a call (other than fmt formatting), a parameter or a field
+// is trusted — the producing site is itself checked where it builds
+// the key.
+func suspicious(pass *analysis.Pass, e ast.Expr, assigns map[types.Object][]ast.Expr, depth int) string {
+	if depth > 4 {
+		return ""
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			return "a raw string literal"
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return "an ad-hoc string concatenation"
+		}
+	case *ast.CallExpr:
+		if canonical[analysis.CalleeName(e)] {
+			return "" // a canonical constructor: exactly what the invariant wants
+		}
+		callee := analysis.StaticCallee(pass.TypesInfo, e)
+		if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+			return "fmt-formatted"
+		}
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return ""
+		}
+		for _, rhs := range assigns[obj] {
+			if reason := suspicious(pass, rhs, assigns, depth+1); reason != "" {
+				return reason
+			}
+		}
+	}
+	return ""
+}
+
+// checkFingerprint verifies, inside internal/core, that every field of
+// the Options struct is referenced from Options.CacheKey — directly or
+// through same-package functions it calls.
+func checkFingerprint(pass *analysis.Pass) {
+	files := pass.SourceFiles()
+
+	// Locate the Options named type and its struct fields.
+	optObj := pass.Pkg.Scope().Lookup("Options")
+	if optObj == nil {
+		return
+	}
+	optNamed, ok := optObj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	optStruct, ok := optNamed.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var cacheKey *types.Func
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fd
+			if fd.Name.Name == "CacheKey" && fd.Recv != nil && receiverIs(pass, fd, optNamed) {
+				cacheKey = obj
+			}
+		}
+	}
+	if cacheKey == nil {
+		pass.Reportf(optObj.Pos(), "Options has no CacheKey fingerprint method")
+		return
+	}
+
+	// Collect Options fields referenced from CacheKey's call closure.
+	referenced := map[string]bool{}
+	seen := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if ok && analysis.NamedIn(tv.Type, optObj.Name(), "internal/core") {
+					referenced[n.Sel.Name] = true
+				}
+			case *ast.CallExpr:
+				if callee := analysis.StaticCallee(pass.TypesInfo, n); callee != nil && callee.Origin().Pkg() == pass.Pkg {
+					visit(callee.Origin())
+				}
+			}
+			return true
+		})
+	}
+	visit(cacheKey)
+
+	for i := 0; i < optStruct.NumFields(); i++ {
+		field := optStruct.Field(i)
+		if fingerprintExempt[field.Name()] || referenced[field.Name()] {
+			continue
+		}
+		pass.Reportf(field.Pos(), "Options.%s is not folded into the CacheKey fingerprint: add it to CacheKey (or to the documented exclusion lists in cachekey and TestOptionsFingerprintComplete)", field.Name())
+	}
+}
+
+// receiverIs reports whether fd's receiver type is the named type (by
+// identity, through pointers).
+func receiverIs(pass *analysis.Pass, fd *ast.FuncDecl, named *types.Named) bool {
+	if len(fd.Recv.List) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Origin().Obj() == named.Origin().Obj()
+}

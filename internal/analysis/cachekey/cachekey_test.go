@@ -1,0 +1,11 @@
+package cachekey
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/runtime", "internal/core", "missingkey/internal/core")
+}

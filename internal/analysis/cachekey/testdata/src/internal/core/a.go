@@ -1,0 +1,26 @@
+// Fixture for the cachekey analyzer's fingerprint check: every
+// Options field must be reachable from CacheKey, except documented
+// exclusions (Interrupt).
+package core
+
+import "fmt"
+
+type Options struct {
+	Gamma     float64
+	Steps     int
+	Missing   int          // want `Options.Missing is not folded into the CacheKey fingerprint`
+	Interrupt func() error // exempt: per-call state, deliberately outside the fingerprint
+}
+
+func (o Options) CacheKey() string {
+	return fmt.Sprintf("v1|%g|%d", o.Gamma, o.steps())
+}
+
+// steps proves indirect field references through same-package helpers
+// count.
+func (o Options) steps() int {
+	if o.Steps == 0 {
+		return 100
+	}
+	return o.Steps
+}

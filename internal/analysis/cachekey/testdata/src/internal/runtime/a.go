@@ -1,0 +1,55 @@
+// Fixture for the cachekey analyzer: a stand-in for the real runtime
+// cache surface (same type/constructor names, same path suffix) plus
+// call sites exercising every key-shape classification.
+package runtime
+
+import "fmt"
+
+// Cache mimics runtime.Cache's keyed surface.
+type Cache[V any] struct{}
+
+func (c *Cache[V]) Get(key string, build func() (V, error)) (V, error) {
+	var zero V
+	return zero, nil
+}
+
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	var zero V
+	return zero, false
+}
+
+// SamplerKey mimics the canonical key constructor (the fmt call inside
+// a constructor is the one sanctioned place to format a key).
+func SamplerKey(dim int, walk string) string {
+	return fmt.Sprintf("sampler|%d|%s", dim, walk)
+}
+
+func build() (int, error) { return 0, nil }
+
+func lookups(c *Cache[int], dim int) {
+	c.Get(SamplerKey(dim, "ball"), build)
+	c.Get("sampler|7|ball", build)     // want `cache key is a raw string literal`
+	c.Get("sampler|"+"ball", build)    // want `cache key is an ad-hoc string concatenation`
+	c.Get(fmt.Sprint("k", dim), build) // want `cache key is fmt-formatted`
+
+	k := fmt.Sprintf("plan|%d", dim)
+	c.Peek(k) // want `cache key is fmt-formatted`
+
+	canon := SamplerKey(dim, "walk")
+	c.Peek(canon)
+}
+
+// passthrough keys are trusted: the producing site is checked where it
+// builds the key.
+func passthrough(c *Cache[int], key string) (int, bool) {
+	return c.Peek(key)
+}
+
+// unrelated Get calls (not on a runtime Cache) are never flagged.
+type bag struct{}
+
+func (bag) Get(key string) string { return key }
+
+func other(b bag) string {
+	return b.Get("raw is fine here")
+}

@@ -1,0 +1,7 @@
+// Fixture for the cachekey analyzer: an Options type with no CacheKey
+// method at all is itself a violation.
+package core
+
+type Options struct { // want `Options has no CacheKey fingerprint method`
+	Gamma float64
+}

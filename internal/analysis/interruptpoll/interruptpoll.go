@@ -1,0 +1,261 @@
+// Package interruptpoll enforces the cancellation invariant PR 3
+// introduced: every sampling hot loop in internal/core, internal/walk
+// and internal/runtime must reach an Interrupt/ctx poll, so a context
+// cancellation aborts an in-flight draw mid-walk instead of after it.
+//
+// A `for` loop is flagged when its body performs draw work — a call
+// named Sample/SampleN/SampleRounded/Step/Volume, a walker Run, or a
+// same-package function that transitively does — while nothing in the
+// body observes an interrupt: no call named
+// interrupted/Interrupt/interrupt/Err/Done, no transitively polling
+// same-package call, and no draw whose error result is consumed
+// (generators propagate the interrupt cause through their error
+// return, so checking it is reaching the poll).
+package interruptpoll
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the interruptpoll invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "interruptpoll",
+	Doc:  "sampling hot loops must reach an Interrupt/ctx.Err poll (PR 3 cancellation invariant)",
+	Run:  run,
+}
+
+// pollNames are callee names whose invocation counts as observing an
+// interrupt: the Options.interrupted helper, a raw Interrupt hook, a
+// walker's Err readback, or a context's Err/Done.
+var pollNames = map[string]bool{
+	"interrupted": true,
+	"Interrupted": true,
+	"Interrupt":   true,
+	"interrupt":   true,
+	"Err":         true,
+	"Done":        true,
+}
+
+// drawNames are callee names that perform sampling work wherever they
+// appear.
+var drawNames = map[string]bool{
+	"Sample":        true,
+	"SampleN":       true,
+	"SampleRounded": true,
+	"Step":          true,
+	"Volume":        true,
+}
+
+type fact struct{ draws, polls bool }
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathEndsIn(pass.Pkg.Path(), "internal/core", "internal/walk", "internal/runtime") {
+		return nil
+	}
+	files := pass.SourceFiles()
+
+	// Same-package function facts: does each declared function draw or
+	// poll, directly or through same-package calls (fixpoint)?
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	facts := map[*types.Func]*fact{}
+	edges := map[*types.Func][]*types.Func{}
+	for obj, fd := range decls {
+		fs := &fact{}
+		facts[obj] = fs
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPollCall(call) {
+				fs.polls = true
+			}
+			if isDrawCall(pass, call) {
+				fs.draws = true
+			}
+			if callee := localCallee(pass, call); callee != nil {
+				edges[obj] = append(edges[obj], callee)
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj := range decls {
+			fs := facts[obj]
+			for _, callee := range edges[obj] {
+				cf := facts[callee]
+				if cf == nil {
+					continue
+				}
+				if cf.draws && !fs.draws {
+					fs.draws = true
+					changed = true
+				}
+				if cf.polls && !fs.polls {
+					fs.polls = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Flag loops that draw without polling. Each loop is judged on its
+	// own body (a poll in an outer loop does not unblock an inner loop
+	// that never exits).
+	for _, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				body = s.Body
+			case *ast.RangeStmt:
+				body = s.Body
+			default:
+				return true
+			}
+			draws, polls := scanLoop(pass, facts, body)
+			if draws && !polls {
+				pass.Reportf(n.Pos(), "sampling loop never reaches an Interrupt/ctx poll: poll Options.Interrupt or ctx.Err, check the walker's Err, or consume the draw's error result")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scanLoop classifies one loop body.
+func scanLoop(pass *analysis.Pass, facts map[*types.Func]*fact, body *ast.BlockStmt) (draws, polls bool) {
+	consumed := consumedErrorCalls(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPollCall(call) {
+			polls = true
+		}
+		transDraw := isDrawCall(pass, call)
+		if callee := localCallee(pass, call); callee != nil {
+			if cf := facts[callee]; cf != nil {
+				transDraw = transDraw || cf.draws
+				polls = polls || cf.polls
+			}
+		}
+		if transDraw {
+			draws = true
+			if consumed[call] {
+				polls = true
+			}
+		}
+		return true
+	})
+	return draws, polls
+}
+
+// consumedErrorCalls returns the calls in body whose trailing error
+// result is assigned to a non-blank variable or returned to the
+// caller.
+func consumedErrorCalls(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	consumed := map[*ast.CallExpr]bool{}
+	mark := func(e ast.Expr, blank bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || blank || !lastResultIsError(pass, call) {
+			return
+		}
+		consumed[call] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				mark(s.Rhs[0], isBlank(s.Lhs[len(s.Lhs)-1]))
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) {
+					mark(rhs, isBlank(s.Lhs[i]))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				mark(r, false)
+			}
+		}
+		return true
+	})
+	return consumed
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// lastResultIsError reports whether the call's final result has type
+// error.
+func lastResultIsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isPollCall(call *ast.CallExpr) bool {
+	return pollNames[analysis.CalleeName(call)]
+}
+
+// isDrawCall reports whether the call performs draw work by name. Run
+// counts only on a walk.Walker receiver (Run is too common a name to
+// match globally).
+func isDrawCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name := analysis.CalleeName(call)
+	if drawNames[name] {
+		return true
+	}
+	if name != "Run" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.NamedIn(tv.Type, "Walker", "internal/walk")
+}
+
+// localCallee resolves a call to a function declared in the package
+// under analysis, or nil.
+func localCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	f := analysis.StaticCallee(pass.TypesInfo, call)
+	if f == nil {
+		return nil
+	}
+	f = f.Origin()
+	if f.Pkg() != pass.Pkg {
+		return nil
+	}
+	return f
+}

@@ -1,0 +1,11 @@
+package interruptpoll
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestInterruptPoll(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/core", "internal/walk", "internal/other")
+}

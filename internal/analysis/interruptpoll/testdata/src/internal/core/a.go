@@ -1,0 +1,89 @@
+// Fixture for the interruptpoll analyzer: sampling loops in
+// internal/core must reach an Interrupt/ctx poll.
+package core
+
+// Sample stands in for a generator draw: it does draw work by name and
+// propagates the interrupt cause through its error result.
+func Sample() (float64, error) { return 0, nil }
+
+// interrupted stands in for the Options.interrupted poll helper.
+func interrupted() error { return nil }
+
+// drawHelper draws transitively.
+func drawHelper() { Sample() }
+
+// pollHelper polls transitively.
+func pollHelper() error { return interrupted() }
+
+func bad(n int) {
+	for i := 0; i < n; i++ { // want `sampling loop never reaches an Interrupt/ctx poll`
+		Sample()
+	}
+}
+
+func rangeBad(xs []int) {
+	for range xs { // want `sampling loop never reaches an Interrupt/ctx poll`
+		Sample()
+	}
+}
+
+func discarding(n int) {
+	for i := 0; i < n; i++ { // want `sampling loop never reaches an Interrupt/ctx poll`
+		_, _ = Sample()
+	}
+}
+
+func transitiveBad(n int) {
+	for i := 0; i < n; i++ { // want `sampling loop never reaches an Interrupt/ctx poll`
+		drawHelper()
+	}
+}
+
+func goodDirectPoll(n int) {
+	for i := 0; i < n; i++ {
+		Sample()
+		if err := interrupted(); err != nil {
+			return
+		}
+	}
+}
+
+func goodTransitivePoll(n int) {
+	for i := 0; i < n; i++ {
+		drawHelper()
+		if err := pollHelper(); err != nil {
+			return
+		}
+	}
+}
+
+func goodConsumesError(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := Sample(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func goodNoDraw(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func suppressed(n int) {
+	//cdbcheck:ignore interruptpoll -- fixture: deliberate uncancellable warm-up loop
+	for i := 0; i < n; i++ {
+		Sample()
+	}
+}
+
+func wrongDirective(n int) {
+	//cdbcheck:ignore cachekey -- fixture: names a different analyzer, so it must not suppress
+	for i := 0; i < n; i++ { // want `sampling loop never reaches an Interrupt/ctx poll`
+		Sample()
+	}
+}

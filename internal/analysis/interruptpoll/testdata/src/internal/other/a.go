@@ -1,0 +1,12 @@
+// Fixture for the interruptpoll analyzer's scoping: packages outside
+// internal/core, internal/walk and internal/runtime are not checked,
+// so this drawing loop must produce no diagnostics.
+package other
+
+func Sample() (float64, error) { return 0, nil }
+
+func unchecked(n int) {
+	for i := 0; i < n; i++ {
+		Sample()
+	}
+}

@@ -1,0 +1,36 @@
+// Fixture for the interruptpoll analyzer's Walker.Run recognition:
+// Run only counts as draw work on a walk.Walker receiver.
+package walk
+
+// Walker mimics the real walker's surface.
+type Walker struct{}
+
+func (w *Walker) Run(n int) int { return n }
+func (w *Walker) Err() error    { return nil }
+
+// runner is an unrelated type whose Run must NOT count as draw work.
+type runner struct{}
+
+func (r *runner) Run(n int) int { return n }
+
+func driveBad(w *Walker, n int) {
+	for i := 0; i < n; i++ { // want `sampling loop never reaches an Interrupt/ctx poll`
+		w.Run(64)
+	}
+}
+
+func driveGood(w *Walker, n int) error {
+	for i := 0; i < n; i++ {
+		w.Run(64)
+		if err := w.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func unrelatedRun(r *runner, n int) {
+	for i := 0; i < n; i++ {
+		r.Run(64)
+	}
+}

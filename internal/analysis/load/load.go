@@ -1,0 +1,343 @@
+// Package load turns Go packages into the parsed, type-checked form
+// the cdbcheck analyzers consume.
+//
+// The repository's static-analysis suite cannot depend on
+// golang.org/x/tools (the module is deliberately dependency-free), so
+// this package reimplements the small slice of go/packages it needs on
+// the standard library alone:
+//
+//   - module packages (import paths under the module path, plus
+//     analysistest fixture directories) are parsed and type-checked
+//     from source, and
+//   - everything else — in practice the standard library — is imported
+//     from the compiler's export data, located by one
+//     `go list -export -deps -json ./...` run over the module.
+//
+// The two worlds share one gc importer and one token.FileSet, so type
+// identity is consistent across them: a fixture package and the real
+// repro/internal/runtime see the same *types.Package for "context".
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package: the syntax the analyzers walk
+// and the type information that anchors it.
+type Package struct {
+	// Path is the package's import path (fixtures use the path of their
+	// directory under testdata/src, e.g. "internal/server").
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds type-checking problems that did not prevent a
+	// best-effort load (fixtures may reference deliberately odd code).
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader uses.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path, Dir string }
+}
+
+// Loader loads packages for analysis. It is safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+
+	modDir  string
+	modPath string
+
+	mu    sync.Mutex
+	meta  map[string]*listPkg // import path -> go list metadata
+	src   map[string]*Package // source-checked module packages
+	gcImp types.Importer      // export-data importer for non-module deps
+}
+
+// New returns a loader rooted at the module containing dir. It runs
+// `go list -export -deps -json ./...` once to learn every package in
+// the module's build graph and where its export data lives.
+func New(dir string) (*Loader, error) {
+	modDir, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		modDir:  modDir,
+		modPath: modPath,
+		meta:    map[string]*listPkg{},
+		src:     map[string]*Package{},
+	}
+	l.gcImp = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	if err := l.runList("-export", "-deps", "-json", "./..."); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ModuleDir returns the root directory of the loaded module.
+func (l *Loader) ModuleDir() string { return l.modDir }
+
+// ModulePath returns the module path (the import-path prefix of every
+// module package).
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("load: no go.mod above %s", abs)
+		}
+	}
+}
+
+// runList runs `go list` with args in the module root and folds the
+// JSON stream into l.meta.
+func (l *Loader) runList(args ...string) error {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.modDir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("load: go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			cp := p
+			l.meta[p.ImportPath] = &cp
+		}
+	}
+}
+
+// lookupExport opens the export data for a non-module import path,
+// running a targeted `go list -export` for paths outside the module's
+// own dependency graph (a fixture importing a stdlib package the
+// repository does not).
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	p, ok := l.meta[path]
+	l.mu.Unlock()
+	if !ok || p.Export == "" {
+		if err := l.runList("-export", "-json", path); err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		p, ok = l.meta[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("load: no metadata for %q", path)
+		}
+	}
+	if p.Export == "" {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(p.Export)
+}
+
+// local reports whether path names a package inside the module.
+func (l *Loader) local(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// Import implements types.Importer over both worlds.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.local(path) {
+		pkg, err := l.loadLocal(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gcImp.Import(path)
+}
+
+// loadLocal source-loads a module package by import path, memoized.
+func (l *Loader) loadLocal(path string) (*Package, error) {
+	l.mu.Lock()
+	if pkg, ok := l.src[path]; ok {
+		l.mu.Unlock()
+		if pkg == nil {
+			return nil, fmt.Errorf("load: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	meta, ok := l.meta[path]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("load: unknown module package %q", path)
+	}
+	return l.loadDir(meta.Dir, path, meta.GoFiles)
+}
+
+// LoadPackage loads one module package by import path or by a
+// directory-ish pattern ("./internal/core").
+func (l *Loader) LoadPackage(pattern string) (*Package, error) {
+	path := pattern
+	if strings.HasPrefix(pattern, "./") || pattern == "." {
+		rel := strings.TrimPrefix(filepath.ToSlash(filepath.Clean(pattern)), "./")
+		if rel == "." || rel == "" {
+			path = l.modPath
+		} else {
+			path = l.modPath + "/" + rel
+		}
+	}
+	return l.loadLocal(path)
+}
+
+// LoadAll loads every package of the module (the "./..." pattern),
+// sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	l.mu.Lock()
+	var paths []string
+	for path := range l.meta {
+		if l.local(path) {
+			paths = append(paths, path)
+		}
+	}
+	l.mu.Unlock()
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := l.loadLocal(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory under
+// the given import path. It is how analysistest loads fixture packages
+// that live in testdata (invisible to the go tool) yet import real
+// module packages.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.loadDir(dir, path, files)
+}
+
+// loadDir does the parse + type-check work shared by module packages
+// and fixture directories.
+func (l *Loader) loadDir(dir, path string, fileNames []string) (*Package, error) {
+	l.mu.Lock()
+	if pkg, ok := l.src[path]; ok {
+		l.mu.Unlock()
+		if pkg == nil {
+			return nil, fmt.Errorf("load: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	l.src[path] = nil // cycle marker
+	l.mu.Unlock()
+
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			l.forget(path)
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil && tpkg == nil {
+		l.forget(path)
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	pkg := &Package{
+		Path:       path,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrs,
+	}
+	l.mu.Lock()
+	l.src[path] = pkg
+	l.mu.Unlock()
+	return pkg, nil
+}
+
+// forget clears a failed load's cycle marker so a later retry does not
+// report a phantom cycle.
+func (l *Loader) forget(path string) {
+	l.mu.Lock()
+	delete(l.src, path)
+	l.mu.Unlock()
+}

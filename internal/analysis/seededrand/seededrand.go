@@ -1,0 +1,77 @@
+// Package seededrand enforces the determinism invariant PR 7's
+// statistical auditing depends on: every random choice in library code
+// flows from an explicit seed through internal/rng streams, so audits,
+// differential fuzzers and EXPERIMENTS.md replays are reproducible.
+//
+// Two things are flagged in non-test files of every package except
+// internal/rng itself:
+//
+//   - importing math/rand or math/rand/v2 (their global generators and
+//     auto-seeding bypass the seeded streams), and
+//   - deriving numbers from the wall clock via
+//     time.Now().UnixNano()/Unix()/UnixMilli()/UnixMicro() — the
+//     classic ad-hoc seed idiom. Plain time.Now() for durations and
+//     timestamps stays legal.
+package seededrand
+
+import (
+	"go/ast"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the seededrand invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "randomness must flow through seeded internal/rng streams, not math/rand or wall-clock seeds (PR 7 determinism invariant)",
+	Run:  run,
+}
+
+// clockInts are time.Time methods that turn the wall clock into an
+// integer — seed material in every case this repository has seen.
+var clockInts = map[string]bool{
+	"UnixNano":  true,
+	"Unix":      true,
+	"UnixMilli": true,
+	"UnixMicro": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathEndsIn(pass.Pkg.Path(), "internal/rng") {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: use seeded internal/rng streams so samples and audits replay deterministically", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !clockInts[sel.Sel.Name] {
+				return true
+			}
+			// Only the direct time.Now().UnixX() chain is flagged: that
+			// is the seed idiom, while UnixX on a stored timestamp is
+			// data, not entropy.
+			recv, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f := analysis.StaticCallee(pass.TypesInfo, recv); analysis.IsFuncNamed(f, "time", "Now") {
+				pass.Reportf(call.Pos(), "wall-clock-derived integer (time.Now().%s): seeds must be explicit and flow through internal/rng", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

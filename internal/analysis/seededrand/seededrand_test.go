@@ -1,0 +1,11 @@
+package seededrand
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/engine", "internal/rng")
+}

@@ -1,0 +1,28 @@
+// Fixture for the seededrand analyzer: library packages must not
+// import math/rand or derive seeds from the wall clock.
+package engine
+
+import (
+	"math/rand" // want `import of math/rand`
+	"time"
+)
+
+func draw() int {
+	return rand.Int()
+}
+
+func badSeed() int64 {
+	return time.Now().UnixNano() // want `wall-clock-derived integer \(time.Now\(\).UnixNano\)`
+}
+
+func badSeedMilli() int64 {
+	return time.Now().UnixMilli() // want `wall-clock-derived integer \(time.Now\(\).UnixMilli\)`
+}
+
+// Plain time.Now for timestamps and durations stays legal.
+func timestamp() time.Time { return time.Now() }
+
+func elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+// UnixNano on a stored timestamp is data, not entropy.
+func encode(t time.Time) int64 { return t.UnixNano() }

@@ -1,0 +1,9 @@
+package engine
+
+import (
+	mrand "math/rand/v2" // want `import of math/rand/v2`
+)
+
+func drawV2() int {
+	return mrand.Int()
+}

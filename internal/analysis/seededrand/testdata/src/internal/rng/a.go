@@ -1,0 +1,9 @@
+// Fixture for the seededrand analyzer's scoping: internal/rng is the
+// one package allowed to touch math/rand, so nothing here is flagged.
+package rng
+
+import "math/rand"
+
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

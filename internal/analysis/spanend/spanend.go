@@ -1,0 +1,409 @@
+// Package spanend enforces the tracing invariant PR 6 introduced:
+// every obs.Span started (obs.Start, obs.NewTrace, cdb.StartTrace,
+// Span.StartChild) must be ended on every path out of the function
+// that started it — otherwise the span never reports its duration, its
+// parent's stage breakdown silently loses a stage, and slow-query logs
+// under-attribute time.
+//
+// The check is block-structured rather than a full CFG: after the
+// starting statement it scans forward through the enclosing block;
+// a `defer v.End()` (directly or inside a deferred closure) discharges
+// everything after it, a plain `v.End()` discharges the statements
+// below it, and any `return` reached while the span is still open is
+// flagged, recursively through if/for/switch/select branches. Spans
+// that escape the function — returned, stored, or passed to another
+// call — transfer the obligation to their new owner and are skipped,
+// as are paths that terminate the process (panic, log.Fatal, os.Exit).
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the spanend invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "every obs.Span started must be ended on all return paths (PR 6 tracing invariant)",
+	Run:  run,
+}
+
+// startNames are the callee names that mint a span.
+var startNames = map[string]bool{
+	"Start":      true,
+	"NewTrace":   true,
+	"StartTrace": true,
+	"StartChild": true,
+}
+
+// terminators are callee names after which control does not return to
+// the function (process exit or panic), so an open span is moot.
+var terminators = map[string]bool{
+	"panic":   true,
+	"Exit":    true,
+	"Fatal":   true,
+	"Fatalf":  true,
+	"Fatalln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanStart is one span-minting assignment inside a function body.
+type spanStart struct {
+	obj  types.Object // the variable holding the span
+	stmt ast.Stmt     // the assignment statement
+	name string       // span variable name, for the message
+}
+
+// checkFunc finds span starts in one function body and verifies each.
+// Nested function literals are checked by their own invocation of
+// checkFunc; their bodies are skipped here so a span started inside a
+// closure is attributed to the closure's paths, not the enclosing
+// function's.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var starts []spanStart
+	forEachStmt(body, func(stmt ast.Stmt) {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !startNames[analysis.CalleeName(call)] {
+			return
+		}
+		// The span is the last value: Start/NewTrace return (ctx, span),
+		// StartChild returns the span alone.
+		lhs := as.Lhs[len(as.Lhs)-1]
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil || !analysis.NamedIn(obj.Type(), "Span", "internal/obs") {
+			return
+		}
+		starts = append(starts, spanStart{obj: obj, stmt: stmt, name: id.Name})
+	})
+	for _, st := range starts {
+		if escapes(pass, body, st) {
+			continue
+		}
+		checkStart(pass, body, st)
+	}
+}
+
+// forEachStmt visits every statement in the function body except those
+// inside nested function literals.
+func forEachStmt(body *ast.BlockStmt, fn func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			fn(s)
+		}
+		return true
+	})
+}
+
+// escapes reports whether the span variable leaves the function's
+// hands: returned, stored into a structure, sent, captured by a
+// non-defer closure, or passed as a call argument. The obligation to
+// End transfers to the new owner, so escaped spans are skipped. Method
+// calls ON the span (sp.End(), sp.Set(...), foo(sp.TraceID())) are not
+// escapes — only the span value itself moving counts.
+func escapes(pass *analysis.Pass, body *ast.BlockStmt, st spanStart) bool {
+	// isSpan reports whether e is the tracked variable itself (through
+	// parens and address-of).
+	var isSpan func(e ast.Expr) bool
+	isSpan = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[e] == st.obj
+		case *ast.UnaryExpr:
+			return isSpan(e.X)
+		}
+		return false
+	}
+	capturedBy := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == st.obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Defers may mention the span (the defer-End idiom).
+			return false
+		case *ast.FuncLit:
+			// A non-defer closure capturing the span owns it now.
+			if capturedBy(n) {
+				escaped = true
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isSpan(r) {
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if isSpan(n.Value) {
+				escaped = true
+			}
+		case *ast.AssignStmt:
+			// Storing the span anywhere other than a plain local rebinding.
+			for i, lhs := range n.Lhs {
+				if _, ok := lhs.(*ast.Ident); !ok && i < len(n.Rhs) && isSpan(n.Rhs[i]) {
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if isSpan(arg) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if isSpan(e) {
+					escaped = true
+				}
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// checkStart verifies one span start against the block structure: the
+// span must be discharged within the statement list that contains the
+// start (an End or defer-End there dominates every later exit from
+// it), with returns-while-open reported where they happen.
+func checkStart(pass *analysis.Pass, body *ast.BlockStmt, st spanStart) {
+	list := enclosingList(body, st.stmt)
+	if list == nil {
+		return
+	}
+	idx := -1
+	for i, s := range list {
+		if s == st.stmt {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	ended, violated := scanStmts(pass, st, list[idx+1:])
+	if !ended && !violated {
+		pass.Reportf(st.stmt.Pos(), "span %q is not ended on all paths out of its block: add `defer %s.End()` after the start", st.name, st.name)
+	}
+}
+
+// enclosingList returns the statement list that directly contains
+// target: a block's statements or a case/comm clause body.
+func enclosingList(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
+	var found []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for _, s := range list {
+			if s == target {
+				found = list
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// scanStmts scans a statement list that begins with the span open.
+// ended reports whether the span is discharged by the end of the list;
+// violated reports whether a violation was found (and reported).
+func scanStmts(pass *analysis.Pass, st spanStart, stmts []ast.Stmt) (ended, violated bool) {
+	for _, s := range stmts {
+		if ended {
+			return true, violated
+		}
+		switch s := s.(type) {
+		case *ast.DeferStmt:
+			if mentionsEnd(pass, st, s) {
+				ended = true
+			}
+		case *ast.ExprStmt:
+			if isEndCall(pass, st, s.X) {
+				ended = true
+			} else if isTerminator(s.X) {
+				return false, violated // process exits; remaining stmts unreachable
+			}
+		case *ast.AssignStmt:
+			// Rebinding the variable to a new span closes this check's
+			// window (the new binding is checked separately).
+			if rebinds(pass, st, s) {
+				return false, violated
+			}
+		case *ast.ReturnStmt:
+			pass.Reportf(s.Pos(), "return with span %q still open: end it before returning or use `defer %s.End()`", st.name, st.name)
+			return false, true
+		case *ast.IfStmt:
+			e, v := scanIf(pass, st, s)
+			ended, violated = ended || e, violated || v
+		case *ast.ForStmt:
+			_, v := scanStmts(pass, st, s.Body.List)
+			violated = violated || v
+		case *ast.RangeStmt:
+			_, v := scanStmts(pass, st, s.Body.List)
+			violated = violated || v
+		case *ast.SwitchStmt:
+			e, v := scanClauses(pass, st, s.Body)
+			ended, violated = ended || e, violated || v
+		case *ast.TypeSwitchStmt:
+			e, v := scanClauses(pass, st, s.Body)
+			ended, violated = ended || e, violated || v
+		case *ast.SelectStmt:
+			e, v := scanClauses(pass, st, s.Body)
+			ended, violated = ended || e, violated || v
+		case *ast.BlockStmt:
+			e, v := scanStmts(pass, st, s.List)
+			ended, violated = ended || e, violated || v
+		}
+	}
+	return ended, violated
+}
+
+// scanIf handles an if/else chain: the span counts as ended after the
+// chain only if every branch (including an implicit empty else) ends
+// it.
+func scanIf(pass *analysis.Pass, st spanStart, s *ast.IfStmt) (ended, violated bool) {
+	thenEnded, v1 := scanStmts(pass, st, s.Body.List)
+	violated = v1
+	switch els := s.Else.(type) {
+	case nil:
+		return false, violated
+	case *ast.BlockStmt:
+		elseEnded, v2 := scanStmts(pass, st, els.List)
+		return thenEnded && elseEnded, violated || v2
+	case *ast.IfStmt:
+		elseEnded, v2 := scanIf(pass, st, els)
+		return thenEnded && elseEnded, violated || v2
+	}
+	return false, violated
+}
+
+// scanClauses handles switch/select bodies: ended only if every clause
+// ends the span.
+func scanClauses(pass *analysis.Pass, st spanStart, body *ast.BlockStmt) (ended, violated bool) {
+	all := true
+	any := false
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+		case *ast.CommClause:
+			list = c.Body
+		}
+		e, v := scanStmts(pass, st, list)
+		violated = violated || v
+		all = all && e
+		any = true
+	}
+	return any && all, violated
+}
+
+// isEndCall reports whether e is `v.End()` for the tracked span.
+func isEndCall(pass *analysis.Pass, st spanStart, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == st.obj
+}
+
+// mentionsEnd reports whether the defer statement ends the span,
+// either directly (`defer v.End()`) or inside a deferred closure.
+func mentionsEnd(pass *analysis.Pass, st spanStart, s *ast.DeferStmt) bool {
+	if isEndCall(pass, st, s.Call) {
+		return true
+	}
+	found := false
+	ast.Inspect(s.Call, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isEndCall(pass, st, e) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTerminator reports whether the expression statement never returns
+// control (panic, os.Exit, log.Fatal*).
+func isTerminator(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && terminators[analysis.CalleeName(call)]
+}
+
+// rebinds reports whether the assignment rebinds the tracked variable.
+func rebinds(pass *analysis.Pass, st spanStart, as *ast.AssignStmt) bool {
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if pass.TypesInfo.Defs[id] == st.obj || pass.TypesInfo.Uses[id] == st.obj {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package spanend
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/obs")
+}

@@ -1,0 +1,18 @@
+// Fixture for the spanend analyzer: a stand-in for the real obs span
+// surface (same type/constructor names, same path suffix).
+package obs
+
+import "context"
+
+// Span mimics obs.Span.
+type Span struct{}
+
+func (s *Span) End()                         {}
+func (s *Span) Set(key string, v any)        {}
+func (s *Span) TraceID() string              { return "" }
+func (s *Span) StartChild(name string) *Span { return &Span{} }
+
+// Start mimics obs.Start: it returns (ctx, span).
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}

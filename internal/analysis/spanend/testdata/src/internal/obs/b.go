@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+)
+
+func goodDefer(ctx context.Context) {
+	ctx, sp := Start(ctx, "good")
+	defer sp.End()
+	_ = ctx
+}
+
+func goodDeferClosure(ctx context.Context) {
+	_, sp := Start(ctx, "good")
+	defer func() {
+		sp.Set("done", true)
+		sp.End()
+	}()
+}
+
+func goodExplicit(ctx context.Context) {
+	_, sp := Start(ctx, "good")
+	sp.End()
+}
+
+func goodChild(ctx context.Context) {
+	_, sp := Start(ctx, "parent")
+	defer sp.End()
+	child := sp.StartChild("phase")
+	child.End()
+}
+
+func bad(ctx context.Context) {
+	_, sp := Start(ctx, "bad") // want `span "sp" is not ended on all paths`
+	_ = sp
+}
+
+func badChild(ctx context.Context) {
+	_, sp := Start(ctx, "parent")
+	defer sp.End()
+	child := sp.StartChild("phase") // want `span "child" is not ended on all paths`
+	child.Set("k", 1)
+}
+
+func badEarlyReturn(ctx context.Context, fail bool) {
+	_, sp := Start(ctx, "r")
+	if fail {
+		return // want `return with span "sp" still open`
+	}
+	sp.End()
+}
+
+func goodBranches(ctx context.Context, v bool) {
+	_, sp := Start(ctx, "b")
+	if v {
+		sp.End()
+	} else {
+		sp.End()
+	}
+}
+
+func badBranch(ctx context.Context, v bool) {
+	_, sp := Start(ctx, "bb") // want `span "sp" is not ended on all paths`
+	if v {
+		sp.End()
+	}
+}
+
+func goodSwitch(ctx context.Context, n int) {
+	_, sp := Start(ctx, "sw")
+	switch n {
+	case 0:
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+func goodTerminator(ctx context.Context, broken bool) {
+	_, sp := Start(ctx, "t")
+	if broken {
+		fmt.Fprintln(os.Stderr, "fatal state")
+		panic("unreachable beyond here")
+	}
+	sp.End()
+}
+
+// escaped spans transfer the End obligation to their new owner.
+func escaped(ctx context.Context) *Span {
+	_, sp := Start(ctx, "esc")
+	return sp
+}
+
+type holder struct{ sp *Span }
+
+func stored(ctx context.Context, h *holder) {
+	_, sp := Start(ctx, "stored")
+	h.sp = sp
+}

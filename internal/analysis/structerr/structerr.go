@@ -1,0 +1,40 @@
+// Package structerr enforces the error-shape invariant of the HTTP
+// surface (PR 1, tightened by PR 9): internal/server handlers emit
+// structured JSON error bodies — {"error": ...} with op_path/line/col
+// attribution where available — via Server.writeError, never bare
+// http.Error text. Cluster peers, the CLI tools and the SQL surface
+// all parse these bodies; a stray http.Error turns a machine-readable
+// failure into an unparseable string and breaks error forwarding.
+package structerr
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the structerr invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "structerr",
+	Doc:  "internal/server must emit structured {error,...} JSON via writeError, never bare http.Error (PR 1/9 error-shape invariant)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathEndsIn(pass.Pkg.Path(), "internal/server") {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := analysis.StaticCallee(pass.TypesInfo, call); analysis.IsFuncNamed(fn, "net/http", "Error") {
+				pass.Reportf(call.Pos(), "bare http.Error in a server handler: use writeError so clients get the structured {error,...} JSON body")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package structerr
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestStructErr(t *testing.T) {
+	analysistest.Run(t, Analyzer, "internal/server", "internal/client")
+}

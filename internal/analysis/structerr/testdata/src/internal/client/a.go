@@ -1,0 +1,9 @@
+// Fixture for the structerr analyzer's scoping: packages outside
+// internal/server may use http.Error freely.
+package client
+
+import "net/http"
+
+func serveDebug(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "not a server handler", http.StatusNotFound)
+}

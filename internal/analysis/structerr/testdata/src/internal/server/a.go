@@ -1,0 +1,34 @@
+// Fixture for the structerr analyzer: internal/server handlers must
+// route errors through writeError, never bare http.Error.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type server struct{}
+
+func (s *server) writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `bare http.Error in a server handler`
+}
+
+func (s *server) handleGood(w http.ResponseWriter, r *http.Request, err error) {
+	s.writeError(w, http.StatusBadRequest, err)
+}
+
+// A local helper that happens to be called Error is fine.
+type reporter struct{}
+
+func (reporter) Error(w http.ResponseWriter, msg string, code int) {}
+
+func (s *server) handleLocalError(w http.ResponseWriter, r *http.Request) {
+	var rep reporter
+	rep.Error(w, "structured elsewhere", http.StatusTeapot)
+}

@@ -1,0 +1,22 @@
+// Package suite registers the cdbcheck analyzers. cmd/cdbcheck runs
+// exactly this list; adding an analyzer here wires it into both the
+// standalone and the go vet -vettool modes.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/cachekey"
+	"repro/internal/analysis/interruptpoll"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/spanend"
+	"repro/internal/analysis/structerr"
+)
+
+// All is the cdbcheck analyzer suite, in reporting order.
+var All = []*analysis.Analyzer{
+	cachekey.Analyzer,
+	interruptpoll.Analyzer,
+	seededrand.Analyzer,
+	spanend.Analyzer,
+	structerr.Analyzer,
+}

@@ -1,0 +1,110 @@
+package runtime
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/walk"
+)
+
+// fingerprintExempt mirrors the cachekey analyzer's exclusion list
+// (internal/analysis/cachekey): fields deliberately outside the
+// CacheKey fingerprint. Interrupt is per-call state — baking a
+// request's context into shared prepared geometry would poison the
+// sampler cache — so the test asserts it does NOT move the key.
+var fingerprintExempt = map[string]bool{
+	"Interrupt": true,
+}
+
+// TestOptionsFingerprintComplete walks core.Options by reflection and
+// checks that perturbing each field individually changes CacheKey (or,
+// for exempt fields, leaves it unchanged). It is the value-level twin
+// of the cachekey analyzer's compile-time reachability check: a new
+// Options field that is forgotten in CacheKey fails both, here because
+// two differently-behaving Options would share a cache entry.
+func TestOptionsFingerprintComplete(t *testing.T) {
+	// The baseline avoids every zero value that CacheKey collapses to a
+	// default (Params zero -> DefaultParams, RoundingIterations 0 -> 3,
+	// MaxPhaseSamples 0 -> 1500, AcceptanceFloor 0 -> 1e-4), so a
+	// perturbation can never land on the baseline's own encoding.
+	base := core.Options{
+		Params:             core.Params{Gamma: 0.2, Eps: 0.25, Delta: 0.1},
+		Walk:               walk.GridWalk,
+		WalkSteps:          777,
+		RoundingIterations: 7,
+		MaxPhaseSamples:    1100,
+		MaxRounds:          9,
+		AcceptanceFloor:    0.123,
+	}
+	baseKey := base.CacheKey()
+
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		field := rt.Field(i)
+		mod := base
+		perturb(t, field.Name, reflect.ValueOf(&mod).Elem().Field(i))
+		modKey := mod.CacheKey()
+		switch {
+		case fingerprintExempt[field.Name]:
+			if modKey != baseKey {
+				t.Errorf("exempt field Options.%s moved CacheKey:\n  base %s\n  mod  %s\nper-call state must stay outside the fingerprint", field.Name, baseKey, modKey)
+			}
+		case modKey == baseKey:
+			t.Errorf("Options.%s does not perturb CacheKey (%s): two Options differing only in %s would share a prepared-sampler cache entry — fold the field into CacheKey or add it to the documented exclusion lists", field.Name, baseKey, field.Name)
+		}
+	}
+}
+
+// perturb mutates v to a value distinct from the baseline's, failing
+// the test on a field kind it does not know how to handle (so adding
+// an exotic field forces a conscious decision here).
+func perturb(t *testing.T, name string, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Float64, reflect.Float32:
+		v.SetFloat(v.Float() + 0.101)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "#alt")
+	case reflect.Func:
+		v.Set(reflect.MakeFunc(v.Type(), func([]reflect.Value) []reflect.Value {
+			err := errors.New("perturbed")
+			return []reflect.Value{reflect.ValueOf(&err).Elem()}
+		}))
+	case reflect.Struct:
+		// Perturb every leaf so a nested struct (Params) moves the key
+		// whenever any of its fields is fingerprinted.
+		for i := 0; i < v.NumField(); i++ {
+			perturb(t, name+"."+v.Type().Field(i).Name, v.Field(i))
+		}
+	default:
+		t.Fatalf("Options field %s has kind %s the fingerprint test cannot perturb: teach perturb() about it", name, v.Kind())
+	}
+}
+
+// TestOptionsFingerprintNestedParams pins the sub-field granularity for
+// the one nested struct: each Params component must move the key on its
+// own, not only when Params changes wholesale.
+func TestOptionsFingerprintNestedParams(t *testing.T) {
+	base := core.Options{Params: core.Params{Gamma: 0.2, Eps: 0.25, Delta: 0.1}}
+	baseKey := base.CacheKey()
+	for _, tc := range []struct {
+		name string
+		mod  core.Options
+	}{
+		{"Gamma", core.Options{Params: core.Params{Gamma: 0.3, Eps: 0.25, Delta: 0.1}}},
+		{"Eps", core.Options{Params: core.Params{Gamma: 0.2, Eps: 0.35, Delta: 0.1}}},
+		{"Delta", core.Options{Params: core.Params{Gamma: 0.2, Eps: 0.25, Delta: 0.2}}},
+	} {
+		if tc.mod.CacheKey() == baseKey {
+			t.Errorf("Params.%s does not perturb CacheKey", tc.name)
+		}
+	}
+}

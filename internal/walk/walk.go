@@ -250,6 +250,7 @@ func (w *Walker) Step() {
 // pay nothing per step.
 func (w *Walker) Run(n int) linalg.Vector {
 	if w.interrupt == nil {
+		//cdbcheck:ignore interruptpoll -- nil-hook fast path: the poll is hoisted into the branch guard above
 		for i := 0; i < n; i++ {
 			w.Step()
 		}
